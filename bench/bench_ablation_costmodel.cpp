@@ -1,0 +1,120 @@
+//===- bench_ablation_costmodel.cpp - E10: cost-model fidelity --------------===//
+//
+// Our own design-choice ablation (DESIGN.md E10): the analytical
+// working-set model is the reward substrate; this bench validates that
+// it ranks schedules the same way the trace-driven cache simulator does,
+// and measures how much cheaper it is (the reason it can serve as an RL
+// reward).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "perf/CacheSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+struct Candidate {
+  const char *Name;
+  OpSchedule Sched;
+};
+
+std::vector<Candidate> matmulCandidates() {
+  std::vector<Candidate> C;
+  C.push_back({"untiled", {}});
+  Candidate T16;
+  T16.Name = "tile 16^3";
+  T16.Sched.Transforms.push_back(Transformation::tiling({16, 16, 16}));
+  C.push_back(T16);
+  Candidate T32;
+  T32.Name = "tile 32^3";
+  T32.Sched.Transforms.push_back(Transformation::tiling({32, 32, 32}));
+  C.push_back(T32);
+  Candidate Bad;
+  Bad.Name = "column-major walk";
+  Bad.Sched.Transforms.push_back(Transformation::interchange({1, 2, 0}));
+  C.push_back(Bad);
+  return C;
+}
+
+void runAgreement() {
+  Module M = makeMatmulModule(96, 96, 96);
+  MachineModel Small = MachineModel::xeonE5_2680v4();
+  Small.L1.SizeBytes = 8 * 1024;
+  Small.L1.Associativity = 128; // isolate capacity effects
+  CostModel Model(Small);
+
+  TextTable Table({"schedule", "analytical L1 bytes", "simulated L1 misses",
+                   "analytical rank", "simulated rank"});
+  std::vector<Candidate> Candidates = matmulCandidates();
+  std::vector<double> Analytic;
+  std::vector<double> Simulated;
+  for (const Candidate &C : Candidates) {
+    LoopNest Nest = materializeLoopNest(M, 0, C.Sched);
+    Analytic.push_back(Model.estimateTraffic(Nest).L1Bytes);
+    Simulated.push_back(
+        static_cast<double>(simulateNest(Nest, Small).L1Misses));
+  }
+  auto RankOf = [](const std::vector<double> &V, unsigned I) {
+    unsigned Rank = 0;
+    for (double Other : V)
+      Rank += Other < V[I];
+    return Rank;
+  };
+  for (unsigned I = 0; I < Candidates.size(); ++I)
+    Table.addRow({Candidates[I].Name, TextTable::num(Analytic[I], 0),
+                  TextTable::num(Simulated[I], 0),
+                  TextTable::num(RankOf(Analytic, I), 0),
+                  TextTable::num(RankOf(Simulated, I), 0)});
+  printTable("E10: analytical model vs trace simulator (96^3 matmul)",
+             Table);
+
+  // Pairwise concordance (Kendall-style): does the analytical model
+  // order each pair of schedules the way the trace simulator does?
+  unsigned Concordant = 0, Pairs = 0;
+  for (unsigned I = 0; I < Candidates.size(); ++I)
+    for (unsigned J = I + 1; J < Candidates.size(); ++J) {
+      ++Pairs;
+      Concordant += (Analytic[I] < Analytic[J]) ==
+                    (Simulated[I] < Simulated[J]);
+    }
+  std::printf("pairwise order concordance: %u / %u schedule pairs\n",
+              Concordant, Pairs);
+}
+
+void BM_Agreement(benchmark::State &State) {
+  for (auto _ : State)
+    runAgreement();
+}
+
+/// Relative cost: analytical estimate vs full trace simulation.
+void BM_AnalyticalModel(benchmark::State &State) {
+  Module M = makeMatmulModule(96, 96, 96);
+  CostModel Model(MachineModel::xeonE5_2680v4());
+  LoopNest Nest = materializeLoopNest(M, 0, OpSchedule());
+  for (auto _ : State) {
+    double T = Model.estimateNest(Nest).TotalSeconds;
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void BM_TraceSimulator(benchmark::State &State) {
+  Module M = makeMatmulModule(96, 96, 96);
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  LoopNest Nest = materializeLoopNest(M, 0, OpSchedule());
+  for (auto _ : State) {
+    CacheSimStats S = simulateNest(Nest, Machine);
+    benchmark::DoNotOptimize(S.L1Misses);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Agreement)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(BM_AnalyticalModel)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TraceSimulator)->Unit(benchmark::kMillisecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+//===- bench_fig5_operators.cpp - Figure 5 reproduction --------------------===//
+//
+// Figure 5 of the paper: speedups over the unoptimized MLIR baseline on
+// single DNN operators, for MLIR RL, Halide RL, PyTorch and the PyTorch
+// compiler. The paper's qualitative findings this must reproduce:
+//   * Add / ReLU: MLIR RL competitive with PyTorch & the compiler;
+//   * Maxpool: MLIR RL ~3.3x better than PyTorch; Halide RL ~1.25x
+//     better than MLIR RL (it can vectorize pooling, MLIR cannot);
+//   * Matmul / Conv2D: PyTorch wins (2.16x / 6.71x in the paper);
+//     MLIR RL far ahead of Halide RL on matmul (5.32x in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+void runFigure5() {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/140);
+  std::vector<Module> TrainSet = operatorTrainingSet();
+  std::unique_ptr<MlirRl> Sys = trainAgent(Options, TrainSet, "fig5");
+
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  HalideRlBaseline Halide(Machine);
+  LibraryOracle Torch(Machine, LibraryProfile::pytorchEager());
+  LibraryOracle TorchJit(Machine, LibraryProfile::pytorchCompile());
+
+  TextTable Table({"operator", "size", "MLIR RL", "Halide RL", "PyTorch",
+                   "PyTorch compiler"});
+  struct Acc {
+    std::vector<double> Rl, HalideS, TorchS, JitS;
+  };
+  std::map<std::string, Acc> PerOp;
+
+  for (const OperatorBenchmark &B : makeOperatorBenchmarks()) {
+    double Baseline = Sys->runner().timeBaseline(B.M);
+    double Rl = Sys->optimize(B.M);
+    double H = Baseline / Halide.timeModule(B.M);
+    double T = Baseline / Torch.timeModule(B.M);
+    double J = Baseline / TorchJit.timeModule(B.M);
+    Table.addRow({B.OperatorName, B.SizeName, TextTable::num(Rl),
+                  TextTable::num(H), TextTable::num(T), TextTable::num(J)});
+    Acc &A = PerOp[B.OperatorName];
+    A.Rl.push_back(Rl);
+    A.HalideS.push_back(H);
+    A.TorchS.push_back(T);
+    A.JitS.push_back(J);
+  }
+  printTable("Figure 5: speedup over unoptimized MLIR per operator", Table);
+
+  TextTable Summary({"operator", "MLIR RL", "Halide RL", "PyTorch",
+                     "PyTorch compiler", "paper's headline"});
+  std::map<std::string, std::string> Headline = {
+      {"add", "MLIR RL competitive with PyTorch"},
+      {"relu", "MLIR RL competitive with PyTorch"},
+      {"maxpool", "MLIR RL 3.3x over PyTorch; Halide RL 1.25x over RL"},
+      {"matmul", "PyTorch 2.16x over MLIR RL; RL 5.32x over Halide RL"},
+      {"conv2d", "PyTorch 6.71x over MLIR RL"}};
+  for (auto &[Op, A] : PerOp)
+    Summary.addRow({Op, TextTable::num(geomean(A.Rl)),
+                    TextTable::num(geomean(A.HalideS)),
+                    TextTable::num(geomean(A.TorchS)),
+                    TextTable::num(geomean(A.JitS)), Headline[Op]});
+  printTable("Figure 5 summary (geomean per operator)", Summary);
+}
+
+void BM_Figure5(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure5();
+}
+
+} // namespace
+
+BENCHMARK(BM_Figure5)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+//===- bench_fig7_reward.cpp - Figure 7 reproduction -------------------------===//
+//
+// Figure 7: Immediate vs. Final reward. The paper's finding: both reach
+// comparable speedups per training *iteration*, but the immediate-reward
+// variant is much slower in *wall-clock* because the optimized program
+// must be executed after every step to compute the incremental reward.
+// We reproduce both axes: the per-iteration curve and the simulated
+// measurement wall-clock (the sum of program executions the rewards
+// required). Emits fig7_reward.csv.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+struct Curve {
+  std::vector<double> Speedup;
+  std::vector<double> WallClock; // cumulative simulated measurement time
+};
+
+Curve trainCurve(RewardMode Mode, unsigned Iterations,
+                 const std::vector<Module> &Dataset) {
+  MlirRlOptions Options = standardOptions(Iterations, /*Seed=*/66);
+  Options.Env.Reward = Mode;
+  MlirRl Sys(Options);
+  Curve C;
+  double Cumulative = 0.0;
+  Sys.train(Dataset, [&](unsigned, const PpoIterationStats &S) {
+    Cumulative += S.MeasurementSeconds;
+    C.Speedup.push_back(S.MeanSpeedup);
+    C.WallClock.push_back(Cumulative);
+  });
+  return C;
+}
+
+void runFigure7() {
+  const unsigned Iterations = 100;
+  std::vector<Module> Dataset = operatorTrainingSet(/*Seed=*/17);
+
+  std::printf("[train] fig7: final reward...\n");
+  Curve Final = trainCurve(RewardMode::Final, Iterations, Dataset);
+  std::printf("[train] fig7: immediate reward...\n");
+  Curve Immediate = trainCurve(RewardMode::Immediate, Iterations, Dataset);
+
+  CsvWriter Csv({"iteration", "final_speedup", "final_wallclock_s",
+                 "immediate_speedup", "immediate_wallclock_s"});
+  for (unsigned I = 0; I < Iterations; ++I)
+    Csv.addRow({TextTable::num(I, 0), TextTable::num(Final.Speedup[I], 4),
+                TextTable::num(Final.WallClock[I], 4),
+                TextTable::num(Immediate.Speedup[I], 4),
+                TextTable::num(Immediate.WallClock[I], 4)});
+  Csv.writeFile("fig7_reward.csv");
+  std::printf("wrote fig7_reward.csv\n");
+
+  auto Tail = [](const std::vector<double> &V) {
+    std::vector<double> Last(V.end() - V.size() / 5, V.end());
+    return geomean(Last);
+  };
+  TextTable Table({"reward", "final speedup (last 20%)",
+                   "total measurement time (simulated s)",
+                   "paper's finding"});
+  Table.addRow({"Final", TextTable::num(Tail(Final.Speedup)),
+                TextTable::num(Final.WallClock.back(), 3),
+                "same speedup, much cheaper training"});
+  Table.addRow({"Immediate", TextTable::num(Tail(Immediate.Speedup)),
+                TextTable::num(Immediate.WallClock.back(), 3),
+                "comparable speedup, slower wall-clock"});
+  printTable("Figure 7: immediate vs final reward", Table);
+}
+
+void BM_Figure7(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure7();
+}
+
+} // namespace
+
+BENCHMARK(BM_Figure7)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+//===- bench_overhead.cpp - Sec. VII-B compilation-pass overhead ------------===//
+//
+// Sec. VII-B: the overhead of the compilation pass itself — policy
+// inference per code sample, and the cost of applying the selected
+// transformation sequence. Paper numbers (on their hardware, full-size
+// 512-unit nets): 0.028 s inference per sample; 0.089 s transformation
+// time for DNN operators and 0.8 s for LQCD applications. These use
+// google-benchmark's timing loop for real measurements.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "datasets/Lqcd.h"
+#include "env/Environment.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+MlirRlOptions opts() { return standardOptions(/*Iterations=*/0); }
+
+/// Full-sequence policy inference for one code sample (every step of an
+/// episode queries the policy, as in deployment).
+void BM_PolicyInferencePerSample(benchmark::State &State) {
+  MlirRlOptions Options = opts();
+  MlirRl Sys(Options);
+  Module M = makeMatmulModule(512, 512, 512);
+  for (auto _ : State) {
+    double Speedup = Sys.optimize(M);
+    benchmark::DoNotOptimize(Speedup);
+  }
+}
+
+/// Policy inference with the paper-size networks (LSTM 512, Dense 512).
+void BM_PolicyInferencePaperSizeNets(benchmark::State &State) {
+  MlirRlOptions Options = opts();
+  Options.Net = NetConfig(); // 512-unit LSTM + 3 x Dense(512)
+  MlirRl Sys(Options);
+  Module M = makeMatmulModule(512, 512, 512);
+  for (auto _ : State) {
+    double Speedup = Sys.optimize(M);
+    benchmark::DoNotOptimize(Speedup);
+  }
+}
+
+/// Applying a full transformation sequence to a DNN operator.
+void BM_TransformApplicationDnnOp(benchmark::State &State) {
+  Module M = makeConv2dModule(1, 64, 58, 58, 64, 3, 3, 1);
+  OpSchedule Sched;
+  Sched.Transforms.push_back(
+      Transformation::tiledParallelization({1, 4, 8, 8, 0, 0, 0}));
+  Sched.Transforms.push_back(
+      Transformation::interchange({0, 1, 2, 4, 5, 6, 3}));
+  Sched.Transforms.push_back(Transformation::vectorization());
+  ModuleSchedule Full;
+  Full.OpSchedules[0] = Sched;
+  for (auto _ : State) {
+    std::vector<LoopNest> Nests = materializeModule(M, Full);
+    benchmark::DoNotOptimize(Nests.data());
+  }
+}
+
+/// Applying transformation sequences across a whole LQCD application.
+void BM_TransformApplicationLqcdApp(benchmark::State &State) {
+  Module M = makeDibaryonDibaryon(24);
+  ModuleSchedule Full;
+  for (unsigned I = 0; I < M.getNumOps(); ++I) {
+    OpSchedule Sched;
+    std::vector<int64_t> Sizes(M.getOp(I).getNumLoops(), 0);
+    Sizes[0] = 4;
+    if (Sizes.size() > 1)
+      Sizes[1] = 8;
+    Sched.Transforms.push_back(Transformation::tiledParallelization(Sizes));
+    Full.OpSchedules[I] = Sched;
+  }
+  for (auto _ : State) {
+    std::vector<LoopNest> Nests = materializeModule(M, Full);
+    benchmark::DoNotOptimize(Nests.data());
+  }
+}
+
+/// One reward evaluation (materialize + cost model), the per-step cost
+/// of the Immediate reward mode.
+void BM_RewardEvaluation(benchmark::State &State) {
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  CostModel Model(Machine);
+  Module M = makeMatmulModule(512, 512, 512);
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiledParallelization({8, 8, 0}));
+  ModuleSchedule Full;
+  Full.OpSchedules[0] = Sched;
+  for (auto _ : State) {
+    double T = Model.estimateModule(materializeModule(M, Full));
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_PolicyInferencePerSample)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyInferencePaperSizeNets)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransformApplicationDnnOp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TransformApplicationLqcdApp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewardEvaluation)->Unit(benchmark::kMicrosecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+//===- bench_table2_dataset.cpp - Table II / dataset reproduction -----------===//
+//
+// Table II: the composition of the single-operator training set
+// (187 matmul / 278 conv2d / 250 maxpool / 271 add / 149 relu = 1135)
+// and the full 3959-sample dataset of Sec. VI (1135 DNN operators +
+// 2133 operator sequences + 691 LQCD kernels). Generates the full
+// dataset and reports the counts plus generation throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "ir/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+void runTable2() {
+  Rng R(2024);
+  DnnDatasetCounts Counts; // paper defaults
+  std::vector<Module> Dnn = generateDnnOperatorDataset(R, Counts);
+
+  std::map<std::string, unsigned> PerKind;
+  for (const Module &M : Dnn) {
+    OpKind K = M.getOp(0).getKind();
+    ++PerKind[getOpKindName(K)];
+  }
+  TextTable Table({"operation", "generated", "paper (Table II)"});
+  Table.addRow({"Matrix multiplication",
+                TextTable::num(PerKind["linalg.matmul"], 0), "187"});
+  Table.addRow({"2d convolution",
+                TextTable::num(PerKind["linalg.conv_2d"], 0), "278"});
+  Table.addRow({"Maxpooling",
+                TextTable::num(PerKind["linalg.pooling_max"], 0), "250"});
+  Table.addRow({"Matrix addition", TextTable::num(PerKind["linalg.add"], 0),
+                "271"});
+  Table.addRow({"ReLU", TextTable::num(PerKind["linalg.relu"], 0), "149"});
+  Table.addRow({"Total", TextTable::num(Dnn.size(), 0), "1135"});
+  printTable("Table II: single-operator training set", Table);
+
+  // Full dataset (Sec. VI): all three sources.
+  DatasetConfig Config;
+  std::vector<Module> Full = buildTrainingDataset(Config);
+  unsigned Verified = 0;
+  std::string Error;
+  for (const Module &M : Full)
+    Verified += verifyModule(M, Error);
+  TextTable FullTable({"component", "samples", "paper"});
+  FullTable.addRow({"DNN single operators",
+                    TextTable::num(Config.Dnn.total(), 0), "1135"});
+  FullTable.addRow({"Operator sequences (L=5)",
+                    TextTable::num(Config.Sequences, 0), "2133"});
+  FullTable.addRow({"LQCD kernels", TextTable::num(Config.Lqcd, 0), "691"});
+  FullTable.addRow({"Total", TextTable::num(Full.size(), 0), "3959"});
+  FullTable.addRow({"Verifier-clean", TextTable::num(Verified, 0), "all"});
+  printTable("Sec. VI: full training dataset", FullTable);
+}
+
+void BM_Table2(benchmark::State &State) {
+  for (auto _ : State)
+    runTable2();
+}
+
+/// Generation throughput of the full 3959-sample dataset.
+void BM_DatasetGeneration(benchmark::State &State) {
+  for (auto _ : State) {
+    std::vector<Module> Full = buildTrainingDataset(DatasetConfig());
+    benchmark::DoNotOptimize(Full.data());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Table2)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(BM_DatasetGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+//===- bench_table5_models.cpp - Table V reproduction ------------------------===//
+//
+// Table V: operation composition of the benchmarked models. The paper
+// counts the ops Torch-MLIR emits (ResNet 510 total / 53 conv; our
+// from-scratch builders produce the architectural op counts — fewer
+// generics because Torch-MLIR splits normalization into several
+// linalg.generic ops). Both are printed side by side.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+
+namespace {
+
+void runTable5() {
+  struct Row {
+    const char *Name;
+    Module M;
+    const char *Paper; // total/conv/pool/matmul/generic/unknown
+  };
+  std::vector<Row> Rows;
+  Rows.push_back(
+      {"MobileNetV2", makeMobileNetV2(), "524/35/1/1/448/39"});
+  Rows.push_back({"ResNet", makeResNet18(), "510/53/2/1/438/16"});
+  Rows.push_back({"VGG", makeVgg16(), "65/13/6/3/19/24"});
+
+  TextTable Table({"model", "total", "conv2d", "pool", "matmul", "generic",
+                   "unknown", "paper (tot/conv/pool/mm/gen/unk)"});
+  for (Row &Entry : Rows) {
+    std::map<std::string, unsigned> C = getOpComposition(Entry.M);
+    Table.addRow({Entry.Name, TextTable::num(C["total"], 0),
+                  TextTable::num(C["conv2d"], 0),
+                  TextTable::num(C["pool"], 0),
+                  TextTable::num(C["matmul"], 0),
+                  TextTable::num(C["generic"], 0),
+                  TextTable::num(C["unknown"], 0), Entry.Paper});
+  }
+  printTable("Table V: operation composition of the models", Table);
+}
+
+void BM_Table5(benchmark::State &State) {
+  for (auto _ : State)
+    runTable5();
+}
+
+/// Model-construction throughput (the "import" path).
+void BM_BuildResNet18(benchmark::State &State) {
+  for (auto _ : State) {
+    Module M = makeResNet18();
+    benchmark::DoNotOptimize(M.getNumOps());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Table5)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(BM_BuildResNet18)->Unit(benchmark::kMillisecond);
+BENCHMARK_MAIN();

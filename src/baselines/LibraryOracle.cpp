@@ -1,0 +1,147 @@
+//===- LibraryOracle.cpp --------------------------------------------------===//
+
+#include "baselines/LibraryOracle.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace mlirrl;
+
+LibraryProfile LibraryProfile::pytorchEager() {
+  LibraryProfile P;
+  P.Name = "PyTorch";
+  return P;
+}
+
+LibraryProfile LibraryProfile::pytorchCompile() {
+  LibraryProfile P;
+  P.Name = "PyTorch compiler";
+  P.PerOpOverheadSeconds = 3e-6;
+  P.FusesElementwise = true;
+  // Graph compilation also squeezes a little more out of the kernels
+  // (layout planning, fewer reorders).
+  P.MatmulEfficiency = 0.88;
+  P.ConvEfficiency = 0.74;
+  return P;
+}
+
+LibraryOracle::LibraryOracle(MachineModel Machine, LibraryProfile Profile)
+    : Machine(Machine), Profile(std::move(Profile)) {}
+
+namespace {
+
+/// Bytes of all distinct operand tensors (inputs + output) of one op.
+double operandBytes(const Module &M, const LinalgOp &Op) {
+  std::set<std::string> Seen;
+  double Bytes = 0.0;
+  auto AddValue = [&](const std::string &Name) {
+    if (Seen.insert(Name).second)
+      Bytes += static_cast<double>(M.getValue(Name).Type.getByteSize());
+  };
+  for (const OpOperand &In : Op.getInputs())
+    AddValue(In.Value);
+  AddValue(Op.getResult());
+  return Bytes;
+}
+
+/// True for ops the elementwise fuser can merge: no reduction loops.
+bool isElementwise(const LinalgOp &Op) {
+  return Op.getNumReductionLoops() == 0;
+}
+
+} // namespace
+
+double LibraryOracle::kernelSeconds(const Module &M,
+                                    const LinalgOp &Op) const {
+  const double GiB = 1024.0 * 1024.0 * 1024.0;
+  double PeakVector = Machine.vectorFlopsPerSecond(Machine.VectorLanesF32) *
+                      Machine.NumCores;
+  double PeakScalar = Machine.scalarFlopsPerSecond() * Machine.NumCores;
+  double DramBps = Machine.DramBandwidthGBps * GiB;
+  double Flops = static_cast<double>(Op.getFlops());
+  double Bytes = operandBytes(M, Op);
+
+  switch (Op.getKind()) {
+  case OpKind::Matmul: {
+    double Compute = Flops / (PeakVector * Profile.MatmulEfficiency);
+    double Memory = Bytes / DramBps;
+    return std::max(Compute, Memory);
+  }
+  case OpKind::Conv2D: {
+    // im2col materializes the patch matrix: one extra write + read of
+    // the expanded input.
+    double KernelPoints = 1.0;
+    if (Op.getNumLoops() == 7)
+      KernelPoints = static_cast<double>(Op.getLoopBound(5)) *
+                     static_cast<double>(Op.getLoopBound(6));
+    double InputBytes =
+        static_cast<double>(M.getValue(Op.getInput(0).Value)
+                                .Type.getByteSize());
+    double Im2colBytes = 2.0 * InputBytes * KernelPoints;
+    double Compute = Flops / (PeakVector * Profile.ConvEfficiency);
+    double Memory = (Bytes + Im2colBytes) / DramBps;
+    return std::max(Compute, Memory);
+  }
+  case OpKind::PoolingMax: {
+    double Compute = Flops / (PeakScalar * Profile.PoolEfficiency);
+    double Memory = Bytes / (DramBps * Profile.PoolBandwidthFraction);
+    return std::max(Compute, Memory);
+  }
+  default: {
+    // Elementwise / normalization / reduction kernels: bandwidth-bound.
+    double Memory =
+        Bytes / (DramBps * Profile.ElementwiseBandwidthFraction);
+    double Compute = Flops / PeakVector;
+    return std::max(Compute, Memory);
+  }
+  }
+}
+
+double LibraryOracle::timeModule(const Module &M) const {
+  const double GiB = 1024.0 * 1024.0 * 1024.0;
+  double DramBps = Machine.DramBandwidthGBps * GiB *
+                   Profile.ElementwiseBandwidthFraction;
+  double Total = 0.0;
+  std::vector<bool> Consumed(M.getNumOps(), false);
+
+  for (unsigned I = 0; I < M.getNumOps(); ++I) {
+    if (Consumed[I])
+      continue;
+    const LinalgOp &Op = M.getOp(I);
+    if (Profile.FusesElementwise && isElementwise(Op)) {
+      // Greedily extend a chain of exclusively-consumed elementwise ops;
+      // the fused kernel makes one pass over external inputs + the final
+      // output.
+      std::set<std::string> External;
+      for (const OpOperand &In : Op.getInputs())
+        External.insert(In.Value);
+      unsigned Last = I;
+      double FusedFlops = static_cast<double>(Op.getFlops());
+      for (unsigned J = I + 1; J < M.getNumOps(); ++J) {
+        const LinalgOp &Next = M.getOp(J);
+        std::vector<unsigned> Users = M.getConsumers(Last);
+        if (!isElementwise(Next) || Users.size() != 1 || Users[0] != J ||
+            !Next.readsValue(M.getOp(Last).getResult()))
+          break;
+        for (const OpOperand &In : Next.getInputs())
+          if (In.Value != M.getOp(Last).getResult())
+            External.insert(In.Value);
+        FusedFlops += static_cast<double>(Next.getFlops());
+        Consumed[J] = true;
+        Last = J;
+      }
+      double Bytes = static_cast<double>(
+          M.getValue(M.getOp(Last).getResult()).Type.getByteSize());
+      for (const std::string &Name : External)
+        Bytes += static_cast<double>(M.getValue(Name).Type.getByteSize());
+      double PeakVector =
+          Machine.vectorFlopsPerSecond(Machine.VectorLanesF32) *
+          Machine.NumCores;
+      Total += std::max(Bytes / DramBps, FusedFlops / PeakVector) +
+               Profile.PerOpOverheadSeconds;
+      continue;
+    }
+    Total += kernelSeconds(M, Op) + Profile.PerOpOverheadSeconds;
+  }
+  return Total;
+}

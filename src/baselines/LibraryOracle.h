@@ -1,0 +1,71 @@
+//===- LibraryOracle.h - PyTorch / torch.compile oracles ---------*- C++-*-===//
+///
+/// \file
+/// Models of the framework baselines of Sec. VII-A4. PyTorch dispatches
+/// each operation to a hand-tuned library kernel (oneDNN/MKL):
+/// register-tiled GEMM near peak, im2col convolution, comparatively weak
+/// NCHW pooling kernels, bandwidth-bound elementwise kernels — plus a
+/// per-operation framework dispatch overhead. The PyTorch compiler
+/// (torch.jit) additionally fuses elementwise chains and cuts dispatch
+/// cost. Both are evaluated on the same machine model as everything else
+/// (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_BASELINES_LIBRARYORACLE_H
+#define MLIRRL_BASELINES_LIBRARYORACLE_H
+
+#include "ir/Module.h"
+#include "perf/MachineModel.h"
+
+#include <string>
+
+namespace mlirrl {
+
+/// Kernel-efficiency profile of a framework.
+struct LibraryProfile {
+  std::string Name;
+  /// Fraction of vector peak the GEMM kernels reach.
+  double MatmulEfficiency = 0.85;
+  /// Fraction of vector peak conv kernels reach (im2col + GEMM).
+  double ConvEfficiency = 0.70;
+  /// Fraction of scalar-issue peak the NCHW pooling kernel reaches (the
+  /// paper finds frameworks weak here: MLIR RL wins 3.3x).
+  double PoolEfficiency = 0.30;
+  /// Fraction of DRAM bandwidth the NCHW pooling kernel sustains (eager
+  /// pooling parallelizes poorly and pays layout overhead).
+  double PoolBandwidthFraction = 0.15;
+  /// Fraction of DRAM bandwidth elementwise kernels sustain.
+  double ElementwiseBandwidthFraction = 0.85;
+  /// Per-operation dispatch overhead, seconds.
+  double PerOpOverheadSeconds = 10e-6;
+  /// Fuse adjacent exclusively-consumed elementwise ops into one memory
+  /// pass (torch.jit graph compilation).
+  bool FusesElementwise = false;
+
+  static LibraryProfile pytorchEager();
+  static LibraryProfile pytorchCompile();
+};
+
+/// A framework baseline: maps every op to its library kernel time.
+class LibraryOracle {
+public:
+  LibraryOracle(MachineModel Machine, LibraryProfile Profile);
+
+  const std::string &getName() const { return Profile.Name; }
+
+  /// Estimated end-to-end time of the module under this framework.
+  double timeModule(const Module &M) const;
+
+  /// Time of one op's kernel (without dispatch overhead); exposed for
+  /// tests.
+  double kernelSeconds(const Module &M, const LinalgOp &Op) const;
+
+private:
+  MachineModel Machine;
+  LibraryProfile Profile;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_BASELINES_LIBRARYORACLE_H

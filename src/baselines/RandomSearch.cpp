@@ -1,0 +1,64 @@
+//===- RandomSearch.cpp ---------------------------------------------------===//
+
+#include "baselines/RandomSearch.h"
+
+using namespace mlirrl;
+
+/// Samples a uniformly random action under the observation's masks.
+static AgentAction randomAction(const Observation &Obs,
+                                const EnvConfig &Config, Rng &Rng) {
+  AgentAction Action;
+  if (Config.ActionSpace == ActionSpaceMode::Flat) {
+    std::vector<double> Weights = Obs.FlatMask;
+    Action.FlatChoice = static_cast<unsigned>(Rng.sampleWeighted(Weights));
+    return Action;
+  }
+  if (Obs.InPointerSequence) {
+    Action.Kind = TransformKind::Interchange;
+    Action.PointerChoice =
+        static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+    return Action;
+  }
+  Action.Kind = static_cast<TransformKind>(
+      Rng.sampleWeighted(Obs.TransformMask));
+  switch (Action.Kind) {
+  case TransformKind::Tiling:
+  case TransformKind::TiledParallelization:
+  case TransformKind::TiledFusion:
+    Action.TileSizeIdx.resize(Config.MaxLoops);
+    for (unsigned &Idx : Action.TileSizeIdx)
+      Idx = static_cast<unsigned>(Rng.nextBounded(Config.NumTileSizes));
+    break;
+  case TransformKind::Interchange:
+    if (Config.Interchange == InterchangeMode::LevelPointers)
+      Action.PointerChoice =
+          static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+    else
+      Action.EnumeratedChoice =
+          static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+    break;
+  case TransformKind::Vectorization:
+  case TransformKind::NoTransformation:
+    break;
+  }
+  return Action;
+}
+
+RandomSearchResult mlirrl::randomSearch(const EnvConfig &Config, Runner &Run,
+                                        const Module &M, unsigned Episodes,
+                                        uint64_t Seed) {
+  Rng Rng(Seed);
+  RandomSearchResult Best;
+  for (unsigned E = 0; E < Episodes; ++E) {
+    Environment Env(Config, Run, M);
+    while (!Env.isDone())
+      Env.step(randomAction(Env.observe(), Config, Rng));
+    double Speedup = Env.currentSpeedup();
+    ++Best.EpisodesUsed;
+    if (Speedup > Best.Speedup) {
+      Best.Speedup = Speedup;
+      Best.Schedule = Env.getSchedule();
+    }
+  }
+  return Best;
+}

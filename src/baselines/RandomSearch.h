@@ -1,0 +1,33 @@
+//===- RandomSearch.h - Random-search baseline -------------------*- C++-*-===//
+///
+/// \file
+/// A random-search baseline over the environment's own action space:
+/// roll K random episodes, keep the best schedule. Useful as a sanity
+/// reference for the RL agent (an agent that cannot beat random search
+/// at equal budget has learned nothing) and in the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_BASELINES_RANDOMSEARCH_H
+#define MLIRRL_BASELINES_RANDOMSEARCH_H
+
+#include "env/Environment.h"
+
+namespace mlirrl {
+
+/// Result of a random search.
+struct RandomSearchResult {
+  ModuleSchedule Schedule;
+  double Speedup = 1.0;
+  unsigned EpisodesUsed = 0;
+};
+
+/// Runs \p Episodes uniformly random episodes (respecting the action
+/// masks) and returns the best schedule found.
+RandomSearchResult randomSearch(const EnvConfig &Config, Runner &Run,
+                                const Module &M, unsigned Episodes,
+                                uint64_t Seed = 42);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_BASELINES_RANDOMSEARCH_H

@@ -1,0 +1,91 @@
+//===- ScheduleUtil.cpp ---------------------------------------------------===//
+
+#include "baselines/ScheduleUtil.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace mlirrl;
+
+std::string HalideDirectives::toString() const {
+  return formatString("tile=%lld reorder=%d parallel=%d vectorize=%d",
+                      static_cast<long long>(PureTile),
+                      ReorderPureInnermost, Parallel, Vectorize);
+}
+
+int mlirrl::findLastPureDim(const LinalgOp &Op) {
+  for (unsigned L = Op.getNumLoops(); L > 0; --L)
+    if (Op.getIterator(L - 1) == IteratorKind::Parallel)
+      return static_cast<int>(L - 1);
+  return -1;
+}
+
+LoopNest mlirrl::applyHalideDirectives(const Module &M, unsigned OpIdx,
+                                       const HalideDirectives &Directives) {
+  const LinalgOp &Op = M.getOp(OpIdx);
+  unsigned N = Op.getNumLoops();
+  OpSchedule Sched;
+
+  // Reorder: move the last pure dim to the innermost position (the
+  // vectorization axis); everything else keeps its relative order.
+  if (Directives.ReorderPureInnermost) {
+    int Pure = findLastPureDim(Op);
+    if (Pure >= 0 && static_cast<unsigned>(Pure) + 1 != N) {
+      std::vector<unsigned> Perm;
+      for (unsigned L = 0; L < N; ++L)
+        if (L != static_cast<unsigned>(Pure))
+          Perm.push_back(L);
+      Perm.push_back(static_cast<unsigned>(Pure));
+      Sched.Transforms.push_back(Transformation::interchange(Perm));
+    }
+  }
+
+  // Tile / parallelize the pure dims.
+  std::vector<int64_t> Sizes(N, 0);
+  bool AnyTile = false;
+  // Determine the current order after the optional reorder.
+  std::vector<unsigned> Order(N);
+  std::iota(Order.begin(), Order.end(), 0u);
+  if (!Sched.Transforms.empty())
+    for (unsigned L = 0; L < N; ++L)
+      Order[L] = Sched.Transforms[0].Permutation[L];
+  for (unsigned Level = 0; Level < N; ++Level) {
+    unsigned Dim = Order[Level];
+    if (Op.getIterator(Dim) != IteratorKind::Parallel)
+      continue;
+    int64_t Size = Directives.PureTile;
+    if (Directives.Parallel && Size == 0)
+      Size = 1; // plain parallelization (tile size one)
+    if (Size > 0 && Size < Op.getLoopBound(Dim)) {
+      Sizes[Level] = Size;
+      AnyTile = true;
+    } else if (Directives.Parallel) {
+      Sizes[Level] = 1;
+      AnyTile = true;
+    }
+  }
+  if (AnyTile) {
+    Sched.Transforms.push_back(
+        Directives.Parallel
+            ? Transformation::tiledParallelization(Sizes)
+            : Transformation::tiling(Sizes));
+  }
+
+  LoopNest Nest = materializeLoopNest(M, OpIdx, Sched);
+  // Halide-style vectorization: the SIMD axis is a *pure* variable; the
+  // reduction domain stays sequential per output point (no rfactor), so
+  // the flag goes on the innermost pure point loop, wherever it sits.
+  if (Directives.Vectorize && !Nest.Bodies.empty()) {
+    std::vector<ScheduledLoop> &Loops = Nest.Bodies.back().Loops;
+    for (unsigned I = Loops.size(); I > 0; --I) {
+      ScheduledLoop &L = Loops[I - 1];
+      if (!L.IsTileLoop && L.Kind == IteratorKind::Parallel) {
+        L.Vectorized = true;
+        break;
+      }
+    }
+  }
+  return Nest;
+}

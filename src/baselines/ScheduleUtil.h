@@ -1,0 +1,45 @@
+//===- ScheduleUtil.h - Shared baseline scheduling helpers -------*- C++-*-===//
+///
+/// \file
+/// Helpers shared by the Halide-style baselines: building loop nests from
+/// directive-style decisions (tile pure dims, reorder a pure dim
+/// innermost, parallelize, vectorize). Halide's vectorizer is not subject
+/// to MLIR's Linalg restrictions (it vectorizes windowed reductions such
+/// as pooling), so these helpers set the vector flag directly on the
+/// materialized nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_BASELINES_SCHEDULEUTIL_H
+#define MLIRRL_BASELINES_SCHEDULEUTIL_H
+
+#include "ir/Module.h"
+#include "transforms/Apply.h"
+
+namespace mlirrl {
+
+/// Directive-style schedule of one op (Halide vocabulary).
+struct HalideDirectives {
+  /// Uniform tile size applied to every *parallel* (pure) dim; 0 = none.
+  int64_t PureTile = 0;
+  /// Reorder the last pure dim innermost before vectorizing.
+  bool ReorderPureInnermost = false;
+  /// Parallelize the outer tile loops.
+  bool Parallel = true;
+  /// Vectorize the innermost loop (Halide-style: allowed on windowed
+  /// reductions too).
+  bool Vectorize = false;
+
+  std::string toString() const;
+};
+
+/// Materializes op \p OpIdx of \p M under \p Directives.
+LoopNest applyHalideDirectives(const Module &M, unsigned OpIdx,
+                               const HalideDirectives &Directives);
+
+/// Index of the last parallel (pure) dim of \p Op, or -1 if none.
+int findLastPureDim(const LinalgOp &Op);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_BASELINES_SCHEDULEUTIL_H

@@ -1,0 +1,30 @@
+//===- Dataset.cpp --------------------------------------------------------===//
+
+#include "datasets/Dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace mlirrl;
+
+DatasetConfig DatasetConfig::scaled(double Factor) {
+  DatasetConfig C;
+  C.Dnn = DnnDatasetCounts::scaled(Factor);
+  C.Sequences = std::max(
+      1u, static_cast<unsigned>(std::lround(C.Sequences * Factor)));
+  C.Lqcd =
+      std::max(1u, static_cast<unsigned>(std::lround(C.Lqcd * Factor)));
+  return C;
+}
+
+std::vector<Module>
+mlirrl::buildTrainingDataset(const DatasetConfig &Config) {
+  Rng Rng(Config.Seed);
+  std::vector<Module> Dataset = generateDnnOperatorDataset(Rng, Config.Dnn);
+  for (Module &M : generateSequenceDataset(Rng, Config.Sequences))
+    Dataset.push_back(std::move(M));
+  for (Module &M : generateLqcdDataset(Rng, Config.Lqcd))
+    Dataset.push_back(std::move(M));
+  Rng.shuffle(Dataset);
+  return Dataset;
+}

@@ -1,0 +1,39 @@
+//===- Dataset.h - The assembled training dataset ----------------*- C++-*-===//
+///
+/// \file
+/// Assembles the full training dataset of Sec. VI: 1135 single DNN
+/// operators (Table II) + 2133 random operator sequences + 691 LQCD
+/// kernels = 3959 samples, with a scale factor for laptop-sized training
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_DATASETS_DATASET_H
+#define MLIRRL_DATASETS_DATASET_H
+
+#include "datasets/DnnOps.h"
+#include "datasets/Lqcd.h"
+#include "datasets/Sequences.h"
+
+namespace mlirrl {
+
+/// Dataset assembly configuration (defaults = the paper's counts).
+struct DatasetConfig {
+  DnnDatasetCounts Dnn;
+  unsigned Sequences = 2133;
+  unsigned Lqcd = 691;
+  uint64_t Seed = 2024;
+
+  unsigned total() const { return Dnn.total() + Sequences + Lqcd; }
+
+  /// Scales every component count by \p Factor (at least one sample
+  /// each).
+  static DatasetConfig scaled(double Factor);
+};
+
+/// Builds the shuffled training dataset.
+std::vector<Module> buildTrainingDataset(const DatasetConfig &Config = {});
+
+} // namespace mlirrl
+
+#endif // MLIRRL_DATASETS_DATASET_H

@@ -1,0 +1,170 @@
+//===- DnnOps.cpp ---------------------------------------------------------===//
+
+#include "datasets/DnnOps.h"
+
+#include "ir/Builder.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace mlirrl;
+
+DnnDatasetCounts DnnDatasetCounts::scaled(double Factor) {
+  auto Scale = [Factor](unsigned N) {
+    return std::max(1u, static_cast<unsigned>(std::lround(N * Factor)));
+  };
+  DnnDatasetCounts C;
+  C.Matmul = Scale(C.Matmul);
+  C.Conv2d = Scale(C.Conv2d);
+  C.Maxpool = Scale(C.Maxpool);
+  C.Add = Scale(C.Add);
+  C.Relu = Scale(C.Relu);
+  return C;
+}
+
+Module mlirrl::makeMatmulModule(int64_t M, int64_t N, int64_t K) {
+  Module Mod(formatString("matmul_%lldx%lldx%lld", static_cast<long long>(M),
+                          static_cast<long long>(N),
+                          static_cast<long long>(K)));
+  Builder B(Mod);
+  std::string A = B.declareInput({M, K});
+  std::string Bv = B.declareInput({K, N});
+  B.matmul(A, Bv);
+  return Mod;
+}
+
+Module mlirrl::makeConv2dModule(int64_t N, int64_t C, int64_t H, int64_t W,
+                                int64_t F, int64_t Kh, int64_t Kw,
+                                int64_t Stride) {
+  Module Mod(formatString("conv2d_n%lldc%lldh%lldw%lld_f%lldk%lld_s%lld",
+                          static_cast<long long>(N), static_cast<long long>(C),
+                          static_cast<long long>(H), static_cast<long long>(W),
+                          static_cast<long long>(F),
+                          static_cast<long long>(Kh),
+                          static_cast<long long>(Stride)));
+  Builder B(Mod);
+  std::string In = B.declareInput({N, C, H, W});
+  std::string Ker = B.declareInput({F, C, Kh, Kw});
+  B.conv2d(In, Ker, Stride);
+  return Mod;
+}
+
+Module mlirrl::makeMaxpoolModule(int64_t N, int64_t C, int64_t H, int64_t W,
+                                 int64_t Window, int64_t Stride) {
+  Module Mod(formatString("maxpool_n%lldc%lldh%lldw%lld_k%llds%lld",
+                          static_cast<long long>(N), static_cast<long long>(C),
+                          static_cast<long long>(H), static_cast<long long>(W),
+                          static_cast<long long>(Window),
+                          static_cast<long long>(Stride)));
+  Builder B(Mod);
+  std::string In = B.declareInput({N, C, H, W});
+  B.poolingMax(In, Window, Window, Stride);
+  return Mod;
+}
+
+Module mlirrl::makeAddModule(std::vector<int64_t> Shape) {
+  Module Mod("add");
+  Builder B(Mod);
+  std::string X = B.declareInput(Shape);
+  std::string Y = B.declareInput(Shape);
+  B.add(X, Y);
+  return Mod;
+}
+
+Module mlirrl::makeReluModule(std::vector<int64_t> Shape) {
+  Module Mod("relu");
+  Builder B(Mod);
+  std::string X = B.declareInput(Shape);
+  B.relu(X);
+  return Mod;
+}
+
+namespace {
+
+/// Shape pools mirroring the paper's source: sizes harvested from vision
+/// and transformer models.
+int64_t pickDim(Rng &Rng, const std::vector<int64_t> &Pool) {
+  return Pool[Rng.choiceIndex(Pool)];
+}
+
+} // namespace
+
+std::vector<Module>
+mlirrl::generateDnnOperatorDataset(Rng &Rng, const DnnDatasetCounts &Counts) {
+  std::vector<Module> Dataset;
+  Dataset.reserve(Counts.total());
+
+  const std::vector<int64_t> MatDims = {64,  128, 192, 256, 384,
+                                        512, 768, 1024};
+  for (unsigned I = 0; I < Counts.Matmul; ++I)
+    Dataset.push_back(makeMatmulModule(pickDim(Rng, MatDims),
+                                       pickDim(Rng, MatDims),
+                                       pickDim(Rng, MatDims)));
+
+  const std::vector<int64_t> Channels = {3, 16, 32, 64, 128, 256};
+  const std::vector<int64_t> Spatial = {14, 16, 28, 32, 56, 64};
+  const std::vector<int64_t> Kernels = {1, 3, 5};
+  for (unsigned I = 0; I < Counts.Conv2d; ++I) {
+    int64_t C = pickDim(Rng, Channels);
+    int64_t HW = pickDim(Rng, Spatial);
+    int64_t K = pickDim(Rng, Kernels);
+    int64_t F = pickDim(Rng, Channels);
+    int64_t Stride = Rng.nextBernoulli(0.3) ? 2 : 1;
+    Dataset.push_back(
+        makeConv2dModule(1, C, HW + K - 1, HW + K - 1, F, K, K, Stride));
+  }
+
+  for (unsigned I = 0; I < Counts.Maxpool; ++I) {
+    int64_t C = pickDim(Rng, Channels);
+    int64_t HW = pickDim(Rng, Spatial);
+    int64_t Window = Rng.nextBernoulli(0.5) ? 2 : 3;
+    Dataset.push_back(makeMaxpoolModule(1, C, HW, HW, Window, 2));
+  }
+
+  const std::vector<int64_t> ElemDims = {64, 128, 256, 512, 1024, 2048};
+  for (unsigned I = 0; I < Counts.Add; ++I)
+    Dataset.push_back(
+        makeAddModule({pickDim(Rng, ElemDims), pickDim(Rng, ElemDims)}));
+
+  for (unsigned I = 0; I < Counts.Relu; ++I)
+    Dataset.push_back(
+        makeReluModule({pickDim(Rng, ElemDims), pickDim(Rng, ElemDims)}));
+
+  return Dataset;
+}
+
+std::vector<OperatorBenchmark> mlirrl::makeOperatorBenchmarks() {
+  std::vector<OperatorBenchmark> Benchmarks;
+  auto Add = [&](const char *Op, std::string Size, Module M) {
+    Benchmarks.push_back(OperatorBenchmark{Op, std::move(Size), std::move(M)});
+  };
+
+  // Matmul: transformer projection / classifier-head shapes.
+  Add("matmul", "512x512x512", makeMatmulModule(512, 512, 512));
+  Add("matmul", "1024x1024x1024", makeMatmulModule(1024, 1024, 1024));
+  Add("matmul", "256x1000x2048", makeMatmulModule(256, 1000, 2048));
+
+  // Conv2D: ResNet stage shapes (stride 1 and 2).
+  Add("conv2d", "resnet_56x64", makeConv2dModule(1, 64, 58, 58, 64, 3, 3, 1));
+  Add("conv2d", "resnet_28x128",
+      makeConv2dModule(1, 128, 30, 30, 128, 3, 3, 1));
+  Add("conv2d", "resnet_down_s2",
+      makeConv2dModule(1, 64, 57, 57, 128, 3, 3, 2));
+
+  // Maxpool: the ResNet stem pool and a VGG-style pool.
+  Add("maxpool", "112x64_3x3s2", makeMaxpoolModule(1, 64, 113, 113, 3, 2));
+  Add("maxpool", "56x128_2x2s2", makeMaxpoolModule(1, 128, 56, 56, 2, 2));
+  Add("maxpool", "28x256_2x2s2", makeMaxpoolModule(1, 256, 28, 28, 2, 2));
+
+  // Elementwise: residual-add and activation maps.
+  Add("add", "1024x1024", makeAddModule({1024, 1024}));
+  Add("add", "4096x1024", makeAddModule({4096, 1024}));
+  Add("add", "512x2048", makeAddModule({512, 2048}));
+
+  Add("relu", "1024x1024", makeReluModule({1024, 1024}));
+  Add("relu", "4096x1024", makeReluModule({4096, 1024}));
+  Add("relu", "512x2048", makeReluModule({512, 2048}));
+
+  return Benchmarks;
+}

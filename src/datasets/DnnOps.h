@@ -1,0 +1,64 @@
+//===- DnnOps.h - Single-operator DNN dataset --------------------*- C++-*-===//
+///
+/// \file
+/// The deep-learning half of the training dataset (Sec. VI-A): single
+/// operators collected from vision / transformer models with varied
+/// shapes. The default counts reproduce Table II: 187 matmul, 278 conv2d,
+/// 250 maxpool, 271 add, 149 relu = 1135 samples. A separate fixed
+/// benchmark set provides the *evaluation* shapes (ResNet-era sizes not
+/// seen in training) used by Fig. 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_DATASETS_DNNOPS_H
+#define MLIRRL_DATASETS_DNNOPS_H
+
+#include "ir/Module.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Per-operator sample counts (defaults = Table II).
+struct DnnDatasetCounts {
+  unsigned Matmul = 187;
+  unsigned Conv2d = 278;
+  unsigned Maxpool = 250;
+  unsigned Add = 271;
+  unsigned Relu = 149;
+
+  unsigned total() const { return Matmul + Conv2d + Maxpool + Add + Relu; }
+
+  /// A scaled-down configuration for laptop-scale training runs.
+  static DnnDatasetCounts scaled(double Factor);
+};
+
+/// Generates single-operator training modules with randomized shapes.
+std::vector<Module> generateDnnOperatorDataset(Rng &Rng,
+                                               const DnnDatasetCounts &Counts);
+
+/// One named evaluation benchmark.
+struct OperatorBenchmark {
+  std::string OperatorName; // "matmul", "conv2d", "maxpool", "add", "relu"
+  std::string SizeName;     // e.g. "512x512x512"
+  Module M;
+};
+
+/// The fixed evaluation shapes behind Fig. 5 (ResNet-era sizes, disjoint
+/// from the randomized training shapes).
+std::vector<OperatorBenchmark> makeOperatorBenchmarks();
+
+/// Single-op module constructors used by both the generator and tests.
+Module makeMatmulModule(int64_t M, int64_t N, int64_t K);
+Module makeConv2dModule(int64_t N, int64_t C, int64_t H, int64_t W, int64_t F,
+                        int64_t Kh, int64_t Kw, int64_t Stride);
+Module makeMaxpoolModule(int64_t N, int64_t C, int64_t H, int64_t W,
+                         int64_t Window, int64_t Stride);
+Module makeAddModule(std::vector<int64_t> Shape);
+Module makeReluModule(std::vector<int64_t> Shape);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_DATASETS_DNNOPS_H

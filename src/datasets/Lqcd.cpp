@@ -1,0 +1,254 @@
+//===- Lqcd.cpp -----------------------------------------------------------===//
+
+#include "datasets/Lqcd.h"
+
+#include "ir/Builder.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mlirrl;
+
+namespace {
+
+/// Spin and color extents of lattice QCD.
+constexpr int64_t SpinDim = 4;
+constexpr int64_t ColorDim = 3;
+
+/// Builds one "baryon block" op: B[t, x, s, c] = sum_cp P1 * P2 over the
+/// contracted color index cp. Five loops, innermost reduction.
+std::string buildBaryonBlock(Builder &B, Module &M, int64_t S,
+                             const std::string &Prop1,
+                             const std::string &Prop2) {
+  (void)M;
+  const unsigned NumLoops = 5; // (t, x, s, c, cp)
+  AffineMap PropMap = AffineMap::identity(NumLoops);
+  AffineMap OutMap = AffineMap::projection({0, 1, 2, 3}, NumLoops);
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic, {S, S, SpinDim, ColorDim, ColorDim},
+                   {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Reduction},
+                   {Prop1, Prop2}, {PropMap, PropMap}, OutMap, Arith,
+                   ElementType::F64);
+}
+
+/// Builds one two-block correlator contraction:
+///   corr[t] = sum_{x, y, s1, c1, s2, c2} B1[t,x,s1,c1] * B2[t,y,s2,c2]
+///             * W[s1,c1,s2,c2]
+/// Seven loops, six of them inner reductions.
+std::string buildTwoBlockContraction(Builder &B, int64_t S,
+                                     const std::string &Block1,
+                                     const std::string &Block2,
+                                     const std::string &Weights) {
+  const unsigned NumLoops = 7; // (t, x, y, s1, c1, s2, c2)
+  AffineMap B1Map = AffineMap::projection({0, 1, 3, 4}, NumLoops);
+  AffineMap B2Map = AffineMap::projection({0, 2, 5, 6}, NumLoops);
+  AffineMap WMap = AffineMap::projection({3, 4, 5, 6}, NumLoops);
+  AffineMap OutMap = AffineMap::projection({0}, NumLoops);
+  ArithCounts Arith;
+  Arith.Mul = 2;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic,
+                   {S, S, S, SpinDim, ColorDim, SpinDim, ColorDim},
+                   {IteratorKind::Parallel, IteratorKind::Reduction,
+                    IteratorKind::Reduction, IteratorKind::Reduction,
+                    IteratorKind::Reduction, IteratorKind::Reduction,
+                    IteratorKind::Reduction},
+                   {Block1, Block2, Weights}, {B1Map, B2Map, WMap}, OutMap,
+                   Arith, ElementType::F64);
+}
+
+/// Builds one hexaquark contraction: a deeper nest over two extra
+/// spin/color index pairs (9 loops).
+std::string buildHexaquarkContraction(Builder &B, int64_t S,
+                                      const std::string &Block1,
+                                      const std::string &Block2,
+                                      const std::string &Weights) {
+  const unsigned NumLoops = 9; // (t, x, y, s1, c1, s2, c2, s3, c3)
+  AffineMap B1Map = AffineMap::projection({0, 1, 3, 4, 5, 6}, NumLoops);
+  AffineMap B2Map = AffineMap::projection({0, 2, 5, 6, 7, 8}, NumLoops);
+  AffineMap WMap = AffineMap::projection({3, 4, 7, 8}, NumLoops);
+  AffineMap OutMap = AffineMap::projection({0}, NumLoops);
+  ArithCounts Arith;
+  Arith.Mul = 2;
+  Arith.Add = 1;
+  return B.generic(
+      OpKind::Generic,
+      {S, S, S, SpinDim, ColorDim, SpinDim, ColorDim, SpinDim, ColorDim},
+      {IteratorKind::Parallel, IteratorKind::Reduction,
+       IteratorKind::Reduction, IteratorKind::Reduction,
+       IteratorKind::Reduction, IteratorKind::Reduction,
+       IteratorKind::Reduction, IteratorKind::Reduction,
+       IteratorKind::Reduction},
+      {Block1, Block2, Weights}, {B1Map, B2Map, WMap}, OutMap, Arith,
+      ElementType::F64);
+}
+
+/// Declares a propagator pair and weight tensors used by the apps.
+struct LqcdInputs {
+  std::string Prop1, Prop2, Weights4;
+};
+
+LqcdInputs declareInputs(Builder &B, int64_t S) {
+  LqcdInputs In;
+  In.Prop1 = B.declareInput({S, S, SpinDim, ColorDim, ColorDim},
+                            ElementType::F64);
+  In.Prop2 = B.declareInput({S, S, SpinDim, ColorDim, ColorDim},
+                            ElementType::F64);
+  In.Weights4 = B.declareInput({SpinDim, ColorDim, SpinDim, ColorDim},
+                               ElementType::F64);
+  return In;
+}
+
+/// A six-quark (hexaquark) block: rank-6 output over two spin/color
+/// pairs, reduction over the contracted color.
+std::string buildHexaquarkBlock(Builder &B, int64_t S,
+                                const std::string &Prop1,
+                                const std::string &Prop2) {
+  const unsigned NumLoops = 7; // (t, x, s1, c1, s2, c2, cp)
+  AffineMap P1Map = AffineMap::projection({0, 1, 2, 3, 6}, NumLoops);
+  AffineMap P2Map = AffineMap::projection({0, 1, 4, 5, 6}, NumLoops);
+  AffineMap OutMap = AffineMap::projection({0, 1, 2, 3, 4, 5}, NumLoops);
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic,
+                   {S, S, SpinDim, ColorDim, SpinDim, ColorDim, ColorDim},
+                   {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Reduction},
+                   {Prop1, Prop2}, {P1Map, P2Map}, OutMap, Arith,
+                   ElementType::F64);
+}
+
+} // namespace
+
+Module mlirrl::makeDibaryonDibaryon(int64_t S) {
+  Module M(formatString("dibaryon_dibaryon_S%lld", static_cast<long long>(S)));
+  Builder B(M);
+  LqcdInputs In = declareInputs(B, S);
+  // Two baryon blocks per dibaryon, two dibaryons.
+  std::string B1 = buildBaryonBlock(B, M, S, In.Prop1, In.Prop2);
+  std::string B2 = buildBaryonBlock(B, M, S, In.Prop2, In.Prop1);
+  std::string B3 = buildBaryonBlock(B, M, S, In.Prop1, In.Prop1);
+  std::string B4 = buildBaryonBlock(B, M, S, In.Prop2, In.Prop2);
+  // Contraction terms across the quark permutations.
+  buildTwoBlockContraction(B, S, B1, B2, In.Weights4);
+  buildTwoBlockContraction(B, S, B3, B4, In.Weights4);
+  buildTwoBlockContraction(B, S, B1, B4, In.Weights4);
+  buildTwoBlockContraction(B, S, B2, B3, In.Weights4);
+  return M;
+}
+
+Module mlirrl::makeDibaryonHexaquark(int64_t S) {
+  Module M(
+      formatString("dibaryon_hexaquark_S%lld", static_cast<long long>(S)));
+  Builder B(M);
+  LqcdInputs In = declareInputs(B, S);
+  std::string B1 = buildBaryonBlock(B, M, S, In.Prop1, In.Prop2);
+  std::string B2 = buildBaryonBlock(B, M, S, In.Prop2, In.Prop1);
+  std::string H1 = buildHexaquarkBlock(B, S, In.Prop1, In.Prop2);
+  // Mixed dibaryon-hexaquark terms: deeper contractions against the
+  // hexaquark block plus two-block terms.
+  buildHexaquarkContraction(B, S, H1, H1, In.Weights4);
+  buildTwoBlockContraction(B, S, B1, B2, In.Weights4);
+  buildTwoBlockContraction(B, S, B2, B1, In.Weights4);
+  return M;
+}
+
+Module mlirrl::makeHexaquarkHexaquark(int64_t S) {
+  Module M(
+      formatString("hexaquark_hexaquark_S%lld", static_cast<long long>(S)));
+  Builder B(M);
+  LqcdInputs In = declareInputs(B, S);
+  std::string H1 = buildHexaquarkBlock(B, S, In.Prop1, In.Prop2);
+  std::string H2 = buildHexaquarkBlock(B, S, In.Prop2, In.Prop1);
+  std::string H3 = buildHexaquarkBlock(B, S, In.Prop1, In.Prop1);
+  // The heaviest case: six contraction terms between six-quark states.
+  buildHexaquarkContraction(B, S, H1, H2, In.Weights4);
+  buildHexaquarkContraction(B, S, H2, H1, In.Weights4);
+  buildHexaquarkContraction(B, S, H1, H3, In.Weights4);
+  buildHexaquarkContraction(B, S, H3, H2, In.Weights4);
+  buildHexaquarkContraction(B, S, H3, H3, In.Weights4);
+  buildHexaquarkContraction(B, S, H2, H2, In.Weights4);
+  return M;
+}
+
+Module mlirrl::generateLqcdKernel(Rng &Rng, unsigned MaxLoops) {
+  assert(MaxLoops >= 6 && "LQCD kernels are deep nests");
+  unsigned NumLoops =
+      static_cast<unsigned>(Rng.nextInt(6, static_cast<int64_t>(MaxLoops)));
+  unsigned NumReductions =
+      static_cast<unsigned>(Rng.nextInt(2, std::min(NumLoops - 2, 5u)));
+
+  // Bounds: site dims large, spin/color dims small; reductions inner.
+  std::vector<int64_t> Bounds(NumLoops);
+  std::vector<IteratorKind> Iterators(NumLoops);
+  const std::vector<int64_t> SiteDims = {8, 12, 16, 24, 32};
+  for (unsigned I = 0; I < NumLoops; ++I) {
+    bool IsSite = I < 2 || Rng.nextBernoulli(0.25);
+    Bounds[I] = IsSite ? SiteDims[Rng.choiceIndex(SiteDims)]
+                       : (Rng.nextBernoulli(0.5) ? SpinDim : ColorDim);
+    Iterators[I] = I + NumReductions >= NumLoops ? IteratorKind::Reduction
+                                                 : IteratorKind::Parallel;
+  }
+
+  Module M("lqcd_kernel");
+  Builder B(M);
+
+  // Inputs: 2-3 tensors reading random dim subsets, with occasional
+  // irregular accesses (reversed or strided index).
+  unsigned NumInputs = static_cast<unsigned>(Rng.nextInt(2, 3));
+  std::vector<std::string> Inputs;
+  std::vector<AffineMap> InputMaps;
+  for (unsigned T = 0; T < NumInputs; ++T) {
+    std::vector<AffineExpr> Results;
+    std::vector<int64_t> Shape;
+    for (unsigned D = 0; D < NumLoops; ++D) {
+      if (Rng.nextBernoulli(0.35))
+        continue; // tensor does not depend on this dim
+      if (Rng.nextBernoulli(0.15)) {
+        // Irregular: reversed access bound-1 - d.
+        Results.push_back(AffineExpr::constant(Bounds[D] - 1, NumLoops) -
+                          AffineExpr::dim(D, NumLoops));
+        Shape.push_back(Bounds[D]);
+      } else {
+        Results.push_back(AffineExpr::dim(D, NumLoops));
+        Shape.push_back(Bounds[D]);
+      }
+    }
+    if (Results.empty()) {
+      Results.push_back(AffineExpr::dim(0, NumLoops));
+      Shape.push_back(Bounds[0]);
+    }
+    Inputs.push_back(B.declareInput(Shape, ElementType::F64));
+    InputMaps.push_back(AffineMap(NumLoops, std::move(Results)));
+  }
+
+  // Output over the parallel dims.
+  std::vector<unsigned> OutDims;
+  for (unsigned D = 0; D < NumLoops; ++D)
+    if (Iterators[D] == IteratorKind::Parallel)
+      OutDims.push_back(D);
+  AffineMap OutMap = AffineMap::projection(OutDims, NumLoops);
+
+  ArithCounts Arith;
+  Arith.Mul = static_cast<int64_t>(Rng.nextInt(1, 2));
+  Arith.Add = 1;
+  B.generic(OpKind::Generic, Bounds, Iterators, Inputs, InputMaps, OutMap,
+            Arith, ElementType::F64);
+  return M;
+}
+
+std::vector<Module> mlirrl::generateLqcdDataset(Rng &Rng, unsigned Count) {
+  std::vector<Module> Dataset;
+  Dataset.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Dataset.push_back(generateLqcdKernel(Rng));
+  return Dataset;
+}

@@ -1,0 +1,40 @@
+//===- Lqcd.h - Lattice-QCD correlator kernels -------------------*- C++-*-===//
+///
+/// \file
+/// The LQCD half of the dataset (Sec. VI-B) and the three evaluation
+/// applications of Table IV. The paper's LQCD compiler emits long
+/// sequences of deep loop nests (up to 12+ levels) computing correlators:
+/// tensor contractions over lattice sites, spin/color indices and quark
+/// permutations, with reductions at the inner levels and some irregular
+/// accesses. We generate kernels with exactly that structure
+/// (see DESIGN.md, substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_DATASETS_LQCD_H
+#define MLIRRL_DATASETS_LQCD_H
+
+#include "ir/Module.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace mlirrl {
+
+/// Generates one random LQCD-style loop nest (deep nest, inner
+/// reductions, occasional strided/irregular access).
+Module generateLqcdKernel(Rng &Rng, unsigned MaxLoops = 12);
+
+/// Generates the LQCD training set (the paper extracted 691 variants from
+/// the LQCD compiler's test suite).
+std::vector<Module> generateLqcdDataset(Rng &Rng, unsigned Count = 691);
+
+/// The three applications of Table IV. \p S is the lattice size the paper
+/// reports next to each benchmark.
+Module makeDibaryonDibaryon(int64_t S = 24);
+Module makeDibaryonHexaquark(int64_t S = 32);
+Module makeHexaquarkHexaquark(int64_t S = 12);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_DATASETS_LQCD_H

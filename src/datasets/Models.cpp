@@ -1,0 +1,293 @@
+//===- Models.cpp ---------------------------------------------------------===//
+//
+// Model builders. Two deviations from the PyTorch originals, both forced
+// by the IR having no implicit padding (documented in DESIGN.md):
+//
+//  * 3x3 convolutions shrink their spatial extent by two; residual skip
+//    connections therefore center-crop the skip tensor (an affine access,
+//    exactly expressible in the IR) instead of relying on "same" padding;
+//  * flatten is an explicit affine copy op (it lowers from
+//    torch.aten.view, which is also an opaque op in Torch-MLIR; we give
+//    it OpKind::Unknown, matching the "unknown" column of Table V).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Models.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+namespace {
+
+/// Inference-time batch normalization: y = x * scale[c] + shift[c],
+/// lowered by Torch-MLIR to a linalg.generic.
+std::string batchNorm(Builder &B, Module &M, const std::string &X) {
+  const TensorType &Type = M.getValue(X).Type;
+  assert(Type.getRank() == 4 && "batchNorm expects NCHW");
+  unsigned Rank = 4;
+  std::string Scale = B.declareInput({Type.getDimSize(1)});
+  std::string Shift = B.declareInput({Type.getDimSize(1)});
+  AffineMap ChanMap = AffineMap::projection({1}, Rank);
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic, Type.getShape(),
+                   std::vector<IteratorKind>(Rank, IteratorKind::Parallel),
+                   {X, Scale, Shift},
+                   {AffineMap::identity(Rank), ChanMap, ChanMap},
+                   AffineMap::identity(Rank), Arith);
+}
+
+/// Residual addition with a center crop of the skip tensor: the main
+/// branch lost (HSkip - H) rows/cols to unpadded convolutions.
+std::string residualAdd(Builder &B, Module &M, const std::string &Main,
+                        const std::string &Skip) {
+  const TensorType &MainType = M.getValue(Main).Type;
+  const TensorType &SkipType = M.getValue(Skip).Type;
+  assert(MainType.getDimSize(1) == SkipType.getDimSize(1) &&
+         "residual channel mismatch");
+  int64_t OffH = (SkipType.getDimSize(2) - MainType.getDimSize(2)) / 2;
+  int64_t OffW = (SkipType.getDimSize(3) - MainType.getDimSize(3)) / 2;
+  assert(OffH >= 0 && OffW >= 0 && "skip smaller than main branch");
+  unsigned Rank = 4;
+  AffineMap SkipMap(
+      Rank, {AffineExpr::dim(0, Rank), AffineExpr::dim(1, Rank),
+             AffineExpr::dim(2, Rank) + AffineExpr::constant(OffH, Rank),
+             AffineExpr::dim(3, Rank) + AffineExpr::constant(OffW, Rank)});
+  ArithCounts Arith;
+  Arith.Add = 1;
+  return B.generic(OpKind::Add, MainType.getShape(),
+                   std::vector<IteratorKind>(Rank, IteratorKind::Parallel),
+                   {Main, Skip}, {AffineMap::identity(Rank), SkipMap},
+                   AffineMap::identity(Rank), Arith);
+}
+
+/// Conv + BN + ReLU, the ubiquitous block.
+std::string convBnRelu(Builder &B, Module &M, const std::string &X,
+                       int64_t OutChannels, int64_t Kernel, int64_t Stride) {
+  const TensorType &Type = M.getValue(X).Type;
+  std::string Ker = B.declareInput(
+      {OutChannels, Type.getDimSize(1), Kernel, Kernel});
+  std::string Y = B.conv2d(X, Ker, Stride);
+  Y = batchNorm(B, M, Y);
+  return B.relu(Y);
+}
+
+/// Depthwise 3x3 (or 1x1 when the map is tiny) convolution as emitted
+/// for MobileNet: per-channel spatial filtering, reductions over the
+/// window only.
+std::string depthwiseConv(Builder &B, Module &M, const std::string &X,
+                          int64_t Stride) {
+  const TensorType &Type = M.getValue(X).Type;
+  int64_t C = Type.getDimSize(1);
+  int64_t H = Type.getDimSize(2), W = Type.getDimSize(3);
+  int64_t K = (H >= 5 && W >= 5) ? 3 : 1;
+  int64_t Oh = (H - K) / Stride + 1;
+  int64_t Ow = (W - K) / Stride + 1;
+  std::string Ker = B.declareInput({C, K, K});
+
+  const unsigned NumLoops = 6; // (n, c, oh, ow, kh, kw)
+  auto D = [&](unsigned I) { return AffineExpr::dim(I, NumLoops); };
+  AffineMap InMap(NumLoops,
+                  {D(0), D(1), D(2) * Stride + D(4), D(3) * Stride + D(5)});
+  AffineMap KerMap = AffineMap::projection({1, 4, 5}, NumLoops);
+  AffineMap OutMap = AffineMap::projection({0, 1, 2, 3}, NumLoops);
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic, {1, C, Oh, Ow, K, K},
+                   {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Reduction, IteratorKind::Reduction},
+                   {X, Ker}, {InMap, KerMap}, OutMap, Arith);
+}
+
+/// Flatten NCHW -> [1, C*H*W] as an explicit affine copy (the lowering of
+/// torch.aten.view); opaque to the optimizer, hence OpKind::Unknown.
+std::string flatten(Builder &B, Module &M, const std::string &X) {
+  const TensorType &Type = M.getValue(X).Type;
+  assert(Type.getRank() == 4 && Type.getDimSize(0) == 1 &&
+         "flatten expects batch-1 NCHW");
+  int64_t C = Type.getDimSize(1), H = Type.getDimSize(2),
+          W = Type.getDimSize(3);
+  const unsigned NumLoops = 3; // (c, h, w)
+  AffineMap InMap(NumLoops, {AffineExpr::constant(0, NumLoops),
+                             AffineExpr::dim(0, NumLoops),
+                             AffineExpr::dim(1, NumLoops),
+                             AffineExpr::dim(2, NumLoops)});
+  AffineExpr Flat = AffineExpr::dim(0, NumLoops) * (H * W) +
+                    AffineExpr::dim(1, NumLoops) * W +
+                    AffineExpr::dim(2, NumLoops);
+  AffineMap OutMap(NumLoops, {AffineExpr::constant(0, NumLoops), Flat});
+  ArithCounts Arith;
+  Arith.Add = 1; // a copy still moves data
+  return B.generic(OpKind::Unknown, {C, H, W},
+                   std::vector<IteratorKind>(NumLoops, IteratorKind::Parallel),
+                   {X}, {InMap}, OutMap, Arith);
+}
+
+/// Global average pooling NCHW -> [1, C] (torch.aten.mean lowering).
+std::string globalAvgPool(Builder &B, Module &M, const std::string &X) {
+  const TensorType &Type = M.getValue(X).Type;
+  const unsigned NumLoops = 4; // (n, c, h, w)
+  AffineMap OutMap = AffineMap::projection({0, 1}, NumLoops);
+  ArithCounts Arith;
+  Arith.Add = 1;
+  return B.generic(OpKind::Generic, Type.getShape(),
+                   {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Reduction, IteratorKind::Reduction},
+                   {X}, {AffineMap::identity(NumLoops)}, OutMap, Arith);
+}
+
+/// Fully connected layer over [1, In].
+std::string fullyConnected(Builder &B, Module &M, const std::string &X,
+                           int64_t Out) {
+  const TensorType &Type = M.getValue(X).Type;
+  std::string W = B.declareInput({Type.getDimSize(1), Out});
+  return B.matmul(X, W);
+}
+
+} // namespace
+
+Module mlirrl::makeResNet18() {
+  Module M("resnet18");
+  Builder B(M);
+  std::string X = B.declareInput({1, 3, 224, 224});
+
+  // Stem: 7x7/2 conv + BN + ReLU + 3x3/2 maxpool.
+  X = convBnRelu(B, M, X, 64, 7, 2);
+  X = B.poolingMax(X, 3, 3, 2);
+
+  // Four stages of two basic blocks; each block is conv3x3 + conv1x1
+  // with a residual connection (the 1x1 second conv limits unpadded
+  // shrinkage; see the file header).
+  struct Stage {
+    int64_t Channels;
+    int64_t Stride;
+  };
+  const Stage Stages[] = {{64, 1}, {128, 2}, {256, 2}, {512, 2}};
+  for (const Stage &S : Stages) {
+    for (int Block = 0; Block < 2; ++Block) {
+      int64_t Stride = Block == 0 ? S.Stride : 1;
+      std::string Skip = X;
+      std::string Y = convBnRelu(B, M, X, S.Channels, 3, Stride);
+      Y = convBnRelu(B, M, Y, S.Channels, 1, 1);
+      // Project the skip when shape changes (stride or channel growth).
+      const TensorType &SkipType = M.getValue(Skip).Type;
+      if (Stride != 1 || SkipType.getDimSize(1) != S.Channels) {
+        std::string Proj = B.declareInput(
+            {S.Channels, SkipType.getDimSize(1), 1, 1});
+        Skip = B.conv2d(Skip, Proj, Stride);
+        Skip = batchNorm(B, M, Skip);
+      }
+      Y = residualAdd(B, M, Y, Skip);
+      X = B.relu(Y);
+    }
+  }
+
+  X = globalAvgPool(B, M, X);
+  X = fullyConnected(B, M, X, 1000);
+  return M;
+}
+
+Module mlirrl::makeVgg16() {
+  Module M("vgg16");
+  Builder B(M);
+  std::string X = B.declareInput({1, 3, 224, 224});
+
+  // The 13 convolutional layers in five pooled groups.
+  const std::vector<std::vector<int64_t>> Groups = {
+      {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512},
+      {512, 512, 512}};
+  for (const std::vector<int64_t> &Group : Groups) {
+    for (int64_t Channels : Group)
+      X = convBnRelu(B, M, X, Channels, 3, 1);
+    X = B.poolingMax(X, 2, 2, 2);
+  }
+
+  X = flatten(B, M, X);
+  X = B.relu(fullyConnected(B, M, X, 4096));
+  X = B.relu(fullyConnected(B, M, X, 4096));
+  X = fullyConnected(B, M, X, 1000);
+  return M;
+}
+
+Module mlirrl::makeMobileNetV2() {
+  Module M("mobilenetv2");
+  Builder B(M);
+  std::string X = B.declareInput({1, 3, 224, 224});
+
+  // Stem.
+  X = convBnRelu(B, M, X, 32, 3, 2);
+
+  // Inverted residual blocks: (expansion, channels, repeats, stride).
+  struct BlockConfig {
+    int64_t Expand, Channels, Repeats, Stride;
+  };
+  const BlockConfig Configs[] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                                 {6, 32, 3, 2},  {6, 64, 4, 2},
+                                 {6, 96, 3, 1},  {6, 160, 3, 2},
+                                 {6, 320, 1, 1}};
+  for (const BlockConfig &C : Configs) {
+    for (int64_t R = 0; R < C.Repeats; ++R) {
+      int64_t Stride = R == 0 ? C.Stride : 1;
+      const TensorType &InType = M.getValue(X).Type;
+      int64_t InChannels = InType.getDimSize(1);
+      std::string Skip = X;
+      std::string Y = X;
+      if (C.Expand != 1)
+        Y = convBnRelu(B, M, Y, InChannels * C.Expand, 1, 1);
+      Y = depthwiseConv(B, M, Y, Stride);
+      Y = batchNorm(B, M, Y);
+      Y = B.relu(Y);
+      // Linear projection (no activation).
+      const TensorType &YType = M.getValue(Y).Type;
+      std::string Proj =
+          B.declareInput({C.Channels, YType.getDimSize(1), 1, 1});
+      Y = B.conv2d(Y, Proj, 1);
+      Y = batchNorm(B, M, Y);
+      bool SameShape = Stride == 1 && InChannels == C.Channels;
+      const TensorType &OutType = M.getValue(Y).Type;
+      SameShape &= OutType.getDimSize(2) <= InType.getDimSize(2);
+      if (SameShape)
+        Y = residualAdd(B, M, Y, Skip);
+      X = Y;
+    }
+  }
+
+  // Head: 1x1 conv to 1280, global pool, classifier.
+  X = convBnRelu(B, M, X, 1280, 1, 1);
+  X = globalAvgPool(B, M, X);
+  X = fullyConnected(B, M, X, 1000);
+  return M;
+}
+
+std::map<std::string, unsigned> mlirrl::getOpComposition(const Module &M) {
+  std::map<std::string, unsigned> Counts = {{"conv2d", 0}, {"pool", 0},
+                                            {"matmul", 0}, {"generic", 0},
+                                            {"unknown", 0}};
+  for (const LinalgOp &Op : M.getOps()) {
+    switch (Op.getKind()) {
+    case OpKind::Conv2D:
+      ++Counts["conv2d"];
+      break;
+    case OpKind::PoolingMax:
+      ++Counts["pool"];
+      break;
+    case OpKind::Matmul:
+      ++Counts["matmul"];
+      break;
+    case OpKind::Unknown:
+      ++Counts["unknown"];
+      break;
+    default:
+      ++Counts["generic"];
+      break;
+    }
+  }
+  Counts["total"] = M.getNumOps();
+  return Counts;
+}

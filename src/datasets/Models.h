@@ -1,0 +1,39 @@
+//===- Models.h - Neural-network model graphs --------------------*- C++-*-===//
+///
+/// \file
+/// Builders for the three evaluation models of Table III (ResNet-18, VGG,
+/// MobileNetV2), mirroring what Torch-MLIR emits for their PyTorch
+/// implementations: convolutions, pooling, matmul classifier heads, and
+/// the elementwise / normalization operations that lower to
+/// linalg.generic. getOpComposition() reproduces the Table V breakdown
+/// for our graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_DATASETS_MODELS_H
+#define MLIRRL_DATASETS_MODELS_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+
+namespace mlirrl {
+
+/// ResNet-18 at 224x224, batch 1.
+Module makeResNet18();
+
+/// VGG-16 at 224x224, batch 1.
+Module makeVgg16();
+
+/// MobileNetV2 at 224x224, batch 1 (depthwise stages modelled as
+/// grouped-channel convolutions).
+Module makeMobileNetV2();
+
+/// Table V-style composition: counts per column (conv2d, pool, matmul,
+/// generic, unknown) plus "total".
+std::map<std::string, unsigned> getOpComposition(const Module &M);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_DATASETS_MODELS_H

@@ -1,0 +1,108 @@
+//===- Sequences.cpp ------------------------------------------------------===//
+
+#include "datasets/Sequences.h"
+
+#include "ir/Builder.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mlirrl;
+
+namespace {
+
+/// Op choices of the paper's generator.
+enum class SeqOp { Add, Matmul, Relu, Conv2d, Pooling, Sigmoid, Softmax2d };
+
+/// Ops applicable to a value of the given rank (conv/pool need NCHW;
+/// matmul and softmax need rank 2; elementwise work anywhere).
+std::vector<SeqOp> applicableOps(unsigned Rank, int64_t MinSpatial) {
+  std::vector<SeqOp> Ops = {SeqOp::Add, SeqOp::Relu, SeqOp::Sigmoid};
+  if (Rank == 2) {
+    Ops.push_back(SeqOp::Matmul);
+    Ops.push_back(SeqOp::Softmax2d);
+  }
+  if (Rank == 4 && MinSpatial >= 4) {
+    Ops.push_back(SeqOp::Conv2d);
+    Ops.push_back(SeqOp::Pooling);
+  }
+  return Ops;
+}
+
+int64_t roundDim(Rng &Rng, const SequenceConfig &Config) {
+  // Powers of two within bounds, as model shapes typically are.
+  std::vector<int64_t> Pool;
+  for (int64_t D = Config.MinDim; D <= Config.MaxDim; D *= 2)
+    Pool.push_back(D);
+  return Pool[Rng.choiceIndex(Pool)];
+}
+
+} // namespace
+
+Module mlirrl::generateOperatorSequence(Rng &Rng,
+                                        const SequenceConfig &Config) {
+  Module M("seq");
+  Builder B(M);
+
+  // Start from a random rank-2 activation or rank-4 feature map.
+  std::string Current;
+  if (Rng.nextBernoulli(0.5)) {
+    Current = B.declareInput({roundDim(Rng, Config), roundDim(Rng, Config)});
+  } else {
+    int64_t C = std::max<int64_t>(4, roundDim(Rng, Config) / 8);
+    int64_t HW = std::clamp<int64_t>(roundDim(Rng, Config), 8, 64);
+    Current = B.declareInput({1, C, HW, HW});
+  }
+
+  for (unsigned Step = 0; Step < Config.Length; ++Step) {
+    const TensorType &Type = M.getValue(Current).Type;
+    unsigned Rank = Type.getRank();
+    int64_t MinSpatial =
+        Rank == 4 ? std::min(Type.getDimSize(2), Type.getDimSize(3)) : 0;
+    std::vector<SeqOp> Ops = applicableOps(Rank, MinSpatial);
+    switch (Ops[Rng.choiceIndex(Ops)]) {
+    case SeqOp::Add: {
+      std::string Other = B.declareInput(Type.getShape());
+      Current = B.add(Current, Other);
+      break;
+    }
+    case SeqOp::Relu:
+      Current = B.relu(Current);
+      break;
+    case SeqOp::Sigmoid:
+      Current = B.sigmoid(Current);
+      break;
+    case SeqOp::Matmul: {
+      int64_t N = roundDim(Rng, Config);
+      std::string W = B.declareInput({Type.getDimSize(1), N});
+      Current = B.matmul(Current, W);
+      break;
+    }
+    case SeqOp::Softmax2d:
+      Current = B.softmax2d(Current);
+      break;
+    case SeqOp::Conv2d: {
+      int64_t K = MinSpatial >= 5 && Rng.nextBernoulli(0.5) ? 3 : 1;
+      int64_t F = std::max<int64_t>(4, roundDim(Rng, Config) / 8);
+      std::string Ker = B.declareInput({F, Type.getDimSize(1), K, K});
+      Current = B.conv2d(Current, Ker, 1);
+      break;
+    }
+    case SeqOp::Pooling:
+      Current = B.poolingMax(Current, 2, 2, 2);
+      break;
+    }
+  }
+  M.setName(formatString("seq_len%u", Config.Length));
+  return M;
+}
+
+std::vector<Module>
+mlirrl::generateSequenceDataset(Rng &Rng, unsigned Count,
+                                const SequenceConfig &Config) {
+  std::vector<Module> Dataset;
+  Dataset.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Dataset.push_back(generateOperatorSequence(Rng, Config));
+  return Dataset;
+}

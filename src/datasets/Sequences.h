@@ -1,0 +1,41 @@
+//===- Sequences.h - Random operator-sequence dataset ------------*- C++-*-===//
+///
+/// \file
+/// The second half of the deep-learning dataset (Sec. VI-A): randomly
+/// synthesized sequences of L = 5 operations, each consuming the previous
+/// operation's output, drawn from {add, matmul, relu, conv_2d, pooling,
+/// sigmoid, softmax_2d}. These teach the agent to handle multiple
+/// operations (and fusion opportunities) per code sample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_DATASETS_SEQUENCES_H
+#define MLIRRL_DATASETS_SEQUENCES_H
+
+#include "ir/Module.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace mlirrl {
+
+/// Configuration of the sequence generator.
+struct SequenceConfig {
+  /// Sequence length (the paper fixes L = 5).
+  unsigned Length = 5;
+  /// Bounds on generated tensor extents.
+  int64_t MinDim = 16;
+  int64_t MaxDim = 256;
+};
+
+/// Generates one random operator sequence.
+Module generateOperatorSequence(Rng &Rng, const SequenceConfig &Config = {});
+
+/// Generates \p Count sequences (the paper's dataset holds 2133, making
+/// the 3959-sample total together with the DNN single ops and LQCD).
+std::vector<Module> generateSequenceDataset(Rng &Rng, unsigned Count,
+                                            const SequenceConfig &Config = {});
+
+} // namespace mlirrl
+
+#endif // MLIRRL_DATASETS_SEQUENCES_H

@@ -1,0 +1,66 @@
+//===- ActionSpace.cpp ----------------------------------------------------===//
+
+#include "env/ActionSpace.h"
+
+#include "support/Format.h"
+#include "transforms/Legality.h"
+
+#include <cmath>
+
+using namespace mlirrl;
+
+std::string AgentAction::toString() const {
+  std::string Out = getTransformKindName(Kind);
+  if (!TileSizeIdx.empty()) {
+    std::vector<std::string> Parts;
+    for (unsigned I : TileSizeIdx)
+      Parts.push_back(formatString("%u", I));
+    Out += "[" + join(Parts, ",") + "]";
+  }
+  return Out;
+}
+
+std::string FlatAction::toString() const {
+  return getTransformKindName(Kind) +
+         formatString("(tile=%u, swap=%u)", TileSizeIdx, SwapIdx);
+}
+
+ActionSpaceInfo::ActionSpaceInfo(const EnvConfig &Config) : Config(Config) {}
+
+unsigned ActionSpaceInfo::interchangeHeadSize() const {
+  if (Config.Interchange == InterchangeMode::LevelPointers)
+    return Config.MaxLoops;
+  unsigned N = Config.MaxLoops;
+  return N >= 3 ? 3 * N - 6
+                : static_cast<unsigned>(
+                      getEnumeratedInterchangeCandidates(N).size());
+}
+
+double ActionSpaceInfo::flatTheoreticalSize(unsigned NumLoops) const {
+  // |A| = 3 * M^N + N! + 2 (Sec. IV-A).
+  double MpowN = std::pow(static_cast<double>(Config.NumTileSizes),
+                          static_cast<double>(NumLoops));
+  double Factorial = 1.0;
+  for (unsigned I = 2; I <= NumLoops; ++I)
+    Factorial *= I;
+  return 3.0 * MpowN + Factorial + 2.0;
+}
+
+std::vector<FlatAction> mlirrl::buildFlatActionList(const EnvConfig &Config) {
+  std::vector<FlatAction> Actions;
+  // Tiled kinds with uniform non-zero tile sizes.
+  for (TransformKind Kind : {TransformKind::Tiling,
+                             TransformKind::TiledParallelization,
+                             TransformKind::TiledFusion})
+    for (unsigned S = 1; S < Config.NumTileSizes; ++S)
+      Actions.push_back(FlatAction{Kind, S, 0});
+  // Enumerated interchange swaps over the maximal loop count; swaps
+  // whose levels exceed the current op's depth are masked at runtime.
+  unsigned NumSwaps =
+      getEnumeratedInterchangeCandidates(Config.MaxLoops).size();
+  for (unsigned I = 0; I < NumSwaps; ++I)
+    Actions.push_back(FlatAction{TransformKind::Interchange, 0, I});
+  Actions.push_back(FlatAction{TransformKind::Vectorization, 0, 0});
+  Actions.push_back(FlatAction{TransformKind::NoTransformation, 0, 0});
+  return Actions;
+}

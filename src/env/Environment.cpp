@@ -1,0 +1,378 @@
+//===- Environment.cpp ----------------------------------------------------===//
+
+#include "env/Environment.h"
+
+#include "support/Error.h"
+#include "transforms/Legality.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mlirrl;
+
+Environment::Environment(EnvConfig Config, Runner &Run, Module Sample)
+    : Config(Config), Feat(Config), Space(Config), Run(Run),
+      Sample(std::move(Sample)) {
+  assert(this->Sample.getNumOps() > 0 && "empty module");
+  if (Config.ActionSpace == ActionSpaceMode::Flat)
+    FlatActions = buildFlatActionList(Config);
+
+  BaselineSeconds = Run.timeBaseline(this->Sample);
+  PreviousSeconds = BaselineSeconds;
+  // The baseline itself is measured once (Runs executions).
+  MeasurementSeconds += BaselineSeconds;
+
+  CurrentOp = static_cast<int>(this->Sample.getNumOps()) - 1;
+  Machine.emplace(this->Sample.getOp(CurrentOp));
+  computeObservation();
+}
+
+unsigned Environment::effectiveLoops() const {
+  return std::min(Config.MaxLoops,
+                  Sample.getOp(CurrentOp).getNumLoops());
+}
+
+int Environment::findProducerCandidate() const {
+  // The fused group: the consumer plus everything already fused into it.
+  std::vector<unsigned> Group = Building.FusedProducers;
+  Group.push_back(static_cast<unsigned>(CurrentOp));
+
+  auto InGroup = [&](unsigned Idx) {
+    return std::find(Group.begin(), Group.end(), Idx) != Group.end();
+  };
+
+  int Best = -1;
+  for (unsigned Member : Group) {
+    for (const OpOperand &In : Sample.getOp(Member).getInputs()) {
+      int Def = Sample.getDefiningOp(In.Value);
+      if (Def < 0 || InGroup(static_cast<unsigned>(Def)) ||
+          Sched.isFusedAway(static_cast<unsigned>(Def)))
+        continue;
+      // The producer must be exclusively consumed by the group
+      // (otherwise it still needs a standalone materialization and
+      // fusion would duplicate work).
+      bool Exclusive = true;
+      for (unsigned User : Sample.getConsumers(static_cast<unsigned>(Def)))
+        Exclusive &= InGroup(User);
+      if (!Exclusive)
+        continue;
+      if (!canFuseProducer(Sample, static_cast<unsigned>(CurrentOp),
+                           static_cast<unsigned>(Def)) &&
+          !canFuseProducer(Sample, Member, static_cast<unsigned>(Def)))
+        continue;
+      Best = std::max(Best, Def);
+    }
+  }
+  return Best;
+}
+
+std::vector<int64_t>
+Environment::tileSizesFromAction(const AgentAction &Action) const {
+  const LinalgOp &Op = Sample.getOp(CurrentOp);
+  unsigned N = Op.getNumLoops();
+  std::vector<int64_t> Sizes(N, 0);
+  for (unsigned L = 0; L < std::min<unsigned>(N, Config.MaxLoops); ++L) {
+    unsigned Idx = L < Action.TileSizeIdx.size() ? Action.TileSizeIdx[L] : 0;
+    if (Idx < Config.TileCandidates.size())
+      Sizes[L] = Config.TileCandidates[Idx];
+  }
+  return Sizes;
+}
+
+double Environment::measuredModuleTime() {
+  // Measure the module under the schedule assembled so far, including
+  // the in-progress schedule of the current op.
+  ModuleSchedule Partial = Sched;
+  if (CurrentOp >= 0 && !Building.empty())
+    Partial.OpSchedules[static_cast<unsigned>(CurrentOp)] = Building;
+  return Run.timeModule(Sample, Partial);
+}
+
+double Environment::rewardAfterEffectiveStep() {
+  if (Config.Reward != RewardMode::Immediate)
+    return 0.0;
+  // Immediate reward: executing the program after every step to compute
+  // the incremental log-speedup. The execution itself costs wall-clock
+  // (the paper's argument against this mode).
+  double Now = measuredModuleTime();
+  MeasurementSeconds += Now;
+  double Reward = std::log(PreviousSeconds / Now);
+  PreviousSeconds = Now;
+  return Reward;
+}
+
+void Environment::recordHistoryForTiled(TransformKind Kind,
+                                        const std::vector<unsigned> &SizeIdx) {
+  History.recordTiled(TauUsed, Kind, SizeIdx);
+}
+
+Environment::StepOutcome Environment::step(const AgentAction &Action) {
+  if (Done)
+    reportFatalError("step() on a finished episode");
+
+  StepOutcome Outcome;
+  const unsigned N = effectiveLoops();
+  const LinalgOp &Op = Sample.getOp(CurrentOp);
+
+  // ---- Level-pointer continuation ---------------------------------------
+  if (InPointerSequence) {
+    unsigned Choice = Action.PointerChoice;
+    if (Choice < N && PartialPlacement[NextPointerPos] == -1 &&
+        std::find(PartialPlacement.begin(), PartialPlacement.end(),
+                  static_cast<int>(Choice)) == PartialPlacement.end()) {
+      PartialPlacement[NextPointerPos] = static_cast<int>(Choice);
+      ++NextPointerPos;
+      History.recordInterchange(TauUsed, PartialPlacement);
+    }
+    if (NextPointerPos == N) {
+      // Complete: build the permutation over the full loop count
+      // (identity beyond the represented levels).
+      unsigned FullN = Op.getNumLoops();
+      std::vector<unsigned> Perm(FullN);
+      for (unsigned I = 0; I < FullN; ++I)
+        Perm[I] = I < N ? static_cast<unsigned>(PartialPlacement[I]) : I;
+      Transformation T = Transformation::interchange(Perm);
+      if (Machine->apply(T).Applied)
+        Building.Transforms.push_back(T);
+      InPointerSequence = false;
+      ++TauUsed;
+      Outcome.Reward = rewardAfterEffectiveStep();
+      if (TauUsed >= Config.MaxScheduleLength)
+        finishCurrentOp();
+    }
+    Outcome.Done = Done;
+    computeObservation();
+    return Outcome;
+  }
+
+  // ---- Flat-mode decoding ------------------------------------------------
+  AgentAction Decoded = Action;
+  if (Config.ActionSpace == ActionSpaceMode::Flat) {
+    const FlatAction &Flat = FlatActions.at(Action.FlatChoice);
+    Decoded.Kind = Flat.Kind;
+    Decoded.TileSizeIdx.assign(Config.MaxLoops, Flat.TileSizeIdx);
+    Decoded.EnumeratedChoice = Flat.SwapIdx;
+  }
+
+  switch (Decoded.Kind) {
+  case TransformKind::Tiling:
+  case TransformKind::TiledParallelization: {
+    Transformation T =
+        Decoded.Kind == TransformKind::Tiling
+            ? Transformation::tiling(tileSizesFromAction(Decoded))
+            : Transformation::tiledParallelization(
+                  tileSizesFromAction(Decoded));
+    if (Machine->apply(T).Applied) {
+      Building.Transforms.push_back(T);
+      recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
+    }
+    ++TauUsed;
+    Outcome.Reward = rewardAfterEffectiveStep();
+    break;
+  }
+  case TransformKind::TiledFusion: {
+    int Producer = findProducerCandidate();
+    Transformation T =
+        Transformation::tiledFusion(tileSizesFromAction(Decoded));
+    if (Producer >= 0 && Machine->apply(T).Applied) {
+      Building.Transforms.push_back(T);
+      Building.FusedProducers.push_back(static_cast<unsigned>(Producer));
+      Sched.FusedAway.push_back(static_cast<unsigned>(Producer));
+      recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
+    }
+    ++TauUsed;
+    Outcome.Reward = rewardAfterEffectiveStep();
+    break;
+  }
+  case TransformKind::Interchange: {
+    if (Config.ActionSpace == ActionSpaceMode::MultiDiscrete &&
+        Config.Interchange == InterchangeMode::LevelPointers) {
+      // Start the pointer sequence with the first placement.
+      if (N >= 1 && Action.PointerChoice < N) {
+        PartialPlacement.assign(N, -1);
+        PartialPlacement[0] = static_cast<int>(Action.PointerChoice);
+        NextPointerPos = 1;
+        InPointerSequence = true;
+        History.recordInterchange(TauUsed, PartialPlacement);
+        if (N == 1) {
+          // Degenerate single-loop interchange: identity, complete now.
+          InPointerSequence = false;
+          ++TauUsed;
+          Outcome.Reward = rewardAfterEffectiveStep();
+        }
+      } else {
+        ++TauUsed; // malformed pointer start: wasted step
+      }
+    } else {
+      // Enumerated swap.
+      auto Candidates =
+          getEnumeratedInterchangeCandidates(Op.getNumLoops());
+      if (Decoded.EnumeratedChoice < Candidates.size()) {
+        auto [I, J] = Candidates[Decoded.EnumeratedChoice];
+        Transformation T = Transformation::interchange(
+            makeSwapPermutation(Op.getNumLoops(), I, J));
+        if (Machine->apply(T).Applied) {
+          Building.Transforms.push_back(T);
+          std::vector<int> Placement(Op.getNumLoops());
+          for (unsigned L = 0; L < Op.getNumLoops(); ++L)
+            Placement[L] = static_cast<int>(T.Permutation[L]);
+          History.recordInterchange(TauUsed, Placement);
+        }
+      }
+      ++TauUsed;
+      Outcome.Reward = rewardAfterEffectiveStep();
+    }
+    break;
+  }
+  case TransformKind::Vectorization: {
+    if (Machine->apply(Transformation::vectorization()).Applied)
+      Building.Transforms.push_back(Transformation::vectorization());
+    ++TauUsed;
+    Outcome.Reward = rewardAfterEffectiveStep();
+    finishCurrentOp();
+    break;
+  }
+  case TransformKind::NoTransformation: {
+    ++TauUsed;
+    Outcome.Reward = rewardAfterEffectiveStep();
+    finishCurrentOp();
+    break;
+  }
+  }
+
+  if (!Done && !InPointerSequence && TauUsed >= Config.MaxScheduleLength)
+    finishCurrentOp();
+
+  // Terminal reward: log-speedup of the fully assembled schedule.
+  if (Done && Config.Reward == RewardMode::Final) {
+    double Final = Run.timeModule(Sample, Sched);
+    MeasurementSeconds += Final;
+    Outcome.Reward += std::log(BaselineSeconds / Final);
+  }
+
+  Outcome.Done = Done;
+  computeObservation();
+  return Outcome;
+}
+
+void Environment::finishCurrentOp() {
+  if (!Building.empty())
+    Sched.OpSchedules[static_cast<unsigned>(CurrentOp)] = Building;
+  advanceToNextOp();
+}
+
+void Environment::advanceToNextOp() {
+  int Next = CurrentOp - 1;
+  while (Next >= 0 && Sched.isFusedAway(static_cast<unsigned>(Next)))
+    --Next;
+  CurrentOp = Next;
+  Building = OpSchedule();
+  History = ActionHistory();
+  TauUsed = 0;
+  InPointerSequence = false;
+  if (CurrentOp < 0) {
+    Done = true;
+    Machine.reset();
+    return;
+  }
+  Machine.emplace(Sample.getOp(CurrentOp));
+}
+
+double Environment::currentSpeedup() {
+  double Now = Run.timeModule(Sample, Sched);
+  return BaselineSeconds / Now;
+}
+
+void Environment::computeObservation() {
+  Observation Obs;
+  if (Done) {
+    CurrentObs = Obs;
+    return;
+  }
+  const LinalgOp &Op = Sample.getOp(CurrentOp);
+  unsigned N = effectiveLoops();
+  Obs.NumLoops = N;
+  Obs.InPointerSequence = InPointerSequence;
+
+  Obs.Consumer = Feat.featurize(Sample, Op, History);
+  int Producer = findProducerCandidate();
+  if (Producer >= 0)
+    Obs.Producer = Feat.featurize(Sample, Sample.getOp(Producer),
+                                  ActionHistory());
+  else
+    Obs.Producer = Feat.zeroVector();
+
+  // Transformation mask.
+  Obs.TransformMask.assign(NumTransformKinds, 0.0);
+  auto Allow = [&](TransformKind K) {
+    Obs.TransformMask[static_cast<unsigned>(K)] = 1.0;
+  };
+  if (InPointerSequence) {
+    Allow(TransformKind::Interchange);
+  } else {
+    Allow(TransformKind::Tiling);
+    Allow(TransformKind::TiledParallelization);
+    if (Producer >= 0)
+      Allow(TransformKind::TiledFusion);
+    if (N >= 2)
+      Allow(TransformKind::Interchange);
+    if (isVectorizationLegal(Op, Machine->getInnermostTrip()))
+      Allow(TransformKind::Vectorization);
+    Allow(TransformKind::NoTransformation);
+  }
+
+  // Interchange-head mask.
+  unsigned HeadSize = Space.interchangeHeadSize();
+  Obs.InterchangeMask.assign(HeadSize, 0.0);
+  if (Config.Interchange == InterchangeMode::LevelPointers) {
+    for (unsigned L = 0; L < std::min(N, HeadSize); ++L) {
+      bool Taken =
+          InPointerSequence &&
+          std::find(PartialPlacement.begin(), PartialPlacement.end(),
+                    static_cast<int>(L)) != PartialPlacement.end();
+      if (!Taken)
+        Obs.InterchangeMask[L] = 1.0;
+    }
+  } else {
+    auto Valid = getEnumeratedInterchangeCandidates(Op.getNumLoops());
+    for (unsigned I = 0; I < std::min<size_t>(HeadSize, Valid.size()); ++I)
+      Obs.InterchangeMask[I] = 1.0;
+  }
+
+  // Flat-mode mask.
+  if (Config.ActionSpace == ActionSpaceMode::Flat) {
+    Obs.FlatMask.assign(FlatActions.size(), 0.0);
+    auto Candidates = getEnumeratedInterchangeCandidates(Op.getNumLoops());
+    std::vector<int64_t> Trips = Machine->getPointTrips();
+    int64_t MaxTrip = *std::max_element(Trips.begin(), Trips.end());
+    for (unsigned I = 0; I < FlatActions.size(); ++I) {
+      const FlatAction &F = FlatActions[I];
+      bool Legal = true;
+      switch (F.Kind) {
+      case TransformKind::Tiling:
+        Legal = Config.TileCandidates[F.TileSizeIdx] < MaxTrip;
+        break;
+      case TransformKind::TiledParallelization:
+        Legal = true;
+        break;
+      case TransformKind::TiledFusion:
+        Legal = Producer >= 0 &&
+                Config.TileCandidates[F.TileSizeIdx] < MaxTrip;
+        break;
+      case TransformKind::Interchange:
+        Legal = F.SwapIdx < Candidates.size();
+        break;
+      case TransformKind::Vectorization:
+        Legal = isVectorizationLegal(Op, Machine->getInnermostTrip());
+        break;
+      case TransformKind::NoTransformation:
+        Legal = true;
+        break;
+      }
+      Obs.FlatMask[I] = Legal ? 1.0 : 0.0;
+    }
+  }
+
+  CurrentObs = std::move(Obs);
+}

@@ -1,0 +1,123 @@
+//===- Environment.h - The MLIR RL environment -------------------*- C++-*-===//
+///
+/// \file
+/// The RL environment of Sec. III/IV. One episode optimizes one code
+/// sample (Module): operations are visited in reverse order (consumers
+/// before producers); per operation the agent applies up to tau
+/// transformations; Vectorization and No Transformation are terminal for
+/// the current operation; Tiled Fusion folds the current producer into
+/// the consumer's tile loops; level-pointer interchange spans N forced
+/// sub-steps (Appendix B). Rewards are log(speedup) over the unoptimized
+/// baseline, terminal by default or per-step in Immediate mode, with the
+/// simulated measurement cost tracked for the Fig. 7 wall-clock axis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_ENV_ENVIRONMENT_H
+#define MLIRRL_ENV_ENVIRONMENT_H
+
+#include "env/ActionSpace.h"
+#include "env/Featurizer.h"
+#include "perf/Runner.h"
+#include "transforms/Apply.h"
+
+#include <memory>
+#include <optional>
+
+namespace mlirrl {
+
+/// What the agent sees before acting.
+struct Observation {
+  std::vector<double> Consumer;
+  std::vector<double> Producer;        // zeros when there is no producer
+  std::vector<double> TransformMask;   // 6 entries, 0/1
+  std::vector<double> InterchangeMask; // head-size entries, 0/1
+  std::vector<double> FlatMask;        // flat mode only
+  /// True while a level-pointer interchange forces continuation.
+  bool InPointerSequence = false;
+  /// Effective loop count of the current operation (<= MaxLoops).
+  unsigned NumLoops = 0;
+};
+
+/// One episode over one module.
+class Environment {
+public:
+  Environment(EnvConfig Config, Runner &Run, Module Sample);
+
+  bool isDone() const { return Done; }
+  const Observation &observe() const { return CurrentObs; }
+  const Featurizer &getFeaturizer() const { return Feat; }
+  const EnvConfig &getConfig() const { return Config; }
+
+  struct StepOutcome {
+    double Reward = 0.0;
+    bool Done = false;
+  };
+
+  /// Applies one agent action. Illegal (unmasked-but-inapplicable)
+  /// actions consume a step with no effect.
+  StepOutcome step(const AgentAction &Action);
+
+  /// The schedule assembled so far (complete once done).
+  const ModuleSchedule &getSchedule() const { return Sched; }
+
+  /// Speedup of the assembled schedule over the baseline.
+  double currentSpeedup();
+
+  /// Accumulated simulated measurement cost (seconds of program
+  /// execution the reward computation required so far); the x-axis of
+  /// Fig. 7's wall-clock plot.
+  double getMeasurementSeconds() const { return MeasurementSeconds; }
+
+  const Module &getModule() const { return Sample; }
+
+  /// Index of the operation currently being optimized (for tests).
+  int getCurrentOp() const { return CurrentOp; }
+
+private:
+  void computeObservation();
+  void recordHistoryForTiled(TransformKind Kind,
+                             const std::vector<unsigned> &SizeIdx);
+  double rewardAfterEffectiveStep();
+  void finishCurrentOp();
+  void advanceToNextOp();
+  /// The current fusion candidate: the last producer feeding the fused
+  /// group, fusable and exclusively consumed by the group. -1 if none.
+  int findProducerCandidate() const;
+  unsigned effectiveLoops() const;
+  std::vector<int64_t> tileSizesFromAction(const AgentAction &Action) const;
+  double measuredModuleTime();
+
+  EnvConfig Config;
+  Featurizer Feat;
+  ActionSpaceInfo Space;
+  Runner &Run;
+  Module Sample;
+
+  ModuleSchedule Sched;
+  bool Done = false;
+  int CurrentOp = -1;
+
+  // Per-operation state.
+  std::optional<OpTransformState> Machine;
+  ActionHistory History;
+  OpSchedule Building;
+  unsigned TauUsed = 0;
+
+  // Level-pointer sequence state.
+  bool InPointerSequence = false;
+  std::vector<int> PartialPlacement;
+  unsigned NextPointerPos = 0;
+
+  // Reward bookkeeping.
+  double BaselineSeconds = 0.0;
+  double PreviousSeconds = 0.0;
+  double MeasurementSeconds = 0.0;
+
+  Observation CurrentObs;
+  std::vector<FlatAction> FlatActions;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_ENV_ENVIRONMENT_H

@@ -1,0 +1,75 @@
+//===- Featurizer.h - State representation (Fig. 1) --------------*- C++-*-===//
+///
+/// \file
+/// Builds the representation vector of a Linalg operation exactly as the
+/// paper's Fig. 1 pipeline does: operation-type one-hot, loop ranges
+/// (upper bound + iterator type), vectorization pre-condition flag,
+/// indexing maps as D x (N+1) access matrices, arithmetic operation
+/// counts, and the one-hot action history of Appendix A (a tau x N x M
+/// slab for tiled transformations and a tau x N x N slab for
+/// interchange).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_ENV_FEATURIZER_H
+#define MLIRRL_ENV_FEATURIZER_H
+
+#include "env/Config.h"
+#include "ir/Module.h"
+#include "transforms/Schedule.h"
+
+#include <vector>
+
+namespace mlirrl {
+
+/// The recorded action history of one operation (Appendix A): for each
+/// time step, the tile sizes chosen per loop (index into the candidate
+/// set) or the interchange placement, or nothing.
+struct ActionHistory {
+  struct Entry {
+    TransformKind Kind = TransformKind::NoTransformation;
+    /// For tiled kinds: per-level tile candidate index (size N).
+    std::vector<unsigned> TileSizeIdx;
+    /// For interchange: Placement[i] = loop placed at position i; during
+    /// level-pointer sub-steps this is partially filled (the paper feeds
+    /// the partial permutation back so the agent knows the stage).
+    std::vector<int> Placement;
+    bool Used = false;
+  };
+  std::vector<Entry> Entries;
+
+  /// Records a completed tiled transformation at step \p Step.
+  void recordTiled(unsigned Step, TransformKind Kind,
+                   std::vector<unsigned> TileSizeIdx);
+  /// Records (possibly partially) an interchange at step \p Step.
+  void recordInterchange(unsigned Step, std::vector<int> Placement);
+
+  void ensureSize(unsigned Steps);
+};
+
+/// Computes feature vectors of fixed layout from (operation, history).
+class Featurizer {
+public:
+  explicit Featurizer(EnvConfig Config);
+
+  /// Total feature vector length (fixed across operations).
+  unsigned featureSize() const;
+
+  /// Featurizes one operation with its action history.
+  std::vector<double> featurize(const Module &M, const LinalgOp &Op,
+                                const ActionHistory &History) const;
+
+  /// The all-zero vector standing in for a missing producer.
+  std::vector<double> zeroVector() const {
+    return std::vector<double>(featureSize(), 0.0);
+  }
+
+  const EnvConfig &getConfig() const { return Config; }
+
+private:
+  EnvConfig Config;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_ENV_FEATURIZER_H

@@ -1,0 +1,30 @@
+//===- Reward.h - Reward helpers ----------------------------------*- C++-*-===//
+///
+/// \file
+/// Reward arithmetic shared by the environment and the benchmark
+/// harness: log-speedup composition (Sec. IV-C chooses log so that
+/// per-step rewards accumulate additively along a trajectory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_ENV_REWARD_H
+#define MLIRRL_ENV_REWARD_H
+
+#include <cmath>
+
+namespace mlirrl {
+
+/// log(speedup): the terminal reward of an episode.
+inline double logSpeedupReward(double BaselineSeconds,
+                               double OptimizedSeconds) {
+  return std::log(BaselineSeconds / OptimizedSeconds);
+}
+
+/// Inverse: speedup implied by an accumulated log-reward.
+inline double speedupFromReward(double LogReward) {
+  return std::exp(LogReward);
+}
+
+} // namespace mlirrl
+
+#endif // MLIRRL_ENV_REWARD_H

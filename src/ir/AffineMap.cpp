@@ -1,0 +1,99 @@
+//===- AffineMap.cpp ------------------------------------------------------===//
+
+#include "ir/AffineMap.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+AffineMap::AffineMap(unsigned NumDims, std::vector<AffineExpr> Results)
+    : NumDims(NumDims), Results(std::move(Results)) {
+#ifndef NDEBUG
+  for (const AffineExpr &E : this->Results)
+    assert(E.getNumDims() == NumDims && "result arity mismatch");
+#endif
+}
+
+AffineMap AffineMap::identity(unsigned NumDims) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(NumDims);
+  for (unsigned I = 0; I < NumDims; ++I)
+    Results.push_back(AffineExpr::dim(I, NumDims));
+  return AffineMap(NumDims, std::move(Results));
+}
+
+AffineMap AffineMap::projection(const std::vector<unsigned> &Dims,
+                                unsigned NumDims) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(Dims.size());
+  for (unsigned D : Dims)
+    Results.push_back(AffineExpr::dim(D, NumDims));
+  return AffineMap(NumDims, std::move(Results));
+}
+
+const AffineExpr &AffineMap::getResult(unsigned Idx) const {
+  assert(Idx < Results.size() && "result index out of range");
+  return Results[Idx];
+}
+
+std::vector<int64_t>
+AffineMap::evaluate(const std::vector<int64_t> &Point) const {
+  std::vector<int64_t> Out;
+  Out.reserve(Results.size());
+  for (const AffineExpr &E : Results)
+    Out.push_back(E.evaluate(Point));
+  return Out;
+}
+
+bool AffineMap::involvesDim(unsigned Dim) const {
+  for (const AffineExpr &E : Results)
+    if (E.involvesDim(Dim))
+      return true;
+  return false;
+}
+
+AffineMap AffineMap::permuteDims(const std::vector<unsigned> &Perm) const {
+  std::vector<AffineExpr> NewResults;
+  NewResults.reserve(Results.size());
+  for (const AffineExpr &E : Results)
+    NewResults.push_back(E.permuteDims(Perm));
+  return AffineMap(NumDims, std::move(NewResults));
+}
+
+std::vector<std::vector<int64_t>> AffineMap::toAccessMatrix() const {
+  std::vector<std::vector<int64_t>> Matrix;
+  Matrix.reserve(Results.size());
+  for (const AffineExpr &E : Results) {
+    std::vector<int64_t> Row = E.getCoeffs();
+    Row.push_back(E.getConstant());
+    Matrix.push_back(std::move(Row));
+  }
+  return Matrix;
+}
+
+bool AffineMap::isProjectedPermutation() const {
+  std::vector<bool> Seen(NumDims, false);
+  for (const AffineExpr &E : Results) {
+    int Dim = E.getSingleDim();
+    if (Dim < 0 || Seen[static_cast<unsigned>(Dim)])
+      return false;
+    Seen[static_cast<unsigned>(Dim)] = true;
+  }
+  return true;
+}
+
+bool AffineMap::operator==(const AffineMap &Other) const {
+  return NumDims == Other.NumDims && Results == Other.Results;
+}
+
+std::string AffineMap::toString() const {
+  std::vector<std::string> Dims;
+  for (unsigned I = 0; I < NumDims; ++I)
+    Dims.push_back(formatString("d%u", I));
+  std::vector<std::string> Outs;
+  for (const AffineExpr &E : Results)
+    Outs.push_back(E.toString());
+  return "(" + join(Dims, ", ") + ") -> (" + join(Outs, ", ") + ")";
+}

@@ -1,0 +1,71 @@
+//===- AffineMap.h - Multi-result affine maps --------------------*- C++-*-===//
+///
+/// \file
+/// Indexing maps of Linalg operations: a list of AffineExpr results over a
+/// shared iteration space, e.g. (d0, d1, d2) -> (d0, d2). The featurizer
+/// flattens these into the D x N polyhedral access matrices of the paper
+/// (Sec. IV-B, Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_AFFINEMAP_H
+#define MLIRRL_IR_AFFINEMAP_H
+
+#include "ir/AffineExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// A map from an N-dimensional iteration space to tensor indices.
+class AffineMap {
+public:
+  AffineMap() = default;
+  AffineMap(unsigned NumDims, std::vector<AffineExpr> Results);
+
+  /// The identity map (d0, ..., dN-1) -> (d0, ..., dN-1).
+  static AffineMap identity(unsigned NumDims);
+
+  /// A projection keeping only \p Dims, e.g. {0, 2} over 3 dims gives
+  /// (d0, d1, d2) -> (d0, d2).
+  static AffineMap projection(const std::vector<unsigned> &Dims,
+                              unsigned NumDims);
+
+  unsigned getNumDims() const { return NumDims; }
+  unsigned getNumResults() const { return Results.size(); }
+  const AffineExpr &getResult(unsigned Idx) const;
+  const std::vector<AffineExpr> &getResults() const { return Results; }
+
+  /// Evaluates all results at iteration point \p Point.
+  std::vector<int64_t> evaluate(const std::vector<int64_t> &Point) const;
+
+  /// Returns true if any result involves iterator \p Dim.
+  bool involvesDim(unsigned Dim) const;
+
+  /// Rebuilds the map after permuting the iteration space; new iterator j
+  /// is old iterator Perm[j].
+  AffineMap permuteDims(const std::vector<unsigned> &Perm) const;
+
+  /// The access matrix of the paper (Fig. 2): one row per tensor
+  /// dimension, one column per iterator, entries are coefficients. The
+  /// constant column is appended last, giving D x (N + 1).
+  std::vector<std::vector<int64_t>> toAccessMatrix() const;
+
+  /// Returns true if this map is a (partial) permutation: every result is
+  /// a distinct plain iterator.
+  bool isProjectedPermutation() const;
+
+  bool operator==(const AffineMap &Other) const;
+
+  /// Prints in MLIR syntax: "(d0, d1, d2) -> (d0, d2)".
+  std::string toString() const;
+
+private:
+  unsigned NumDims = 0;
+  std::vector<AffineExpr> Results;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_AFFINEMAP_H

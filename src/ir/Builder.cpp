@@ -1,0 +1,191 @@
+//===- Builder.cpp --------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+std::string Builder::freshName(const std::string &Prefix) {
+  std::string Name;
+  do {
+    Name = formatString("%%%s%u", Prefix.c_str(), NextId++);
+  } while (M.hasValue(Name));
+  return Name;
+}
+
+std::string Builder::declareInput(std::vector<int64_t> Shape,
+                                  ElementType Elem, std::string Name) {
+  if (Name.empty())
+    Name = freshName("arg");
+  M.addInput(Name, TensorType(std::move(Shape), Elem));
+  return Name;
+}
+
+std::string Builder::appendOp(OpKind Kind, std::vector<int64_t> Bounds,
+                              std::vector<IteratorKind> Iterators,
+                              std::vector<OpOperand> Inputs,
+                              AffineMap OutputMap, ArithCounts Arith,
+                              ElementType Elem) {
+  std::vector<int64_t> OutShape;
+  OutShape.reserve(OutputMap.getNumResults());
+  for (const AffineExpr &E : OutputMap.getResults())
+    OutShape.push_back(E.maxOverBox(Bounds) + 1);
+
+  std::string Result = freshName();
+  LinalgOp Op(Result, Kind, std::move(Bounds), std::move(Iterators),
+              std::move(Inputs), OutputMap, Arith);
+  M.addOp(std::move(Op), TensorType(std::move(OutShape), Elem));
+  return Result;
+}
+
+std::string Builder::matmul(const std::string &Lhs, const std::string &Rhs) {
+  const TensorType &LhsTy = M.getValue(Lhs).Type;
+  const TensorType &RhsTy = M.getValue(Rhs).Type;
+  assert(LhsTy.getRank() == 2 && RhsTy.getRank() == 2 && "matmul needs 2-D");
+  assert(LhsTy.getDimSize(1) == RhsTy.getDimSize(0) &&
+         "matmul contraction dims must agree");
+  int64_t MDim = LhsTy.getDimSize(0);
+  int64_t NDim = RhsTy.getDimSize(1);
+  int64_t KDim = LhsTy.getDimSize(1);
+
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return appendOp(
+      OpKind::Matmul, {MDim, NDim, KDim},
+      {IteratorKind::Parallel, IteratorKind::Parallel, IteratorKind::Reduction},
+      {OpOperand{Lhs, AffineMap::projection({0, 2}, 3)},
+       OpOperand{Rhs, AffineMap::projection({2, 1}, 3)}},
+      AffineMap::projection({0, 1}, 3), Arith, LhsTy.getElementType());
+}
+
+std::string Builder::conv2d(const std::string &Input,
+                            const std::string &Kernel, int64_t Stride) {
+  const TensorType &InTy = M.getValue(Input).Type;
+  const TensorType &KerTy = M.getValue(Kernel).Type;
+  assert(InTy.getRank() == 4 && KerTy.getRank() == 4 &&
+         "conv2d needs NCHW input and FCHW kernel");
+  assert(InTy.getDimSize(1) == KerTy.getDimSize(1) &&
+         "conv2d channel dims must agree");
+  int64_t N = InTy.getDimSize(0), C = InTy.getDimSize(1);
+  int64_t H = InTy.getDimSize(2), W = InTy.getDimSize(3);
+  int64_t F = KerTy.getDimSize(0);
+  int64_t Kh = KerTy.getDimSize(2), Kw = KerTy.getDimSize(3);
+  assert(H >= Kh && W >= Kw && "kernel larger than input");
+  int64_t Oh = (H - Kh) / Stride + 1;
+  int64_t Ow = (W - Kw) / Stride + 1;
+
+  // Loops: (n, f, oh, ow, c, kh, kw).
+  const unsigned NumLoops = 7;
+  auto D = [&](unsigned I) { return AffineExpr::dim(I, NumLoops); };
+  AffineMap InMap(NumLoops,
+                  {D(0), D(4), D(2) * Stride + D(5), D(3) * Stride + D(6)});
+  AffineMap KerMap = AffineMap::projection({1, 4, 5, 6}, NumLoops);
+  AffineMap OutMap = AffineMap::projection({0, 1, 2, 3}, NumLoops);
+
+  ArithCounts Arith;
+  Arith.Mul = 1;
+  Arith.Add = 1;
+  return appendOp(OpKind::Conv2D, {N, F, Oh, Ow, C, Kh, Kw},
+                  {IteratorKind::Parallel, IteratorKind::Parallel,
+                   IteratorKind::Parallel, IteratorKind::Parallel,
+                   IteratorKind::Reduction, IteratorKind::Reduction,
+                   IteratorKind::Reduction},
+                  {OpOperand{Input, InMap}, OpOperand{Kernel, KerMap}}, OutMap,
+                  Arith, InTy.getElementType());
+}
+
+std::string Builder::poolingMax(const std::string &Input, int64_t Kh,
+                                int64_t Kw, int64_t Stride) {
+  const TensorType &InTy = M.getValue(Input).Type;
+  assert(InTy.getRank() == 4 && "pooling needs NCHW input");
+  int64_t N = InTy.getDimSize(0), C = InTy.getDimSize(1);
+  int64_t H = InTy.getDimSize(2), W = InTy.getDimSize(3);
+  assert(H >= Kh && W >= Kw && "window larger than input");
+  int64_t Oh = (H - Kh) / Stride + 1;
+  int64_t Ow = (W - Kw) / Stride + 1;
+
+  // Loops: (n, c, oh, ow, kh, kw).
+  const unsigned NumLoops = 6;
+  auto D = [&](unsigned I) { return AffineExpr::dim(I, NumLoops); };
+  AffineMap InMap(NumLoops,
+                  {D(0), D(1), D(2) * Stride + D(4), D(3) * Stride + D(5)});
+  AffineMap OutMap = AffineMap::projection({0, 1, 2, 3}, NumLoops);
+
+  ArithCounts Arith;
+  Arith.Max = 1;
+  return appendOp(OpKind::PoolingMax, {N, C, Oh, Ow, Kh, Kw},
+                  {IteratorKind::Parallel, IteratorKind::Parallel,
+                   IteratorKind::Parallel, IteratorKind::Parallel,
+                   IteratorKind::Reduction, IteratorKind::Reduction},
+                  {OpOperand{Input, InMap}}, OutMap, Arith,
+                  InTy.getElementType());
+}
+
+std::string Builder::add(const std::string &Lhs, const std::string &Rhs) {
+  const TensorType &LhsTy = M.getValue(Lhs).Type;
+  assert(LhsTy == M.getValue(Rhs).Type && "add operands must match");
+  unsigned Rank = LhsTy.getRank();
+  AffineMap Identity = AffineMap::identity(Rank);
+
+  ArithCounts Arith;
+  Arith.Add = 1;
+  return appendOp(OpKind::Add, LhsTy.getShape(),
+                  std::vector<IteratorKind>(Rank, IteratorKind::Parallel),
+                  {OpOperand{Lhs, Identity}, OpOperand{Rhs, Identity}},
+                  Identity, Arith, LhsTy.getElementType());
+}
+
+std::string Builder::elementwiseUnary(OpKind Kind, const std::string &Input,
+                                      ArithCounts Arith) {
+  const TensorType &InTy = M.getValue(Input).Type;
+  unsigned Rank = InTy.getRank();
+  AffineMap Identity = AffineMap::identity(Rank);
+  return appendOp(Kind, InTy.getShape(),
+                  std::vector<IteratorKind>(Rank, IteratorKind::Parallel),
+                  {OpOperand{Input, Identity}}, Identity, Arith,
+                  InTy.getElementType());
+}
+
+std::string Builder::relu(const std::string &Input) {
+  ArithCounts Arith;
+  Arith.Max = 1;
+  return elementwiseUnary(OpKind::ReLU, Input, Arith);
+}
+
+std::string Builder::sigmoid(const std::string &Input) {
+  ArithCounts Arith;
+  Arith.Exp = 1;
+  Arith.Add = 1;
+  Arith.Div = 1;
+  return elementwiseUnary(OpKind::Sigmoid, Input, Arith);
+}
+
+std::string Builder::softmax2d(const std::string &Input) {
+  const TensorType &InTy = M.getValue(Input).Type;
+  assert(InTy.getRank() == 2 && "softmax2d needs a rank-2 tensor");
+  ArithCounts Arith;
+  Arith.Exp = 1;
+  Arith.Add = 1;
+  Arith.Div = 1;
+  return elementwiseUnary(OpKind::Softmax, Input, Arith);
+}
+
+std::string Builder::generic(OpKind Kind, std::vector<int64_t> Bounds,
+                             std::vector<IteratorKind> Iterators,
+                             std::vector<std::string> Inputs,
+                             std::vector<AffineMap> InputMaps,
+                             AffineMap OutputMap, ArithCounts Arith,
+                             ElementType Elem) {
+  assert(Inputs.size() == InputMaps.size() && "inputs / maps arity mismatch");
+  std::vector<OpOperand> Operands;
+  Operands.reserve(Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    Operands.push_back(OpOperand{Inputs[I], InputMaps[I]});
+  return appendOp(Kind, std::move(Bounds), std::move(Iterators),
+                  std::move(Operands), std::move(OutputMap), Arith, Elem);
+}

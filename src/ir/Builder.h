@@ -1,0 +1,86 @@
+//===- Builder.h - Convenience construction of Linalg modules ----*- C++-*-===//
+///
+/// \file
+/// Builder appends named structured operations to a Module, inferring
+/// iteration spaces and indexing maps from operand types, exactly as the
+/// Linalg named-op definitions do. Dataset generators and tests use this
+/// instead of hand-writing maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_BUILDER_H
+#define MLIRRL_IR_BUILDER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Appends ops to a Module with type inference for named kinds.
+class Builder {
+public:
+  explicit Builder(Module &M) : M(M) {}
+
+  /// Returns a fresh SSA name "%<Prefix><n>".
+  std::string freshName(const std::string &Prefix = "v");
+
+  /// Declares a module input tensor; returns its name.
+  std::string declareInput(std::vector<int64_t> Shape,
+                           ElementType Elem = ElementType::F32,
+                           std::string Name = "");
+
+  /// C[MxN] = A[MxK] * B[KxN]. Iterators (parallel, parallel, reduction).
+  std::string matmul(const std::string &Lhs, const std::string &Rhs);
+
+  /// NCHW 2-D convolution: input [N,C,H,W], kernel [F,C,KH,KW], unit
+  /// dilation, stride \p Stride. Seven loops (n, f, oh, ow, c, kh, kw).
+  std::string conv2d(const std::string &Input, const std::string &Kernel,
+                     int64_t Stride = 1);
+
+  /// NCHW max-pooling with window KH x KW and stride \p Stride. Six loops
+  /// (n, c, oh, ow, kh, kw).
+  std::string poolingMax(const std::string &Input, int64_t Kh, int64_t Kw,
+                         int64_t Stride);
+
+  /// Elementwise addition of two same-shaped tensors.
+  std::string add(const std::string &Lhs, const std::string &Rhs);
+
+  /// Elementwise max(x, 0).
+  std::string relu(const std::string &Input);
+
+  /// Elementwise 1 / (1 + exp(-x)).
+  std::string sigmoid(const std::string &Input);
+
+  /// Row-wise softmax of a rank-2 tensor (modelled as a single structured
+  /// op with exp/add/div body, as the paper's softmax_2d generator does).
+  std::string softmax2d(const std::string &Input);
+
+  /// Fully general structured op. \p InputMaps and \p Inputs must align;
+  /// the output shape is derived from \p OutputMap's ranges over
+  /// \p Bounds.
+  std::string generic(OpKind Kind, std::vector<int64_t> Bounds,
+                      std::vector<IteratorKind> Iterators,
+                      std::vector<std::string> Inputs,
+                      std::vector<AffineMap> InputMaps, AffineMap OutputMap,
+                      ArithCounts Arith, ElementType Elem = ElementType::F32);
+
+private:
+  /// Appends an op whose output shape is OutputMap's extent over Bounds.
+  std::string appendOp(OpKind Kind, std::vector<int64_t> Bounds,
+                       std::vector<IteratorKind> Iterators,
+                       std::vector<OpOperand> Inputs, AffineMap OutputMap,
+                       ArithCounts Arith, ElementType Elem);
+
+  /// Builds a unary elementwise op over \p Input.
+  std::string elementwiseUnary(OpKind Kind, const std::string &Input,
+                               ArithCounts Arith);
+
+  Module &M;
+  unsigned NextId = 0;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_BUILDER_H

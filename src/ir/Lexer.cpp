@@ -1,0 +1,132 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+
+using namespace mlirrl;
+
+static bool isWordChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+bool mlirrl::tokenize(const std::string &Source, std::vector<Token> &Tokens,
+                      std::string &ErrorMessage) {
+  Tokens.clear();
+  unsigned Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+
+  while (I < N) {
+    char C = Source[I];
+    // Whitespace and comments.
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Col;
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+
+    unsigned TokLine = Line, TokCol = Col;
+    auto Emit = [&](TokenKind Kind, std::string Text) {
+      Tokens.push_back(Token{Kind, std::move(Text), TokLine, TokCol});
+    };
+
+    if (C == '%') {
+      size_t Start = I++;
+      while (I < N && isWordChar(Source[I]))
+        ++I;
+      if (I == Start + 1) {
+        ErrorMessage = formatString("%u:%u: expected name after '%%'", Line,
+                                    Col);
+        return false;
+      }
+      Emit(TokenKind::SsaId, Source.substr(Start, I - Start));
+      Col += static_cast<unsigned>(I - Start);
+      continue;
+    }
+    if (isWordChar(C)) {
+      size_t Start = I;
+      while (I < N && isWordChar(Source[I]))
+        ++I;
+      Emit(TokenKind::Word, Source.substr(Start, I - Start));
+      Col += static_cast<unsigned>(I - Start);
+      continue;
+    }
+    if (C == '-' && I + 1 < N && Source[I + 1] == '>') {
+      Emit(TokenKind::Arrow, "->");
+      I += 2;
+      Col += 2;
+      continue;
+    }
+
+    TokenKind Kind;
+    switch (C) {
+    case '{':
+      Kind = TokenKind::LBrace;
+      break;
+    case '}':
+      Kind = TokenKind::RBrace;
+      break;
+    case '(':
+      Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Kind = TokenKind::RParen;
+      break;
+    case '[':
+      Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      Kind = TokenKind::RBracket;
+      break;
+    case '<':
+      Kind = TokenKind::Less;
+      break;
+    case '>':
+      Kind = TokenKind::Greater;
+      break;
+    case ',':
+      Kind = TokenKind::Comma;
+      break;
+    case ':':
+      Kind = TokenKind::Colon;
+      break;
+    case '=':
+      Kind = TokenKind::Equal;
+      break;
+    case '+':
+      Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Kind = TokenKind::Star;
+      break;
+    case '@':
+      Kind = TokenKind::At;
+      break;
+    default:
+      ErrorMessage =
+          formatString("%u:%u: unexpected character '%c'", Line, Col, C);
+      return false;
+    }
+    Emit(Kind, std::string(1, C));
+    ++I;
+    ++Col;
+  }
+  Tokens.push_back(Token{TokenKind::Eof, "", Line, Col});
+  return true;
+}

@@ -1,0 +1,58 @@
+//===- Lexer.h - Tokenizer for the textual IR --------------------*- C++-*-===//
+///
+/// \file
+/// Tokenizer for the mini-Linalg textual format. Identifiers, op
+/// mnemonics (with dots) and bare integers all lex as Word tokens; the
+/// parser interprets them, which keeps shaped-type literals like
+/// "256x1024xf32" trivial to handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_LEXER_H
+#define MLIRRL_IR_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Token kinds of the textual IR.
+enum class TokenKind {
+  Word,     // module, linalg.matmul, parallel, d0, 256, 256x512xf32
+  SsaId,    // %name
+  LBrace,   // {
+  RBrace,   // }
+  LParen,   // (
+  RParen,   // )
+  LBracket, // [
+  RBracket, // ]
+  Less,     // <
+  Greater,  // >
+  Comma,    // ,
+  Colon,    // :
+  Equal,    // =
+  Arrow,    // ->
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  At,       // @
+  Eof,
+};
+
+/// A token with source position (1-based line/column) for diagnostics.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+/// Tokenizes \p Source. On bad characters, emits an Eof token after an
+/// error marker token is reported through \p ErrorMessage and returns
+/// false.
+bool tokenize(const std::string &Source, std::vector<Token> &Tokens,
+              std::string &ErrorMessage);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_LEXER_H

@@ -1,0 +1,100 @@
+//===- Module.cpp ---------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+void Module::addInput(const std::string &ValueName, TensorType Type) {
+  if (Values.count(ValueName))
+    reportFatalError("value redefinition: " + ValueName);
+  Values[ValueName] = ValueInfo{ValueName, std::move(Type), -1};
+  ValueOrder.push_back(ValueName);
+}
+
+void Module::addOp(LinalgOp Op, TensorType ResultType) {
+  for (const OpOperand &In : Op.getInputs())
+    if (!Values.count(In.Value))
+      reportFatalError("use of undeclared value: " + In.Value);
+  const std::string &Result = Op.getResult();
+  if (Values.count(Result))
+    reportFatalError("value redefinition: " + Result);
+  Values[Result] =
+      ValueInfo{Result, std::move(ResultType), static_cast<int>(Ops.size())};
+  ValueOrder.push_back(Result);
+  Ops.push_back(std::move(Op));
+}
+
+const LinalgOp &Module::getOp(unsigned Idx) const {
+  assert(Idx < Ops.size() && "op index out of range");
+  return Ops[Idx];
+}
+
+LinalgOp &Module::getOp(unsigned Idx) {
+  assert(Idx < Ops.size() && "op index out of range");
+  return Ops[Idx];
+}
+
+void Module::replaceOp(unsigned Idx, LinalgOp Op) {
+  assert(Idx < Ops.size() && "op index out of range");
+  assert(Op.getResult() == Ops[Idx].getResult() &&
+         "replaceOp must preserve the result name");
+  Ops[Idx] = std::move(Op);
+}
+
+bool Module::hasValue(const std::string &ValueName) const {
+  return Values.count(ValueName) != 0;
+}
+
+const ValueInfo &Module::getValue(const std::string &ValueName) const {
+  auto It = Values.find(ValueName);
+  if (It == Values.end())
+    reportFatalError("unknown value: " + ValueName);
+  return It->second;
+}
+
+int Module::getDefiningOp(const std::string &ValueName) const {
+  return getValue(ValueName).DefiningOp;
+}
+
+std::vector<unsigned> Module::getProducers(unsigned Consumer) const {
+  assert(Consumer < Ops.size() && "op index out of range");
+  std::vector<unsigned> Producers;
+  for (const OpOperand &In : Ops[Consumer].getInputs()) {
+    int Def = getDefiningOp(In.Value);
+    if (Def >= 0)
+      Producers.push_back(static_cast<unsigned>(Def));
+  }
+  return Producers;
+}
+
+int Module::getLastProducer(unsigned Consumer) const {
+  int Last = -1;
+  for (unsigned P : getProducers(Consumer))
+    Last = std::max(Last, static_cast<int>(P));
+  return Last;
+}
+
+std::vector<unsigned> Module::getConsumers(unsigned Producer) const {
+  assert(Producer < Ops.size() && "op index out of range");
+  const std::string &Result = Ops[Producer].getResult();
+  std::vector<unsigned> Consumers;
+  for (unsigned I = 0; I < Ops.size(); ++I)
+    if (I != Producer && Ops[I].readsValue(Result))
+      Consumers.push_back(I);
+  return Consumers;
+}
+
+bool Module::isModuleOutput(unsigned Idx) const {
+  return getConsumers(Idx).empty();
+}
+
+int64_t Module::getTotalFlops() const {
+  int64_t Total = 0;
+  for (const LinalgOp &Op : Ops)
+    Total += Op.getFlops();
+  return Total;
+}

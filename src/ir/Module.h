@@ -1,0 +1,90 @@
+//===- Module.h - A code sample: values + operation list ---------*- C++-*-===//
+///
+/// \file
+/// A Module is one "code sample" of the paper: a straight-line sequence of
+/// Linalg operations over SSA tensor values. It provides the use-def
+/// queries the environment needs: given a consumer, find its producers;
+/// pick the *last* producer (the textually closest one) as the next fusion
+/// candidate, per Sec. III.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_MODULE_H
+#define MLIRRL_IR_MODULE_H
+
+#include "ir/LinalgOp.h"
+#include "ir/Types.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// A named SSA tensor value.
+struct ValueInfo {
+  std::string Name;
+  TensorType Type;
+  /// Index of the op defining this value, or -1 for module inputs.
+  int DefiningOp = -1;
+};
+
+/// A sequence of structured operations over tensor values.
+class Module {
+public:
+  Module() = default;
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Declares a module input tensor. The name must be fresh.
+  void addInput(const std::string &ValueName, TensorType Type);
+
+  /// Appends \p Op; its result value is declared with \p ResultType and
+  /// all its operands must already be declared.
+  void addOp(LinalgOp Op, TensorType ResultType);
+
+  unsigned getNumOps() const { return Ops.size(); }
+  const LinalgOp &getOp(unsigned Idx) const;
+  LinalgOp &getOp(unsigned Idx);
+  const std::vector<LinalgOp> &getOps() const { return Ops; }
+
+  /// Replaces op \p Idx in place (e.g. after a transformation rewrites
+  /// it). The result name must not change.
+  void replaceOp(unsigned Idx, LinalgOp Op);
+
+  bool hasValue(const std::string &ValueName) const;
+  const ValueInfo &getValue(const std::string &ValueName) const;
+  const std::vector<std::string> &getValueOrder() const { return ValueOrder; }
+
+  /// The op index defining \p ValueName, or -1 if it is a module input.
+  int getDefiningOp(const std::string &ValueName) const;
+
+  /// Indices of ops producing inputs of op \p Consumer, in program order.
+  std::vector<unsigned> getProducers(unsigned Consumer) const;
+
+  /// The paper's producer-selection rule: the producer occurring last
+  /// (textually, right before the consumer). Returns -1 when none exists.
+  int getLastProducer(unsigned Consumer) const;
+
+  /// Indices of ops reading the result of op \p Producer.
+  std::vector<unsigned> getConsumers(unsigned Producer) const;
+
+  /// Returns true if the result of op \p Idx is read by no other op (a
+  /// module output).
+  bool isModuleOutput(unsigned Idx) const;
+
+  /// Total floating-point work of the whole module.
+  int64_t getTotalFlops() const;
+
+private:
+  std::string Name = "module";
+  std::vector<LinalgOp> Ops;
+  std::map<std::string, ValueInfo> Values;
+  std::vector<std::string> ValueOrder;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_MODULE_H

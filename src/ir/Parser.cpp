@@ -1,0 +1,414 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Lexer.h"
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <map>
+
+using namespace mlirrl;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<Module> parseModule();
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos++]; }
+  bool check(TokenKind Kind) const { return peek().Kind == Kind; }
+  bool match(TokenKind Kind) {
+    if (!check(Kind))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Records a "line:col: message" diagnostic at the current token; all
+  /// parse methods return false after calling this.
+  bool error(const std::string &Message) {
+    if (Diagnostic.empty())
+      Diagnostic = formatString("%u:%u: ", peek().Line, peek().Col) + Message;
+    return false;
+  }
+
+  bool expect(TokenKind Kind, const char *What) {
+    if (match(Kind))
+      return true;
+    return error(formatString("expected %s, got '%s'", What,
+                              peek().Text.c_str()));
+  }
+
+  bool parseInteger(int64_t &Value);
+  bool parseTensorType(TensorType &Type);
+  bool parseStatement(Module &M);
+  bool parseOpBody(Module &M, const std::string &Result,
+                   const std::string &Mnemonic);
+  bool parseAffineMap(AffineMap &Map);
+  bool parseAffineExpr(const std::map<std::string, unsigned> &DimIndex,
+                       unsigned NumDims, AffineExpr &Expr);
+  bool parseArith(ArithCounts &Arith);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string Diagnostic;
+};
+
+} // namespace
+
+bool Parser::parseInteger(int64_t &Value) {
+  bool Negative = match(TokenKind::Minus);
+  if (!check(TokenKind::Word))
+    return error("expected integer");
+  const std::string &Text = peek().Text;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Text.c_str(), &End, 10);
+  if (End != Text.c_str() + Text.size())
+    return error("expected integer, got '" + Text + "'");
+  advance();
+  Value = Negative ? -Parsed : Parsed;
+  return true;
+}
+
+bool Parser::parseTensorType(TensorType &Type) {
+  if (!check(TokenKind::Word) || peek().Text != "tensor")
+    return error("expected 'tensor'");
+  advance();
+  if (!expect(TokenKind::Less, "'<'"))
+    return false;
+  if (!check(TokenKind::Word))
+    return error("expected shaped type body");
+  std::string Body = advance().Text;
+  if (!expect(TokenKind::Greater, "'>'"))
+    return false;
+
+  // Split "256x1024xf32" on 'x'; the final component is the element type.
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (Start <= Body.size()) {
+    size_t X = Body.find('x', Start);
+    if (X == std::string::npos) {
+      Parts.push_back(Body.substr(Start));
+      break;
+    }
+    Parts.push_back(Body.substr(Start, X - Start));
+    Start = X + 1;
+  }
+  if (Parts.size() < 2)
+    return error("tensor type needs at least one dimension: " + Body);
+
+  ElementType Elem;
+  const std::string &ElemText = Parts.back();
+  if (ElemText == "f32")
+    Elem = ElementType::F32;
+  else if (ElemText == "f64")
+    Elem = ElementType::F64;
+  else
+    return error("unknown element type '" + ElemText + "'");
+
+  std::vector<int64_t> Shape;
+  for (size_t I = 0; I + 1 < Parts.size(); ++I) {
+    char *End = nullptr;
+    long long Dim = std::strtoll(Parts[I].c_str(), &End, 10);
+    if (Parts[I].empty() || End != Parts[I].c_str() + Parts[I].size() ||
+        Dim <= 0)
+      return error("bad tensor dimension '" + Parts[I] + "'");
+    Shape.push_back(Dim);
+  }
+  Type = TensorType(std::move(Shape), Elem);
+  return true;
+}
+
+bool Parser::parseAffineExpr(const std::map<std::string, unsigned> &DimIndex,
+                             unsigned NumDims, AffineExpr &Expr) {
+  Expr = AffineExpr(NumDims);
+  bool First = true;
+  for (;;) {
+    int64_t Sign = 1;
+    if (match(TokenKind::Minus))
+      Sign = -1;
+    else if (!First && !match(TokenKind::Plus))
+      break;
+    else if (!First)
+      Sign = 1;
+
+    // A term is: int, int * dim, dim, or dim * int.
+    if (!check(TokenKind::Word))
+      return error("expected affine term");
+    const std::string &Text = peek().Text;
+    auto DimIt = DimIndex.find(Text);
+    if (DimIt != DimIndex.end()) {
+      advance();
+      int64_t Coeff = 1;
+      if (match(TokenKind::Star)) {
+        if (!parseInteger(Coeff))
+          return false;
+      }
+      Expr.setCoeff(DimIt->second, Expr.getCoeff(DimIt->second) + Sign * Coeff);
+    } else {
+      int64_t Value;
+      if (!parseInteger(Value))
+        return false;
+      if (match(TokenKind::Star)) {
+        if (!check(TokenKind::Word))
+          return error("expected iterator after '*'");
+        auto It = DimIndex.find(peek().Text);
+        if (It == DimIndex.end())
+          return error("unknown iterator '" + peek().Text + "'");
+        advance();
+        Expr.setCoeff(It->second, Expr.getCoeff(It->second) + Sign * Value);
+      } else {
+        Expr.setConstant(Expr.getConstant() + Sign * Value);
+      }
+    }
+    First = false;
+    if (!check(TokenKind::Plus) && !check(TokenKind::Minus))
+      break;
+  }
+  return true;
+}
+
+bool Parser::parseAffineMap(AffineMap &Map) {
+  if (!expect(TokenKind::LParen, "'('"))
+    return false;
+  std::map<std::string, unsigned> DimIndex;
+  unsigned NumDims = 0;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Word))
+        return error("expected iterator name");
+      const std::string &Name = advance().Text;
+      if (DimIndex.count(Name))
+        return error("duplicate iterator '" + Name + "'");
+      DimIndex[Name] = NumDims++;
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "')'") || !expect(TokenKind::Arrow, "'->'") ||
+      !expect(TokenKind::LParen, "'('"))
+    return false;
+
+  std::vector<AffineExpr> Results;
+  if (!check(TokenKind::RParen)) {
+    do {
+      AffineExpr Expr;
+      if (!parseAffineExpr(DimIndex, NumDims, Expr))
+        return false;
+      Results.push_back(std::move(Expr));
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "')'"))
+    return false;
+  Map = AffineMap(NumDims, std::move(Results));
+  return true;
+}
+
+bool Parser::parseArith(ArithCounts &Arith) {
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return false;
+  if (!check(TokenKind::RBrace)) {
+    do {
+      if (!check(TokenKind::Word))
+        return error("expected arith op name");
+      std::string Name = advance().Text;
+      if (!expect(TokenKind::Colon, "':'"))
+        return false;
+      int64_t Count;
+      if (!parseInteger(Count))
+        return false;
+      if (Name == "add")
+        Arith.Add = Count;
+      else if (Name == "sub")
+        Arith.Sub = Count;
+      else if (Name == "mul")
+        Arith.Mul = Count;
+      else if (Name == "div")
+        Arith.Div = Count;
+      else if (Name == "exp")
+        Arith.Exp = Count;
+      else if (Name == "max")
+        Arith.Max = Count;
+      else
+        return error("unknown arith op '" + Name + "'");
+    } while (match(TokenKind::Comma));
+  }
+  return expect(TokenKind::RBrace, "'}'");
+}
+
+bool Parser::parseOpBody(Module &M, const std::string &Result,
+                         const std::string &Mnemonic) {
+  OpKind Kind;
+  if (!parseOpKindName(Mnemonic, Kind))
+    return error("unknown operation '" + Mnemonic + "'");
+
+  std::vector<int64_t> Bounds;
+  std::vector<IteratorKind> Iterators;
+  std::vector<AffineMap> Maps;
+  ArithCounts Arith;
+  bool HasBounds = false, HasIterators = false, HasMaps = false;
+
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return false;
+  do {
+    if (!check(TokenKind::Word))
+      return error("expected attribute name");
+    std::string Attr = advance().Text;
+    if (!expect(TokenKind::Equal, "'='"))
+      return false;
+    if (Attr == "bounds") {
+      if (!expect(TokenKind::LBracket, "'['"))
+        return false;
+      do {
+        int64_t Bound;
+        if (!parseInteger(Bound))
+          return false;
+        if (Bound <= 0)
+          return error("loop bounds must be positive");
+        Bounds.push_back(Bound);
+      } while (match(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "']'"))
+        return false;
+      HasBounds = true;
+    } else if (Attr == "iterators") {
+      if (!expect(TokenKind::LBracket, "'['"))
+        return false;
+      do {
+        if (!check(TokenKind::Word))
+          return error("expected iterator kind");
+        const std::string &Name = advance().Text;
+        if (Name == "parallel")
+          Iterators.push_back(IteratorKind::Parallel);
+        else if (Name == "reduction")
+          Iterators.push_back(IteratorKind::Reduction);
+        else
+          return error("unknown iterator kind '" + Name + "'");
+      } while (match(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "']'"))
+        return false;
+      HasIterators = true;
+    } else if (Attr == "maps") {
+      if (!expect(TokenKind::LBracket, "'['"))
+        return false;
+      do {
+        AffineMap Map;
+        if (!parseAffineMap(Map))
+          return false;
+        Maps.push_back(std::move(Map));
+      } while (match(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "']'"))
+        return false;
+      HasMaps = true;
+    } else if (Attr == "arith") {
+      if (!parseArith(Arith))
+        return false;
+    } else {
+      return error("unknown attribute '" + Attr + "'");
+    }
+  } while (match(TokenKind::Comma));
+  if (!expect(TokenKind::RBrace, "'}'"))
+    return false;
+
+  if (!HasBounds || !HasIterators || !HasMaps)
+    return error("operation requires bounds, iterators and maps attributes");
+
+  if (!check(TokenKind::Word) || peek().Text != "ins")
+    return error("expected 'ins'");
+  advance();
+  if (!expect(TokenKind::LParen, "'('"))
+    return false;
+  std::vector<std::string> Inputs;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::SsaId))
+        return error("expected SSA value");
+      Inputs.push_back(advance().Text);
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "')'") || !expect(TokenKind::Colon, "':'"))
+    return false;
+  TensorType ResultType;
+  if (!parseTensorType(ResultType))
+    return false;
+
+  if (Maps.size() != Inputs.size() + 1)
+    return error("expected one map per input plus the output map");
+  for (const std::string &In : Inputs)
+    if (!M.hasValue(In))
+      return error("use of undeclared value '" + In + "'");
+
+  std::vector<OpOperand> Operands;
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    Operands.push_back(OpOperand{Inputs[I], Maps[I]});
+  LinalgOp Op(Result, Kind, std::move(Bounds), std::move(Iterators),
+              std::move(Operands), Maps.back(), Arith);
+  M.addOp(std::move(Op), std::move(ResultType));
+  return true;
+}
+
+bool Parser::parseStatement(Module &M) {
+  if (!check(TokenKind::SsaId))
+    return error("expected SSA value at start of statement");
+  std::string Result = advance().Text;
+  if (M.hasValue(Result))
+    return error("value redefinition '" + Result + "'");
+  if (!expect(TokenKind::Equal, "'='"))
+    return false;
+  if (!check(TokenKind::Word))
+    return error("expected 'tensor' or operation mnemonic");
+
+  if (peek().Text == "tensor") {
+    TensorType Type;
+    if (!parseTensorType(Type))
+      return false;
+    M.addInput(Result, std::move(Type));
+    return true;
+  }
+  std::string Mnemonic = advance().Text;
+  return parseOpBody(M, Result, Mnemonic);
+}
+
+Expected<Module> Parser::parseModule() {
+  auto Fail = [&]() { return makeError<Module>(Diagnostic); };
+  if (!check(TokenKind::Word) || peek().Text != "module") {
+    error("expected 'module'");
+    return Fail();
+  }
+  advance();
+  Module M;
+  if (match(TokenKind::At)) {
+    if (!check(TokenKind::Word)) {
+      error("expected module name after '@'");
+      return Fail();
+    }
+    M.setName(advance().Text);
+  }
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return Fail();
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::Eof)) {
+      error("unexpected end of input inside module");
+      return Fail();
+    }
+    if (!parseStatement(M))
+      return Fail();
+  }
+  advance(); // consume '}'
+  if (!check(TokenKind::Eof)) {
+    error("trailing input after module");
+    return Fail();
+  }
+  return M;
+}
+
+Expected<Module> mlirrl::parseModule(const std::string &Source) {
+  std::vector<Token> Tokens;
+  std::string LexError;
+  if (!tokenize(Source, Tokens, LexError))
+    return makeError<Module>(LexError);
+  return Parser(std::move(Tokens)).parseModule();
+}

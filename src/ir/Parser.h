@@ -1,0 +1,36 @@
+//===- Parser.h - Textual IR parsing -----------------------------*- C++-*-===//
+///
+/// \file
+/// Recursive-descent parser for the mini-Linalg textual format:
+///
+/// \code
+///   module @name {
+///     %A = tensor<256x1024xf32>
+///     %v0 = linalg.matmul {bounds = [256, 512, 1024],
+///       iterators = [parallel, parallel, reduction],
+///       maps = [(d0, d1, d2) -> (d0, d2), (d0, d1, d2) -> (d2, d1),
+///               (d0, d1, d2) -> (d0, d1)],
+///       arith = {mul: 1, add: 1}} ins(%A, %B) : tensor<256x512xf32>
+///   }
+/// \endcode
+///
+/// Parse errors carry "line:col: message" diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_PARSER_H
+#define MLIRRL_IR_PARSER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace mlirrl {
+
+/// Parses a module from \p Source.
+Expected<Module> parseModule(const std::string &Source);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_PARSER_H

@@ -1,0 +1,67 @@
+//===- Printer.cpp --------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Format.h"
+
+using namespace mlirrl;
+
+static std::string printArith(const ArithCounts &Arith) {
+  std::vector<std::string> Parts;
+  auto Field = [&](const char *Name, int64_t Count) {
+    if (Count != 0)
+      Parts.push_back(
+          formatString("%s: %lld", Name, static_cast<long long>(Count)));
+  };
+  Field("add", Arith.Add);
+  Field("sub", Arith.Sub);
+  Field("mul", Arith.Mul);
+  Field("div", Arith.Div);
+  Field("exp", Arith.Exp);
+  Field("max", Arith.Max);
+  return "{" + join(Parts, ", ") + "}";
+}
+
+std::string mlirrl::printOp(const LinalgOp &Op, const TensorType &ResultType) {
+  std::vector<std::string> Bounds;
+  for (int64_t B : Op.getLoopBounds())
+    Bounds.push_back(formatString("%lld", static_cast<long long>(B)));
+
+  std::vector<std::string> Iterators;
+  for (IteratorKind K : Op.getIterators())
+    Iterators.push_back(getIteratorKindName(K));
+
+  std::vector<std::string> Maps;
+  for (const OpOperand &In : Op.getInputs())
+    Maps.push_back(In.Map.toString());
+  Maps.push_back(Op.getOutputMap().toString());
+
+  std::vector<std::string> Ins;
+  for (const OpOperand &In : Op.getInputs())
+    Ins.push_back(In.Value);
+
+  std::string Out = Op.getResult() + " = " + getOpKindName(Op.getKind());
+  Out += " {bounds = [" + join(Bounds, ", ") + "]";
+  Out += ", iterators = [" + join(Iterators, ", ") + "]";
+  Out += ", maps = [" + join(Maps, ", ") + "]";
+  Out += ", arith = " + printArith(Op.getArith()) + "}";
+  Out += " ins(" + join(Ins, ", ") + ") : " + ResultType.toString();
+  return Out;
+}
+
+std::string mlirrl::printModule(const Module &M) {
+  std::string Out = "module @" + M.getName() + " {\n";
+  for (const std::string &Name : M.getValueOrder()) {
+    const ValueInfo &Info = M.getValue(Name);
+    if (Info.DefiningOp >= 0)
+      continue;
+    Out += "  " + Name + " = " + Info.Type.toString() + "\n";
+  }
+  for (unsigned I = 0; I < M.getNumOps(); ++I) {
+    const LinalgOp &Op = M.getOp(I);
+    const TensorType &ResultType = M.getValue(Op.getResult()).Type;
+    Out += "  " + printOp(Op, ResultType) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}

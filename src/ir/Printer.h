@@ -1,0 +1,26 @@
+//===- Printer.h - Textual IR emission ---------------------------*- C++-*-===//
+///
+/// \file
+/// Prints modules, ops, maps and types in the mini-Linalg textual format.
+/// printModule is the inverse of parseModule (round-trip stable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_PRINTER_H
+#define MLIRRL_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace mlirrl {
+
+/// Prints one op as a statement (no trailing newline).
+std::string printOp(const LinalgOp &Op, const TensorType &ResultType);
+
+/// Prints the whole module.
+std::string printModule(const Module &M);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_PRINTER_H

@@ -1,0 +1,62 @@
+//===- Types.cpp ----------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+unsigned mlirrl::getElementByteSize(ElementType Type) {
+  switch (Type) {
+  case ElementType::F32:
+    return 4;
+  case ElementType::F64:
+    return 8;
+  }
+  MLIRRL_UNREACHABLE("unknown element type");
+}
+
+std::string mlirrl::getElementTypeName(ElementType Type) {
+  switch (Type) {
+  case ElementType::F32:
+    return "f32";
+  case ElementType::F64:
+    return "f64";
+  }
+  MLIRRL_UNREACHABLE("unknown element type");
+}
+
+TensorType::TensorType(std::vector<int64_t> Shape, ElementType Elem)
+    : Shape(std::move(Shape)), Elem(Elem) {
+#ifndef NDEBUG
+  for (int64_t Dim : this->Shape)
+    assert(Dim > 0 && "tensor dimensions must be positive");
+#endif
+}
+
+int64_t TensorType::getDimSize(unsigned Dim) const {
+  assert(Dim < Shape.size() && "dim index out of range");
+  return Shape[Dim];
+}
+
+int64_t TensorType::getNumElements() const {
+  int64_t Count = 1;
+  for (int64_t Dim : Shape)
+    Count *= Dim;
+  return Count;
+}
+
+int64_t TensorType::getByteSize() const {
+  return getNumElements() * getElementByteSize(Elem);
+}
+
+std::string TensorType::toString() const {
+  std::string Out = "tensor<";
+  for (int64_t Dim : Shape)
+    Out += formatString("%lldx", static_cast<long long>(Dim));
+  Out += getElementTypeName(Elem) + ">";
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- Types.h - Tensor and element types ------------------------*- C++-*-===//
+///
+/// \file
+/// Element and ranked tensor types of the mini-Linalg IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_TYPES_H
+#define MLIRRL_IR_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Scalar element types supported by the IR.
+enum class ElementType { F32, F64 };
+
+/// Size of one element in bytes.
+unsigned getElementByteSize(ElementType Type);
+
+/// The textual spelling ("f32" / "f64").
+std::string getElementTypeName(ElementType Type);
+
+/// A statically-shaped ranked tensor.
+class TensorType {
+public:
+  TensorType() = default;
+  TensorType(std::vector<int64_t> Shape, ElementType Elem);
+
+  const std::vector<int64_t> &getShape() const { return Shape; }
+  unsigned getRank() const { return Shape.size(); }
+  int64_t getDimSize(unsigned Dim) const;
+  ElementType getElementType() const { return Elem; }
+
+  /// Total number of elements.
+  int64_t getNumElements() const;
+
+  /// Total footprint in bytes.
+  int64_t getByteSize() const;
+
+  bool operator==(const TensorType &Other) const {
+    return Shape == Other.Shape && Elem == Other.Elem;
+  }
+
+  /// Prints in MLIR syntax: "tensor<256x1024xf32>".
+  std::string toString() const;
+
+private:
+  std::vector<int64_t> Shape;
+  ElementType Elem = ElementType::F32;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_TYPES_H

@@ -1,0 +1,110 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace mlirrl;
+
+/// Checks that \p Map addresses \p Type in bounds over the iteration box
+/// \p Bounds.
+static bool verifyAccess(const std::string &OpName, const std::string &Value,
+                         const AffineMap &Map, const TensorType &Type,
+                         const std::vector<int64_t> &Bounds,
+                         std::string &ErrorMessage) {
+  if (Map.getNumDims() != Bounds.size()) {
+    ErrorMessage = formatString(
+        "%s: map for %s has %u dims but the op has %zu loops", OpName.c_str(),
+        Value.c_str(), Map.getNumDims(), Bounds.size());
+    return false;
+  }
+  if (Map.getNumResults() != Type.getRank()) {
+    ErrorMessage = formatString(
+        "%s: map for %s has %u results but the tensor has rank %u",
+        OpName.c_str(), Value.c_str(), Map.getNumResults(), Type.getRank());
+    return false;
+  }
+  for (unsigned R = 0; R < Map.getNumResults(); ++R) {
+    const AffineExpr &E = Map.getResult(R);
+    int64_t Lo = E.minOverBox(Bounds);
+    int64_t Hi = E.maxOverBox(Bounds);
+    if (Lo < 0 || Hi >= Type.getDimSize(R)) {
+      ErrorMessage = formatString(
+          "%s: access %s dim %u covers [%lld, %lld] outside [0, %lld)",
+          OpName.c_str(), Value.c_str(), R, static_cast<long long>(Lo),
+          static_cast<long long>(Hi),
+          static_cast<long long>(Type.getDimSize(R)));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool mlirrl::verifyOp(const Module &M, const LinalgOp &Op,
+                      std::string &ErrorMessage) {
+  const std::string &Name = Op.getResult();
+  if (Op.getNumLoops() == 0) {
+    ErrorMessage = Name + ": operation has no loops";
+    return false;
+  }
+  if (Op.getLoopBounds().size() != Op.getIterators().size()) {
+    ErrorMessage = Name + ": bounds / iterators arity mismatch";
+    return false;
+  }
+  for (int64_t Bound : Op.getLoopBounds()) {
+    if (Bound <= 0) {
+      ErrorMessage = Name + ": loop bounds must be positive";
+      return false;
+    }
+  }
+
+  for (const OpOperand &In : Op.getInputs()) {
+    if (!M.hasValue(In.Value)) {
+      ErrorMessage = Name + ": use of undeclared value " + In.Value;
+      return false;
+    }
+    if (!verifyAccess(Name, In.Value, In.Map, M.getValue(In.Value).Type,
+                      Op.getLoopBounds(), ErrorMessage))
+      return false;
+  }
+
+  if (!M.hasValue(Name)) {
+    ErrorMessage = Name + ": result value not declared";
+    return false;
+  }
+  if (!verifyAccess(Name, Name, Op.getOutputMap(), M.getValue(Name).Type,
+                    Op.getLoopBounds(), ErrorMessage))
+    return false;
+
+  // Reduction iterators must not appear in the output map: iterations along
+  // them accumulate into the same output element.
+  for (unsigned Loop = 0; Loop < Op.getNumLoops(); ++Loop) {
+    if (Op.getIterator(Loop) == IteratorKind::Reduction &&
+        Op.getOutputMap().involvesDim(Loop)) {
+      ErrorMessage = formatString(
+          "%s: reduction iterator d%u appears in the output map",
+          Name.c_str(), Loop);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool mlirrl::verifyModule(const Module &M, std::string &ErrorMessage) {
+  for (unsigned I = 0; I < M.getNumOps(); ++I) {
+    const LinalgOp &Op = M.getOp(I);
+    if (!verifyOp(M, Op, ErrorMessage))
+      return false;
+    // Operands must be defined before use (SSA dominance in a straight
+    // line program).
+    for (const OpOperand &In : Op.getInputs()) {
+      int Def = M.getDefiningOp(In.Value);
+      if (Def >= static_cast<int>(I)) {
+        ErrorMessage = Op.getResult() + ": operand " + In.Value +
+                       " defined after its use";
+        return false;
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,28 @@
+//===- Verifier.h - Structural IR validation ---------------------*- C++-*-===//
+///
+/// \file
+/// Structural validation of modules: arity agreement between bounds,
+/// iterators and maps; in-bounds accesses over the whole iteration box;
+/// and the Linalg rule that output maps must not involve reduction
+/// iterators. The environment assumes only verified modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_IR_VERIFIER_H
+#define MLIRRL_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace mlirrl {
+
+/// Verifies \p M; on failure, fills \p ErrorMessage and returns false.
+bool verifyModule(const Module &M, std::string &ErrorMessage);
+
+/// Verifies one op against the types in \p M.
+bool verifyOp(const Module &M, const LinalgOp &Op, std::string &ErrorMessage);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_IR_VERIFIER_H

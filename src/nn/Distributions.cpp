@@ -1,0 +1,64 @@
+//===- Distributions.cpp --------------------------------------------------===//
+
+#include "nn/Distributions.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+MaskedCategorical::MaskedCategorical(Tensor Logits, Tensor Mask)
+    : Logits(std::move(Logits)), Mask(std::move(Mask)) {
+  assert(this->Logits.rows() == 1 && "logits must be a single row");
+#ifndef NDEBUG
+  if (this->Mask.valid()) {
+    bool AnyValid = false;
+    for (double V : this->Mask.data())
+      AnyValid |= V != 0.0;
+    assert(AnyValid && "mask excludes every action");
+  }
+#endif
+  LogProbs = logSoftmaxRows(this->Logits, this->Mask);
+}
+
+unsigned MaskedCategorical::sample(Rng &Rng) const {
+  std::vector<double> Probs = probabilities();
+  return static_cast<unsigned>(Rng.sampleWeighted(Probs));
+}
+
+unsigned MaskedCategorical::argmax() const {
+  unsigned Best = 0;
+  double BestValue = -1.0;
+  std::vector<double> Probs = probabilities();
+  for (unsigned I = 0; I < Probs.size(); ++I) {
+    if (Probs[I] > BestValue) {
+      BestValue = Probs[I];
+      Best = I;
+    }
+  }
+  return Best;
+}
+
+Tensor MaskedCategorical::logProb(unsigned Index) const {
+  assert(!isMasked(Index) && "log-prob of a masked action");
+  return pick(LogProbs, 0, Index);
+}
+
+Tensor MaskedCategorical::entropy() const {
+  return entropyOfLogits(Logits, Mask);
+}
+
+std::vector<double> MaskedCategorical::probabilities() const {
+  std::vector<double> Probs(LogProbs.cols());
+  for (unsigned I = 0; I < LogProbs.cols(); ++I)
+    Probs[I] = std::exp(LogProbs.at(0, I));
+  return Probs;
+}
+
+bool MaskedCategorical::isMasked(unsigned Index) const {
+  assert(Index < Logits.cols() && "index out of range");
+  return Mask.valid() && Mask.at(0, Index) == 0.0;
+}

@@ -1,0 +1,58 @@
+//===- Distributions.h - Categorical action distributions --------*- C++-*-===//
+///
+/// \file
+/// Masked categorical distributions over logits — the building block of
+/// the multi-discrete action space (Sec. IV-A1): the policy first samples
+/// a transformation from a 6-way categorical, then parameters from
+/// per-head categoricals, all under action masks (Sec. IV-A2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_DISTRIBUTIONS_H
+#define MLIRRL_NN_DISTRIBUTIONS_H
+
+#include "nn/Ops.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace mlirrl {
+namespace nn {
+
+/// A categorical distribution over one row of logits with a 0/1
+/// validity mask. Keeps the graph alive so logProb/entropy are
+/// differentiable.
+class MaskedCategorical {
+public:
+  /// \p Logits is 1xN; \p Mask (1xN of 0/1) may be invalid for no mask.
+  MaskedCategorical(Tensor Logits, Tensor Mask = Tensor());
+
+  unsigned numCategories() const { return Logits.cols(); }
+
+  /// Samples an index according to the masked distribution.
+  unsigned sample(Rng &Rng) const;
+
+  /// The most probable valid index.
+  unsigned argmax() const;
+
+  /// Differentiable log-probability of \p Index.
+  Tensor logProb(unsigned Index) const;
+
+  /// Differentiable entropy.
+  Tensor entropy() const;
+
+  /// Raw probabilities (non-differentiable view).
+  std::vector<double> probabilities() const;
+
+  bool isMasked(unsigned Index) const;
+
+private:
+  Tensor Logits;
+  Tensor Mask;
+  Tensor LogProbs; // cached logSoftmax node
+};
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_DISTRIBUTIONS_H

@@ -1,0 +1,44 @@
+//===- Lstm.cpp -----------------------------------------------------------===//
+
+#include "nn/Lstm.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+LstmCell::LstmCell(unsigned In, unsigned Hidden, Rng &Rng)
+    : Hidden(Hidden), InputGate(In + Hidden, Hidden, Rng),
+      ForgetGate(In + Hidden, Hidden, Rng), CellGate(In + Hidden, Hidden, Rng),
+      OutputGate(In + Hidden, Hidden, Rng) {}
+
+LstmCell::State LstmCell::initialState() const {
+  return State{Tensor::zeros(1, Hidden), Tensor::zeros(1, Hidden)};
+}
+
+LstmCell::State LstmCell::step(const Tensor &X, const State &Prev) const {
+  Tensor XH = concatCols(X, Prev.H);
+  Tensor I = sigmoidOp(InputGate.forward(XH));
+  Tensor F = sigmoidOp(ForgetGate.forward(XH));
+  Tensor G = tanhOp(CellGate.forward(XH));
+  Tensor O = sigmoidOp(OutputGate.forward(XH));
+  Tensor C = add(hadamard(F, Prev.C), hadamard(I, G));
+  Tensor H = hadamard(O, tanhOp(C));
+  return State{H, C};
+}
+
+Tensor LstmCell::runSequence(const std::vector<Tensor> &Sequence) const {
+  assert(!Sequence.empty() && "empty LSTM sequence");
+  State S = initialState();
+  for (const Tensor &X : Sequence)
+    S = step(X, S);
+  return S.H;
+}
+
+std::vector<Tensor> LstmCell::parameters() const {
+  std::vector<Tensor> Params;
+  for (const Linear *Gate : {&InputGate, &ForgetGate, &CellGate, &OutputGate})
+    for (const Tensor &P : Gate->parameters())
+      Params.push_back(P);
+  return Params;
+}

@@ -1,0 +1,51 @@
+//===- Lstm.h - LSTM cell -----------------------------------------*- C++-*-===//
+///
+/// \file
+/// A standard LSTM cell. The paper feeds the producer and consumer
+/// representation vectors sequentially into an LSTM with 512 units and
+/// uses the final hidden state as the producer-consumer embedding
+/// (Sec. V-A1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_LSTM_H
+#define MLIRRL_NN_LSTM_H
+
+#include "nn/Layers.h"
+
+namespace mlirrl {
+namespace nn {
+
+/// One LSTM cell; step() advances one timestep.
+class LstmCell {
+public:
+  LstmCell() = default;
+  LstmCell(unsigned In, unsigned Hidden, Rng &Rng);
+
+  struct State {
+    Tensor H; // 1 x Hidden
+    Tensor C; // 1 x Hidden
+  };
+
+  /// A zero initial state.
+  State initialState() const;
+
+  /// Advances one step with input X [1 x In].
+  State step(const Tensor &X, const State &Prev) const;
+
+  /// Runs a sequence and returns the final hidden state (the embedding).
+  Tensor runSequence(const std::vector<Tensor> &Sequence) const;
+
+  std::vector<Tensor> parameters() const;
+  unsigned hiddenSize() const { return Hidden; }
+
+private:
+  unsigned Hidden = 0;
+  // Gate layers over the concatenated [x, h] input.
+  Linear InputGate, ForgetGate, CellGate, OutputGate;
+};
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_LSTM_H

@@ -1,0 +1,338 @@
+//===- Ops.cpp ------------------------------------------------------------===//
+
+#include "nn/Ops.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+/// Large negative logit standing in for -inf under masking; exp underflows
+/// to zero and gradients stay finite.
+static constexpr double MaskedLogit = -1e30;
+
+Tensor nn::matmul(const Tensor &A, const Tensor &B) {
+  assert(A.cols() == B.rows() && "matmul inner dims mismatch");
+  unsigned M = A.rows(), K = A.cols(), N = B.cols();
+  Tensor C = makeNode(M, N, {A, B}, "matmul");
+  TensorNode &Node = *C.node();
+  const TensorNode &An = *A.node();
+  const TensorNode &Bn = *B.node();
+  for (unsigned I = 0; I < M; ++I)
+    for (unsigned Kk = 0; Kk < K; ++Kk) {
+      double Aik = An.at(I, Kk);
+      if (Aik == 0.0)
+        continue;
+      for (unsigned J = 0; J < N; ++J)
+        Node.at(I, J) += Aik * Bn.at(Kk, J);
+    }
+  Node.Backward = [M, K, N](TensorNode &Self) {
+    TensorNode &An = *Self.Inputs[0];
+    TensorNode &Bn = *Self.Inputs[1];
+    // dA = dC . B^T
+    if (An.RequiresGrad)
+      for (unsigned I = 0; I < M; ++I)
+        for (unsigned J = 0; J < N; ++J) {
+          double G = Self.gradAt(I, J);
+          if (G == 0.0)
+            continue;
+          for (unsigned Kk = 0; Kk < K; ++Kk)
+            An.gradAt(I, Kk) += G * Bn.at(Kk, J);
+        }
+    // dB = A^T . dC
+    if (Bn.RequiresGrad)
+      for (unsigned I = 0; I < M; ++I)
+        for (unsigned Kk = 0; Kk < K; ++Kk) {
+          double Aik = An.at(I, Kk);
+          if (Aik == 0.0)
+            continue;
+          for (unsigned J = 0; J < N; ++J)
+            Bn.gradAt(Kk, J) += Aik * Self.gradAt(I, J);
+        }
+  };
+  return C;
+}
+
+/// Shared helper for elementwise binary ops.
+template <typename Fwd, typename Bwd>
+static Tensor elementwiseBinary(const Tensor &A, const Tensor &B,
+                                const char *Name, Fwd Forward, Bwd Backward) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols() &&
+         "elementwise shape mismatch");
+  Tensor C = makeNode(A.rows(), A.cols(), {A, B}, Name);
+  TensorNode &Node = *C.node();
+  for (size_t I = 0; I < Node.Data.size(); ++I)
+    Node.Data[I] = Forward(A.data()[I], B.data()[I]);
+  Node.Backward = [Backward](TensorNode &Self) {
+    TensorNode &An = *Self.Inputs[0];
+    TensorNode &Bn = *Self.Inputs[1];
+    for (size_t I = 0; I < Self.Data.size(); ++I) {
+      auto [Da, Db] = Backward(An.Data[I], Bn.Data[I]);
+      if (An.RequiresGrad)
+        An.Grad[I] += Self.Grad[I] * Da;
+      if (Bn.RequiresGrad)
+        Bn.Grad[I] += Self.Grad[I] * Db;
+    }
+  };
+  return C;
+}
+
+/// Shared helper for elementwise unary ops. Backward receives (x, y).
+template <typename Fwd, typename Bwd>
+static Tensor elementwiseUnary(const Tensor &A, const char *Name, Fwd Forward,
+                               Bwd Backward) {
+  Tensor C = makeNode(A.rows(), A.cols(), {A}, Name);
+  TensorNode &Node = *C.node();
+  for (size_t I = 0; I < Node.Data.size(); ++I)
+    Node.Data[I] = Forward(A.data()[I]);
+  Node.Backward = [Backward](TensorNode &Self) {
+    TensorNode &An = *Self.Inputs[0];
+    if (!An.RequiresGrad)
+      return;
+    for (size_t I = 0; I < Self.Data.size(); ++I)
+      An.Grad[I] += Self.Grad[I] * Backward(An.Data[I], Self.Data[I]);
+  };
+  return C;
+}
+
+Tensor nn::add(const Tensor &A, const Tensor &B) {
+  return elementwiseBinary(
+      A, B, "add", [](double X, double Y) { return X + Y; },
+      [](double, double) { return std::pair<double, double>{1.0, 1.0}; });
+}
+
+Tensor nn::sub(const Tensor &A, const Tensor &B) {
+  return elementwiseBinary(
+      A, B, "sub", [](double X, double Y) { return X - Y; },
+      [](double, double) { return std::pair<double, double>{1.0, -1.0}; });
+}
+
+Tensor nn::hadamard(const Tensor &A, const Tensor &B) {
+  return elementwiseBinary(
+      A, B, "hadamard", [](double X, double Y) { return X * Y; },
+      [](double X, double Y) { return std::pair<double, double>{Y, X}; });
+}
+
+Tensor nn::addBias(const Tensor &A, const Tensor &Bias) {
+  assert(Bias.rows() == 1 && Bias.cols() == A.cols() &&
+         "bias must be a 1xN row");
+  Tensor C = makeNode(A.rows(), A.cols(), {A, Bias}, "addBias");
+  TensorNode &Node = *C.node();
+  for (unsigned I = 0; I < A.rows(); ++I)
+    for (unsigned J = 0; J < A.cols(); ++J)
+      Node.at(I, J) = A.at(I, J) + Bias.at(0, J);
+  Node.Backward = [](TensorNode &Self) {
+    TensorNode &An = *Self.Inputs[0];
+    TensorNode &Bn = *Self.Inputs[1];
+    for (unsigned I = 0; I < Self.Rows; ++I)
+      for (unsigned J = 0; J < Self.Cols; ++J) {
+        double G = Self.gradAt(I, J);
+        if (An.RequiresGrad)
+          An.gradAt(I, J) += G;
+        if (Bn.RequiresGrad)
+          Bn.gradAt(0, J) += G;
+      }
+  };
+  return C;
+}
+
+Tensor nn::scale(const Tensor &A, double Factor) {
+  return elementwiseUnary(
+      A, "scale", [Factor](double X) { return X * Factor; },
+      [Factor](double, double) { return Factor; });
+}
+
+Tensor nn::relu(const Tensor &A) {
+  return elementwiseUnary(
+      A, "relu", [](double X) { return X > 0.0 ? X : 0.0; },
+      [](double X, double) { return X > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor nn::tanhOp(const Tensor &A) {
+  return elementwiseUnary(
+      A, "tanh", [](double X) { return std::tanh(X); },
+      [](double, double Y) { return 1.0 - Y * Y; });
+}
+
+Tensor nn::sigmoidOp(const Tensor &A) {
+  return elementwiseUnary(
+      A, "sigmoid", [](double X) { return 1.0 / (1.0 + std::exp(-X)); },
+      [](double, double Y) { return Y * (1.0 - Y); });
+}
+
+Tensor nn::expOp(const Tensor &A) {
+  return elementwiseUnary(
+      A, "exp", [](double X) { return std::exp(X); },
+      [](double, double Y) { return Y; });
+}
+
+Tensor nn::clamp(const Tensor &A, double Lo, double Hi) {
+  return elementwiseUnary(
+      A, "clamp",
+      [Lo, Hi](double X) { return X < Lo ? Lo : (X > Hi ? Hi : X); },
+      [Lo, Hi](double X, double) { return (X >= Lo && X <= Hi) ? 1.0 : 0.0; });
+}
+
+Tensor nn::minOp(const Tensor &A, const Tensor &B) {
+  return elementwiseBinary(
+      A, B, "min", [](double X, double Y) { return X < Y ? X : Y; },
+      [](double X, double Y) {
+        return X < Y ? std::pair<double, double>{1.0, 0.0}
+                     : std::pair<double, double>{0.0, 1.0};
+      });
+}
+
+Tensor nn::logSoftmaxRows(const Tensor &Logits, const Tensor &Mask) {
+  std::vector<Tensor> Inputs = {Logits};
+  if (Mask.valid()) {
+    assert(Mask.rows() == Logits.rows() && Mask.cols() == Logits.cols() &&
+           "mask shape mismatch");
+    Inputs.push_back(Mask);
+  }
+  unsigned R = Logits.rows(), C = Logits.cols();
+  Tensor Out = makeNode(R, C, Inputs, "logSoftmax");
+  TensorNode &Node = *Out.node();
+  const TensorNode *MaskNode = Mask.valid() ? Mask.node().get() : nullptr;
+
+  auto MaskedAt = [&](unsigned I, unsigned J) {
+    if (MaskNode && MaskNode->at(I, J) == 0.0)
+      return MaskedLogit;
+    return Logits.at(I, J);
+  };
+
+  for (unsigned I = 0; I < R; ++I) {
+    double Max = MaskedLogit;
+    for (unsigned J = 0; J < C; ++J)
+      Max = std::max(Max, MaskedAt(I, J));
+    double Sum = 0.0;
+    for (unsigned J = 0; J < C; ++J)
+      Sum += std::exp(MaskedAt(I, J) - Max);
+    double LogSum = Max + std::log(Sum);
+    for (unsigned J = 0; J < C; ++J)
+      Node.at(I, J) = MaskedAt(I, J) - LogSum;
+  }
+
+  bool HasMask = MaskNode != nullptr;
+  Node.Backward = [HasMask](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (!In.RequiresGrad)
+      return;
+    const TensorNode *M = HasMask ? Self.Inputs[1].get() : nullptr;
+    // d logits = dY - softmax * sum(dY) per row; masked entries get zero.
+    for (unsigned I = 0; I < Self.Rows; ++I) {
+      double GradSum = 0.0;
+      for (unsigned J = 0; J < Self.Cols; ++J)
+        GradSum += Self.gradAt(I, J);
+      for (unsigned J = 0; J < Self.Cols; ++J) {
+        if (M && M->at(I, J) == 0.0)
+          continue;
+        double P = std::exp(Self.at(I, J));
+        In.gradAt(I, J) += Self.gradAt(I, J) - P * GradSum;
+      }
+    }
+  };
+  return Out;
+}
+
+Tensor nn::pick(const Tensor &A, unsigned Row, unsigned Col) {
+  assert(Row < A.rows() && Col < A.cols() && "pick index out of range");
+  Tensor Out = makeNode(1, 1, {A}, "pick");
+  Out.node()->Data[0] = A.at(Row, Col);
+  Out.node()->Backward = [Row, Col](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (In.RequiresGrad)
+      In.gradAt(Row, Col) += Self.Grad[0];
+  };
+  return Out;
+}
+
+Tensor nn::sumAll(const Tensor &A) {
+  Tensor Out = makeNode(1, 1, {A}, "sum");
+  double Sum = 0.0;
+  for (double V : A.data())
+    Sum += V;
+  Out.node()->Data[0] = Sum;
+  Out.node()->Backward = [](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (!In.RequiresGrad)
+      return;
+    for (double &G : In.Grad)
+      G += Self.Grad[0];
+  };
+  return Out;
+}
+
+Tensor nn::meanAll(const Tensor &A) {
+  return scale(sumAll(A), 1.0 / static_cast<double>(A.size()));
+}
+
+Tensor nn::meanOf(const std::vector<Tensor> &Scalars) {
+  assert(!Scalars.empty() && "meanOf requires at least one term");
+  Tensor Out = makeNode(1, 1, Scalars, "meanOf");
+  double Sum = 0.0;
+  for (const Tensor &S : Scalars) {
+    assert(S.size() == 1 && "meanOf takes scalars");
+    Sum += S.item();
+  }
+  double InvN = 1.0 / static_cast<double>(Scalars.size());
+  Out.node()->Data[0] = Sum * InvN;
+  Out.node()->Backward = [InvN](TensorNode &Self) {
+    for (auto &In : Self.Inputs)
+      if (In->RequiresGrad)
+        In->Grad[0] += Self.Grad[0] * InvN;
+  };
+  return Out;
+}
+
+Tensor nn::concatCols(const Tensor &A, const Tensor &B) {
+  assert(A.rows() == 1 && B.rows() == 1 && "concatCols takes row vectors");
+  unsigned N = A.cols(), M = B.cols();
+  Tensor Out = makeNode(1, N + M, {A, B}, "concat");
+  TensorNode &Node = *Out.node();
+  for (unsigned J = 0; J < N; ++J)
+    Node.at(0, J) = A.at(0, J);
+  for (unsigned J = 0; J < M; ++J)
+    Node.at(0, N + J) = B.at(0, J);
+  Node.Backward = [N, M](TensorNode &Self) {
+    TensorNode &An = *Self.Inputs[0];
+    TensorNode &Bn = *Self.Inputs[1];
+    if (An.RequiresGrad)
+      for (unsigned J = 0; J < N; ++J)
+        An.gradAt(0, J) += Self.gradAt(0, J);
+    if (Bn.RequiresGrad)
+      for (unsigned J = 0; J < M; ++J)
+        Bn.gradAt(0, J) += Self.gradAt(0, N + J);
+  };
+  return Out;
+}
+
+Tensor nn::sliceCols(const Tensor &A, unsigned Start, unsigned Len) {
+  assert(A.rows() == 1 && "sliceCols takes a row vector");
+  assert(Start + Len <= A.cols() && "slice out of range");
+  Tensor Out = makeNode(1, Len, {A}, "slice");
+  TensorNode &Node = *Out.node();
+  for (unsigned J = 0; J < Len; ++J)
+    Node.at(0, J) = A.at(0, Start + J);
+  Node.Backward = [Start, Len](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (!In.RequiresGrad)
+      return;
+    for (unsigned J = 0; J < Len; ++J)
+      In.gradAt(0, Start + J) += Self.gradAt(0, J);
+  };
+  return Out;
+}
+
+Tensor nn::entropyOfLogits(const Tensor &Logits, const Tensor &Mask) {
+  // H = -sum p log p built from differentiable pieces so gradients flow
+  // through the logits.
+  Tensor LogP = logSoftmaxRows(Logits, Mask);
+  Tensor P = expOp(LogP);
+  Tensor NegPLogP = scale(hadamard(P, LogP), -1.0);
+  // Masked entries have p == 0 and p*logp == 0 (exp(-1e30) underflows),
+  // so summing everything is safe.
+  return sumAll(NegPLogP);
+}

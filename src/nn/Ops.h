@@ -1,0 +1,77 @@
+//===- Ops.h - Differentiable tensor operations ------------------*- C++-*-===//
+///
+/// \file
+/// The differentiable operations the actor-critic networks and the PPO
+/// loss are built from. All operate on 2-D tensors; every op returns a new
+/// graph node with a backward closure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_OPS_H
+#define MLIRRL_NN_OPS_H
+
+#include "nn/Tensor.h"
+
+namespace mlirrl {
+namespace nn {
+
+/// C[MxN] = A[MxK] x B[KxN].
+Tensor matmul(const Tensor &A, const Tensor &B);
+
+/// Elementwise addition of same-shaped tensors.
+Tensor add(const Tensor &A, const Tensor &B);
+
+/// Adds a 1xN bias row to every row of A[MxN].
+Tensor addBias(const Tensor &A, const Tensor &Bias);
+
+/// Elementwise subtraction.
+Tensor sub(const Tensor &A, const Tensor &B);
+
+/// Elementwise (Hadamard) product.
+Tensor hadamard(const Tensor &A, const Tensor &B);
+
+/// Multiplication by a compile-time constant.
+Tensor scale(const Tensor &A, double Factor);
+
+/// Elementwise nonlinearities.
+Tensor relu(const Tensor &A);
+Tensor tanhOp(const Tensor &A);
+Tensor sigmoidOp(const Tensor &A);
+Tensor expOp(const Tensor &A);
+
+/// Elementwise clamp; gradient is zero outside [Lo, Hi].
+Tensor clamp(const Tensor &A, double Lo, double Hi);
+
+/// Elementwise minimum with subgradient following the selected branch.
+Tensor minOp(const Tensor &A, const Tensor &B);
+
+/// Row-wise log-softmax with an optional 0/1 mask (same shape); masked
+/// entries contribute -inf logits and receive zero gradient. Pass an
+/// invalid Tensor for no mask.
+Tensor logSoftmaxRows(const Tensor &Logits, const Tensor &Mask = Tensor());
+
+/// Picks one element as a scalar (used for log-prob of a chosen action).
+Tensor pick(const Tensor &A, unsigned Row, unsigned Col);
+
+/// Sum / mean over all entries, returning a scalar.
+Tensor sumAll(const Tensor &A);
+Tensor meanAll(const Tensor &A);
+
+/// Mean of a list of scalars (losses across a minibatch).
+Tensor meanOf(const std::vector<Tensor> &Scalars);
+
+/// Concatenates two row vectors [1xN], [1xM] into [1x(N+M)].
+Tensor concatCols(const Tensor &A, const Tensor &B);
+
+/// Extracts columns [Start, Start+Len) of a row vector [1xN] (used to
+/// carve per-loop-level rows out of the N*M tile heads).
+Tensor sliceCols(const Tensor &A, unsigned Start, unsigned Len);
+
+/// Row-wise entropy of the distribution implied by masked logits:
+/// -sum(p * log p) per row, summed over rows, as a scalar.
+Tensor entropyOfLogits(const Tensor &Logits, const Tensor &Mask = Tensor());
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_OPS_H

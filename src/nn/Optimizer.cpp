@@ -1,0 +1,72 @@
+//===- Optimizer.cpp ------------------------------------------------------===//
+
+#include "nn/Optimizer.h"
+
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+void nn::zeroGradients(const std::vector<Tensor> &Params) {
+  for (const Tensor &P : Params)
+    P.zeroGrad();
+}
+
+double nn::clipGradNorm(const std::vector<Tensor> &Params, double MaxNorm) {
+  double SumSq = 0.0;
+  for (const Tensor &P : Params)
+    for (double G : P.grad())
+      SumSq += G * G;
+  double Norm = std::sqrt(SumSq);
+  if (Norm > MaxNorm && Norm > 0.0) {
+    double Scale = MaxNorm / Norm;
+    for (const Tensor &P : Params)
+      for (double &G : P.node()->Grad)
+        G *= Scale;
+  }
+  return Norm;
+}
+
+Adam::Adam(std::vector<Tensor> Params, double LearningRate, double Beta1,
+           double Beta2, double Epsilon)
+    : Params(std::move(Params)), LearningRate(LearningRate), Beta1(Beta1),
+      Beta2(Beta2), Epsilon(Epsilon) {
+  for (const Tensor &P : this->Params) {
+    FirstMoment.emplace_back(P.size(), 0.0);
+    SecondMoment.emplace_back(P.size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++StepCount;
+  double Bias1 = 1.0 - std::pow(Beta1, StepCount);
+  double Bias2 = 1.0 - std::pow(Beta2, StepCount);
+  for (size_t I = 0; I < Params.size(); ++I) {
+    TensorNode &Node = *Params[I].node();
+    std::vector<double> &M = FirstMoment[I];
+    std::vector<double> &V = SecondMoment[I];
+    for (size_t J = 0; J < Node.Data.size(); ++J) {
+      double G = Node.Grad[J];
+      M[J] = Beta1 * M[J] + (1.0 - Beta1) * G;
+      V[J] = Beta2 * V[J] + (1.0 - Beta2) * G * G;
+      double MHat = M[J] / Bias1;
+      double VHat = V[J] / Bias2;
+      Node.Data[J] -= LearningRate * MHat / (std::sqrt(VHat) + Epsilon);
+    }
+  }
+}
+
+void Adam::zeroGrad() { zeroGradients(Params); }
+
+Sgd::Sgd(std::vector<Tensor> Params, double LearningRate)
+    : Params(std::move(Params)), LearningRate(LearningRate) {}
+
+void Sgd::step() {
+  for (const Tensor &P : Params) {
+    TensorNode &Node = *P.node();
+    for (size_t J = 0; J < Node.Data.size(); ++J)
+      Node.Data[J] -= LearningRate * Node.Grad[J];
+  }
+}
+
+void Sgd::zeroGrad() { zeroGradients(Params); }

@@ -1,0 +1,66 @@
+//===- Optimizer.h - Gradient-based optimizers -------------------*- C++-*-===//
+///
+/// \file
+/// Adam (used by PPO, as in the paper's training setup) and plain SGD,
+/// plus gradient clipping by global norm for stable policy updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_OPTIMIZER_H
+#define MLIRRL_NN_OPTIMIZER_H
+
+#include "nn/Tensor.h"
+
+#include <map>
+#include <vector>
+
+namespace mlirrl {
+namespace nn {
+
+/// Zeroes gradients of all parameters.
+void zeroGradients(const std::vector<Tensor> &Params);
+
+/// Scales gradients so their global L2 norm is at most \p MaxNorm.
+/// Returns the pre-clip norm.
+double clipGradNorm(const std::vector<Tensor> &Params, double MaxNorm);
+
+/// Adam optimizer with per-parameter first/second moment state.
+class Adam {
+public:
+  explicit Adam(std::vector<Tensor> Params, double LearningRate = 1e-3,
+                double Beta1 = 0.9, double Beta2 = 0.999,
+                double Epsilon = 1e-8);
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  /// Zeroes all parameter gradients.
+  void zeroGrad();
+
+  double getLearningRate() const { return LearningRate; }
+  void setLearningRate(double Lr) { LearningRate = Lr; }
+  const std::vector<Tensor> &getParams() const { return Params; }
+
+private:
+  std::vector<Tensor> Params;
+  double LearningRate, Beta1, Beta2, Epsilon;
+  unsigned StepCount = 0;
+  std::vector<std::vector<double>> FirstMoment, SecondMoment;
+};
+
+/// Plain SGD (used in tests as a reference).
+class Sgd {
+public:
+  explicit Sgd(std::vector<Tensor> Params, double LearningRate = 1e-2);
+  void step();
+  void zeroGrad();
+
+private:
+  std::vector<Tensor> Params;
+  double LearningRate;
+};
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_OPTIMIZER_H

@@ -1,0 +1,50 @@
+//===- Serialization.cpp --------------------------------------------------===//
+
+#include "nn/Serialization.h"
+
+#include <cstdio>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+bool nn::saveParameters(const std::vector<Tensor> &Params,
+                        const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::fprintf(File, "mlirrl-params %zu\n", Params.size());
+  for (const Tensor &P : Params) {
+    std::fprintf(File, "%u %u\n", P.rows(), P.cols());
+    for (double V : P.data())
+      std::fprintf(File, "%.17g\n", V);
+  }
+  std::fclose(File);
+  return true;
+}
+
+bool nn::loadParameters(const std::vector<Tensor> &Params,
+                        const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return false;
+  size_t Count = 0;
+  bool Ok = std::fscanf(File, "mlirrl-params %zu", &Count) == 1 &&
+            Count == Params.size();
+  for (const Tensor &P : Params) {
+    if (!Ok)
+      break;
+    unsigned Rows = 0, Cols = 0;
+    Ok = std::fscanf(File, "%u %u", &Rows, &Cols) == 2 && Rows == P.rows() &&
+         Cols == P.cols();
+    if (!Ok)
+      break;
+    for (double &V : P.node()->Data) {
+      if (std::fscanf(File, "%lg", &V) != 1) {
+        Ok = false;
+        break;
+      }
+    }
+  }
+  std::fclose(File);
+  return Ok;
+}

@@ -1,0 +1,33 @@
+//===- Serialization.h - Parameter checkpointing -----------------*- C++-*-===//
+///
+/// \file
+/// Saves and restores flat parameter lists (policy/value network weights)
+/// in a simple text format, so trained agents can be checkpointed and
+/// reloaded (the artifact ships pre-trained policies the same way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_SERIALIZATION_H
+#define MLIRRL_NN_SERIALIZATION_H
+
+#include "nn/Tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+namespace nn {
+
+/// Writes all parameters to \p Path. Returns false on I/O failure.
+bool saveParameters(const std::vector<Tensor> &Params,
+                    const std::string &Path);
+
+/// Loads parameters from \p Path into \p Params (shapes must match).
+/// Returns false on I/O failure or shape mismatch.
+bool loadParameters(const std::vector<Tensor> &Params,
+                    const std::string &Path);
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_SERIALIZATION_H

@@ -1,0 +1,161 @@
+//===- CacheSim.cpp -------------------------------------------------------===//
+
+#include "perf/CacheSim.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace mlirrl;
+
+CacheLevelSim::CacheLevelSim(int64_t SizeBytes, int64_t LineBytes,
+                             unsigned Associativity)
+    : LineBytes(LineBytes), Associativity(Associativity) {
+  int64_t Lines = std::max<int64_t>(SizeBytes / LineBytes, Associativity);
+  NumSets = static_cast<unsigned>(std::max<int64_t>(Lines / Associativity, 1));
+  Sets.resize(NumSets);
+}
+
+bool CacheLevelSim::access(uint64_t Address) {
+  uint64_t Line = Address / static_cast<uint64_t>(LineBytes);
+  unsigned SetIdx = static_cast<unsigned>(Line % NumSets);
+  std::vector<uint64_t> &Set = Sets[SetIdx];
+  auto It = std::find(Set.begin(), Set.end(), Line);
+  if (It != Set.end()) {
+    // Move to MRU position.
+    Set.erase(It);
+    Set.insert(Set.begin(), Line);
+    return true;
+  }
+  Set.insert(Set.begin(), Line);
+  if (Set.size() > Associativity)
+    Set.pop_back();
+  return false;
+}
+
+void CacheLevelSim::reset() {
+  for (std::vector<uint64_t> &Set : Sets)
+    Set.clear();
+}
+
+CacheHierarchySim::CacheHierarchySim(const MachineModel &Machine)
+    : LineBytes(Machine.L1.LineBytes),
+      L1(Machine.L1.SizeBytes, Machine.L1.LineBytes, Machine.L1.Associativity),
+      L2(Machine.L2.SizeBytes, Machine.L2.LineBytes, Machine.L2.Associativity),
+      L3(Machine.L3.SizeBytes, Machine.L3.LineBytes,
+         Machine.L3.Associativity) {}
+
+void CacheHierarchySim::access(uint64_t Address, unsigned Bytes) {
+  uint64_t First = Address / static_cast<uint64_t>(LineBytes);
+  uint64_t Last = (Address + Bytes - 1) / static_cast<uint64_t>(LineBytes);
+  for (uint64_t Line = First; Line <= Last; ++Line) {
+    uint64_t LineAddr = Line * static_cast<uint64_t>(LineBytes);
+    ++Stats.Accesses;
+    if (L1.access(LineAddr))
+      continue;
+    ++Stats.L1Misses;
+    if (L2.access(LineAddr))
+      continue;
+    ++Stats.L2Misses;
+    if (L3.access(LineAddr))
+      continue;
+    ++Stats.L3Misses;
+  }
+}
+
+void CacheHierarchySim::reset() {
+  L1.reset();
+  L2.reset();
+  L3.reset();
+  Stats = CacheSimStats();
+}
+
+namespace {
+
+/// Recursive point-by-point executor of a single-body nest.
+class NestExecutor {
+public:
+  NestExecutor(const LoopNest &Nest, const MachineModel &Machine,
+               uint64_t MaxPoints)
+      : MaxPoints(MaxPoints), Sim(Machine) {
+    assert(Nest.Bodies.size() == 1 &&
+           "trace simulation supports single-body nests");
+    const NestBody &Body = Nest.Bodies.front();
+    Loops = Nest.OuterBand;
+    Loops.insert(Loops.end(), Body.Loops.begin(), Body.Loops.end());
+    Accesses = &Body.Accesses;
+
+    unsigned NumDims = 0;
+    for (const ScheduledLoop &L : Loops)
+      NumDims = std::max(NumDims, L.IterDim + 1);
+    Point.assign(NumDims, 0);
+
+    // Row-major layout at disjoint bases, 4 KiB aligned.
+    uint64_t Base = 4096;
+    for (const TensorAccess &A : *Accesses) {
+      if (!Bases.count(A.Value)) {
+        Bases[A.Value] = Base;
+        int64_t Elements = 1;
+        for (int64_t Dim : A.TensorShape)
+          Elements *= Dim;
+        uint64_t Size = static_cast<uint64_t>(Elements) * A.ElemBytes;
+        Base += (Size + 4095) / 4096 * 4096 + 4096;
+      }
+    }
+  }
+
+  CacheSimStats run() {
+    execute(0);
+    return Sim.getStats();
+  }
+
+private:
+  void execute(unsigned Depth) {
+    if (MaxPoints && Points >= MaxPoints)
+      return;
+    if (Depth == Loops.size()) {
+      ++Points;
+      for (const TensorAccess &A : *Accesses) {
+        std::vector<int64_t> Indices = A.Map.evaluate(Point);
+        uint64_t Offset = 0;
+        for (unsigned R = 0; R < Indices.size(); ++R) {
+          // Boundary tiles of non-dividing tilings can step past the
+          // extent; clamp like a peeled epilogue would.
+          int64_t Index =
+              std::min(std::max<int64_t>(Indices[R], 0), A.TensorShape[R] - 1);
+          Offset = Offset * static_cast<uint64_t>(A.TensorShape[R]) +
+                   static_cast<uint64_t>(Index);
+        }
+        Sim.access(Bases[A.Value] + Offset * A.ElemBytes, A.ElemBytes);
+      }
+      return;
+    }
+    const ScheduledLoop &L = Loops[Depth];
+    int64_t Saved = Point[L.IterDim];
+    for (int64_t I = 0; I < L.TripCount; ++I) {
+      if (MaxPoints && Points >= MaxPoints)
+        break;
+      Point[L.IterDim] = Saved + I * L.Step;
+      execute(Depth + 1);
+    }
+    Point[L.IterDim] = Saved;
+  }
+
+  uint64_t MaxPoints;
+  CacheHierarchySim Sim;
+  std::vector<ScheduledLoop> Loops;
+  const std::vector<TensorAccess> *Accesses = nullptr;
+  std::vector<int64_t> Point;
+  std::map<std::string, uint64_t> Bases;
+  uint64_t Points = 0;
+};
+
+} // namespace
+
+CacheSimStats mlirrl::simulateNest(const LoopNest &Nest,
+                                   const MachineModel &Machine,
+                                   uint64_t MaxPoints) {
+  return NestExecutor(Nest, Machine, MaxPoints).run();
+}

@@ -1,0 +1,27 @@
+//===- MachineModel.cpp ---------------------------------------------------===//
+
+#include "perf/MachineModel.h"
+
+using namespace mlirrl;
+
+MachineModel MachineModel::xeonE5_2680v4() {
+  MachineModel M;
+  M.FrequencyGHz = 2.4;
+  M.NumCores = 28;
+  M.VectorLanesF32 = 8;
+  M.VectorLanesF64 = 4;
+
+  M.L1 = CacheLevelModel{32 * 1024, 64, /*BandwidthPerCoreGBps=*/150.0,
+                         /*PerCore=*/true, /*Associativity=*/8};
+  M.L2 = CacheLevelModel{256 * 1024, 64, /*BandwidthPerCoreGBps=*/60.0,
+                         /*PerCore=*/true, /*Associativity=*/8};
+  // 35 MiB per socket shared by 14 cores: model the per-core share; the
+  // bandwidth is also per-core but lower than L2.
+  M.L3 = CacheLevelModel{35 * 1024 * 1024 / 14, 64,
+                         /*BandwidthPerCoreGBps=*/25.0,
+                         /*PerCore=*/true, /*Associativity=*/16};
+  // Two sockets of 4-channel DDR4-2400: ~76.8 GiB/s theoretical; ~68
+  // sustained.
+  M.DramBandwidthGBps = 68.0;
+  return M;
+}

@@ -1,0 +1,84 @@
+//===- MachineModel.h - CPU model parameters ---------------------*- C++-*-===//
+///
+/// \file
+/// Parameters of the modelled CPU. The default preset matches the paper's
+/// testbed: a dual-socket Intel Xeon E5-2680 v4 (Broadwell-EP), 2 x 14
+/// cores @ 2.4 GHz, AVX2 with two 256-bit FMA units per core, 32 KiB L1D,
+/// 256 KiB L2, 35 MiB L3 per socket.
+///
+/// The paper measures programs on this machine; we substitute an
+/// analytical model over the same machine parameters (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_PERF_MACHINEMODEL_H
+#define MLIRRL_PERF_MACHINEMODEL_H
+
+#include <cstdint>
+
+namespace mlirrl {
+
+/// One level of the data-cache hierarchy.
+struct CacheLevelModel {
+  /// Capacity available to one core (shared caches: divided by sharers at
+  /// model construction).
+  int64_t SizeBytes = 0;
+  int64_t LineBytes = 64;
+  /// Sustained bandwidth per core, GiB/s.
+  double BandwidthPerCoreGBps = 0.0;
+  /// True if bandwidth scales with active cores (private caches).
+  bool PerCore = true;
+  /// Set-associativity (used by the trace-driven simulator).
+  unsigned Associativity = 8;
+};
+
+/// The full machine description consumed by the cost model and the trace
+/// cache simulator.
+struct MachineModel {
+  double FrequencyGHz = 2.4;
+  unsigned NumCores = 28;
+
+  /// AVX2: 8 f32 lanes / 4 f64 lanes.
+  unsigned VectorLanesF32 = 8;
+  unsigned VectorLanesF64 = 4;
+
+  /// Scalar issue: one fused multiply-add per cycle (2 flops).
+  double ScalarFlopsPerCycle = 2.0;
+  /// Vector issue: two 256-bit FMA ports (2 ops x 2 flops per lane).
+  double VectorFlopsPerCyclePerLane = 4.0;
+
+  /// Throughput factor of a loop-carried reduction chain (FMA latency ~5
+  /// cycles with no unrolling: ~1/4 of peak). Register tiling, which the
+  /// paper's action space cannot express, is what removes this.
+  double ReductionChainFactor = 0.25;
+
+  /// Penalty factor for vector loads that are not unit-stride in the
+  /// fastest-varying tensor dimension (gathers / strided loads).
+  double StridedVectorPenalty = 0.4;
+
+  CacheLevelModel L1;
+  CacheLevelModel L2;
+  CacheLevelModel L3;
+  /// Aggregate DRAM bandwidth, GiB/s (shared by all cores).
+  double DramBandwidthGBps = 68.0;
+
+  /// Loop-control cost per executed loop iteration, cycles.
+  double LoopOverheadCycles = 2.0;
+  /// One-time cost of forking a parallel region, seconds.
+  double ParallelForkSeconds = 8e-6;
+
+  /// Peak scalar / vector flop rates of one core, flop/s.
+  double scalarFlopsPerSecond() const {
+    return ScalarFlopsPerCycle * FrequencyGHz * 1e9;
+  }
+  double vectorFlopsPerSecond(unsigned Lanes) const {
+    return VectorFlopsPerCyclePerLane * Lanes * FrequencyGHz * 1e9;
+  }
+
+  /// The paper's testbed.
+  static MachineModel xeonE5_2680v4();
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_PERF_MACHINEMODEL_H

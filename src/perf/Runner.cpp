@@ -1,0 +1,36 @@
+//===- Runner.cpp ---------------------------------------------------------===//
+
+#include "perf/Runner.h"
+
+#include "support/Stats.h"
+#include "transforms/Apply.h"
+
+#include <cmath>
+
+using namespace mlirrl;
+
+Runner::Runner(MachineModel Machine, RunnerOptions Options)
+    : Model(Machine), Options(Options), Noise(Options.Seed) {}
+
+double Runner::measure(double ModelSeconds) {
+  if (!Options.Noise)
+    return ModelSeconds;
+  std::vector<double> Samples;
+  Samples.reserve(Options.Runs);
+  for (unsigned I = 0; I < Options.Runs; ++I)
+    Samples.push_back(ModelSeconds *
+                      std::exp(Noise.nextGaussian() * Options.NoiseStddev));
+  return median(std::move(Samples));
+}
+
+double Runner::timeModule(const Module &M, const ModuleSchedule &Sched) {
+  return measure(Model.estimateModule(materializeModule(M, Sched)));
+}
+
+double Runner::timeBaseline(const Module &M) {
+  return measure(Model.estimateModule(materializeBaseline(M)));
+}
+
+double Runner::speedup(const Module &M, const ModuleSchedule &Sched) {
+  return timeBaseline(M) / timeModule(M, Sched);
+}

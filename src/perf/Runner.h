@@ -1,0 +1,61 @@
+//===- Runner.h - The "execution" facade -------------------------*- C++-*-===//
+///
+/// \file
+/// Runner plays the role of compiling and executing a program on the
+/// testbed: it materializes a module under a schedule, estimates its
+/// execution time, optionally perturbs it with measurement noise, and
+/// reports the median of several "runs" (the paper runs each code five
+/// times and takes the median). The environment's reward is
+/// log(speedup) of a schedule over the unoptimized baseline, both
+/// produced here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_PERF_RUNNER_H
+#define MLIRRL_PERF_RUNNER_H
+
+#include "ir/Module.h"
+#include "perf/CostModel.h"
+#include "support/Rng.h"
+#include "transforms/Schedule.h"
+
+namespace mlirrl {
+
+/// Measurement configuration.
+struct RunnerOptions {
+  /// Inject multiplicative log-normal noise per run (robustness tests;
+  /// off by default so training rewards are deterministic).
+  bool Noise = false;
+  double NoiseStddev = 0.02;
+  /// Runs per measurement; the median is reported (paper: 5).
+  unsigned Runs = 5;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Estimates execution times of (module, schedule) pairs.
+class Runner {
+public:
+  explicit Runner(MachineModel Machine, RunnerOptions Options = {});
+
+  const CostModel &getCostModel() const { return Model; }
+
+  /// Median "measured" time of the module under \p Sched, seconds.
+  double timeModule(const Module &M, const ModuleSchedule &Sched);
+
+  /// Median "measured" time of the unoptimized baseline.
+  double timeBaseline(const Module &M);
+
+  /// Speedup of \p Sched over the baseline (> 1 means faster).
+  double speedup(const Module &M, const ModuleSchedule &Sched);
+
+private:
+  double measure(double ModelSeconds);
+
+  CostModel Model;
+  RunnerOptions Options;
+  Rng Noise;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_PERF_RUNNER_H

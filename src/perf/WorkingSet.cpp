@@ -1,0 +1,127 @@
+//===- WorkingSet.cpp -----------------------------------------------------===//
+
+#include "perf/WorkingSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mlirrl;
+
+std::vector<FlatLoop> mlirrl::flattenBodyLoops(const LoopNest &Nest,
+                                               unsigned BodyIdx) {
+  assert(BodyIdx < Nest.Bodies.size() && "body index out of range");
+  std::vector<FlatLoop> Loops;
+  // The outer band iterates the consumer's dims; it is foreign to every
+  // fused producer body (all bodies except the last).
+  bool Foreign = BodyIdx + 1 != Nest.Bodies.size();
+  for (const ScheduledLoop &L : Nest.OuterBand)
+    Loops.push_back(FlatLoop{L, Foreign});
+  for (const ScheduledLoop &L : Nest.Bodies[BodyIdx].Loops)
+    Loops.push_back(FlatLoop{L, false});
+  return Loops;
+}
+
+std::vector<int64_t>
+mlirrl::computeSubBoxExtents(const std::vector<FlatLoop> &Loops,
+                             unsigned Depth, unsigned NumDims) {
+  std::vector<int64_t> Extents(NumDims, 1);
+  for (unsigned I = Depth; I < Loops.size(); ++I) {
+    const FlatLoop &L = Loops[I];
+    if (L.Foreign)
+      continue;
+    assert(L.Loop.IterDim < NumDims && "loop dim out of range");
+    Extents[L.Loop.IterDim] *= L.Loop.TripCount;
+  }
+  return Extents;
+}
+
+AccessFootprint mlirrl::computeFootprint(const TensorAccess &Access,
+                                         const std::vector<FlatLoop> &Loops,
+                                         unsigned Depth, int64_t LineBytes) {
+  unsigned NumDims = Access.Map.getNumDims();
+  std::vector<int64_t> Extents = computeSubBoxExtents(Loops, Depth, NumDims);
+
+  AccessFootprint FP;
+  FP.Elements = 1;
+  int64_t OuterDistinct = 1;
+  int64_t LastDistinct = 1;
+  int64_t LastDimMinStride = 0;
+  int64_t LastDimSize = 1;
+  unsigned Rank = Access.Map.getNumResults();
+  for (unsigned R = 0; R < Rank; ++R) {
+    const AffineExpr &E = Access.Map.getResult(R);
+    // Span: range of the expression over the sub-box. Points: number of
+    // iterator combinations addressing this dimension. Distinct values
+    // are bounded by both and by the tensor extent.
+    int64_t Span = 1;
+    int64_t Points = 1;
+    int64_t MinStride = 0;
+    for (unsigned D = 0; D < NumDims; ++D) {
+      int64_t C = E.getCoeff(D);
+      if (C == 0)
+        continue;
+      int64_t Abs = C < 0 ? -C : C;
+      Span += Abs * (Extents[D] - 1);
+      if (Extents[D] > 1) {
+        Points *= Extents[D];
+        if (MinStride == 0 || Abs < MinStride)
+          MinStride = Abs;
+      }
+    }
+    int64_t DimSize = R < Access.TensorShape.size() ? Access.TensorShape[R]
+                                                    : Span;
+    int64_t Distinct = std::max<int64_t>(std::min({Span, Points, DimSize}), 1);
+    FP.Elements *= Distinct;
+    if (R + 1 == Rank) {
+      LastDistinct = Distinct;
+      LastDimMinStride = MinStride;
+      LastDimSize = DimSize;
+    } else {
+      OuterDistinct *= Distinct;
+    }
+  }
+
+  // Line-granular footprint: each distinct combination of outer
+  // dimensions addresses a "row" of the fastest-varying dimension.
+  // A strided walk of the row touches one line per stride group, and a
+  // row narrower than a line still occupies a whole line when rows are
+  // at least a line apart.
+  int64_t RowBytes = LastDistinct * Access.ElemBytes;
+  if (LastDimMinStride > 1) {
+    int64_t PadFactor =
+        std::min<int64_t>(LineBytes / Access.ElemBytes, LastDimMinStride);
+    RowBytes *= std::max<int64_t>(PadFactor, 1);
+  }
+  RowBytes =
+      std::max(RowBytes, std::min(LineBytes, LastDimSize * Access.ElemBytes));
+  FP.Bytes = OuterDistinct * RowBytes;
+
+  // Unit stride w.r.t. the innermost non-foreign loop.
+  for (unsigned I = Loops.size(); I > Depth; --I) {
+    const FlatLoop &L = Loops[I - 1];
+    if (L.Foreign)
+      continue;
+    FP.UnitStrideInnermost = isUnitStrideForLoop(Access, L.Loop.IterDim);
+    break;
+  }
+  return FP;
+}
+
+bool mlirrl::isUnitStrideForLoop(const TensorAccess &Access,
+                                 unsigned InnerDim) {
+  if (Access.Map.getNumResults() == 0)
+    return false;
+  const AffineExpr &Last =
+      Access.Map.getResult(Access.Map.getNumResults() - 1);
+  if (InnerDim >= Last.getNumDims())
+    return false;
+  int64_t C = Last.getCoeff(InnerDim);
+  if (C != 1 && C != -1)
+    return false;
+  // The loop must not also drive an outer tensor dimension with a larger
+  // stride (it would then jump lines anyway).
+  for (unsigned R = 0; R + 1 < Access.Map.getNumResults(); ++R)
+    if (Access.Map.getResult(R).involvesDim(InnerDim))
+      return false;
+  return true;
+}

@@ -1,0 +1,72 @@
+//===- WorkingSet.h - Footprint analysis of scheduled nests ------*- C++-*-===//
+///
+/// \file
+/// Polyhedral-flavoured working-set analysis over materialized loop
+/// nests: for each tensor access and each loop depth, how many distinct
+/// bytes the sub-nest below that depth touches, and whether the access is
+/// contiguous in the fastest-varying tensor dimension. The analytical
+/// cost model uses these footprints to decide at which cache level each
+/// access's reuse is captured (the mechanism by which tiling pays off).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_PERF_WORKINGSET_H
+#define MLIRRL_PERF_WORKINGSET_H
+
+#include "transforms/LoopNest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mlirrl {
+
+/// The flattened loop list of one body: the nest's shared outer band
+/// followed by the body's own loops (outermost first).
+///
+/// Outer-band loops iterate the *consumer's* dims; for fused producer
+/// bodies they do not advance the producer's dims directly, so they are
+/// marked Foreign: a foreign loop re-executes the body without growing its
+/// per-visit footprint.
+struct FlatLoop {
+  ScheduledLoop Loop;
+  bool Foreign = false;
+};
+
+/// Flattens \p Body of \p Nest (outer band first). All bodies share the
+/// outer band; producer bodies mark it foreign.
+std::vector<FlatLoop> flattenBodyLoops(const LoopNest &Nest,
+                                       unsigned BodyIdx);
+
+/// Distinct elements and contiguity of one access over the sub-nest
+/// at loop depths >= \p Depth of \p Loops.
+struct AccessFootprint {
+  /// Distinct bytes touched by the sub-nest (cache-line padded when the
+  /// access is not contiguous).
+  int64_t Bytes = 0;
+  /// Distinct elements (no line padding).
+  int64_t Elements = 0;
+  /// True when consecutive innermost iterations touch adjacent elements
+  /// of the fastest-varying tensor dimension.
+  bool UnitStrideInnermost = false;
+};
+
+/// Computes the footprint of \p Access for the sub-nest of \p Loops
+/// starting at \p Depth (Depth == Loops.size() gives one iteration
+/// point).
+AccessFootprint computeFootprint(const TensorAccess &Access,
+                                 const std::vector<FlatLoop> &Loops,
+                                 unsigned Depth, int64_t LineBytes);
+
+/// Per-dimension extents of the iteration sub-box spanned by loops at
+/// depths >= \p Depth (for the body's own dims; foreign loops are
+/// ignored).
+std::vector<int64_t> computeSubBoxExtents(const std::vector<FlatLoop> &Loops,
+                                          unsigned Depth, unsigned NumDims);
+
+/// True when the access's fastest-varying tensor dimension advances by
+/// one element per iteration of the innermost (vectorizable) loop.
+bool isUnitStrideForLoop(const TensorAccess &Access, unsigned InnerDim);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_PERF_WORKINGSET_H

@@ -1,0 +1,149 @@
+//===- Agent.cpp ----------------------------------------------------------===//
+
+#include "rl/Agent.h"
+
+#include "nn/Distributions.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+ActorCritic::ActorCritic(const EnvConfig &Env, unsigned FeatureSize,
+                         NetConfig Net, uint64_t Seed)
+    : Env(Env), Policy([&] {
+        Rng InitRng(Seed);
+        return PolicyNet(Env, FeatureSize, Net, InitRng);
+      }()),
+      Value([&] {
+        Rng InitRng(Seed ^ 0x9e3779b97f4a7c15ull);
+        return ValueNet(Env, FeatureSize, Net, InitRng);
+      }()) {}
+
+ActorCritic::Sampled ActorCritic::act(const Observation &Obs, Rng &Rng,
+                                      bool Greedy) const {
+  AgentAction Action;
+  Action.FlatChoice = static_cast<unsigned>(-1); // mark unsampled
+  Evaluation Eval = evaluateWithAction(Obs, Action, &Rng, Greedy);
+  Sampled S;
+  S.Action = Action;
+  S.LogProb = Eval.LogProb.item();
+  S.Value = Eval.Value.item();
+  return S;
+}
+
+ActorCritic::Evaluation
+ActorCritic::evaluate(const Observation &Obs,
+                      const AgentAction &Action) const {
+  AgentAction Copy = Action;
+  return evaluateWithAction(Obs, Copy, /*SampleRng=*/nullptr,
+                            /*Greedy=*/false);
+}
+
+ActorCritic::Evaluation
+ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
+                                Rng *SampleRng, bool Greedy) const {
+  PolicyNet::Heads Heads = Policy.forward(Obs);
+  const bool Sampling = SampleRng != nullptr;
+
+  auto MaskTensor = [](const std::vector<double> &Mask) {
+    return Tensor::fromData(1, Mask.size(), Mask);
+  };
+  auto ChooseFrom = [&](const MaskedCategorical &Dist,
+                        unsigned Stored) -> unsigned {
+    if (!Sampling)
+      return Stored;
+    return Greedy ? Dist.argmax() : Dist.sample(*SampleRng);
+  };
+
+  std::vector<Tensor> LogProbTerms;
+  std::vector<Tensor> EntropyTerms;
+
+  if (Env.ActionSpace == ActionSpaceMode::Flat) {
+    MaskedCategorical Dist(Heads.FlatLogits, MaskTensor(Obs.FlatMask));
+    unsigned Choice = ChooseFrom(Dist, Action.FlatChoice);
+    Action.FlatChoice = Choice;
+    // Kind is decoded by the environment; keep it for buffer clarity.
+    LogProbTerms.push_back(Dist.logProb(Choice));
+    EntropyTerms.push_back(Dist.entropy());
+  } else if (Obs.InPointerSequence) {
+    // Forced interchange continuation: only the pointer head acts.
+    MaskedCategorical Dist(Heads.InterchangeLogits,
+                           MaskTensor(Obs.InterchangeMask));
+    unsigned Choice = ChooseFrom(Dist, Action.PointerChoice);
+    Action.Kind = TransformKind::Interchange;
+    Action.PointerChoice = Choice;
+    LogProbTerms.push_back(Dist.logProb(Choice));
+    EntropyTerms.push_back(Dist.entropy());
+  } else {
+    MaskedCategorical KindDist(Heads.TransformLogits,
+                               MaskTensor(Obs.TransformMask));
+    unsigned KindChoice =
+        ChooseFrom(KindDist, static_cast<unsigned>(Action.Kind));
+    Action.Kind = static_cast<TransformKind>(KindChoice);
+    LogProbTerms.push_back(KindDist.logProb(KindChoice));
+    EntropyTerms.push_back(KindDist.entropy());
+
+    switch (Action.Kind) {
+    case TransformKind::Tiling:
+    case TransformKind::TiledParallelization:
+    case TransformKind::TiledFusion: {
+      unsigned HeadIdx = PolicyNet::tileHeadIndex(Action.Kind);
+      if (Sampling)
+        Action.TileSizeIdx.assign(Env.MaxLoops, 0);
+      unsigned Levels = std::min(Obs.NumLoops, Env.MaxLoops);
+      for (unsigned L = 0; L < Levels; ++L) {
+        MaskedCategorical Dist(Policy.tileRow(Heads, HeadIdx, L));
+        unsigned Stored =
+            L < Action.TileSizeIdx.size() ? Action.TileSizeIdx[L] : 0;
+        unsigned Choice = ChooseFrom(Dist, Stored);
+        if (Sampling)
+          Action.TileSizeIdx[L] = Choice;
+        LogProbTerms.push_back(Dist.logProb(Choice));
+        EntropyTerms.push_back(Dist.entropy());
+      }
+      break;
+    }
+    case TransformKind::Interchange: {
+      MaskedCategorical Dist(Heads.InterchangeLogits,
+                             MaskTensor(Obs.InterchangeMask));
+      if (Env.Interchange == InterchangeMode::LevelPointers) {
+        unsigned Choice = ChooseFrom(Dist, Action.PointerChoice);
+        Action.PointerChoice = Choice;
+        LogProbTerms.push_back(Dist.logProb(Choice));
+      } else {
+        unsigned Choice = ChooseFrom(Dist, Action.EnumeratedChoice);
+        Action.EnumeratedChoice = Choice;
+        LogProbTerms.push_back(Dist.logProb(Choice));
+      }
+      EntropyTerms.push_back(Dist.entropy());
+      break;
+    }
+    case TransformKind::Vectorization:
+    case TransformKind::NoTransformation:
+      break;
+    }
+  }
+
+  Evaluation Eval;
+  Tensor LogProb = LogProbTerms.front();
+  for (size_t I = 1; I < LogProbTerms.size(); ++I)
+    LogProb = add(LogProb, LogProbTerms[I]);
+  Eval.LogProb = LogProb;
+
+  Tensor Entropy = EntropyTerms.front();
+  for (size_t I = 1; I < EntropyTerms.size(); ++I)
+    Entropy = add(Entropy, EntropyTerms[I]);
+  Eval.Entropy = Entropy;
+
+  Eval.Value = Value.forward(Obs);
+  return Eval;
+}
+
+std::vector<Tensor> ActorCritic::parameters() const {
+  std::vector<Tensor> Params = Policy.parameters();
+  std::vector<Tensor> V = Value.parameters();
+  Params.insert(Params.end(), V.begin(), V.end());
+  return Params;
+}

@@ -1,0 +1,66 @@
+//===- Agent.h - Actor-critic agent ------------------------------*- C++-*-===//
+///
+/// \file
+/// The actor-critic agent (Sec. V): sampling actions from the policy
+/// heads under the environment's masks, and re-evaluating stored actions
+/// during PPO updates (log-probability, entropy, value). The
+/// multi-discrete log-probability of a step is the sum over its active
+/// heads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_AGENT_H
+#define MLIRRL_RL_AGENT_H
+
+#include "rl/PolicyNet.h"
+
+namespace mlirrl {
+
+/// The actor-critic pair.
+class ActorCritic {
+public:
+  ActorCritic(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
+              uint64_t Seed);
+
+  /// A sampled step: the action plus the data PPO stores.
+  struct Sampled {
+    AgentAction Action;
+    double LogProb = 0.0;
+    double Value = 0.0;
+  };
+
+  /// Samples an action (greedy = argmax for evaluation rollouts).
+  Sampled act(const Observation &Obs, Rng &Rng, bool Greedy = false) const;
+
+  /// Re-evaluates a stored (observation, action) pair under the current
+  /// parameters; all tensors are graph-alive for backward().
+  struct Evaluation {
+    nn::Tensor LogProb;
+    nn::Tensor Entropy;
+    nn::Tensor Value;
+  };
+  Evaluation evaluate(const Observation &Obs, const AgentAction &Action) const;
+
+  std::vector<nn::Tensor> parameters() const;
+  std::vector<nn::Tensor> policyParameters() const {
+    return Policy.parameters();
+  }
+
+  const EnvConfig &getEnvConfig() const { return Env; }
+
+private:
+  /// Builds the distributions for the active heads of (Obs, Action) and
+  /// folds log-probs/entropies; shared by act (sampling variant) and
+  /// evaluate.
+  Evaluation evaluateWithAction(const Observation &Obs,
+                                AgentAction &Action, Rng *SampleRng,
+                                bool Greedy) const;
+
+  EnvConfig Env;
+  PolicyNet Policy;
+  ValueNet Value;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_AGENT_H

@@ -1,0 +1,67 @@
+//===- MlirRl.h - Top-level system facade ------------------------*- C++-*-===//
+///
+/// \file
+/// MLIR RL as a downstream user consumes it: construct with a
+/// configuration, train on a dataset of modules, then optimize modules
+/// with the learned policy. This is the public entry point the examples
+/// and the benchmark harness use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_MLIRRL_H
+#define MLIRRL_RL_MLIRRL_H
+
+#include "rl/Ppo.h"
+
+#include <functional>
+#include <memory>
+
+namespace mlirrl {
+
+/// Full system configuration.
+struct MlirRlOptions {
+  EnvConfig Env;
+  NetConfig Net;
+  PpoConfig Ppo;
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  RunnerOptions Runner;
+  /// Training iterations (each collects Ppo.SamplesPerIteration
+  /// episodes and performs Ppo.UpdateEpochs update passes).
+  unsigned Iterations = 100;
+  uint64_t Seed = 1234;
+
+  /// A small, fast preset for laptop-scale experiments (same
+  /// architecture, narrower nets, fewer samples per iteration).
+  static MlirRlOptions laptop();
+};
+
+/// The trained system.
+class MlirRl {
+public:
+  explicit MlirRl(MlirRlOptions Options);
+
+  /// Trains on \p Dataset; \p PerIteration (optional) observes progress.
+  std::vector<PpoIterationStats>
+  train(const std::vector<Module> &Dataset,
+        const std::function<void(unsigned, const PpoIterationStats &)>
+            &PerIteration = nullptr);
+
+  /// Optimizes one module with the greedy policy; returns the speedup
+  /// over the unoptimized baseline.
+  double optimize(const Module &M, ModuleSchedule *Schedule = nullptr);
+
+  Runner &runner() { return Run; }
+  ActorCritic &agent() { return Agent; }
+  PpoTrainer &trainer() { return Trainer; }
+  const MlirRlOptions &options() const { return Options; }
+
+private:
+  MlirRlOptions Options;
+  Runner Run;
+  ActorCritic Agent;
+  PpoTrainer Trainer;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_MLIRRL_H

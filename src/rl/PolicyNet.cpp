@@ -1,0 +1,104 @@
+//===- PolicyNet.cpp ------------------------------------------------------===//
+
+#include "rl/PolicyNet.h"
+
+#include "support/Error.h"
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+PolicyNet::PolicyNet(const EnvConfig &Env, unsigned FeatureSize,
+                     NetConfig Net, Rng &Rng)
+    : Env(Env), Space(Env), Lstm(FeatureSize, Net.LstmHidden, Rng),
+      Backbone(Net.LstmHidden, Net.BackboneHidden, Net.BackboneDepth, Rng),
+      TransformHead(Net.BackboneHidden, NumTransformKinds, Rng),
+      InterchangeHead(Net.BackboneHidden, Space.interchangeHeadSize(), Rng),
+      FlatHead(Net.BackboneHidden,
+               static_cast<unsigned>(buildFlatActionList(Env).size()), Rng),
+      FlatMode(Env.ActionSpace == ActionSpaceMode::Flat) {
+  for (unsigned I = 0; I < 3; ++I)
+    TileHeads.emplace_back(Net.BackboneHidden,
+                           Env.MaxLoops * Env.NumTileSizes, Rng);
+}
+
+Tensor PolicyNet::embed(const Observation &Obs) const {
+  // Producer first, consumer second; the final hidden state is the
+  // producer-consumer embedding (Sec. V-A1).
+  Tensor Producer = Tensor::fromData(1, Obs.Producer.size(), Obs.Producer);
+  Tensor Consumer = Tensor::fromData(1, Obs.Consumer.size(), Obs.Consumer);
+  return Lstm.runSequence({Producer, Consumer});
+}
+
+PolicyNet::Heads PolicyNet::forward(const Observation &Obs) const {
+  Tensor Features = Backbone.forward(embed(Obs));
+  Heads H;
+  if (FlatMode) {
+    H.FlatLogits = FlatHead.forward(Features);
+    return H;
+  }
+  H.TransformLogits = TransformHead.forward(Features);
+  for (const Linear &Head : TileHeads)
+    H.TileLogits.push_back(Head.forward(Features));
+  H.InterchangeLogits = InterchangeHead.forward(Features);
+  return H;
+}
+
+unsigned PolicyNet::tileHeadIndex(TransformKind Kind) {
+  switch (Kind) {
+  case TransformKind::Tiling:
+    return 0;
+  case TransformKind::TiledParallelization:
+    return 1;
+  case TransformKind::TiledFusion:
+    return 2;
+  default:
+    MLIRRL_UNREACHABLE("not a tiled transformation");
+  }
+}
+
+Tensor PolicyNet::tileRow(const Heads &H, unsigned HeadIdx,
+                          unsigned Level) const {
+  return sliceCols(H.TileLogits.at(HeadIdx), Level * Env.NumTileSizes,
+                   Env.NumTileSizes);
+}
+
+std::vector<Tensor> PolicyNet::parameters() const {
+  std::vector<Tensor> Params = Lstm.parameters();
+  auto Append = [&Params](const std::vector<Tensor> &More) {
+    Params.insert(Params.end(), More.begin(), More.end());
+  };
+  Append(Backbone.parameters());
+  if (FlatMode) {
+    Append(FlatHead.parameters());
+    return Params;
+  }
+  Append(TransformHead.parameters());
+  for (const Linear &Head : TileHeads)
+    Append(Head.parameters());
+  Append(InterchangeHead.parameters());
+  return Params;
+}
+
+ValueNet::ValueNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
+                   Rng &Rng)
+    : Lstm(FeatureSize, Net.LstmHidden, Rng),
+      Backbone(Net.LstmHidden, Net.BackboneHidden, Net.BackboneDepth, Rng),
+      Head(Net.BackboneHidden, 1, Rng) {
+  (void)Env;
+}
+
+Tensor ValueNet::forward(const Observation &Obs) const {
+  Tensor Producer = Tensor::fromData(1, Obs.Producer.size(), Obs.Producer);
+  Tensor Consumer = Tensor::fromData(1, Obs.Consumer.size(), Obs.Consumer);
+  Tensor Embedding = Lstm.runSequence({Producer, Consumer});
+  return Head.forward(Backbone.forward(Embedding));
+}
+
+std::vector<Tensor> ValueNet::parameters() const {
+  std::vector<Tensor> Params = Lstm.parameters();
+  std::vector<Tensor> B = Backbone.parameters();
+  Params.insert(Params.end(), B.begin(), B.end());
+  std::vector<Tensor> H = Head.parameters();
+  Params.insert(Params.end(), H.begin(), H.end());
+  return Params;
+}

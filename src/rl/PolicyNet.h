@@ -1,0 +1,89 @@
+//===- PolicyNet.h - The actor network (Fig. 3 / Fig. 4) ---------*- C++-*-===//
+///
+/// \file
+/// The policy network of Sec. V-A: a producer-consumer LSTM embedding
+/// (the two representation vectors are fed sequentially, the final hidden
+/// state is the embedding), a backbone of Dense+ReLU layers, and output
+/// heads: transformation selection (6-way softmax), three tiled
+/// transformation heads (N x M, row-wise softmax), and an interchange
+/// head (3N-6 enumerated candidates or N level pointers). In the flat
+/// ablation a single flat head replaces all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_POLICYNET_H
+#define MLIRRL_RL_POLICYNET_H
+
+#include "env/Environment.h"
+#include "nn/Lstm.h"
+
+namespace mlirrl {
+
+/// Network width configuration. Paper defaults: LSTM(512) and three
+/// Dense(512) backbone layers; benches use narrower nets for
+/// laptop-scale runs (the architecture is unchanged).
+struct NetConfig {
+  unsigned LstmHidden = 512;
+  unsigned BackboneHidden = 512;
+  unsigned BackboneDepth = 3;
+};
+
+/// The actor.
+class PolicyNet {
+public:
+  PolicyNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
+            Rng &Rng);
+
+  /// All head logits for one observation (graph-alive tensors).
+  struct Heads {
+    nn::Tensor TransformLogits;               // 1 x 6
+    std::vector<nn::Tensor> TileLogits;       // 3 heads, each 1 x (N*M)
+    nn::Tensor InterchangeLogits;             // 1 x interchangeHeadSize
+    nn::Tensor FlatLogits;                    // flat mode only
+  };
+
+  Heads forward(const Observation &Obs) const;
+
+  /// The tile head index for a tiled transformation kind (0..2).
+  static unsigned tileHeadIndex(TransformKind Kind);
+
+  /// Carves the per-level logits row [1 x M] out of a tile head.
+  nn::Tensor tileRow(const Heads &H, unsigned HeadIdx, unsigned Level) const;
+
+  std::vector<nn::Tensor> parameters() const;
+
+  const EnvConfig &getEnvConfig() const { return Env; }
+
+private:
+  nn::Tensor embed(const Observation &Obs) const;
+
+  EnvConfig Env;
+  ActionSpaceInfo Space;
+  nn::LstmCell Lstm;
+  nn::Mlp Backbone;
+  nn::Linear TransformHead;
+  std::vector<nn::Linear> TileHeads;
+  nn::Linear InterchangeHead;
+  nn::Linear FlatHead;
+  bool FlatMode;
+};
+
+/// The critic: identical embedding + backbone, scalar value head
+/// (Sec. V-B).
+class ValueNet {
+public:
+  ValueNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
+           Rng &Rng);
+
+  nn::Tensor forward(const Observation &Obs) const;
+  std::vector<nn::Tensor> parameters() const;
+
+private:
+  nn::LstmCell Lstm;
+  nn::Mlp Backbone;
+  nn::Linear Head;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_POLICYNET_H

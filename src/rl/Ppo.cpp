@@ -1,0 +1,138 @@
+//===- Ppo.cpp ------------------------------------------------------------===//
+
+#include "rl/Ppo.h"
+
+#include "nn/Ops.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+PpoTrainer::PpoTrainer(ActorCritic &Agent, Runner &Run, PpoConfig Config)
+    : Agent(Agent), Run(Run), Config(Config),
+      Optimizer(Agent.parameters(), Config.LearningRate),
+      SampleRng(Config.Seed) {}
+
+PpoTrainer::EpisodeResult PpoTrainer::collectEpisode(const Module &Sample) {
+  Environment Env(Agent.getEnvConfig(), Run, Sample);
+  EpisodeResult Result;
+  while (!Env.isDone()) {
+    Observation Obs = Env.observe();
+    ActorCritic::Sampled S = Agent.act(Obs, SampleRng);
+    Environment::StepOutcome Out = Env.step(S.Action);
+
+    RolloutStep Step;
+    Step.Obs = std::move(Obs);
+    Step.Action = S.Action;
+    Step.OldLogProb = S.LogProb;
+    Step.Value = S.Value;
+    Step.Reward = Out.Reward;
+    Step.EpisodeEnd = Out.Done;
+    Buffer.add(std::move(Step));
+
+    Result.Reward += Out.Reward;
+  }
+  Result.Speedup = Env.currentSpeedup();
+  Result.MeasurementSeconds = Env.getMeasurementSeconds();
+  return Result;
+}
+
+PpoIterationStats
+PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
+  Buffer.clear();
+  PpoIterationStats Stats;
+  std::vector<double> Speedups;
+  std::vector<double> Rewards;
+  for (unsigned I = 0; I < Config.SamplesPerIteration; ++I) {
+    const Module &Sample = Dataset[DatasetCursor % Dataset.size()];
+    ++DatasetCursor;
+    EpisodeResult R = collectEpisode(Sample);
+    Rewards.push_back(R.Reward);
+    Speedups.push_back(std::max(R.Speedup, 1e-9));
+    Stats.MeasurementSeconds += R.MeasurementSeconds;
+  }
+  Stats.MeanEpisodeReward = mean(Rewards);
+  Stats.MeanSpeedup = geomean(Speedups);
+  Stats.StepsCollected = static_cast<unsigned>(Buffer.size());
+
+  Buffer.computeAdvantages(Config.Gamma, Config.Lambda);
+  Buffer.normalizeAdvantages();
+  update(Stats);
+  return Stats;
+}
+
+void PpoTrainer::update(PpoIterationStats &Stats) {
+  std::vector<size_t> Indices(Buffer.size());
+  std::iota(Indices.begin(), Indices.end(), 0u);
+
+  double PolicyLossAcc = 0.0, ValueLossAcc = 0.0, EntropyAcc = 0.0;
+  unsigned MinibatchCount = 0;
+
+  for (unsigned Epoch = 0; Epoch < Config.UpdateEpochs; ++Epoch) {
+    SampleRng.shuffle(Indices);
+    for (size_t Start = 0; Start < Indices.size();
+         Start += Config.MinibatchSize) {
+      size_t End = std::min(Indices.size(),
+                            Start + static_cast<size_t>(Config.MinibatchSize));
+      std::vector<Tensor> PolicyTerms, ValueTerms, EntropyTerms;
+      for (size_t I = Start; I < End; ++I) {
+        const RolloutStep &Step = Buffer.steps()[Indices[I]];
+        ActorCritic::Evaluation Eval =
+            Agent.evaluate(Step.Obs, Step.Action);
+
+        // Clipped surrogate objective.
+        Tensor Ratio = expOp(
+            sub(Eval.LogProb, Tensor::scalar(Step.OldLogProb)));
+        Tensor Adv = Tensor::scalar(Step.Advantage);
+        Tensor Unclipped = hadamard(Ratio, Adv);
+        Tensor Clipped = hadamard(
+            clamp(Ratio, 1.0 - Config.ClipRange, 1.0 + Config.ClipRange),
+            Adv);
+        PolicyTerms.push_back(scale(minOp(Unclipped, Clipped), -1.0));
+
+        // Value regression to the GAE return.
+        Tensor Diff = sub(Eval.Value, Tensor::scalar(Step.Return));
+        ValueTerms.push_back(hadamard(Diff, Diff));
+
+        EntropyTerms.push_back(Eval.Entropy);
+      }
+      Tensor PolicyLoss = meanOf(PolicyTerms);
+      Tensor ValueLoss = meanOf(ValueTerms);
+      Tensor Entropy = meanOf(EntropyTerms);
+      Tensor Loss =
+          add(add(PolicyLoss, scale(ValueLoss, Config.ValueCoef)),
+              scale(Entropy, -Config.EntropyCoef));
+
+      Optimizer.zeroGrad();
+      Loss.backward();
+      clipGradNorm(Agent.parameters(), Config.MaxGradNorm);
+      Optimizer.step();
+
+      PolicyLossAcc += PolicyLoss.item();
+      ValueLossAcc += ValueLoss.item();
+      EntropyAcc += Entropy.item();
+      ++MinibatchCount;
+    }
+  }
+  if (MinibatchCount > 0) {
+    Stats.PolicyLoss = PolicyLossAcc / MinibatchCount;
+    Stats.ValueLoss = ValueLossAcc / MinibatchCount;
+    Stats.Entropy = EntropyAcc / MinibatchCount;
+  }
+}
+
+double PpoTrainer::evaluate(const Module &Sample, ModuleSchedule *Out) {
+  Environment Env(Agent.getEnvConfig(), Run, Sample);
+  while (!Env.isDone()) {
+    ActorCritic::Sampled S =
+        Agent.act(Env.observe(), SampleRng, /*Greedy=*/true);
+    Env.step(S.Action);
+  }
+  if (Out)
+    *Out = Env.getSchedule();
+  return Env.currentSpeedup();
+}

@@ -1,0 +1,91 @@
+//===- Ppo.h - Proximal Policy Optimization ----------------------*- C++-*-===//
+///
+/// \file
+/// The PPO trainer (Sec. VII-A5): clipped surrogate objective
+/// (clip = 0.2), value loss coefficient 0.5, entropy coefficient 0.01,
+/// learning rate 1e-3, gamma = 1.0, GAE lambda = 0.95, minibatches of 32
+/// and 4 update epochs per iteration. One training iteration collects
+/// trajectories from a batch of code samples (64 in the paper) and runs
+/// the updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_PPO_H
+#define MLIRRL_RL_PPO_H
+
+#include "nn/Optimizer.h"
+#include "perf/Runner.h"
+#include "rl/Agent.h"
+#include "rl/RolloutBuffer.h"
+
+namespace mlirrl {
+
+/// PPO hyperparameters (defaults = the paper's).
+struct PpoConfig {
+  double LearningRate = 1e-3;
+  double ClipRange = 0.2;
+  double Gamma = 1.0;
+  double Lambda = 0.95;
+  double ValueCoef = 0.5;
+  double EntropyCoef = 0.01;
+  unsigned UpdateEpochs = 4;
+  unsigned MinibatchSize = 32;
+  unsigned SamplesPerIteration = 64;
+  double MaxGradNorm = 0.5;
+  uint64_t Seed = 7;
+};
+
+/// Per-iteration training statistics.
+struct PpoIterationStats {
+  double MeanEpisodeReward = 0.0;
+  /// Geometric-mean speedup of the iteration's episodes.
+  double MeanSpeedup = 0.0;
+  double PolicyLoss = 0.0;
+  double ValueLoss = 0.0;
+  double Entropy = 0.0;
+  unsigned StepsCollected = 0;
+  /// Accumulated simulated program-execution time spent on rewards (the
+  /// Fig. 7 wall-clock axis).
+  double MeasurementSeconds = 0.0;
+};
+
+/// The trainer.
+class PpoTrainer {
+public:
+  PpoTrainer(ActorCritic &Agent, Runner &Run, PpoConfig Config);
+
+  /// Runs one iteration: collects one episode per sample drawn from
+  /// \p Dataset (cycling), then performs the PPO updates.
+  PpoIterationStats trainIteration(const std::vector<Module> &Dataset);
+
+  /// Greedy evaluation: optimizes \p Sample with argmax actions and
+  /// returns the achieved speedup (and the schedule through \p Out).
+  double evaluate(const Module &Sample, ModuleSchedule *Out = nullptr);
+
+  const PpoConfig &getConfig() const { return Config; }
+  Rng &rng() { return SampleRng; }
+
+private:
+  /// Rolls one episode into the buffer; returns (total reward, speedup,
+  /// measurement seconds).
+  struct EpisodeResult {
+    double Reward = 0.0;
+    double Speedup = 1.0;
+    double MeasurementSeconds = 0.0;
+  };
+  EpisodeResult collectEpisode(const Module &Sample);
+
+  void update(PpoIterationStats &Stats);
+
+  ActorCritic &Agent;
+  Runner &Run;
+  PpoConfig Config;
+  nn::Adam Optimizer;
+  Rng SampleRng;
+  RolloutBuffer Buffer;
+  size_t DatasetCursor = 0;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_PPO_H

@@ -1,0 +1,39 @@
+//===- RolloutBuffer.cpp --------------------------------------------------===//
+
+#include "rl/RolloutBuffer.h"
+
+#include <cmath>
+
+using namespace mlirrl;
+
+void RolloutBuffer::computeAdvantages(double Gamma, double Lambda) {
+  double NextAdvantage = 0.0;
+  double NextValue = 0.0;
+  for (size_t I = Steps.size(); I > 0; --I) {
+    RolloutStep &S = Steps[I - 1];
+    if (S.EpisodeEnd) {
+      NextAdvantage = 0.0;
+      NextValue = 0.0;
+    }
+    double Delta = S.Reward + Gamma * NextValue - S.Value;
+    S.Advantage = Delta + Gamma * Lambda * NextAdvantage;
+    S.Return = S.Advantage + S.Value;
+    NextAdvantage = S.Advantage;
+    NextValue = S.Value;
+  }
+}
+
+void RolloutBuffer::normalizeAdvantages() {
+  if (Steps.size() < 2)
+    return;
+  double Sum = 0.0;
+  for (const RolloutStep &S : Steps)
+    Sum += S.Advantage;
+  double Mean = Sum / static_cast<double>(Steps.size());
+  double Var = 0.0;
+  for (const RolloutStep &S : Steps)
+    Var += (S.Advantage - Mean) * (S.Advantage - Mean);
+  double Std = std::sqrt(Var / static_cast<double>(Steps.size())) + 1e-8;
+  for (RolloutStep &S : Steps)
+    S.Advantage = (S.Advantage - Mean) / Std;
+}

@@ -1,0 +1,11 @@
+//===- Error.cpp ----------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void mlirrl::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "mlirrl fatal error: %s\n", Message.c_str());
+  std::abort();
+}

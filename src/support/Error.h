@@ -1,0 +1,90 @@
+//===- Error.h - Lightweight error handling ---------------------*- C++-*-===//
+//
+// Part of the mlirrl project: a from-scratch reproduction of "A
+// Reinforcement Learning Environment for Automatic Code Optimization in the
+// MLIR Compiler" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight, exception-free error handling in the spirit of
+/// llvm::Expected. Library code reports recoverable failures through
+/// Expected<T>, and unrecoverable invariant violations through
+/// reportFatalError / MLIRRL_UNREACHABLE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_ERROR_H
+#define MLIRRL_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mlirrl {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that cannot be attributed to user input.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in code that must never be reached.
+#define MLIRRL_UNREACHABLE(MSG)                                               \
+  ::mlirrl::reportFatalError(std::string("unreachable: ") + (MSG))
+
+/// A value-or-error holder for recoverable failures (e.g. parse errors).
+///
+/// Unlike llvm::Expected, errors are plain strings: this project has a
+/// single consumer (the library itself and its tools), so structured error
+/// hierarchies would be over-engineering.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure. Use the makeError free function for clarity.
+  static Expected failure(std::string Message) {
+    Expected E;
+    E.ErrorMessage = std::move(Message);
+    return E;
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  /// Returns the contained value. Asserts on failure states.
+  T &get() {
+    assert(Value && "accessing value of a failed Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing value of a failed Expected");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Returns the error message. Asserts on success states.
+  const std::string &getError() const {
+    assert(!Value && "accessing error of a successful Expected");
+    return ErrorMessage;
+  }
+
+private:
+  Expected() = default;
+
+  std::optional<T> Value;
+  std::string ErrorMessage;
+};
+
+/// Builds a failed Expected<T> carrying \p Message.
+template <typename T> Expected<T> makeError(std::string Message) {
+  return Expected<T>::failure(std::move(Message));
+}
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_ERROR_H

@@ -1,0 +1,40 @@
+//===- Format.cpp ---------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace mlirrl;
+
+std::string mlirrl::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Result.data(), Result.size(), Fmt, ArgsCopy);
+    Result.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string mlirrl::join(const std::vector<std::string> &Parts,
+                         const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool mlirrl::startsWith(const std::string &Str, const std::string &Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}

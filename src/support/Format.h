@@ -1,0 +1,31 @@
+//===- Format.h - printf-style string formatting ----------------*- C++-*-===//
+///
+/// \file
+/// Small string-formatting helpers. Library code builds diagnostics and
+/// printed IR with these instead of iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_FORMAT_H
+#define MLIRRL_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Returns a std::string produced by printf-style formatting.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true if \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_FORMAT_H

@@ -1,0 +1,99 @@
+//===- Rng.cpp ------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace mlirrl;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+  HasSpareGaussian = false;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBounded(uint64_t Bound) {
+  assert(Bound > 0 && "nextBounded requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::nextInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextInt requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBounded(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * nextDouble();
+}
+
+double Rng::nextGaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = nextDouble() * 2.0 - 1.0;
+    V = nextDouble() * 2.0 - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Mul = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Mul;
+  HasSpareGaussian = true;
+  return U * Mul;
+}
+
+size_t Rng::sampleWeighted(const std::vector<double> &Weights) {
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "weights must be non-negative");
+    Total += W;
+  }
+  if (Total <= 0.0)
+    reportFatalError("sampleWeighted: all weights are zero");
+  double Target = nextDouble() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Target < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

@@ -1,0 +1,78 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++-*-===//
+///
+/// \file
+/// A small, fast, seedable RNG (xoshiro256**) used everywhere randomness is
+/// needed: dataset generation, policy sampling, PPO minibatch shuffling.
+/// Determinism given a seed is a hard requirement for reproducible
+/// experiments, so std::mt19937 distributions (which are implementation
+/// defined) are avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_RNG_H
+#define MLIRRL_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlirrl {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across
+/// platforms and standard libraries.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-seeds the full 256-bit state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBounded(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInt(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns a uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi);
+
+  /// Returns a standard normal sample (Box-Muller).
+  double nextGaussian();
+
+  /// Returns true with probability \p P.
+  bool nextBernoulli(double P) { return nextDouble() < P; }
+
+  /// Returns a uniformly random element index of a non-empty container.
+  template <typename Container> size_t choiceIndex(const Container &C) {
+    assert(!C.empty() && "choice from empty container");
+    return static_cast<size_t>(nextBounded(C.size()));
+  }
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  size_t sampleWeighted(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(nextBounded(I));
+      std::swap(Values[I - 1], Values[J]);
+    }
+  }
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_RNG_H

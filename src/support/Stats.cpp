@@ -1,0 +1,61 @@
+//===- Stats.cpp ----------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mlirrl;
+
+double mlirrl::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double mlirrl::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  size_t Mid = Values.size() / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  double Upper = Values[Mid];
+  if (Values.size() % 2 == 1)
+    return Upper;
+  double Lower = *std::max_element(Values.begin(), Values.begin() + Mid);
+  return 0.5 * (Lower + Upper);
+}
+
+double mlirrl::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double mlirrl::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Acc = 0.0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size() - 1));
+}
+
+double mlirrl::minOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "minOf on empty vector");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double mlirrl::maxOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "maxOf on empty vector");
+  return *std::max_element(Values.begin(), Values.end());
+}

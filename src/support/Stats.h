@@ -1,0 +1,35 @@
+//===- Stats.h - Summary statistics ------------------------------*- C++-*-===//
+///
+/// \file
+/// Summary statistics used by the benchmark harness and by the reward
+/// pipeline (the paper reports medians of execution times and geometric
+/// means of speedups).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_STATS_H
+#define MLIRRL_SUPPORT_STATS_H
+
+#include <vector>
+
+namespace mlirrl {
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(const std::vector<double> &Values);
+
+/// Median (of a copy; input untouched). Returns 0 for empty input.
+double median(std::vector<double> Values);
+
+/// Geometric mean. All values must be positive. Returns 0 for empty input.
+double geomean(const std::vector<double> &Values);
+
+/// Sample standard deviation. Returns 0 for fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+/// Minimum / maximum. Assert on empty input.
+double minOf(const std::vector<double> &Values);
+double maxOf(const std::vector<double> &Values);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_STATS_H

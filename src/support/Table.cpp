@@ -1,0 +1,77 @@
+//===- Table.cpp ----------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace mlirrl;
+
+TextTable::TextTable(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Rows.front().size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::num(double Value, int Precision) {
+  return formatString("%.*f", Precision, Value);
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Rows.front().size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "|";
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Line += " " + Row[I];
+      Line.append(Widths[I] - Row[I].size() + 1, ' ');
+      Line += "|";
+    }
+    return Line + "\n";
+  };
+
+  std::string Out = RenderRow(Rows.front());
+  std::string Sep = "|";
+  for (size_t W : Widths) {
+    Sep.append(W + 2, '-');
+    Sep += "|";
+  }
+  Out += Sep + "\n";
+  for (size_t I = 1; I < Rows.size(); ++I)
+    Out += RenderRow(Rows[I]);
+  return Out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void CsvWriter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Rows.front().size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string CsvWriter::render() const {
+  std::string Out;
+  for (const auto &Row : Rows)
+    Out += join(Row, ",") + "\n";
+  return Out;
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Data = render();
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), File);
+  std::fclose(File);
+  return Written == Data.size();
+}

@@ -1,0 +1,54 @@
+//===- Table.h - ASCII table and CSV emission -------------------*- C++-*-===//
+///
+/// \file
+/// The benchmark harness regenerates the paper's tables and figure series.
+/// TextTable renders aligned ASCII tables; CsvWriter emits figure series
+/// (training curves) as CSV for plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_TABLE_H
+#define MLIRRL_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats doubles with \p Precision decimals.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Renders the table (header, separator, rows).
+  std::string render() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Accumulates rows and renders RFC-4180-ish CSV (no quoting needed for
+/// our numeric payloads).
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> Header);
+
+  void addRow(std::vector<std::string> Row);
+  std::string render() const;
+
+  /// Renders and writes to \p Path. Returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_TABLE_H

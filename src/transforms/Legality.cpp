@@ -1,0 +1,78 @@
+//===- Legality.cpp -------------------------------------------------------===//
+
+#include "transforms/Legality.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace mlirrl;
+
+const std::vector<int64_t> &mlirrl::getDefaultTileCandidates() {
+  static const std::vector<int64_t> Candidates = {0, 1, 2, 4, 8, 16, 32, 64};
+  return Candidates;
+}
+
+bool mlirrl::vectorizationPrecondition(const LinalgOp &Op) {
+  // The MLIR vectorizer requires the output map to be a projected
+  // permutation.
+  if (!Op.getOutputMap().isProjectedPermutation())
+    return false;
+  // Windowed max reductions (max-pooling and generic ops with the same
+  // structure) are rejected by the Linalg vectorizer.
+  if (Op.getKind() == OpKind::PoolingMax)
+    return false;
+  if (Op.getArith().Max > 0 && Op.getNumReductionLoops() > 0)
+    return false;
+  return true;
+}
+
+bool mlirrl::isVectorizationLegal(const LinalgOp &Op, int64_t InnermostTrip) {
+  return vectorizationPrecondition(Op) &&
+         InnermostTrip <= MaxVectorizableInnerTrip;
+}
+
+bool mlirrl::canFuseProducer(const Module &M, unsigned Consumer,
+                             unsigned Producer) {
+  if (Consumer == Producer || Consumer >= M.getNumOps() ||
+      Producer >= M.getNumOps())
+    return false;
+  const LinalgOp &ConsumerOp = M.getOp(Consumer);
+  const LinalgOp &ProducerOp = M.getOp(Producer);
+  if (!ConsumerOp.readsValue(ProducerOp.getResult()))
+    return false;
+  // The per-tile producer domain is derived by inverting the producer's
+  // output map, which must therefore be a projected permutation (true for
+  // every Linalg named op and for the generics our generators emit).
+  return ProducerOp.getOutputMap().isProjectedPermutation();
+}
+
+bool mlirrl::isValidPermutation(const std::vector<unsigned> &Perm,
+                                unsigned NumLoops) {
+  if (Perm.size() != NumLoops)
+    return false;
+  std::vector<bool> Seen(NumLoops, false);
+  for (unsigned P : Perm) {
+    if (P >= NumLoops || Seen[P])
+      return false;
+    Seen[P] = true;
+  }
+  return true;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+mlirrl::getEnumeratedInterchangeCandidates(unsigned NumLoops) {
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (unsigned Dist = 1; Dist <= 3; ++Dist)
+    for (unsigned I = 0; I + Dist < NumLoops; ++I)
+      Candidates.push_back({I, I + Dist});
+  return Candidates;
+}
+
+std::vector<unsigned> mlirrl::makeSwapPermutation(unsigned NumLoops,
+                                                  unsigned I, unsigned J) {
+  assert(I < NumLoops && J < NumLoops && "swap levels out of range");
+  std::vector<unsigned> Perm(NumLoops);
+  std::iota(Perm.begin(), Perm.end(), 0u);
+  std::swap(Perm[I], Perm[J]);
+  return Perm;
+}

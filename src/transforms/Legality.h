@@ -1,0 +1,65 @@
+//===- Legality.h - Transformation legality and masking rules ----*- C++-*-===//
+///
+/// \file
+/// Legality predicates shared by the transformation engine and the RL
+/// environment's action mask (Sec. IV-A2 of the paper):
+///
+///  * vectorization pre-conditions (the boolean flag in the state vector);
+///  * the "innermost loop larger than 512 iterations" vectorization mask
+///    (MLIR's vectorizer fully unrolls the inner loop);
+///  * fusion requirements (Linalg fuses at the tile granularity of the
+///    consumer, so a fusion action must actually tile);
+///  * the enumerated interchange candidate list (swaps of loop levels at
+///    distance one, two or three: 3N-6 candidates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_TRANSFORMS_LEGALITY_H
+#define MLIRRL_TRANSFORMS_LEGALITY_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlirrl {
+
+/// The paper masks vectorization when the innermost loop has more than
+/// 512 iterations (the MLIR pass fully unrolls it).
+inline constexpr int64_t MaxVectorizableInnerTrip = 512;
+
+/// The paper's tile-size candidate set: M = 8 sizes including 0 ("do not
+/// tile").
+const std::vector<int64_t> &getDefaultTileCandidates();
+
+/// MLIR vectorization pre-conditions for a Linalg operation (the boolean
+/// state feature). Max-pooling style ops (windowed max reductions) fail
+/// them, which is why the paper's system cannot vectorize pooling.
+bool vectorizationPrecondition(const LinalgOp &Op);
+
+/// The action-mask rule: vectorization must also satisfy the inner-trip
+/// bound on the *current* innermost point loop.
+bool isVectorizationLegal(const LinalgOp &Op, int64_t InnermostTrip);
+
+/// True if op \p Producer can be fused into op \p Consumer: the consumer
+/// reads the producer's result and the producer's output map is a
+/// projected permutation (needed to derive the per-tile domain).
+bool canFuseProducer(const Module &M, unsigned Consumer, unsigned Producer);
+
+/// True if \p Perm is a permutation of 0..N-1.
+bool isValidPermutation(const std::vector<unsigned> &Perm, unsigned NumLoops);
+
+/// Enumerated-candidates interchange: all swaps of levels (i, j) with
+/// j - i in {1, 2, 3}. For N >= 3 this yields the paper's 3N - 6
+/// candidates.
+std::vector<std::pair<unsigned, unsigned>>
+getEnumeratedInterchangeCandidates(unsigned NumLoops);
+
+/// Builds the permutation that swaps levels \p I and \p J.
+std::vector<unsigned> makeSwapPermutation(unsigned NumLoops, unsigned I,
+                                          unsigned J);
+
+} // namespace mlirrl
+
+#endif // MLIRRL_TRANSFORMS_LEGALITY_H

@@ -1,0 +1,74 @@
+//===- LoopNest.cpp -------------------------------------------------------===//
+
+#include "transforms/LoopNest.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mlirrl;
+
+std::string ScheduledLoop::toString() const {
+  std::string Out = formatString(
+      "%s d%u trip=%lld step=%lld", IsTileLoop ? "tile" : "for", IterDim,
+      static_cast<long long>(TripCount), static_cast<long long>(Step));
+  if (Parallel)
+    Out += " parallel";
+  if (Vectorized)
+    Out += " vectorized";
+  if (Kind == IteratorKind::Reduction)
+    Out += " reduction";
+  return Out;
+}
+
+int64_t NestBody::getPointsPerVisit() const {
+  int64_t Points = 1;
+  for (const ScheduledLoop &L : Loops)
+    Points *= L.TripCount;
+  return Points;
+}
+
+int64_t LoopNest::getOuterVisits() const {
+  int64_t Visits = 1;
+  for (const ScheduledLoop &L : OuterBand)
+    Visits *= L.TripCount;
+  return Visits;
+}
+
+int64_t LoopNest::getTotalFlops() const {
+  int64_t PerVisit = 0;
+  for (const NestBody &B : Bodies)
+    PerVisit += B.getFlopsPerVisit();
+  return PerVisit * getOuterVisits();
+}
+
+int64_t LoopNest::getParallelIterations() const {
+  int64_t Par = 1;
+  for (const ScheduledLoop &L : OuterBand)
+    if (L.Parallel)
+      Par *= L.TripCount;
+  return Par;
+}
+
+bool LoopNest::isFusedIntermediate(const std::string &Value) const {
+  return std::find(FusedIntermediates.begin(), FusedIntermediates.end(),
+                   Value) != FusedIntermediates.end();
+}
+
+std::string LoopNest::toString() const {
+  std::string Out = "nest " + Name + "\n";
+  unsigned Indent = 1;
+  auto Pad = [](unsigned Levels) { return std::string(Levels * 2, ' '); };
+  for (const ScheduledLoop &L : OuterBand)
+    Out += Pad(Indent++) + L.toString() + "\n";
+  for (const NestBody &B : Bodies) {
+    unsigned BodyIndent = Indent;
+    Out += Pad(BodyIndent) + "body " + B.Name + "\n";
+    for (const ScheduledLoop &L : B.Loops)
+      Out += Pad(++BodyIndent) + L.toString() + "\n";
+    for (const TensorAccess &A : B.Accesses)
+      Out += Pad(BodyIndent + 1) + (A.IsWrite ? "write " : "read ") + A.Value +
+             " " + A.Map.toString() + "\n";
+  }
+  return Out;
+}

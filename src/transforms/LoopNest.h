@@ -1,0 +1,102 @@
+//===- LoopNest.h - Materialized scheduled loop nests ------------*- C++-*-===//
+///
+/// \file
+/// The output of the transformation engine and the input of the
+/// performance model: an explicit loop-nest structure after tiling,
+/// parallelization, fusion, interchange and vectorization have been
+/// applied. This plays the role of the scf/vector-level IR the real MLIR
+/// pipeline lowers to (Listing 2 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_TRANSFORMS_LOOPNEST_H
+#define MLIRRL_TRANSFORMS_LOOPNEST_H
+
+#include "ir/AffineMap.h"
+#include "ir/LinalgOp.h"
+#include "ir/Types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// One loop of a scheduled nest.
+struct ScheduledLoop {
+  /// Original iteration dimension this loop scans (of its body's op).
+  unsigned IterDim = 0;
+  /// Number of iterations of this loop.
+  int64_t TripCount = 1;
+  /// How many points of IterDim one iteration advances (tile size for
+  /// tile loops, 1 for point loops).
+  int64_t Step = 1;
+  /// Semantics of the dimension (reductions cannot run in parallel).
+  IteratorKind Kind = IteratorKind::Parallel;
+  /// True for loops of a tile band (scanning tiles, not points).
+  bool IsTileLoop = false;
+  /// Executed as scf.forall across cores.
+  bool Parallel = false;
+  /// Innermost SIMD loop (vector dialect).
+  bool Vectorized = false;
+
+  std::string toString() const;
+};
+
+/// One tensor access of a body.
+struct TensorAccess {
+  std::string Value;
+  /// Indexing map over the body op's original iteration dims.
+  AffineMap Map;
+  std::vector<int64_t> TensorShape;
+  unsigned ElemBytes = 4;
+  bool IsWrite = false;
+};
+
+/// One perfectly-nested compute statement: loops below the shared outer
+/// band, its accesses and its per-point arithmetic.
+struct NestBody {
+  /// Name of the op this body computes (its result value).
+  std::string Name;
+  /// Loops enclosing only this body, outermost first. IterDim refers to
+  /// this body's op's iteration space.
+  std::vector<ScheduledLoop> Loops;
+  std::vector<TensorAccess> Accesses;
+  ArithCounts Arith;
+
+  /// Iteration points executed per visit of the shared outer band.
+  int64_t getPointsPerVisit() const;
+  /// Scalar arithmetic per visit of the shared outer band.
+  int64_t getFlopsPerVisit() const {
+    return getPointsPerVisit() * Arith.total();
+  }
+};
+
+/// A fully scheduled loop nest: a shared outer band (the consumer's tile
+/// loops, possibly parallel) enclosing one or more bodies (fused producer
+/// bodies first, the consumer body last).
+struct LoopNest {
+  std::string Name;
+  std::vector<ScheduledLoop> OuterBand;
+  std::vector<NestBody> Bodies;
+
+  /// Values computed by inner bodies and consumed by later bodies within
+  /// the same tile (fusion keeps them cache-resident instead of spilling
+  /// the full intermediate tensor).
+  std::vector<std::string> FusedIntermediates;
+
+  /// Total iterations of the outer band.
+  int64_t getOuterVisits() const;
+  /// Total scalar floating-point operations of the whole nest.
+  int64_t getTotalFlops() const;
+  /// Degree of parallelism exposed by parallel outer-band loops.
+  int64_t getParallelIterations() const;
+  /// True if \p Value is a fused intermediate of this nest.
+  bool isFusedIntermediate(const std::string &Value) const;
+
+  std::string toString() const;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_TRANSFORMS_LOOPNEST_H

@@ -1,0 +1,103 @@
+//===- Schedule.cpp -------------------------------------------------------===//
+
+#include "transforms/Schedule.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mlirrl;
+
+std::string mlirrl::getTransformKindName(TransformKind Kind) {
+  switch (Kind) {
+  case TransformKind::Tiling:
+    return "tiling";
+  case TransformKind::TiledParallelization:
+    return "tiled_parallelization";
+  case TransformKind::TiledFusion:
+    return "tiled_fusion";
+  case TransformKind::Interchange:
+    return "interchange";
+  case TransformKind::Vectorization:
+    return "vectorization";
+  case TransformKind::NoTransformation:
+    return "no_transformation";
+  }
+  MLIRRL_UNREACHABLE("unknown transform kind");
+}
+
+Transformation Transformation::tiling(std::vector<int64_t> Sizes) {
+  Transformation T;
+  T.Kind = TransformKind::Tiling;
+  T.TileSizes = std::move(Sizes);
+  return T;
+}
+
+Transformation
+Transformation::tiledParallelization(std::vector<int64_t> Sizes) {
+  Transformation T;
+  T.Kind = TransformKind::TiledParallelization;
+  T.TileSizes = std::move(Sizes);
+  return T;
+}
+
+Transformation Transformation::tiledFusion(std::vector<int64_t> Sizes) {
+  Transformation T;
+  T.Kind = TransformKind::TiledFusion;
+  T.TileSizes = std::move(Sizes);
+  return T;
+}
+
+Transformation Transformation::interchange(std::vector<unsigned> Perm) {
+  Transformation T;
+  T.Kind = TransformKind::Interchange;
+  T.Permutation = std::move(Perm);
+  return T;
+}
+
+Transformation Transformation::vectorization() {
+  Transformation T;
+  T.Kind = TransformKind::Vectorization;
+  return T;
+}
+
+Transformation Transformation::noTransformation() {
+  return Transformation();
+}
+
+std::string Transformation::toString() const {
+  std::string Out = getTransformKindName(Kind);
+  if (!TileSizes.empty()) {
+    std::vector<std::string> Parts;
+    for (int64_t S : TileSizes)
+      Parts.push_back(formatString("%lld", static_cast<long long>(S)));
+    Out += "(" + join(Parts, ", ") + ")";
+  }
+  if (!Permutation.empty()) {
+    std::vector<std::string> Parts;
+    for (unsigned P : Permutation)
+      Parts.push_back(formatString("%u", P));
+    Out += "(" + join(Parts, ", ") + ")";
+  }
+  return Out;
+}
+
+std::string OpSchedule::toString() const {
+  std::vector<std::string> Parts;
+  for (const Transformation &T : Transforms)
+    Parts.push_back(T.toString());
+  return "[" + join(Parts, "; ") + "]";
+}
+
+bool ModuleSchedule::isFusedAway(unsigned OpIdx) const {
+  return std::find(FusedAway.begin(), FusedAway.end(), OpIdx) !=
+         FusedAway.end();
+}
+
+std::string ModuleSchedule::toString() const {
+  std::string Out;
+  for (const auto &[OpIdx, Sched] : OpSchedules)
+    Out += formatString("op %u: ", OpIdx) + Sched.toString() + "\n";
+  return Out;
+}

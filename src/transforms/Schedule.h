@@ -1,0 +1,93 @@
+//===- Schedule.h - Transformation sequences ---------------------*- C++-*-===//
+///
+/// \file
+/// The schedule IR: the six transformation kinds of the paper (Sec. IV-A)
+/// and per-operation transformation sequences. A Transformation is exactly
+/// one agent action; an OpSchedule is the sequence applied to one Linalg
+/// operation; a ModuleSchedule collects them for a whole code sample
+/// together with the fusion structure the agent chose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_TRANSFORMS_SCHEDULE_H
+#define MLIRRL_TRANSFORMS_SCHEDULE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+/// The six actions of the paper's action space.
+enum class TransformKind {
+  Tiling,
+  TiledParallelization,
+  TiledFusion,
+  Interchange,
+  Vectorization,
+  NoTransformation,
+};
+
+/// Number of transformation options (the transformation-selection head's
+/// output arity).
+inline constexpr unsigned NumTransformKinds = 6;
+
+std::string getTransformKindName(TransformKind Kind);
+
+/// One applied transformation with its parameters.
+struct Transformation {
+  TransformKind Kind = TransformKind::NoTransformation;
+
+  /// For tiled kinds: one entry per loop level (current loop order);
+  /// 0 means "do not tile this level" (paper Sec. IV-A).
+  std::vector<int64_t> TileSizes;
+
+  /// For interchange: Permutation[i] is the loop placed at level i.
+  std::vector<unsigned> Permutation;
+
+  static Transformation tiling(std::vector<int64_t> Sizes);
+  static Transformation tiledParallelization(std::vector<int64_t> Sizes);
+  static Transformation tiledFusion(std::vector<int64_t> Sizes);
+  static Transformation interchange(std::vector<unsigned> Perm);
+  static Transformation vectorization();
+  static Transformation noTransformation();
+
+  /// True for the per-operation terminal actions (Vectorization and
+  /// NoTransformation end the optimization of the current operation).
+  bool isTerminal() const {
+    return Kind == TransformKind::Vectorization ||
+           Kind == TransformKind::NoTransformation;
+  }
+
+  std::string toString() const;
+};
+
+/// The transformation sequence applied to one operation.
+struct OpSchedule {
+  std::vector<Transformation> Transforms;
+
+  /// Indices (into the owning module) of producer ops fused into this
+  /// operation, in fusion order.
+  std::vector<unsigned> FusedProducers;
+
+  bool empty() const { return Transforms.empty() && FusedProducers.empty(); }
+  std::string toString() const;
+};
+
+/// Schedules for a whole module, keyed by op index. Ops fused into a
+/// consumer have no schedule of their own.
+struct ModuleSchedule {
+  std::map<unsigned, OpSchedule> OpSchedules;
+
+  /// Ops that were fused into some consumer (and therefore must not be
+  /// materialized standalone).
+  std::vector<unsigned> FusedAway;
+
+  bool isFusedAway(unsigned OpIdx) const;
+  std::string toString() const;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_TRANSFORMS_SCHEDULE_H

@@ -1,0 +1,170 @@
+//===- DatasetsTest.cpp - Tests for dataset generators ----------------------===//
+
+#include "datasets/Dataset.h"
+#include "datasets/Models.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+void expectAllVerify(const std::vector<Module> &Modules) {
+  std::string Error;
+  for (const Module &M : Modules)
+    ASSERT_TRUE(verifyModule(M, Error)) << M.getName() << ": " << Error;
+}
+
+} // namespace
+
+TEST(DnnDatasetTest, TableTwoCounts) {
+  DnnDatasetCounts Counts;
+  EXPECT_EQ(Counts.Matmul, 187u);
+  EXPECT_EQ(Counts.Conv2d, 278u);
+  EXPECT_EQ(Counts.Maxpool, 250u);
+  EXPECT_EQ(Counts.Add, 271u);
+  EXPECT_EQ(Counts.Relu, 149u);
+  EXPECT_EQ(Counts.total(), 1135u);
+}
+
+TEST(DnnDatasetTest, GeneratedSamplesVerify) {
+  Rng R(1);
+  std::vector<Module> Data =
+      generateDnnOperatorDataset(R, DnnDatasetCounts::scaled(0.05));
+  EXPECT_GT(Data.size(), 30u);
+  expectAllVerify(Data);
+}
+
+TEST(DnnDatasetTest, GenerationIsSeedDeterministic) {
+  Rng A(7), B(7);
+  DnnDatasetCounts Counts = DnnDatasetCounts::scaled(0.02);
+  std::vector<Module> Da = generateDnnOperatorDataset(A, Counts);
+  std::vector<Module> Db = generateDnnOperatorDataset(B, Counts);
+  ASSERT_EQ(Da.size(), Db.size());
+  for (size_t I = 0; I < Da.size(); ++I)
+    EXPECT_EQ(Da[I].getOp(0).getLoopBounds(), Db[I].getOp(0).getLoopBounds());
+}
+
+TEST(DnnDatasetTest, OperatorBenchmarksCoverFigureFive) {
+  std::vector<OperatorBenchmark> B = makeOperatorBenchmarks();
+  std::map<std::string, unsigned> PerOp;
+  for (const OperatorBenchmark &Bench : B) {
+    ++PerOp[Bench.OperatorName];
+    std::string Error;
+    EXPECT_TRUE(verifyModule(Bench.M, Error)) << Error;
+  }
+  for (const char *Op : {"matmul", "conv2d", "maxpool", "add", "relu"})
+    EXPECT_GE(PerOp[Op], 3u) << Op;
+}
+
+TEST(SequenceDatasetTest, LengthAndChaining) {
+  Rng R(3);
+  SequenceConfig Config;
+  for (int I = 0; I < 20; ++I) {
+    Module M = generateOperatorSequence(R, Config);
+    EXPECT_EQ(M.getNumOps(), Config.Length);
+    std::string Error;
+    EXPECT_TRUE(verifyModule(M, Error)) << Error;
+    // Each op (after the first) consumes some produced value.
+    for (unsigned Op = 1; Op < M.getNumOps(); ++Op)
+      EXPECT_FALSE(M.getProducers(Op).empty());
+  }
+}
+
+TEST(LqcdDatasetTest, KernelsAreDeepWithInnerReductions) {
+  Rng R(5);
+  for (int I = 0; I < 30; ++I) {
+    Module M = generateLqcdKernel(R, 12);
+    const LinalgOp &Op = M.getOp(0);
+    EXPECT_GE(Op.getNumLoops(), 6u);
+    EXPECT_LE(Op.getNumLoops(), 12u);
+    EXPECT_GE(Op.getNumReductionLoops(), 2u);
+    // Reductions at the inner levels (paper Sec. VI-B).
+    EXPECT_EQ(Op.getIterator(Op.getNumLoops() - 1),
+              IteratorKind::Reduction);
+    std::string Error;
+    EXPECT_TRUE(verifyModule(M, Error)) << Error;
+  }
+}
+
+TEST(LqcdDatasetTest, ApplicationsVerifyAndScaleWithS) {
+  for (Module M : {makeDibaryonDibaryon(12), makeDibaryonHexaquark(12),
+                   makeHexaquarkHexaquark(8)}) {
+    std::string Error;
+    EXPECT_TRUE(verifyModule(M, Error)) << M.getName() << ": " << Error;
+    EXPECT_GE(M.getNumOps(), 3u);
+  }
+  EXPECT_GT(makeDibaryonDibaryon(24).getTotalFlops(),
+            makeDibaryonDibaryon(12).getTotalFlops());
+}
+
+TEST(LqcdDatasetTest, HexaquarkNestsReachNineLevels) {
+  Module M = makeHexaquarkHexaquark(12);
+  unsigned Deepest = 0;
+  for (const LinalgOp &Op : M.getOps())
+    Deepest = std::max(Deepest, Op.getNumLoops());
+  EXPECT_GE(Deepest, 9u);
+}
+
+TEST(ModelsTest, AllModelsVerify) {
+  for (Module M : {makeResNet18(), makeVgg16(), makeMobileNetV2()}) {
+    std::string Error;
+    EXPECT_TRUE(verifyModule(M, Error)) << M.getName() << ": " << Error;
+  }
+}
+
+TEST(ModelsTest, VggCompositionMatchesArchitecture) {
+  std::map<std::string, unsigned> C = getOpComposition(makeVgg16());
+  EXPECT_EQ(C["conv2d"], 13u);
+  EXPECT_EQ(C["pool"], 5u);
+  EXPECT_EQ(C["matmul"], 3u);
+  EXPECT_GE(C["unknown"], 1u); // the flatten view
+}
+
+TEST(ModelsTest, ResNetCompositionPlausible) {
+  std::map<std::string, unsigned> C = getOpComposition(makeResNet18());
+  EXPECT_EQ(C["conv2d"], 20u); // 1 stem + 16 block + 3 downsample
+  EXPECT_EQ(C["pool"], 1u);
+  EXPECT_EQ(C["matmul"], 1u);
+  EXPECT_GT(C["generic"], 20u); // BN / ReLU / residual adds
+}
+
+TEST(ModelsTest, MobileNetHasDepthwiseStages) {
+  Module M = makeMobileNetV2();
+  std::map<std::string, unsigned> C = getOpComposition(M);
+  EXPECT_GE(C["conv2d"], 30u);
+  // Depthwise stages are 6-loop generics with window reductions.
+  unsigned Depthwise = 0;
+  for (const LinalgOp &Op : M.getOps())
+    if (Op.getKind() == OpKind::Generic && Op.getNumLoops() == 6 &&
+        Op.getNumReductionLoops() == 2)
+      ++Depthwise;
+  EXPECT_EQ(Depthwise, 17u); // one per inverted-residual block
+}
+
+TEST(ModelsTest, ConvDominatesModelFlops) {
+  // The paper's Table III discussion: matmul/conv kernels are the
+  // bottleneck of the models.
+  for (Module M : {makeResNet18(), makeVgg16()}) {
+    int64_t ConvFlops = 0, Total = 0;
+    for (const LinalgOp &Op : M.getOps()) {
+      Total += Op.getFlops();
+      if (Op.getKind() == OpKind::Conv2D || Op.getKind() == OpKind::Matmul)
+        ConvFlops += Op.getFlops();
+    }
+    EXPECT_GT(static_cast<double>(ConvFlops) / Total, 0.8);
+  }
+}
+
+TEST(FullDatasetTest, ScaledAssemblyShufflesAndVerifies) {
+  DatasetConfig Config = DatasetConfig::scaled(0.01);
+  std::vector<Module> Data = buildTrainingDataset(Config);
+  EXPECT_EQ(Data.size(), Config.total());
+  expectAllVerify(Data);
+}
+
+TEST(FullDatasetTest, PaperScaleCountsAddUp) {
+  DatasetConfig Config;
+  EXPECT_EQ(Config.total(), 3959u);
+}

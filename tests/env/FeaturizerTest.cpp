@@ -1,0 +1,142 @@
+//===- FeaturizerTest.cpp - Tests for the state representation --------------===//
+
+#include "env/Featurizer.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mlirrl;
+
+namespace {
+
+struct FeaturizerFixture : ::testing::Test {
+  EnvConfig Config = EnvConfig::laptop();
+  Featurizer Feat{Config};
+  Module M{"m"};
+
+  unsigned makeMatmul() {
+    Builder B(M);
+    std::string A = B.declareInput({64, 32});
+    std::string Bv = B.declareInput({32, 16});
+    B.matmul(A, Bv);
+    return M.getNumOps() - 1;
+  }
+};
+
+} // namespace
+
+TEST_F(FeaturizerFixture, SizeIsStableAndMatchesLayout) {
+  unsigned N = Config.MaxLoops;
+  unsigned Expected = 6 + N * 3 + 1 +
+                      Config.MaxArrays * Config.MaxRank * (N + 1) + 5 +
+                      Config.MaxScheduleLength * N * Config.NumTileSizes +
+                      Config.MaxScheduleLength * N * N;
+  EXPECT_EQ(Feat.featureSize(), Expected);
+  unsigned Op = makeMatmul();
+  EXPECT_EQ(Feat.featurize(M, M.getOp(Op), ActionHistory()).size(), Expected);
+}
+
+TEST_F(FeaturizerFixture, OpTypeOneHot) {
+  unsigned Op = makeMatmul();
+  std::vector<double> F = Feat.featurize(M, M.getOp(Op), ActionHistory());
+  // Categories: generic, matmul, conv, pooling, add, unknown.
+  EXPECT_DOUBLE_EQ(F[0], 0.0);
+  EXPECT_DOUBLE_EQ(F[1], 1.0);
+  EXPECT_DOUBLE_EQ(F[2], 0.0);
+  double Sum = F[0] + F[1] + F[2] + F[3] + F[4] + F[5];
+  EXPECT_DOUBLE_EQ(Sum, 1.0);
+}
+
+TEST_F(FeaturizerFixture, LoopRangesEncodeBoundsAndKinds) {
+  unsigned Op = makeMatmul();
+  std::vector<double> F = Feat.featurize(M, M.getOp(Op), ActionHistory());
+  // Loops start at offset 6; matmul bounds (64, 16, 32).
+  EXPECT_NEAR(F[6 + 0], std::log2(64.0) / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(F[6 + 1], 1.0); // parallel
+  EXPECT_DOUBLE_EQ(F[6 + 2], 0.0);
+  // Third loop (d2) is the reduction.
+  EXPECT_DOUBLE_EQ(F[6 + 2 * 3 + 1], 0.0);
+  EXPECT_DOUBLE_EQ(F[6 + 2 * 3 + 2], 1.0);
+  // Absent loops are all-zero.
+  unsigned Last = 6 + (Config.MaxLoops - 1) * 3;
+  EXPECT_DOUBLE_EQ(F[Last], 0.0);
+  EXPECT_DOUBLE_EQ(F[Last + 1], 0.0);
+}
+
+TEST_F(FeaturizerFixture, VectorizationFlagDiffersByOp) {
+  unsigned MatmulOp = makeMatmul();
+  Builder B(M);
+  std::string In = B.declareInput({1, 8, 16, 16});
+  B.poolingMax(In, 2, 2, 2);
+  unsigned PoolOp = M.getNumOps() - 1;
+
+  unsigned FlagOffset = 6 + Config.MaxLoops * 3;
+  std::vector<double> Fm =
+      Feat.featurize(M, M.getOp(MatmulOp), ActionHistory());
+  std::vector<double> Fp = Feat.featurize(M, M.getOp(PoolOp), ActionHistory());
+  EXPECT_DOUBLE_EQ(Fm[FlagOffset], 1.0);
+  EXPECT_DOUBLE_EQ(Fp[FlagOffset], 0.0);
+}
+
+TEST_F(FeaturizerFixture, AccessMatrixCoefficients) {
+  unsigned Op = makeMatmul();
+  std::vector<double> F = Feat.featurize(M, M.getOp(Op), ActionHistory());
+  unsigned N = Config.MaxLoops;
+  unsigned MapsOffset = 6 + N * 3 + 1;
+  // First input map of matmul: (d0, d1, d2) -> (d0, d2).
+  // Row 0 column 0 (coefficient of d0 in the first result) is 1 -> 1/8.
+  EXPECT_NEAR(F[MapsOffset + 0], 1.0 / 8.0, 1e-12);
+  // Row 1 column 2 (coefficient of d2 in the second result) is 1.
+  EXPECT_NEAR(F[MapsOffset + (N + 1) + 2], 1.0 / 8.0, 1e-12);
+  // Row 1 column 0 is 0.
+  EXPECT_NEAR(F[MapsOffset + (N + 1)], 0.0, 1e-12);
+}
+
+TEST_F(FeaturizerFixture, HistoryTiledSlabOneHot) {
+  unsigned Op = makeMatmul();
+  ActionHistory H;
+  H.recordTiled(0, TransformKind::Tiling, {3, 0, 5});
+  std::vector<double> F = Feat.featurize(M, M.getOp(Op), H);
+
+  unsigned N = Config.MaxLoops;
+  unsigned HistOffset = 6 + N * 3 + 1 +
+                        Config.MaxArrays * Config.MaxRank * (N + 1) + 5;
+  unsigned MSizes = Config.NumTileSizes;
+  // Step 0, loop 0, size index 3 must be hot.
+  EXPECT_DOUBLE_EQ(F[HistOffset + 0 * MSizes + 3], 1.0);
+  // Loop 2, size index 5 hot.
+  EXPECT_DOUBLE_EQ(F[HistOffset + 2 * MSizes + 5], 1.0);
+  // Step 1 slab is all zero.
+  double Step1Sum = 0.0;
+  for (unsigned I = 0; I < N * MSizes; ++I)
+    Step1Sum += F[HistOffset + N * MSizes + I];
+  EXPECT_DOUBLE_EQ(Step1Sum, 0.0);
+}
+
+TEST_F(FeaturizerFixture, HistoryInterchangeSlabPartial) {
+  unsigned Op = makeMatmul();
+  ActionHistory H;
+  // Partial placement: position 0 <- loop 2 chosen, rest pending.
+  H.recordInterchange(1, {2, -1, -1});
+  std::vector<double> F = Feat.featurize(M, M.getOp(Op), H);
+
+  unsigned N = Config.MaxLoops;
+  unsigned Base = 6 + N * 3 + 1 + Config.MaxArrays * Config.MaxRank * (N + 1) +
+                  5 + Config.MaxScheduleLength * N * Config.NumTileSizes;
+  // Step 1 slab, position 0, loop 2.
+  unsigned Idx = Base + 1 * N * N + 0 * N + 2;
+  EXPECT_DOUBLE_EQ(F[Idx], 1.0);
+  // Position 1 row all zero (pending).
+  for (unsigned L = 0; L < N; ++L)
+    EXPECT_DOUBLE_EQ(F[Base + 1 * N * N + 1 * N + L], 0.0);
+}
+
+TEST_F(FeaturizerFixture, ZeroVectorForMissingProducer) {
+  std::vector<double> Z = Feat.zeroVector();
+  EXPECT_EQ(Z.size(), Feat.featureSize());
+  for (double V : Z)
+    EXPECT_DOUBLE_EQ(V, 0.0);
+}

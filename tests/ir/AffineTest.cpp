@@ -1,0 +1,116 @@
+//===- AffineTest.cpp - Tests for affine expressions and maps --------------===//
+
+#include "ir/AffineExpr.h"
+#include "ir/AffineMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(AffineExprTest, DimAndConstant) {
+  AffineExpr D1 = AffineExpr::dim(1, 3);
+  EXPECT_EQ(D1.evaluate({5, 7, 9}), 7);
+  AffineExpr C = AffineExpr::constant(4, 3);
+  EXPECT_EQ(C.evaluate({5, 7, 9}), 4);
+  EXPECT_TRUE(C.isConstantExpr());
+  EXPECT_FALSE(D1.isConstantExpr());
+}
+
+TEST(AffineExprTest, ArithmeticCombination) {
+  // d0 + 2*d1 - 3*d2 + 1 (the paper's Fig. 2 style expression).
+  AffineExpr E = AffineExpr::dim(0, 3) + AffineExpr::dim(1, 3) * 2 -
+                 AffineExpr::dim(2, 3) * 3 + AffineExpr::constant(1, 3);
+  EXPECT_EQ(E.evaluate({1, 2, 3}), 1 + 4 - 9 + 1);
+  EXPECT_EQ(E.getCoeff(0), 1);
+  EXPECT_EQ(E.getCoeff(1), 2);
+  EXPECT_EQ(E.getCoeff(2), -3);
+  EXPECT_EQ(E.getConstant(), 1);
+}
+
+TEST(AffineExprTest, SingleDimDetection) {
+  EXPECT_EQ(AffineExpr::dim(2, 4).getSingleDim(), 2);
+  EXPECT_EQ((AffineExpr::dim(2, 4) * 2).getSingleDim(), -1);
+  EXPECT_EQ((AffineExpr::dim(0, 4) + AffineExpr::dim(1, 4)).getSingleDim(),
+            -1);
+  EXPECT_EQ(AffineExpr::constant(0, 4).getSingleDim(), -1);
+}
+
+TEST(AffineExprTest, MinMaxOverBox) {
+  // 2*d0 - d1 over box [0,4) x [0,3).
+  AffineExpr E =
+      AffineExpr::dim(0, 2) * 2 - AffineExpr::dim(1, 2);
+  EXPECT_EQ(E.maxOverBox({4, 3}), 6);  // d0=3, d1=0
+  EXPECT_EQ(E.minOverBox({4, 3}), -2); // d0=0, d1=2
+}
+
+TEST(AffineExprTest, PermuteDims) {
+  // E = d0 + 3*d2; permutation placing old dim 2 at position 0.
+  AffineExpr E = AffineExpr::dim(0, 3) + AffineExpr::dim(2, 3) * 3;
+  AffineExpr P = E.permuteDims({2, 0, 1});
+  EXPECT_EQ(P.getCoeff(0), 3); // new d0 is old d2
+  EXPECT_EQ(P.getCoeff(1), 1); // new d1 is old d0
+  EXPECT_EQ(P.getCoeff(2), 0);
+}
+
+TEST(AffineExprTest, ToStringForms) {
+  EXPECT_EQ(AffineExpr::dim(0, 2).toString(), "d0");
+  EXPECT_EQ((AffineExpr::dim(1, 2) * 3).toString(), "3 * d1");
+  EXPECT_EQ((AffineExpr::dim(0, 2) - AffineExpr::dim(1, 2)).toString(),
+            "d0 - d1");
+  EXPECT_EQ(AffineExpr::constant(0, 2).toString(), "0");
+  EXPECT_EQ((AffineExpr::constant(1, 2) - AffineExpr::dim(1, 2)).toString(),
+            "-d1 + 1");
+}
+
+TEST(AffineMapTest, IdentityAndProjection) {
+  AffineMap Id = AffineMap::identity(3);
+  EXPECT_EQ(Id.getNumResults(), 3u);
+  EXPECT_TRUE(Id.isProjectedPermutation());
+  AffineMap Proj = AffineMap::projection({0, 2}, 3);
+  EXPECT_EQ(Proj.evaluate({4, 5, 6}), (std::vector<int64_t>{4, 6}));
+  EXPECT_TRUE(Proj.isProjectedPermutation());
+}
+
+TEST(AffineMapTest, NonPermutationDetected) {
+  // (d0, d0) repeats a dim; (2*d0) scales.
+  AffineMap Repeat(2, {AffineExpr::dim(0, 2), AffineExpr::dim(0, 2)});
+  EXPECT_FALSE(Repeat.isProjectedPermutation());
+  AffineMap Scaled(2, {AffineExpr::dim(0, 2) * 2});
+  EXPECT_FALSE(Scaled.isProjectedPermutation());
+}
+
+TEST(AffineMapTest, InvolvesDim) {
+  AffineMap Proj = AffineMap::projection({0, 2}, 3);
+  EXPECT_TRUE(Proj.involvesDim(0));
+  EXPECT_FALSE(Proj.involvesDim(1));
+  EXPECT_TRUE(Proj.involvesDim(2));
+}
+
+TEST(AffineMapTest, AccessMatrixMatchesPaperExample) {
+  // array[d0, d0 + 2*d1 - 3*d2, 1 - d1] (paper Fig. 2).
+  AffineExpr R0 = AffineExpr::dim(0, 3);
+  AffineExpr R1 = AffineExpr::dim(0, 3) + AffineExpr::dim(1, 3) * 2 -
+                  AffineExpr::dim(2, 3) * 3;
+  AffineExpr R2 = AffineExpr::constant(1, 3) - AffineExpr::dim(1, 3);
+  AffineMap Map(3, {R0, R1, R2});
+  auto Matrix = Map.toAccessMatrix();
+  ASSERT_EQ(Matrix.size(), 3u);
+  EXPECT_EQ(Matrix[0], (std::vector<int64_t>{1, 0, 0, 0}));
+  EXPECT_EQ(Matrix[1], (std::vector<int64_t>{1, 2, -3, 0}));
+  EXPECT_EQ(Matrix[2], (std::vector<int64_t>{0, -1, 0, 1}));
+}
+
+TEST(AffineMapTest, ToStringMatchesMlirSyntax) {
+  AffineMap Proj = AffineMap::projection({0, 2}, 3);
+  EXPECT_EQ(Proj.toString(), "(d0, d1, d2) -> (d0, d2)");
+}
+
+TEST(AffineMapTest, PermuteDimsComposesWithEvaluate) {
+  AffineMap Map = AffineMap::projection({0, 2}, 3);
+  // New iteration order: (d2, d0, d1) at position (0, 1, 2).
+  AffineMap Permuted = Map.permuteDims({2, 0, 1});
+  // Evaluating the permuted map at a permuted point must match.
+  std::vector<int64_t> Point = {4, 5, 6};          // original (d0, d1, d2)
+  std::vector<int64_t> PermPoint = {6, 4, 5};      // (d2, d0, d1)
+  EXPECT_EQ(Map.evaluate(Point), Permuted.evaluate(PermPoint));
+}

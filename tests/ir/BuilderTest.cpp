@@ -1,0 +1,125 @@
+//===- BuilderTest.cpp - Tests for named-op construction --------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+class BuilderTest : public ::testing::Test {
+protected:
+  Module M{"test"};
+  Builder B{M};
+
+  void expectVerifies() {
+    std::string Error;
+    EXPECT_TRUE(verifyModule(M, Error)) << Error;
+  }
+};
+
+} // namespace
+
+TEST_F(BuilderTest, MatmulShapesAndMaps) {
+  std::string A = B.declareInput({256, 1024});
+  std::string Bv = B.declareInput({1024, 512});
+  std::string C = B.matmul(A, Bv);
+
+  const LinalgOp &Op = M.getOp(0);
+  EXPECT_EQ(Op.getKind(), OpKind::Matmul);
+  EXPECT_EQ(Op.getLoopBounds(), (std::vector<int64_t>{256, 512, 1024}));
+  EXPECT_EQ(Op.getIterator(2), IteratorKind::Reduction);
+  EXPECT_EQ(M.getValue(C).Type.getShape(), (std::vector<int64_t>{256, 512}));
+  EXPECT_EQ(Op.getFlops(), 2ll * 256 * 512 * 1024);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, Conv2dDomainAndAccess) {
+  std::string In = B.declareInput({1, 3, 32, 32});
+  std::string Ker = B.declareInput({16, 3, 3, 3});
+  std::string Out = B.conv2d(In, Ker, /*Stride=*/1);
+
+  const LinalgOp &Op = M.getOp(0);
+  EXPECT_EQ(Op.getKind(), OpKind::Conv2D);
+  // (n, f, oh, ow, c, kh, kw)
+  EXPECT_EQ(Op.getLoopBounds(),
+            (std::vector<int64_t>{1, 16, 30, 30, 3, 3, 3}));
+  EXPECT_EQ(Op.getNumParallelLoops(), 4u);
+  EXPECT_EQ(M.getValue(Out).Type.getShape(),
+            (std::vector<int64_t>{1, 16, 30, 30}));
+  // Input indexed at (n, c, oh + kh, ow + kw).
+  const AffineExpr &HExpr = Op.getInput(0).Map.getResult(2);
+  EXPECT_EQ(HExpr.getCoeff(2), 1);
+  EXPECT_EQ(HExpr.getCoeff(5), 1);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, Conv2dStrideTwo) {
+  std::string In = B.declareInput({1, 8, 33, 33});
+  std::string Ker = B.declareInput({8, 8, 3, 3});
+  B.conv2d(In, Ker, /*Stride=*/2);
+  const LinalgOp &Op = M.getOp(0);
+  EXPECT_EQ(Op.getLoopBound(2), 16); // (33 - 3) / 2 + 1
+  const AffineExpr &HExpr = Op.getInput(0).Map.getResult(2);
+  EXPECT_EQ(HExpr.getCoeff(2), 2);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, PoolingMaxWindow) {
+  std::string In = B.declareInput({1, 16, 32, 32});
+  std::string Out = B.poolingMax(In, 2, 2, 2);
+  const LinalgOp &Op = M.getOp(0);
+  EXPECT_EQ(Op.getKind(), OpKind::PoolingMax);
+  EXPECT_EQ(Op.getLoopBounds(), (std::vector<int64_t>{1, 16, 16, 16, 2, 2}));
+  EXPECT_EQ(Op.getArith().Max, 1);
+  EXPECT_EQ(M.getValue(Out).Type.getShape(),
+            (std::vector<int64_t>{1, 16, 16, 16}));
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, AddAndReluElementwise) {
+  std::string X = B.declareInput({64, 128});
+  std::string Y = B.declareInput({64, 128});
+  std::string S = B.add(X, Y);
+  std::string R = B.relu(S);
+
+  EXPECT_EQ(M.getOp(0).getKind(), OpKind::Add);
+  EXPECT_EQ(M.getOp(1).getKind(), OpKind::ReLU);
+  EXPECT_EQ(M.getOp(1).getInput(0).Value, S);
+  EXPECT_EQ(M.getValue(R).Type.getShape(), (std::vector<int64_t>{64, 128}));
+  EXPECT_EQ(M.getOp(0).getNumReductionLoops(), 0u);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, SigmoidArithBody) {
+  std::string X = B.declareInput({32});
+  B.sigmoid(X);
+  const ArithCounts &A = M.getOp(0).getArith();
+  EXPECT_EQ(A.Exp, 1);
+  EXPECT_EQ(A.Div, 1);
+  EXPECT_EQ(A.Add, 1);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, GenericOpExplicitMaps) {
+  std::string X = B.declareInput({10, 20});
+  ArithCounts Arith;
+  Arith.Mul = 2;
+  std::string R = B.generic(
+      OpKind::Generic, {10, 20},
+      {IteratorKind::Parallel, IteratorKind::Parallel}, {X},
+      {AffineMap::identity(2)}, AffineMap::identity(2), Arith);
+  EXPECT_EQ(M.getValue(R).Type.getShape(), (std::vector<int64_t>{10, 20}));
+  EXPECT_EQ(M.getOp(0).getFlops(), 2ll * 10 * 20);
+  expectVerifies();
+}
+
+TEST_F(BuilderTest, FreshNamesAreUnique) {
+  std::string A = B.declareInput({4});
+  std::string C = B.relu(A);
+  std::string D = B.relu(C);
+  EXPECT_NE(C, D);
+  EXPECT_NE(A, C);
+}

@@ -1,0 +1,88 @@
+//===- LexerTest.cpp - Tokenizer tests ---------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_TRUE(tokenize(Source, Tokens, Error)) << Error;
+  return Tokens;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, WordsIncludeDotsAndDigits) {
+  std::vector<Token> Tokens = lex("linalg.matmul 256x1024xf32 d0");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "linalg.matmul");
+  EXPECT_EQ(Tokens[1].Text, "256x1024xf32");
+  EXPECT_EQ(Tokens[2].Text, "d0");
+}
+
+TEST(LexerTest, SsaIdentifiers) {
+  std::vector<Token> Tokens = lex("%arg0 = %v1");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::SsaId);
+  EXPECT_EQ(Tokens[0].Text, "%arg0");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Equal);
+  EXPECT_EQ(Tokens[2].Text, "%v1");
+}
+
+TEST(LexerTest, ArrowVsMinus) {
+  std::vector<Token> Tokens = lex("-> - >");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Arrow);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Minus);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Greater);
+}
+
+TEST(LexerTest, AllPunctuation) {
+  std::vector<Token> Tokens = lex("{ } ( ) [ ] < > , : = + * @");
+  TokenKind Expected[] = {
+      TokenKind::LBrace,   TokenKind::RBrace, TokenKind::LParen,
+      TokenKind::RParen,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Less,     TokenKind::Greater, TokenKind::Comma,
+      TokenKind::Colon,    TokenKind::Equal,  TokenKind::Plus,
+      TokenKind::Star,     TokenKind::At};
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << I;
+}
+
+TEST(LexerTest, CommentsSkippedAndLinesTracked) {
+  std::vector<Token> Tokens = lex("// comment\nmodule // trailing\n%x");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Text, "module");
+  EXPECT_EQ(Tokens[0].Line, 2u);
+  EXPECT_EQ(Tokens[1].Text, "%x");
+  EXPECT_EQ(Tokens[1].Line, 3u);
+}
+
+TEST(LexerTest, ColumnsTracked) {
+  std::vector<Token> Tokens = lex("ab cd");
+  EXPECT_EQ(Tokens[0].Col, 1u);
+  EXPECT_EQ(Tokens[1].Col, 4u);
+}
+
+TEST(LexerTest, RejectsBarePercent) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_FALSE(tokenize("% ", Tokens, Error));
+  EXPECT_NE(Error.find("expected name"), std::string::npos);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_FALSE(tokenize("module $", Tokens, Error));
+  EXPECT_NE(Error.find("unexpected character"), std::string::npos);
+}

@@ -1,0 +1,86 @@
+//===- ModuleTest.cpp - Tests for use-def queries ---------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+/// x -> relu -> add(with y) chain plus a second reader of the relu.
+struct Chain {
+  Module M{"chain"};
+  std::string X, Y, R, S, T;
+  Chain() {
+    Builder B(M);
+    X = B.declareInput({8, 8});
+    Y = B.declareInput({8, 8});
+    R = B.relu(X);      // op 0
+    S = B.add(R, Y);    // op 1
+    T = B.relu(S);      // op 2
+  }
+};
+
+} // namespace
+
+TEST(ModuleTest, DefiningOps) {
+  Chain C;
+  EXPECT_EQ(C.M.getDefiningOp(C.X), -1);
+  EXPECT_EQ(C.M.getDefiningOp(C.R), 0);
+  EXPECT_EQ(C.M.getDefiningOp(C.T), 2);
+}
+
+TEST(ModuleTest, ProducersOfConsumer) {
+  Chain C;
+  EXPECT_EQ(C.M.getProducers(1), (std::vector<unsigned>{0}));
+  EXPECT_EQ(C.M.getProducers(0), (std::vector<unsigned>{}));
+  EXPECT_EQ(C.M.getLastProducer(2), 1);
+  EXPECT_EQ(C.M.getLastProducer(0), -1);
+}
+
+TEST(ModuleTest, LastProducerPicksTextuallyClosest) {
+  // Consumer reading two produced values: the later one wins (Sec. III).
+  Module M("two");
+  Builder B(M);
+  std::string X = B.declareInput({4, 4});
+  std::string P1 = B.relu(X);  // op 0
+  std::string P2 = B.relu(X);  // op 1
+  B.add(P1, P2);               // op 2
+  EXPECT_EQ(M.getLastProducer(2), 1);
+}
+
+TEST(ModuleTest, ConsumersAndModuleOutputs) {
+  Chain C;
+  EXPECT_EQ(C.M.getConsumers(0), (std::vector<unsigned>{1}));
+  EXPECT_EQ(C.M.getConsumers(2), (std::vector<unsigned>{}));
+  EXPECT_FALSE(C.M.isModuleOutput(0));
+  EXPECT_TRUE(C.M.isModuleOutput(2));
+}
+
+TEST(ModuleTest, TotalFlopsSumsOps) {
+  Chain C;
+  int64_t Expected = 0;
+  for (const LinalgOp &Op : C.M.getOps())
+    Expected += Op.getFlops();
+  EXPECT_EQ(C.M.getTotalFlops(), Expected);
+  EXPECT_GT(Expected, 0);
+}
+
+TEST(ModuleTest, ReplaceOpKeepsName) {
+  Chain C;
+  LinalgOp Copy = C.M.getOp(0);
+  C.M.replaceOp(0, Copy);
+  EXPECT_EQ(C.M.getOp(0).getResult(), C.R);
+}
+
+TEST(ModuleDeathTest, UndeclaredOperandAborts) {
+  Module M;
+  ArithCounts Arith;
+  LinalgOp Op("%r", OpKind::ReLU, {4}, {IteratorKind::Parallel},
+              {OpOperand{"%nope", AffineMap::identity(1)}},
+              AffineMap::identity(1), Arith);
+  EXPECT_DEATH(M.addOp(std::move(Op), TensorType({4}, ElementType::F32)),
+               "undeclared");
+}

@@ -1,0 +1,164 @@
+//===- ParserTest.cpp - Parser / printer round-trip tests -------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(ParserTest, ParsesMinimalModule) {
+  auto M = parseModule("module @m { %A = tensor<4x4xf32> }");
+  ASSERT_TRUE(M) << M.getError();
+  EXPECT_EQ(M->getName(), "m");
+  EXPECT_TRUE(M->hasValue("%A"));
+  EXPECT_EQ(M->getValue("%A").Type.getShape(), (std::vector<int64_t>{4, 4}));
+}
+
+TEST(ParserTest, ParsesMatmulListingOne) {
+  // The paper's Listing 1 matmul in our textual form.
+  const char *Source = R"(
+    module @listing1 {
+      %A = tensor<256x1024xf32>
+      %B = tensor<1024x512xf32>
+      %C = linalg.matmul {
+        bounds = [256, 512, 1024],
+        iterators = [parallel, parallel, reduction],
+        maps = [(d0, d1, d2) -> (d0, d2),
+                (d0, d1, d2) -> (d2, d1),
+                (d0, d1, d2) -> (d0, d1)],
+        arith = {mul: 1, add: 1}
+      } ins(%A, %B) : tensor<256x512xf32>
+    }
+  )";
+  auto M = parseModule(Source);
+  ASSERT_TRUE(M) << M.getError();
+  ASSERT_EQ(M->getNumOps(), 1u);
+  const LinalgOp &Op = M->getOp(0);
+  EXPECT_EQ(Op.getKind(), OpKind::Matmul);
+  EXPECT_EQ(Op.getLoopBounds(), (std::vector<int64_t>{256, 512, 1024}));
+  EXPECT_EQ(Op.getArith().Mul, 1);
+  std::string Error;
+  EXPECT_TRUE(verifyModule(*M, Error)) << Error;
+}
+
+TEST(ParserTest, ParsesAffineArithmetic) {
+  const char *Source = R"(
+    module {
+      %I = tensor<64x64xf32>
+      %O = linalg.generic {
+        bounds = [31, 31],
+        iterators = [parallel, parallel],
+        maps = [(d0, d1) -> (2 * d0 + 1, d1 * 2), (d0, d1) -> (d0, d1)],
+        arith = {add: 1}
+      } ins(%I) : tensor<31x31xf32>
+    }
+  )";
+  auto M = parseModule(Source);
+  ASSERT_TRUE(M) << M.getError();
+  const AffineExpr &E0 = M->getOp(0).getInput(0).Map.getResult(0);
+  EXPECT_EQ(E0.getCoeff(0), 2);
+  EXPECT_EQ(E0.getConstant(), 1);
+  const AffineExpr &E1 = M->getOp(0).getInput(0).Map.getResult(1);
+  EXPECT_EQ(E1.getCoeff(1), 2);
+}
+
+TEST(ParserTest, ParsesNegativeCoefficients) {
+  const char *Source = R"(
+    module {
+      %I = tensor<16xf32>
+      %O = linalg.generic {
+        bounds = [8],
+        iterators = [parallel],
+        maps = [(d0) -> (15 - d0), (d0) -> (d0)],
+        arith = {add: 1}
+      } ins(%I) : tensor<8xf32>
+    }
+  )";
+  auto M = parseModule(Source);
+  ASSERT_TRUE(M) << M.getError();
+  const AffineExpr &E = M->getOp(0).getInput(0).Map.getResult(0);
+  EXPECT_EQ(E.getCoeff(0), -1);
+  EXPECT_EQ(E.getConstant(), 15);
+}
+
+TEST(ParserTest, RoundTripBuilderModules) {
+  Module M("roundtrip");
+  Builder B(M);
+  std::string A = B.declareInput({32, 64});
+  std::string Bv = B.declareInput({64, 16});
+  std::string C = B.matmul(A, Bv);
+  std::string R = B.relu(C);
+  std::string In4 = B.declareInput({1, 4, 16, 16});
+  std::string Ker = B.declareInput({4, 4, 3, 3});
+  B.conv2d(In4, Ker, 1);
+  (void)R;
+
+  std::string Printed = printModule(M);
+  auto Reparsed = parseModule(Printed);
+  ASSERT_TRUE(Reparsed) << Reparsed.getError() << "\n" << Printed;
+  EXPECT_EQ(printModule(*Reparsed), Printed);
+  EXPECT_EQ(Reparsed->getNumOps(), M.getNumOps());
+}
+
+TEST(ParserTest, ErrorOnUnknownOp) {
+  auto M = parseModule("module { %x = linalg.bogus {bounds = [1], "
+                       "iterators = [parallel], maps = [(d0) -> (d0)]} "
+                       "ins() : tensor<1xf32> }");
+  ASSERT_FALSE(M);
+  EXPECT_NE(M.getError().find("unknown operation"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnUndeclaredValue) {
+  auto M = parseModule("module { %y = linalg.relu {bounds = [4], "
+                       "iterators = [parallel], "
+                       "maps = [(d0) -> (d0), (d0) -> (d0)], "
+                       "arith = {max: 1}} ins(%ghost) : tensor<4xf32> }");
+  ASSERT_FALSE(M);
+  EXPECT_NE(M.getError().find("undeclared"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnRedefinition) {
+  auto M = parseModule(
+      "module { %A = tensor<4xf32> %A = tensor<4xf32> }");
+  ASSERT_FALSE(M);
+  EXPECT_NE(M.getError().find("redefinition"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorCarriesLocation) {
+  auto M = parseModule("module {\n  %A = tonsor<4xf32>\n}");
+  ASSERT_FALSE(M);
+  // Error on line 2.
+  EXPECT_NE(M.getError().find("2:"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnMapArityMismatch) {
+  auto M = parseModule("module { %I = tensor<4xf32> "
+                       "%y = linalg.relu {bounds = [4], "
+                       "iterators = [parallel], maps = [(d0) -> (d0)], "
+                       "arith = {max: 1}} ins(%I) : tensor<4xf32> }");
+  ASSERT_FALSE(M);
+  EXPECT_NE(M.getError().find("one map per input"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnTrailingInput) {
+  auto M = parseModule("module { } garbage");
+  ASSERT_FALSE(M);
+  EXPECT_NE(M.getError().find("trailing"), std::string::npos);
+}
+
+TEST(ParserTest, CommentsAreIgnored) {
+  auto M = parseModule("// header comment\nmodule { // trailing\n"
+                       "  %A = tensor<4xf32> // decl\n}");
+  ASSERT_TRUE(M) << M.getError();
+  EXPECT_TRUE(M->hasValue("%A"));
+}
+
+TEST(ParserTest, F64ElementType) {
+  auto M = parseModule("module { %A = tensor<8x8xf64> }");
+  ASSERT_TRUE(M) << M.getError();
+  EXPECT_EQ(M->getValue("%A").Type.getElementType(), ElementType::F64);
+  EXPECT_EQ(M->getValue("%A").Type.getByteSize(), 8 * 8 * 8);
+}

@@ -1,0 +1,115 @@
+//===- VerifierTest.cpp - Tests for structural validation -------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+Module makeValidMatmul() {
+  Module M("ok");
+  Builder B(M);
+  std::string A = B.declareInput({16, 32});
+  std::string Bv = B.declareInput({32, 8});
+  B.matmul(A, Bv);
+  return M;
+}
+
+} // namespace
+
+TEST(VerifierTest, AcceptsValidModule) {
+  Module M = makeValidMatmul();
+  std::string Error;
+  EXPECT_TRUE(verifyModule(M, Error)) << Error;
+}
+
+TEST(VerifierTest, RejectsMapDimMismatch) {
+  Module M("bad");
+  M.addInput("%A", TensorType({8}, ElementType::F32));
+  ArithCounts Arith;
+  // Map over 2 dims but the op has 1 loop.
+  LinalgOp Op("%r", OpKind::Generic, {8}, {IteratorKind::Parallel},
+              {OpOperand{"%A", AffineMap::identity(2)}},
+              AffineMap::identity(1), Arith);
+  M.addOp(std::move(Op), TensorType({8}, ElementType::F32));
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, Error));
+  EXPECT_NE(Error.find("dims"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsRankMismatch) {
+  Module M("bad");
+  M.addInput("%A", TensorType({8, 8}, ElementType::F32));
+  ArithCounts Arith;
+  // Rank-2 tensor accessed through a rank-1 map.
+  LinalgOp Op("%r", OpKind::Generic, {8}, {IteratorKind::Parallel},
+              {OpOperand{"%A", AffineMap::identity(1)}},
+              AffineMap::identity(1), Arith);
+  M.addOp(std::move(Op), TensorType({8}, ElementType::F32));
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, Error));
+  EXPECT_NE(Error.find("rank"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsOutOfBoundsAccess) {
+  Module M("bad");
+  M.addInput("%A", TensorType({8}, ElementType::F32));
+  ArithCounts Arith;
+  // d0 + 4 over [0, 8) exceeds extent 8.
+  AffineExpr Shifted = AffineExpr::dim(0, 1) + AffineExpr::constant(4, 1);
+  LinalgOp Op("%r", OpKind::Generic, {8}, {IteratorKind::Parallel},
+              {OpOperand{"%A", AffineMap(1, {Shifted})}},
+              AffineMap::identity(1), Arith);
+  M.addOp(std::move(Op), TensorType({8}, ElementType::F32));
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, Error));
+  EXPECT_NE(Error.find("outside"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsReductionInOutputMap) {
+  Module M("bad");
+  M.addInput("%A", TensorType({8, 8}, ElementType::F32));
+  ArithCounts Arith;
+  // d1 is a reduction iterator but appears in the output map.
+  LinalgOp Op("%r", OpKind::Generic, {8, 8},
+              {IteratorKind::Parallel, IteratorKind::Reduction},
+              {OpOperand{"%A", AffineMap::identity(2)}},
+              AffineMap::identity(2), Arith);
+  M.addOp(std::move(Op), TensorType({8, 8}, ElementType::F32));
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, Error));
+  EXPECT_NE(Error.find("reduction"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsNegativeCoefficientInBounds) {
+  Module M("ok");
+  M.addInput("%A", TensorType({8}, ElementType::F32));
+  ArithCounts Arith;
+  Arith.Add = 1;
+  // Reversal access 7 - d0 stays within [0, 8).
+  AffineExpr Rev = AffineExpr::constant(7, 1) - AffineExpr::dim(0, 1);
+  LinalgOp Op("%r", OpKind::Generic, {8}, {IteratorKind::Parallel},
+              {OpOperand{"%A", AffineMap(1, {Rev})}},
+              AffineMap::identity(1), Arith);
+  M.addOp(std::move(Op), TensorType({8}, ElementType::F32));
+  std::string Error;
+  EXPECT_TRUE(verifyModule(M, Error)) << Error;
+}
+
+TEST(VerifierTest, VerifiesEveryBuilderOpKind) {
+  Module M("all");
+  Builder B(M);
+  std::string X = B.declareInput({2, 8, 16, 16});
+  std::string K = B.declareInput({8, 8, 3, 3});
+  std::string C = B.conv2d(X, K, 1);
+  std::string P = B.poolingMax(C, 2, 2, 2);
+  std::string R = B.relu(P);
+  std::string S = B.sigmoid(R);
+  std::string A2 = B.add(S, S);
+  (void)A2;
+  std::string Error;
+  EXPECT_TRUE(verifyModule(M, Error)) << Error;
+}

@@ -1,0 +1,83 @@
+//===- DistributionsTest.cpp - Tests for masked categoricals ----------------===//
+
+#include "nn/Distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+TEST(CategoricalTest, ProbabilitiesSumToOne) {
+  Tensor Logits = Tensor::fromData(1, 4, {0.1, 2.0, -1.0, 0.5});
+  MaskedCategorical Dist(Logits);
+  double Sum = 0.0;
+  for (double P : Dist.probabilities())
+    Sum += P;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(CategoricalTest, MaskZeroesProbabilities) {
+  Tensor Logits = Tensor::fromData(1, 4, {5.0, 1.0, 1.0, 1.0});
+  Tensor Mask = Tensor::fromData(1, 4, {0, 1, 1, 1});
+  MaskedCategorical Dist(Logits, Mask);
+  std::vector<double> P = Dist.probabilities();
+  EXPECT_DOUBLE_EQ(P[0], 0.0);
+  EXPECT_NEAR(P[1] + P[2] + P[3], 1.0, 1e-9);
+  EXPECT_TRUE(Dist.isMasked(0));
+  EXPECT_FALSE(Dist.isMasked(1));
+}
+
+TEST(CategoricalTest, SamplingNeverPicksMasked) {
+  Tensor Logits = Tensor::fromData(1, 3, {10.0, 0.0, 0.0});
+  Tensor Mask = Tensor::fromData(1, 3, {0, 1, 1});
+  MaskedCategorical Dist(Logits, Mask);
+  Rng R(5);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_NE(Dist.sample(R), 0u);
+}
+
+TEST(CategoricalTest, SamplingFollowsProbabilities) {
+  Tensor Logits = Tensor::fromData(1, 2, {std::log(3.0), 0.0});
+  MaskedCategorical Dist(Logits);
+  Rng R(11);
+  int Counts[2] = {0, 0};
+  for (int I = 0; I < 8000; ++I)
+    ++Counts[Dist.sample(R)];
+  EXPECT_NEAR(static_cast<double>(Counts[0]) / Counts[1], 3.0, 0.35);
+}
+
+TEST(CategoricalTest, ArgmaxRespectsMask) {
+  Tensor Logits = Tensor::fromData(1, 3, {10.0, 1.0, 2.0});
+  Tensor Mask = Tensor::fromData(1, 3, {0, 1, 1});
+  MaskedCategorical Dist(Logits, Mask);
+  EXPECT_EQ(Dist.argmax(), 2u);
+}
+
+TEST(CategoricalTest, LogProbMatchesProbabilities) {
+  Tensor Logits = Tensor::fromData(1, 3, {1.0, 2.0, 3.0});
+  MaskedCategorical Dist(Logits);
+  std::vector<double> P = Dist.probabilities();
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_NEAR(Dist.logProb(I).item(), std::log(P[I]), 1e-9);
+}
+
+TEST(CategoricalTest, EntropyUniformIsLogN) {
+  Tensor Logits = Tensor::fromData(1, 8, std::vector<double>(8, 0.0));
+  MaskedCategorical Dist(Logits);
+  EXPECT_NEAR(Dist.entropy().item(), std::log(8.0), 1e-9);
+}
+
+TEST(CategoricalTest, EntropyMaskedUniformIsLogValidCount) {
+  Tensor Logits = Tensor::fromData(1, 8, std::vector<double>(8, 0.0));
+  Tensor Mask = Tensor::fromData(1, 8, {1, 1, 1, 0, 0, 0, 0, 1});
+  MaskedCategorical Dist(Logits, Mask);
+  EXPECT_NEAR(Dist.entropy().item(), std::log(4.0), 1e-9);
+}
+
+TEST(CategoricalTest, PeakyDistributionLowEntropy) {
+  Tensor Logits = Tensor::fromData(1, 4, {20.0, 0.0, 0.0, 0.0});
+  MaskedCategorical Dist(Logits);
+  EXPECT_LT(Dist.entropy().item(), 0.01);
+}

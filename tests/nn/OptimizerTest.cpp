@@ -1,0 +1,118 @@
+//===- OptimizerTest.cpp - Tests for Adam / SGD and training dynamics -------===//
+
+#include "nn/Layers.h"
+#include "nn/Optimizer.h"
+#include "nn/Serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+TEST(OptimizerTest, SgdDescendsQuadratic) {
+  // minimize (x - 3)^2.
+  Tensor X = Tensor::parameter(1, 1, {0.0});
+  Sgd Opt({X}, 0.1);
+  for (int I = 0; I < 100; ++I) {
+    Opt.zeroGrad();
+    Tensor Diff = sub(X, Tensor::scalar(3.0));
+    Tensor Loss = sumAll(hadamard(Diff, Diff));
+    Loss.backward();
+    Opt.step();
+  }
+  EXPECT_NEAR(X.item(), 3.0, 1e-4);
+}
+
+TEST(OptimizerTest, AdamDescendsQuadratic) {
+  Tensor X = Tensor::parameter(1, 2, {-4.0, 7.0});
+  Adam Opt({X}, 0.1);
+  for (int I = 0; I < 300; ++I) {
+    Opt.zeroGrad();
+    Tensor Target = Tensor::fromData(1, 2, {1.0, -2.0});
+    Tensor Diff = sub(X, Target);
+    sumAll(hadamard(Diff, Diff)).backward();
+    Opt.step();
+  }
+  EXPECT_NEAR(X.at(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(X.at(0, 1), -2.0, 1e-2);
+}
+
+TEST(OptimizerTest, AdamStepSizeBounded) {
+  // First Adam step moves by ~lr regardless of gradient scale.
+  Tensor X = Tensor::parameter(1, 1, {0.0});
+  Adam Opt({X}, 0.5);
+  Opt.zeroGrad();
+  sumAll(scale(X, 1e6)).backward();
+  Opt.step();
+  EXPECT_NEAR(std::fabs(X.item()), 0.5, 0.01);
+}
+
+TEST(OptimizerTest, GradClipScalesDown) {
+  Tensor A = Tensor::parameter(1, 2, {0, 0});
+  A.node()->Grad = {3.0, 4.0}; // norm 5
+  double Norm = clipGradNorm({A}, 1.0);
+  EXPECT_DOUBLE_EQ(Norm, 5.0);
+  EXPECT_NEAR(A.grad()[0], 0.6, 1e-12);
+  EXPECT_NEAR(A.grad()[1], 0.8, 1e-12);
+}
+
+TEST(OptimizerTest, GradClipNoOpUnderLimit) {
+  Tensor A = Tensor::parameter(1, 2, {0, 0});
+  A.node()->Grad = {0.3, 0.4};
+  clipGradNorm({A}, 1.0);
+  EXPECT_DOUBLE_EQ(A.grad()[0], 0.3);
+}
+
+TEST(OptimizerTest, LinearRegressionConverges) {
+  // Fit y = 2x - 1 with a Linear layer.
+  Rng R(42);
+  Linear L(1, 1, R);
+  Adam Opt(L.parameters(), 0.05);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    Opt.zeroGrad();
+    std::vector<Tensor> Losses;
+    for (double Xv : {-1.0, 0.0, 1.0, 2.0}) {
+      Tensor X = Tensor::fromData(1, 1, {Xv});
+      Tensor Y = Tensor::fromData(1, 1, {2 * Xv - 1});
+      Tensor Diff = sub(L.forward(X), Y);
+      Losses.push_back(sumAll(hadamard(Diff, Diff)));
+    }
+    meanOf(Losses).backward();
+    Opt.step();
+  }
+  Tensor Pred = L.forward(Tensor::fromData(1, 1, {5.0}));
+  EXPECT_NEAR(Pred.item(), 9.0, 0.05);
+}
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  Rng R(7);
+  Linear L(3, 2, R);
+  std::string Path = testing::TempDir() + "/mlirrl_params_test.txt";
+  ASSERT_TRUE(saveParameters(L.parameters(), Path));
+
+  Rng R2(99);
+  Linear L2(3, 2, R2);
+  // Different init; after load they must match L.
+  ASSERT_TRUE(loadParameters(L2.parameters(), Path));
+  for (unsigned I = 0; I < 3; ++I)
+    for (unsigned J = 0; J < 2; ++J)
+      EXPECT_DOUBLE_EQ(L2.parameters()[0].at(I, J),
+                       L.parameters()[0].at(I, J));
+}
+
+TEST(SerializationTest, LoadRejectsShapeMismatch) {
+  Rng R(7);
+  Linear L(3, 2, R);
+  std::string Path = testing::TempDir() + "/mlirrl_params_mismatch.txt";
+  ASSERT_TRUE(saveParameters(L.parameters(), Path));
+  Linear Bigger(4, 2, R);
+  EXPECT_FALSE(loadParameters(Bigger.parameters(), Path));
+}
+
+TEST(SerializationTest, LoadRejectsMissingFile) {
+  Rng R(7);
+  Linear L(2, 2, R);
+  EXPECT_FALSE(loadParameters(L.parameters(), "/nonexistent/path.txt"));
+}

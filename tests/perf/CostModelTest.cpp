@@ -1,0 +1,204 @@
+//===- CostModelTest.cpp - Behavioural tests of the analytical model --------===//
+//
+// These tests pin down the *directional* behaviours the RL reward relies
+// on: parallelization, vectorization, tiling, interchange and fusion must
+// each pay off in the situations where they should on real hardware.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "perf/CostModel.h"
+#include "transforms/Apply.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+struct CostFixture : ::testing::Test {
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  CostModel Model{Machine};
+
+  Module MM{"mm"};
+  void SetUp() override {
+    Builder B(MM);
+    std::string A = B.declareInput({512, 512});
+    std::string Bv = B.declareInput({512, 512});
+    B.matmul(A, Bv);
+  }
+
+  double timeWith(const OpSchedule &Sched) {
+    return Model.estimateNest(materializeLoopNest(MM, 0, Sched)).TotalSeconds;
+  }
+
+  static OpSchedule sched(std::initializer_list<Transformation> Ts) {
+    OpSchedule S;
+    S.Transforms = Ts;
+    return S;
+  }
+};
+
+} // namespace
+
+TEST_F(CostFixture, BaselineTimeIsPlausible) {
+  // 512^3 matmul: 2.7e8 flops; scalar with a reduction chain at ~1.2
+  // Gflop/s gives ~0.2s; it must land within an order of magnitude.
+  double T = timeWith({});
+  EXPECT_GT(T, 0.01);
+  EXPECT_LT(T, 3.0);
+}
+
+TEST_F(CostFixture, ParallelizationSpeedsUp) {
+  double Base = timeWith({});
+  double Par = timeWith(
+      sched({Transformation::tiledParallelization({32, 32, 0})}));
+  EXPECT_LT(Par, Base);
+  // Speedup is bounded by the core count.
+  EXPECT_LT(Base / Par, Machine.NumCores * 1.05);
+  EXPECT_GT(Base / Par, 4.0);
+}
+
+TEST_F(CostFixture, VectorizationSpeedsUp) {
+  // Put the parallel dim innermost first so vectorization is legal and
+  // unit-stride.
+  OpSchedule Interchanged =
+      sched({Transformation::interchange({2, 0, 1})});
+  OpSchedule Vectorized =
+      sched({Transformation::interchange({2, 0, 1}),
+             Transformation::vectorization()});
+  double NoVec = timeWith(Interchanged);
+  double Vec = timeWith(Vectorized);
+  EXPECT_LT(Vec, NoVec);
+  EXPECT_LT(NoVec / Vec, Machine.VectorLanesF32 * 1.5);
+}
+
+TEST_F(CostFixture, TilingReducesMemoryTraffic) {
+  TrafficBreakdown Base =
+      Model.estimateTraffic(materializeLoopNest(MM, 0, {}));
+  TrafficBreakdown Tiled = Model.estimateTraffic(materializeLoopNest(
+      MM, 0, sched({Transformation::tiling({32, 32, 32})})));
+  // The untiled 512x512 matmul streams B 512 times through L1 (1 MiB
+  // working set per i iteration); 64x64 tiles capture that reuse.
+  EXPECT_LT(Tiled.L1Bytes, Base.L1Bytes * 0.6);
+  EXPECT_LE(Tiled.L3Bytes, Base.L3Bytes * 1.01);
+}
+
+TEST_F(CostFixture, InterchangeAffectsLocality) {
+  // Make the innermost loop stride through the slow dim of C and B
+  // (d1 outer, d2 middle, d0 inner) vs the cache-friendly order.
+  Module M2("order");
+  Builder B2(M2);
+  std::string A = B2.declareInput({1024, 1024});
+  std::string Bv = B2.declareInput({1024, 1024});
+  B2.matmul(A, Bv);
+  // Bad: d0 innermost (column-major walk of A and C).
+  OpSchedule Bad = CostFixture::sched(
+      {Transformation::interchange({1, 2, 0})});
+  // Good: default (d2 innermost, rows of B).
+  double BadT = Model.estimateNest(materializeLoopNest(M2, 0, Bad))
+                    .TotalSeconds;
+  double GoodT =
+      Model.estimateNest(materializeLoopNest(M2, 0, {})).TotalSeconds;
+  EXPECT_GT(BadT, GoodT);
+}
+
+TEST_F(CostFixture, FusionBeatsSeparateElementwise) {
+  // Large elementwise chain: unfused writes + re-reads the intermediate
+  // from DRAM; fusion keeps it in cache.
+  Module M2("ew");
+  Builder B2(M2);
+  std::string X = B2.declareInput({4096, 4096});
+  std::string R = B2.relu(X);
+  B2.sigmoid(R);
+
+  ModuleSchedule Unfused;
+  double UnfusedT = Model.estimateModule(materializeModule(M2, Unfused));
+
+  ModuleSchedule Fused;
+  OpSchedule Consumer;
+  Consumer.Transforms.push_back(Transformation::tiledFusion({64, 64}));
+  Consumer.FusedProducers.push_back(0);
+  Fused.OpSchedules[1] = Consumer;
+  Fused.FusedAway.push_back(0);
+  double FusedT = Model.estimateModule(materializeModule(M2, Fused));
+
+  EXPECT_LT(FusedT, UnfusedT);
+}
+
+TEST_F(CostFixture, CombinedScheduleBeatsEachAlone) {
+  OpSchedule Par = sched({Transformation::tiledParallelization({32, 32, 0})});
+  OpSchedule Full =
+      sched({Transformation::tiledParallelization({32, 32, 0}),
+             Transformation::interchange({2, 0, 1}),
+             Transformation::vectorization()});
+  EXPECT_LT(timeWith(Full), timeWith(Par));
+  double Speedup = timeWith({}) / timeWith(Full);
+  // Bound: cores x lanes, plus removal of the baseline's reduction-chain
+  // penalty (the baseline runs the K reduction innermost).
+  EXPECT_GT(Speedup, 20.0);
+  EXPECT_LT(Speedup, Machine.NumCores * Machine.VectorLanesF32 /
+                         Machine.ReductionChainFactor);
+}
+
+TEST_F(CostFixture, ReductionInnermostPaysChainPenalty) {
+  // d2 (reduction) innermost scalar vs d1 innermost scalar.
+  double RedInner = timeWith({});
+  double ParInner = timeWith(sched({Transformation::interchange({2, 0, 1})}));
+  EXPECT_LT(ParInner, RedInner);
+}
+
+TEST_F(CostFixture, DegenerateTilingCostsLoopOverhead) {
+  // Tile everything by 1: pure overhead, no reuse benefit.
+  double Base = timeWith({});
+  double Degenerate = timeWith(sched({Transformation::tiling({1, 1, 1})}));
+  EXPECT_GT(Degenerate, Base * 0.9);
+}
+
+TEST_F(CostFixture, SmallOpGainsLittleFromParallelism) {
+  // A tiny op is dominated by the fork overhead.
+  Module M2("tiny");
+  Builder B2(M2);
+  std::string X = B2.declareInput({16, 16});
+  std::string Y = B2.declareInput({16, 16});
+  B2.add(X, Y);
+  double Base =
+      Model.estimateNest(materializeLoopNest(M2, 0, {})).TotalSeconds;
+  OpSchedule Par;
+  Par.Transforms.push_back(Transformation::tiledParallelization({1, 0}));
+  double ParT =
+      Model.estimateNest(materializeLoopNest(M2, 0, Par)).TotalSeconds;
+  EXPECT_GT(ParT, Base);
+}
+
+TEST_F(CostFixture, MemoryBoundOpCappedByBandwidth) {
+  // Huge elementwise add: time must be at least DRAM traffic / bandwidth
+  // even fully parallel + vectorized.
+  Module M2("bw");
+  Builder B2(M2);
+  std::string X = B2.declareInput({8192, 8192});
+  std::string Y = B2.declareInput({8192, 8192});
+  B2.add(X, Y);
+  OpSchedule Full;
+  // Tile d1 by 512 so the innermost trip satisfies the vectorization mask.
+  Full.Transforms.push_back(Transformation::tiledParallelization({64, 512}));
+  Full.Transforms.push_back(Transformation::vectorization());
+  double T = Model.estimateNest(materializeLoopNest(M2, 0, Full)).TotalSeconds;
+  double Bytes = 3.0 * 8192 * 8192 * 4;
+  double MinTime = Bytes / (Machine.DramBandwidthGBps * 1024 * 1024 * 1024);
+  EXPECT_GE(T, MinTime * 0.99);
+  EXPECT_LT(T, MinTime * 5);
+}
+
+TEST_F(CostFixture, EstimateModuleSumsNests) {
+  Module M2("two");
+  Builder B2(M2);
+  std::string X = B2.declareInput({256, 256});
+  std::string R = B2.relu(X);
+  B2.sigmoid(R);
+  std::vector<LoopNest> Nests = materializeModule(M2, ModuleSchedule());
+  double Sum = 0.0;
+  for (const LoopNest &N : Nests)
+    Sum += Model.estimateNest(N).TotalSeconds;
+  EXPECT_DOUBLE_EQ(Model.estimateModule(Nests), Sum);
+}

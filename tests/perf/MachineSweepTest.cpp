@@ -1,0 +1,124 @@
+//===- MachineSweepTest.cpp - Parameterized machine-model sweeps -------------===//
+//
+// Property sweeps over machine parameters: the cost model must respond
+// monotonically to hardware resources (more cores / wider vectors /
+// bigger caches / more bandwidth never make a fixed schedule slower).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/DnnOps.h"
+#include "perf/CostModel.h"
+#include "transforms/Apply.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+/// A parallel + vectorized matmul schedule exercising all resources.
+LoopNest scheduledMatmul(int64_t Size) {
+  static std::vector<Module *> Keep;
+  Module *M = new Module(makeMatmulModule(Size, Size, Size));
+  Keep.push_back(M);
+  OpSchedule S;
+  S.Transforms.push_back(Transformation::tiledParallelization({16, 16, 0}));
+  S.Transforms.push_back(Transformation::interchange({2, 0, 1}));
+  S.Transforms.push_back(Transformation::vectorization());
+  return materializeLoopNest(*M, 0, S);
+}
+
+class SizeSweep : public ::testing::TestWithParam<int64_t> {};
+
+} // namespace
+
+TEST_P(SizeSweep, MoreCoresNeverSlower) {
+  LoopNest Nest = scheduledMatmul(GetParam());
+  double Prev = 1e99;
+  for (unsigned Cores : {1u, 2u, 4u, 8u, 16u, 28u}) {
+    MachineModel M = MachineModel::xeonE5_2680v4();
+    M.NumCores = Cores;
+    double T = CostModel(M).estimateNest(Nest).TotalSeconds;
+    EXPECT_LE(T, Prev * 1.0001) << "cores=" << Cores;
+    Prev = T;
+  }
+}
+
+TEST_P(SizeSweep, MoreDramBandwidthNeverSlower) {
+  LoopNest Nest = scheduledMatmul(GetParam());
+  double Prev = 1e99;
+  for (double Bw : {10.0, 30.0, 68.0, 200.0}) {
+    MachineModel M = MachineModel::xeonE5_2680v4();
+    M.DramBandwidthGBps = Bw;
+    double T = CostModel(M).estimateNest(Nest).TotalSeconds;
+    EXPECT_LE(T, Prev * 1.0001) << "bw=" << Bw;
+    Prev = T;
+  }
+}
+
+TEST_P(SizeSweep, BiggerL1NeverMoreTraffic) {
+  LoopNest Nest = scheduledMatmul(GetParam());
+  double Prev = 1e99;
+  for (int64_t Kb : {8, 16, 32, 64, 256}) {
+    MachineModel M = MachineModel::xeonE5_2680v4();
+    M.L1.SizeBytes = Kb * 1024;
+    double Traffic = CostModel(M).estimateTraffic(Nest).L1Bytes;
+    EXPECT_LE(Traffic, Prev * 1.0001) << "L1=" << Kb << "KiB";
+    Prev = Traffic;
+  }
+}
+
+TEST_P(SizeSweep, WiderVectorsNeverSlower) {
+  LoopNest Nest = scheduledMatmul(GetParam());
+  double Prev = 1e99;
+  for (unsigned Lanes : {2u, 4u, 8u, 16u}) {
+    MachineModel M = MachineModel::xeonE5_2680v4();
+    M.VectorLanesF32 = Lanes;
+    double T = CostModel(M).estimateNest(Nest).TotalSeconds;
+    EXPECT_LE(T, Prev * 1.0001) << "lanes=" << Lanes;
+    Prev = T;
+  }
+}
+
+TEST_P(SizeSweep, BaselineScalesWithProblemSize) {
+  // Doubling every dim multiplies work by 8; time must grow by at least
+  // 4x (sub-linear growth would be a model bug).
+  MachineModel M = MachineModel::xeonE5_2680v4();
+  CostModel Model(M);
+  int64_t Size = GetParam();
+  Module Small = makeMatmulModule(Size, Size, Size);
+  Module Big = makeMatmulModule(2 * Size, 2 * Size, 2 * Size);
+  double TSmall =
+      Model.estimateModule(materializeBaseline(Small));
+  double TBig = Model.estimateModule(materializeBaseline(Big));
+  EXPECT_GT(TBig, TSmall * 4.0);
+  EXPECT_LT(TBig, TSmall * 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(64, 128, 256, 512));
+
+namespace {
+
+class TileSweep : public ::testing::TestWithParam<int64_t> {};
+
+} // namespace
+
+TEST_P(TileSweep, SquareTilingNeverIncreasesL2Traffic) {
+  // Property: for the 512^3 matmul, any square tiling <= 64 reduces (or
+  // keeps) traffic into L2 relative to untiled.
+  Module M = makeMatmulModule(512, 512, 512);
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  CostModel Model(Machine);
+  double Untiled =
+      Model.estimateTraffic(materializeLoopNest(M, 0, {})).L2Bytes;
+  int64_t Tile = GetParam();
+  OpSchedule S;
+  S.Transforms.push_back(Transformation::tiling({Tile, Tile, Tile}));
+  double Tiled =
+      Model.estimateTraffic(materializeLoopNest(M, 0, S)).L2Bytes;
+  EXPECT_LE(Tiled, Untiled * 1.05) << "tile=" << Tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, TileSweep,
+                         ::testing::Values(8, 16, 32, 64));

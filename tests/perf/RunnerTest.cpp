@@ -1,0 +1,75 @@
+//===- RunnerTest.cpp - Tests for the execution facade ----------------------===//
+
+#include "ir/Builder.h"
+#include "perf/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+Module makeMatmul() {
+  Module M("mm");
+  Builder B(M);
+  std::string A = B.declareInput({256, 256});
+  std::string Bv = B.declareInput({256, 256});
+  B.matmul(A, Bv);
+  return M;
+}
+
+ModuleSchedule goodSchedule() {
+  ModuleSchedule Sched;
+  OpSchedule S;
+  S.Transforms.push_back(Transformation::tiledParallelization({16, 16, 0}));
+  S.Transforms.push_back(Transformation::interchange({2, 0, 1}));
+  S.Transforms.push_back(Transformation::vectorization());
+  Sched.OpSchedules[0] = S;
+  return Sched;
+}
+
+} // namespace
+
+TEST(RunnerTest, DeterministicWithoutNoise) {
+  Module M = makeMatmul();
+  Runner R(MachineModel::xeonE5_2680v4());
+  EXPECT_DOUBLE_EQ(R.timeBaseline(M), R.timeBaseline(M));
+  ModuleSchedule S = goodSchedule();
+  EXPECT_DOUBLE_EQ(R.timeModule(M, S), R.timeModule(M, S));
+}
+
+TEST(RunnerTest, SpeedupAboveOneForGoodSchedule) {
+  Module M = makeMatmul();
+  Runner R(MachineModel::xeonE5_2680v4());
+  EXPECT_GT(R.speedup(M, goodSchedule()), 2.0);
+}
+
+TEST(RunnerTest, EmptyScheduleSpeedupIsOne) {
+  Module M = makeMatmul();
+  Runner R(MachineModel::xeonE5_2680v4());
+  EXPECT_DOUBLE_EQ(R.speedup(M, ModuleSchedule()), 1.0);
+}
+
+TEST(RunnerTest, NoiseStaysNearModelTime) {
+  Module M = makeMatmul();
+  RunnerOptions Opts;
+  Opts.Noise = true;
+  Opts.NoiseStddev = 0.02;
+  Runner Noisy(MachineModel::xeonE5_2680v4(), Opts);
+  Runner Clean(MachineModel::xeonE5_2680v4());
+  double T0 = Clean.timeBaseline(M);
+  double T1 = Noisy.timeBaseline(M);
+  EXPECT_NEAR(T1 / T0, 1.0, 0.1);
+  // Distinct draws differ.
+  EXPECT_NE(Noisy.timeBaseline(M), T1);
+}
+
+TEST(RunnerTest, NoiseIsSeedDeterministic) {
+  Module M = makeMatmul();
+  RunnerOptions Opts;
+  Opts.Noise = true;
+  Opts.Seed = 99;
+  Runner A(MachineModel::xeonE5_2680v4(), Opts);
+  Runner B(MachineModel::xeonE5_2680v4(), Opts);
+  EXPECT_DOUBLE_EQ(A.timeBaseline(M), B.timeBaseline(M));
+}

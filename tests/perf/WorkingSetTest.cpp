@@ -1,0 +1,130 @@
+//===- WorkingSetTest.cpp - Tests for footprint analysis --------------------===//
+
+#include "ir/Builder.h"
+#include "perf/WorkingSet.h"
+#include "transforms/Apply.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+LoopNest matmulNest(int64_t M, int64_t N, int64_t K, OpSchedule Sched = {}) {
+  static std::vector<Module *> Keep; // fixtures outlive the nests
+  Module *Mod = new Module("mm");
+  Keep.push_back(Mod);
+  Builder B(*Mod);
+  std::string A = B.declareInput({M, K});
+  std::string Bv = B.declareInput({K, N});
+  B.matmul(A, Bv);
+  return materializeLoopNest(*Mod, 0, Sched);
+}
+
+} // namespace
+
+TEST(WorkingSetTest, FlattenBaselineMatmul) {
+  LoopNest Nest = matmulNest(64, 32, 16);
+  std::vector<FlatLoop> Loops = flattenBodyLoops(Nest, 0);
+  ASSERT_EQ(Loops.size(), 3u);
+  EXPECT_FALSE(Loops[0].Foreign);
+  EXPECT_EQ(Loops[0].Loop.TripCount, 64);
+}
+
+TEST(WorkingSetTest, SubBoxExtentsFullAndPartial) {
+  LoopNest Nest = matmulNest(64, 32, 16);
+  std::vector<FlatLoop> Loops = flattenBodyLoops(Nest, 0);
+  // Full nest: extents equal bounds.
+  EXPECT_EQ(computeSubBoxExtents(Loops, 0, 3),
+            (std::vector<int64_t>{64, 32, 16}));
+  // Below the outermost loop: d0 is fixed.
+  EXPECT_EQ(computeSubBoxExtents(Loops, 1, 3),
+            (std::vector<int64_t>{1, 32, 16}));
+  // One point.
+  EXPECT_EQ(computeSubBoxExtents(Loops, 3, 3),
+            (std::vector<int64_t>{1, 1, 1}));
+}
+
+TEST(WorkingSetTest, SubBoxExtentsComposeTileAndPoint) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiling({8, 8, 0}));
+  LoopNest Nest = matmulNest(64, 32, 16, Sched);
+  std::vector<FlatLoop> Loops = flattenBodyLoops(Nest, 0);
+  // Tile loops (8, 4) then point loops (8, 8, 16): full extents restored.
+  EXPECT_EQ(computeSubBoxExtents(Loops, 0, 3),
+            (std::vector<int64_t>{64, 32, 16}));
+  // Inside both tile loops: one 8x8 tile with full K.
+  EXPECT_EQ(computeSubBoxExtents(Loops, 2, 3),
+            (std::vector<int64_t>{8, 8, 16}));
+}
+
+TEST(WorkingSetTest, MatmulFootprintsAtDepths) {
+  LoopNest Nest = matmulNest(64, 32, 16);
+  std::vector<FlatLoop> Loops = flattenBodyLoops(Nest, 0);
+  const std::vector<TensorAccess> &Acc = Nest.Bodies[0].Accesses;
+  // A is 64x16 f32.
+  AccessFootprint A0 = computeFootprint(Acc[0], Loops, 0, 64);
+  EXPECT_EQ(A0.Elements, 64 * 16);
+  EXPECT_EQ(A0.Bytes, 64 * 16 * 4);
+  // Below d0: A touches one row (16 elements).
+  AccessFootprint A1 = computeFootprint(Acc[0], Loops, 1, 64);
+  EXPECT_EQ(A1.Elements, 16);
+  // B (16x32) below d0: whole matrix still touched.
+  AccessFootprint B1 = computeFootprint(Acc[1], Loops, 1, 64);
+  EXPECT_EQ(B1.Elements, 16 * 32);
+  // C below d1 (inside d0, d1): one element, reused across K.
+  AccessFootprint C2 = computeFootprint(Acc[2], Loops, 2, 64);
+  EXPECT_EQ(C2.Elements, 1);
+}
+
+TEST(WorkingSetTest, StridedAccessPadsToLines) {
+  // Access A[d0 * 8] over 64 iterations: 64 distinct elements, 8-strided.
+  Module M("strided");
+  Builder B(M);
+  std::string In = B.declareInput({512});
+  ArithCounts Arith;
+  Arith.Add = 1;
+  B.generic(OpKind::Generic, {64}, {IteratorKind::Parallel}, {In},
+            {AffineMap(1, {AffineExpr::dim(0, 1) * 8})}, AffineMap::identity(1),
+            Arith);
+  LoopNest Nest = materializeLoopNest(M, 0, OpSchedule());
+  std::vector<FlatLoop> Loops = flattenBodyLoops(Nest, 0);
+  AccessFootprint FP =
+      computeFootprint(Nest.Bodies[0].Accesses[0], Loops, 0, 64);
+  EXPECT_EQ(FP.Elements, 64);
+  // Stride 8 x 4B = 32B per element group: padded by 8x.
+  EXPECT_EQ(FP.Bytes, 64 * 4 * 8);
+}
+
+TEST(WorkingSetTest, UnitStrideDetection) {
+  LoopNest Nest = matmulNest(8, 8, 8);
+  const std::vector<TensorAccess> &Acc = Nest.Bodies[0].Accesses;
+  // A (d0, d2): unit stride along d2 (its last dim), not along d1.
+  EXPECT_TRUE(isUnitStrideForLoop(Acc[0], 2));
+  EXPECT_FALSE(isUnitStrideForLoop(Acc[0], 1));
+  // B (d2, d1): unit stride along d1; d2 drives the slow dim.
+  EXPECT_TRUE(isUnitStrideForLoop(Acc[1], 1));
+  EXPECT_FALSE(isUnitStrideForLoop(Acc[1], 2));
+  // C (d0, d1): unit stride along d1.
+  EXPECT_TRUE(isUnitStrideForLoop(Acc[2], 1));
+}
+
+TEST(WorkingSetTest, FusedBodyOuterBandIsForeign) {
+  Module M("fused");
+  Builder B(M);
+  std::string X = B.declareInput({64, 64});
+  std::string R = B.relu(X);
+  B.relu(R);
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiledFusion({8, 8}));
+  Sched.FusedProducers.push_back(0);
+  LoopNest Nest = materializeLoopNest(M, 1, Sched);
+  ASSERT_EQ(Nest.Bodies.size(), 2u);
+  std::vector<FlatLoop> ProducerLoops = flattenBodyLoops(Nest, 0);
+  // Outer band loops are foreign to the producer body.
+  EXPECT_TRUE(ProducerLoops[0].Foreign);
+  EXPECT_TRUE(ProducerLoops[1].Foreign);
+  // Consumer body owns the band.
+  std::vector<FlatLoop> ConsumerLoops = flattenBodyLoops(Nest, 1);
+  EXPECT_FALSE(ConsumerLoops[0].Foreign);
+}

@@ -1,0 +1,131 @@
+//===- AgentTest.cpp - Tests for the actor-critic agent ---------------------===//
+
+#include "rl/Agent.h"
+
+#include "datasets/DnnOps.h"
+#include "env/Featurizer.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mlirrl;
+
+namespace {
+
+struct AgentFixture : ::testing::Test {
+  EnvConfig Config = EnvConfig::laptop();
+  NetConfig Net{16, 16, 2};
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  Runner Run{Machine};
+  unsigned FeatureSize = Featurizer(Config).featureSize();
+
+  std::unique_ptr<Environment> makeEnv(Module M) {
+    return std::make_unique<Environment>(Config, Run, std::move(M));
+  }
+};
+
+} // namespace
+
+TEST_F(AgentFixture, ActRespectsTransformMask) {
+  ActorCritic Agent(Config, FeatureSize, Net, 1);
+  auto Env = makeEnv(makeMaxpoolModule(1, 16, 32, 32, 2, 2));
+  Rng R(3);
+  for (int I = 0; I < 100; ++I) {
+    ActorCritic::Sampled S = Agent.act(Env->observe(), R);
+    // Vectorization and fusion are masked for a lone pooling op.
+    EXPECT_NE(S.Action.Kind, TransformKind::Vectorization);
+    EXPECT_NE(S.Action.Kind, TransformKind::TiledFusion);
+  }
+}
+
+TEST_F(AgentFixture, SampledTileIndicesInRange) {
+  ActorCritic Agent(Config, FeatureSize, Net, 2);
+  auto Env = makeEnv(makeMatmulModule(64, 64, 64));
+  Rng R(4);
+  for (int I = 0; I < 50; ++I) {
+    ActorCritic::Sampled S = Agent.act(Env->observe(), R);
+    if (!S.Action.TileSizeIdx.empty())
+      for (unsigned Idx : S.Action.TileSizeIdx)
+        EXPECT_LT(Idx, Config.NumTileSizes);
+  }
+}
+
+TEST_F(AgentFixture, EvaluateReproducesSampledLogProb) {
+  ActorCritic Agent(Config, FeatureSize, Net, 5);
+  auto Env = makeEnv(makeMatmulModule(64, 64, 64));
+  Rng R(6);
+  Observation Obs = Env->observe();
+  for (int I = 0; I < 20; ++I) {
+    ActorCritic::Sampled S = Agent.act(Obs, R);
+    ActorCritic::Evaluation E = Agent.evaluate(Obs, S.Action);
+    EXPECT_NEAR(E.LogProb.item(), S.LogProb, 1e-9);
+  }
+}
+
+TEST_F(AgentFixture, GreedyIsDeterministic) {
+  ActorCritic Agent(Config, FeatureSize, Net, 7);
+  auto Env = makeEnv(makeMatmulModule(64, 64, 64));
+  Rng R(8);
+  ActorCritic::Sampled A = Agent.act(Env->observe(), R, /*Greedy=*/true);
+  ActorCritic::Sampled B = Agent.act(Env->observe(), R, /*Greedy=*/true);
+  EXPECT_EQ(A.Action.Kind, B.Action.Kind);
+  EXPECT_EQ(A.Action.TileSizeIdx, B.Action.TileSizeIdx);
+  EXPECT_DOUBLE_EQ(A.LogProb, B.LogProb);
+}
+
+TEST_F(AgentFixture, PointerSubStepUsesInterchangeHeadOnly) {
+  ActorCritic Agent(Config, FeatureSize, Net, 9);
+  auto Env = makeEnv(makeMatmulModule(64, 64, 64));
+  Rng R(10);
+  // Force an interchange start.
+  AgentAction Start;
+  Start.Kind = TransformKind::Interchange;
+  Start.PointerChoice = 1;
+  Env->step(Start);
+  ASSERT_TRUE(Env->observe().InPointerSequence);
+  ActorCritic::Sampled S = Agent.act(Env->observe(), R);
+  EXPECT_EQ(S.Action.Kind, TransformKind::Interchange);
+  // The already-placed loop cannot be chosen again.
+  EXPECT_NE(S.Action.PointerChoice, 1u);
+}
+
+TEST_F(AgentFixture, EpisodeRunsToCompletionUnderRandomPolicy) {
+  ActorCritic Agent(Config, FeatureSize, Net, 11);
+  Rng R(12);
+  // Multi-op module exercises op advancement and fusion paths.
+  Module M("seq");
+  {
+    Builder B(M);
+    std::string X = B.declareInput({256, 256});
+    std::string A = B.relu(X);
+    std::string C = B.sigmoid(A);
+    B.add(C, C);
+  }
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    auto Env = makeEnv(M);
+    unsigned Guard = 0;
+    while (!Env->isDone()) {
+      ASSERT_LT(++Guard, 200u) << "episode failed to terminate";
+      ActorCritic::Sampled S = Agent.act(Env->observe(), R);
+      Env->step(S.Action);
+    }
+    EXPECT_GE(Env->currentSpeedup(), 0.0);
+  }
+}
+
+TEST_F(AgentFixture, FlatAgentRunsEpisodes) {
+  EnvConfig Flat = Config;
+  Flat.ActionSpace = ActionSpaceMode::Flat;
+  ActorCritic Agent(Flat, Featurizer(Flat).featureSize(), Net, 13);
+  Rng R(14);
+  Environment Env(Flat, Run, makeMatmulModule(128, 128, 128));
+  unsigned Guard = 0;
+  while (!Env.isDone()) {
+    ASSERT_LT(++Guard, 100u);
+    ActorCritic::Sampled S = Agent.act(Env.observe(), R);
+    Env.step(S.Action);
+  }
+  SUCCEED();
+}

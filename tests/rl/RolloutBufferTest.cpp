@@ -1,0 +1,88 @@
+//===- RolloutBufferTest.cpp - Tests for GAE / advantage computation --------===//
+
+#include "rl/RolloutBuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mlirrl;
+
+namespace {
+
+RolloutStep makeStep(double Reward, double Value, bool End) {
+  RolloutStep S;
+  S.Reward = Reward;
+  S.Value = Value;
+  S.EpisodeEnd = End;
+  return S;
+}
+
+} // namespace
+
+TEST(RolloutBufferTest, SingleStepEpisode) {
+  RolloutBuffer B;
+  B.add(makeStep(2.0, 0.5, true));
+  B.computeAdvantages(1.0, 0.95);
+  // delta = r - V = 1.5; no bootstrap.
+  EXPECT_DOUBLE_EQ(B.steps()[0].Advantage, 1.5);
+  EXPECT_DOUBLE_EQ(B.steps()[0].Return, 2.0);
+}
+
+TEST(RolloutBufferTest, TerminalRewardPropagatesWithGammaOne) {
+  // Paper setting: gamma = 1, all reward at the end.
+  RolloutBuffer B;
+  B.add(makeStep(0.0, 0.0, false));
+  B.add(makeStep(0.0, 0.0, false));
+  B.add(makeStep(3.0, 0.0, true));
+  B.computeAdvantages(1.0, 1.0); // lambda = 1: Monte-Carlo returns
+  for (const RolloutStep &S : B.steps()) {
+    EXPECT_DOUBLE_EQ(S.Return, 3.0);
+    EXPECT_DOUBLE_EQ(S.Advantage, 3.0);
+  }
+}
+
+TEST(RolloutBufferTest, LambdaDiscountsCredit) {
+  RolloutBuffer B;
+  B.add(makeStep(0.0, 0.0, false));
+  B.add(makeStep(1.0, 0.0, true));
+  B.computeAdvantages(1.0, 0.5);
+  // A1 = 1; A0 = 0 + 1*0.5*A1 = 0.5.
+  EXPECT_DOUBLE_EQ(B.steps()[1].Advantage, 1.0);
+  EXPECT_DOUBLE_EQ(B.steps()[0].Advantage, 0.5);
+}
+
+TEST(RolloutBufferTest, EpisodeBoundaryStopsBootstrap) {
+  RolloutBuffer B;
+  B.add(makeStep(5.0, 0.0, true));  // episode 1
+  B.add(makeStep(0.0, 0.0, true));  // episode 2
+  B.computeAdvantages(1.0, 0.95);
+  // Episode 2 must not see episode 1's reward.
+  EXPECT_DOUBLE_EQ(B.steps()[1].Advantage, 0.0);
+  EXPECT_DOUBLE_EQ(B.steps()[0].Advantage, 5.0);
+}
+
+TEST(RolloutBufferTest, ValueBaselineReducesAdvantage) {
+  RolloutBuffer B;
+  B.add(makeStep(2.0, 2.0, true)); // perfectly predicted
+  B.computeAdvantages(1.0, 0.95);
+  EXPECT_DOUBLE_EQ(B.steps()[0].Advantage, 0.0);
+  EXPECT_DOUBLE_EQ(B.steps()[0].Return, 2.0);
+}
+
+TEST(RolloutBufferTest, NormalizationZeroMeanUnitVar) {
+  RolloutBuffer B;
+  B.add(makeStep(1.0, 0.0, true));
+  B.add(makeStep(2.0, 0.0, true));
+  B.add(makeStep(3.0, 0.0, true));
+  B.add(makeStep(6.0, 0.0, true));
+  B.computeAdvantages(1.0, 0.95);
+  B.normalizeAdvantages();
+  double Sum = 0.0, SumSq = 0.0;
+  for (const RolloutStep &S : B.steps()) {
+    Sum += S.Advantage;
+    SumSq += S.Advantage * S.Advantage;
+  }
+  EXPECT_NEAR(Sum, 0.0, 1e-9);
+  EXPECT_NEAR(SumSq / B.size(), 1.0, 1e-6);
+}

@@ -1,0 +1,33 @@
+//===- FormatTest.cpp - Tests for string formatting ------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(FormatTest, FormatStringBasic) {
+  EXPECT_EQ(formatString("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+}
+
+TEST(FormatTest, FormatStringLongOutput) {
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}
+
+TEST(FormatTest, FormatStringEmpty) { EXPECT_EQ(formatString("%s", ""), ""); }
+
+TEST(FormatTest, JoinBasic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(FormatTest, JoinSingleAndEmpty) {
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(FormatTest, StartsWith) {
+  EXPECT_TRUE(startsWith("linalg.matmul", "linalg."));
+  EXPECT_FALSE(startsWith("linalg", "linalg."));
+  EXPECT_TRUE(startsWith("abc", ""));
+}

@@ -1,0 +1,110 @@
+//===- RngTest.cpp - Tests for the deterministic RNG ----------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mlirrl;
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Different = 0;
+  for (int I = 0; I < 32; ++I)
+    Different += A.next() != B.next();
+  EXPECT_GT(Different, 30);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng R(5);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInt(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng R(17);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.nextGaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.1);
+}
+
+TEST(RngTest, SampleWeightedRespectsWeights) {
+  Rng R(19);
+  std::vector<double> Weights = {0.0, 1.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[R.sampleWeighted(Weights)];
+  EXPECT_EQ(Counts[0], 0);
+  EXPECT_GT(Counts[2], Counts[1]);
+  EXPECT_NEAR(static_cast<double>(Counts[2]) / Counts[1], 3.0, 0.6);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(23);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(RngTest, ChoiceIndexInRange) {
+  Rng R(29);
+  std::vector<int> V(5, 0);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_LT(R.choiceIndex(V), V.size());
+}

@@ -1,0 +1,49 @@
+//===- StatsTest.cpp - Tests for summary statistics ------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(StatsTest, MedianEvenCountAverages) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, MedianRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(StatsTest, GeomeanBasic) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanBelowMeanForSpread) {
+  std::vector<double> V = {1.0, 100.0};
+  EXPECT_LT(geomean(V), mean(V));
+}
+
+TEST(StatsTest, StddevBasic) {
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(StatsTest, StddevSingleValueIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> V = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(minOf(V), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf(V), 7.0);
+}

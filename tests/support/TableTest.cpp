@@ -1,0 +1,57 @@
+//===- TableTest.cpp - Tests for table / CSV rendering ---------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| name "), std::string::npos);
+  EXPECT_NE(Out.find("| alpha "), std::string::npos);
+  EXPECT_NE(Out.find("| 22 "), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  TextTable T({"a", "b"});
+  T.addRow({"xxxx", "y"});
+  std::string Out = T.render();
+  // Every line has the same length.
+  size_t FirstLen = Out.find('\n');
+  size_t Pos = FirstLen + 1;
+  while (Pos < Out.size()) {
+    size_t Next = Out.find('\n', Pos);
+    EXPECT_EQ(Next - Pos, FirstLen);
+    Pos = Next + 1;
+  }
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(CsvTest, RendersCommaSeparated) {
+  CsvWriter W({"iter", "speedup"});
+  W.addRow({"1", "2.5"});
+  EXPECT_EQ(W.render(), "iter,speedup\n1,2.5\n");
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  CsvWriter W({"a"});
+  W.addRow({"1"});
+  std::string Path = testing::TempDir() + "/mlirrl_csv_test.csv";
+  ASSERT_TRUE(W.writeFile(Path));
+  FILE *F = fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {};
+  size_t N = fread(Buf, 1, sizeof(Buf) - 1, F);
+  fclose(F);
+  EXPECT_EQ(std::string(Buf, N), "a\n1\n");
+}

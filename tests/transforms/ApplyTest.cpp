@@ -1,0 +1,232 @@
+//===- ApplyTest.cpp - Tests for the transformation engine ------------------===//
+
+#include "ir/Builder.h"
+#include "transforms/Apply.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+struct MatmulFixture : ::testing::Test {
+  Module M{"mm"};
+  std::string A, Bv, C;
+
+  void SetUp() override {
+    Builder B(M);
+    A = B.declareInput({256, 1024});
+    Bv = B.declareInput({1024, 512});
+    C = B.matmul(A, Bv); // bounds (256, 512, 1024)
+  }
+
+  const LinalgOp &op() { return M.getOp(0); }
+};
+
+/// Counts loops matching a predicate.
+template <typename Pred>
+unsigned countLoops(const std::vector<ScheduledLoop> &Loops, Pred P) {
+  unsigned N = 0;
+  for (const ScheduledLoop &L : Loops)
+    N += P(L);
+  return N;
+}
+
+} // namespace
+
+TEST_F(MatmulFixture, InitialStateIsIdentity) {
+  OpTransformState S(op());
+  EXPECT_EQ(S.getOrder(), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(S.getPointTrips(), (std::vector<int64_t>{256, 512, 1024}));
+  EXPECT_EQ(S.getInnermostTrip(), 1024);
+  EXPECT_FALSE(S.isVectorized());
+}
+
+TEST_F(MatmulFixture, TilingUpdatesPointTrips) {
+  OpTransformState S(op());
+  auto R = S.apply(Transformation::tiling({8, 8, 0}));
+  ASSERT_TRUE(R.Applied) << R.Reason;
+  EXPECT_EQ(S.getPointTrips(), (std::vector<int64_t>{8, 8, 1024}));
+  EXPECT_EQ(S.getInnermostTrip(), 1024);
+}
+
+TEST_F(MatmulFixture, AllZeroTilingRejected) {
+  OpTransformState S(op());
+  auto R = S.apply(Transformation::tiling({0, 0, 0}));
+  EXPECT_FALSE(R.Applied);
+  EXPECT_EQ(S.getBands().size(), 0u);
+}
+
+TEST_F(MatmulFixture, OversizedTileIsNoOpPerDim) {
+  OpTransformState S(op());
+  // 4096 > every bound: no effect on those dims; 8 on d1 is effective.
+  auto R = S.apply(Transformation::tiling({4096, 8, 4096}));
+  ASSERT_TRUE(R.Applied) << R.Reason;
+  EXPECT_EQ(S.getPointTrips(), (std::vector<int64_t>{256, 8, 1024}));
+}
+
+TEST_F(MatmulFixture, TwoLevelTiling) {
+  OpTransformState S(op());
+  ASSERT_TRUE(S.apply(Transformation::tiling({64, 64, 0})).Applied);
+  ASSERT_TRUE(S.apply(Transformation::tiling({8, 8, 0})).Applied);
+  EXPECT_EQ(S.getBands().size(), 2u);
+  EXPECT_EQ(S.getPointTrips(), (std::vector<int64_t>{8, 8, 1024}));
+}
+
+TEST_F(MatmulFixture, InterchangePermutesOrder) {
+  OpTransformState S(op());
+  // Paper semantics: position i receives loop Perm[i]; I(2,0,1) moves the
+  // innermost loop to the outermost position.
+  ASSERT_TRUE(S.apply(Transformation::interchange({2, 0, 1})).Applied);
+  EXPECT_EQ(S.getOrder(), (std::vector<unsigned>{2, 0, 1}));
+  EXPECT_EQ(S.getInnermostTrip(), 512); // d1 is now innermost
+}
+
+TEST_F(MatmulFixture, InterchangeComposes) {
+  OpTransformState S(op());
+  ASSERT_TRUE(S.apply(Transformation::interchange({2, 0, 1})).Applied);
+  ASSERT_TRUE(S.apply(Transformation::interchange({2, 0, 1})).Applied);
+  // Applying the rotation twice: order becomes (d1, d2, d0).
+  EXPECT_EQ(S.getOrder(), (std::vector<unsigned>{1, 2, 0}));
+}
+
+TEST_F(MatmulFixture, InvalidPermutationRejected) {
+  OpTransformState S(op());
+  EXPECT_FALSE(S.apply(Transformation::interchange({0, 0, 1})).Applied);
+  EXPECT_FALSE(S.apply(Transformation::interchange({0, 1})).Applied);
+}
+
+TEST_F(MatmulFixture, VectorizationRequiresSmallInnerTrip) {
+  OpTransformState S(op());
+  // Innermost d2 has 1024 iterations > 512: masked.
+  EXPECT_FALSE(S.apply(Transformation::vectorization()).Applied);
+  // After interchange, innermost d1 has 512 iterations: legal.
+  ASSERT_TRUE(S.apply(Transformation::interchange({2, 0, 1})).Applied);
+  EXPECT_TRUE(S.apply(Transformation::vectorization()).Applied);
+  EXPECT_TRUE(S.isVectorized());
+}
+
+TEST_F(MatmulFixture, NoTransformAfterVectorizationRejected) {
+  OpTransformState S(op());
+  ASSERT_TRUE(S.apply(Transformation::interchange({2, 0, 1})).Applied);
+  ASSERT_TRUE(S.apply(Transformation::vectorization()).Applied);
+  EXPECT_FALSE(S.apply(Transformation::tiling({8, 8, 8})).Applied);
+  EXPECT_FALSE(S.apply(Transformation::vectorization()).Applied);
+  EXPECT_FALSE(S.apply(Transformation::interchange({0, 1, 2})).Applied);
+}
+
+TEST_F(MatmulFixture, MaterializeBaselineStructure) {
+  LoopNest Nest = materializeLoopNest(M, 0, OpSchedule());
+  ASSERT_EQ(Nest.Bodies.size(), 1u);
+  EXPECT_TRUE(Nest.OuterBand.empty());
+  const NestBody &Body = Nest.Bodies[0];
+  ASSERT_EQ(Body.Loops.size(), 3u);
+  EXPECT_EQ(Body.Loops[0].TripCount, 256);
+  EXPECT_EQ(Body.Loops[1].TripCount, 512);
+  EXPECT_EQ(Body.Loops[2].TripCount, 1024);
+  EXPECT_EQ(Body.Accesses.size(), 3u); // A, B, C
+  EXPECT_TRUE(Body.Accesses.back().IsWrite);
+  EXPECT_EQ(Nest.getTotalFlops(), op().getFlops());
+}
+
+TEST_F(MatmulFixture, MaterializeTiledStructure) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiling({8, 8, 0}));
+  LoopNest Nest = materializeLoopNest(M, 0, Sched);
+  ASSERT_EQ(Nest.Bodies.size(), 1u);
+  const NestBody &Body = Nest.Bodies[0];
+  // Two tile loops (hoisted into the outer band) + three point loops.
+  EXPECT_EQ(countLoops(Nest.OuterBand,
+                       [](const ScheduledLoop &L) { return L.IsTileLoop; }),
+            2u);
+  EXPECT_EQ(countLoops(Body.Loops,
+                       [](const ScheduledLoop &L) { return L.IsTileLoop; }),
+            0u);
+  EXPECT_EQ(Body.Loops.size() + Nest.OuterBand.size(), 5u);
+  // Flops must be preserved by tiling (8 divides both extents).
+  EXPECT_EQ(Nest.getTotalFlops(), op().getFlops());
+}
+
+TEST_F(MatmulFixture, MaterializeParallelMarksOuterBand) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(
+      Transformation::tiledParallelization({8, 8, 0}));
+  LoopNest Nest = materializeLoopNest(M, 0, Sched);
+  ASSERT_FALSE(Nest.OuterBand.empty());
+  EXPECT_TRUE(Nest.OuterBand[0].Parallel);
+  EXPECT_EQ(Nest.getParallelIterations(), 32 * 64);
+}
+
+TEST_F(MatmulFixture, ReductionTileLoopNeverParallel) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(
+      Transformation::tiledParallelization({8, 8, 8}));
+  LoopNest Nest = materializeLoopNest(M, 0, Sched);
+  for (const ScheduledLoop &L : Nest.OuterBand)
+    if (L.Kind == IteratorKind::Reduction)
+      EXPECT_FALSE(L.Parallel);
+  // Parallelism only from d0 and d1 tile loops.
+  EXPECT_EQ(Nest.getParallelIterations(), 32 * 64);
+}
+
+TEST_F(MatmulFixture, ParallelizationAloneViaUnitTiles) {
+  // The paper: parallelization without tiling = tile sizes of 1.
+  OpSchedule Sched;
+  Sched.Transforms.push_back(
+      Transformation::tiledParallelization({1, 0, 0}));
+  LoopNest Nest = materializeLoopNest(M, 0, Sched);
+  EXPECT_EQ(Nest.getParallelIterations(), 256);
+  EXPECT_EQ(Nest.getTotalFlops(), op().getFlops());
+}
+
+TEST_F(MatmulFixture, MaterializeVectorizedMarksInnermost) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::interchange({2, 0, 1}));
+  Sched.Transforms.push_back(Transformation::vectorization());
+  LoopNest Nest = materializeLoopNest(M, 0, Sched);
+  const NestBody &Body = Nest.Bodies[0];
+  ASSERT_FALSE(Body.Loops.empty());
+  EXPECT_TRUE(Body.Loops.back().Vectorized);
+  EXPECT_EQ(Body.Loops.back().IterDim, 1u); // d1 innermost
+}
+
+TEST_F(MatmulFixture, NonDividingTileRoundsUp) {
+  Module M2("nd");
+  Builder B2(M2);
+  std::string X = B2.declareInput({100, 100});
+  std::string Y = B2.declareInput({100, 100});
+  B2.matmul(X, Y);
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiling({64, 0, 0}));
+  LoopNest Nest = materializeLoopNest(M2, 0, Sched);
+  // ceil(100 / 64) = 2 tiles.
+  bool Found = false;
+  std::vector<ScheduledLoop> All = Nest.OuterBand;
+  All.insert(All.end(), Nest.Bodies[0].Loops.begin(),
+             Nest.Bodies[0].Loops.end());
+  for (const ScheduledLoop &L : All) {
+    if (L.IsTileLoop && L.IterDim == 0) {
+      EXPECT_EQ(L.TripCount, 2);
+      EXPECT_EQ(L.Step, 64);
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(MatmulFixture, MaterializeModuleSkipsFusedAway) {
+  Module M2("seq");
+  Builder B2(M2);
+  std::string X = B2.declareInput({32, 32});
+  std::string R1 = B2.relu(X);
+  B2.relu(R1);
+  ModuleSchedule Sched;
+  Sched.FusedAway.push_back(0);
+  OpSchedule Consumer;
+  Consumer.Transforms.push_back(Transformation::tiledFusion({8, 8}));
+  Consumer.FusedProducers.push_back(0);
+  Sched.OpSchedules[1] = Consumer;
+  std::vector<LoopNest> Nests = materializeModule(M2, Sched);
+  ASSERT_EQ(Nests.size(), 1u);
+  EXPECT_EQ(Nests[0].Bodies.size(), 2u);
+}

@@ -1,0 +1,134 @@
+//===- FusionTest.cpp - Tests for tiled producer fusion ---------------------===//
+
+#include "ir/Builder.h"
+#include "transforms/Apply.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+/// relu -> add elementwise chain over 64x64.
+struct ElemChain : ::testing::Test {
+  Module M{"chain"};
+  std::string X, Y, R;
+
+  void SetUp() override {
+    Builder B(M);
+    X = B.declareInput({64, 64});
+    Y = B.declareInput({64, 64});
+    R = B.relu(X); // op 0 (producer)
+    B.add(R, Y);   // op 1 (consumer)
+  }
+};
+
+} // namespace
+
+TEST_F(ElemChain, FusionRequiresEffectiveTiling) {
+  OpTransformState S(M.getOp(1));
+  EXPECT_FALSE(S.apply(Transformation::tiledFusion({0, 0})).Applied);
+  EXPECT_TRUE(S.apply(Transformation::tiledFusion({8, 8})).Applied);
+}
+
+TEST_F(ElemChain, FusedNestStructure) {
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiledFusion({8, 8}));
+  Sched.FusedProducers.push_back(0);
+  LoopNest Nest = materializeLoopNest(M, 1, Sched);
+
+  // Outer band: two tile loops of 8 tiles each.
+  ASSERT_EQ(Nest.OuterBand.size(), 2u);
+  EXPECT_EQ(Nest.OuterBand[0].TripCount, 8);
+  EXPECT_TRUE(Nest.OuterBand[0].IsTileLoop);
+
+  // Bodies: producer slice then consumer points.
+  ASSERT_EQ(Nest.Bodies.size(), 2u);
+  EXPECT_EQ(Nest.Bodies[0].Name, R);
+  // Producer computes an 8x8 slice per tile.
+  EXPECT_EQ(Nest.Bodies[0].getPointsPerVisit(), 64);
+  EXPECT_EQ(Nest.Bodies[1].getPointsPerVisit(), 64);
+
+  // The relu result is a fused intermediate.
+  EXPECT_TRUE(Nest.isFusedIntermediate(R));
+  // Total work is both ops' flops.
+  EXPECT_EQ(Nest.getTotalFlops(),
+            M.getOp(0).getFlops() + M.getOp(1).getFlops());
+}
+
+TEST_F(ElemChain, FusedProducerDomainFollowsWindow) {
+  // A stencil-like consumer: conv reading a produced feature map needs a
+  // halo around each tile.
+  Module M2("halo");
+  Builder B2(M2);
+  std::string In = B2.declareInput({1, 4, 34, 34});
+  std::string P = B2.relu(In); // op 0: produces 1x4x34x34
+  std::string K = B2.declareInput({8, 4, 3, 3});
+  B2.conv2d(P, K, 1); // op 1: output 1x8x32x32
+
+  OpSchedule Sched;
+  // Tile conv output spatial dims by 8 (loops n, f, oh, ow, c, kh, kw).
+  Sched.Transforms.push_back(Transformation::tiledFusion({0, 0, 8, 8, 0, 0, 0}));
+  Sched.FusedProducers.push_back(0);
+  LoopNest Nest = materializeLoopNest(M2, 1, Sched);
+
+  ASSERT_EQ(Nest.Bodies.size(), 2u);
+  const NestBody &Producer = Nest.Bodies[0];
+  // Producer dims (n, c, h, w): per 8x8 output tile the conv reads a
+  // (8 + 2) halo window in each spatial dim; channels in full.
+  ASSERT_EQ(Producer.Loops.size(), 4u);
+  EXPECT_EQ(Producer.Loops[0].TripCount, 1);  // n
+  EXPECT_EQ(Producer.Loops[1].TripCount, 4);  // c
+  EXPECT_EQ(Producer.Loops[2].TripCount, 10); // h halo
+  EXPECT_EQ(Producer.Loops[3].TripCount, 10); // w halo
+}
+
+TEST_F(ElemChain, MatmulProducerFusedAtTile) {
+  Module M2("mmchain");
+  Builder B2(M2);
+  std::string A = B2.declareInput({128, 64});
+  std::string Bv = B2.declareInput({64, 128});
+  std::string C = B2.matmul(A, Bv); // op 0
+  B2.relu(C);                       // op 1
+
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiledFusion({16, 16}));
+  Sched.FusedProducers.push_back(0);
+  LoopNest Nest = materializeLoopNest(M2, 1, Sched);
+
+  ASSERT_EQ(Nest.Bodies.size(), 2u);
+  const NestBody &MatmulBody = Nest.Bodies[0];
+  // Matmul computes a 16x16 output tile with the full K reduction.
+  ASSERT_EQ(MatmulBody.Loops.size(), 3u);
+  EXPECT_EQ(MatmulBody.Loops[0].TripCount, 16);
+  EXPECT_EQ(MatmulBody.Loops[1].TripCount, 16);
+  EXPECT_EQ(MatmulBody.Loops[2].TripCount, 64);
+  // Work: matmul recomputation is exact here (projection is bijective on
+  // the output tile), so total flops are preserved.
+  EXPECT_EQ(Nest.getTotalFlops(),
+            M2.getOp(0).getFlops() + M2.getOp(1).getFlops());
+}
+
+TEST_F(ElemChain, MultipleFusedProducers) {
+  Module M2("multi");
+  Builder B2(M2);
+  std::string X = B2.declareInput({32, 32});
+  std::string P1 = B2.relu(X);     // op 0
+  std::string P2 = B2.sigmoid(P1); // op 1
+  B2.relu(P2);                     // op 2
+
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiledFusion({8, 8}));
+  Sched.FusedProducers.push_back(1);
+  Sched.Transforms.push_back(Transformation::tiledFusion({4, 4}));
+  Sched.FusedProducers.push_back(0);
+
+  // Note: op 0 is not a direct producer of op 2, but after fusing op 1 the
+  // chain continues; the engine accepts any recorded producer list, and the
+  // environment is responsible for only fusing direct producers of the
+  // evolving consumer group. Here we only check both bodies materialize.
+  // op 0 *is* a producer of the fused group (op1 reads it).
+  LoopNest Nest = materializeLoopNest(M2, 2, Sched);
+  EXPECT_EQ(Nest.Bodies.size(), 3u);
+  EXPECT_EQ(Nest.FusedIntermediates.size(), 2u);
+}

@@ -1,0 +1,95 @@
+//===- LegalityTest.cpp - Tests for masking and legality rules --------------===//
+
+#include "ir/Builder.h"
+#include "transforms/Legality.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+struct OpsFixture : ::testing::Test {
+  Module M{"ops"};
+  Builder B{M};
+  unsigned MatmulIdx, PoolIdx, ReluIdx;
+
+  void SetUp() override {
+    std::string A = B.declareInput({64, 64});
+    std::string Bv = B.declareInput({64, 64});
+    std::string C = B.matmul(A, Bv); // op 0
+    std::string In = B.declareInput({1, 8, 16, 16});
+    B.poolingMax(In, 2, 2, 2); // op 1
+    B.relu(C);                 // op 2
+    MatmulIdx = 0;
+    PoolIdx = 1;
+    ReluIdx = 2;
+  }
+};
+
+} // namespace
+
+TEST_F(OpsFixture, VectorizationPreconditionPerKind) {
+  EXPECT_TRUE(vectorizationPrecondition(M.getOp(MatmulIdx)));
+  EXPECT_TRUE(vectorizationPrecondition(M.getOp(ReluIdx)));
+  // The paper: MLIR cannot vectorize pooling (Sec. VII-C1).
+  EXPECT_FALSE(vectorizationPrecondition(M.getOp(PoolIdx)));
+}
+
+TEST_F(OpsFixture, VectorizationInnerTripMask) {
+  const LinalgOp &Matmul = M.getOp(MatmulIdx);
+  EXPECT_TRUE(isVectorizationLegal(Matmul, 64));
+  EXPECT_TRUE(isVectorizationLegal(Matmul, MaxVectorizableInnerTrip));
+  // More than 512 iterations: MLIR fully unrolls, must be masked.
+  EXPECT_FALSE(isVectorizationLegal(Matmul, MaxVectorizableInnerTrip + 1));
+}
+
+TEST_F(OpsFixture, FusionRequiresDataflow) {
+  // relu (op 2) reads matmul's result (op 0): fusable.
+  EXPECT_TRUE(canFuseProducer(M, ReluIdx, MatmulIdx));
+  // matmul does not read relu.
+  EXPECT_FALSE(canFuseProducer(M, MatmulIdx, ReluIdx));
+  // pooling reads a module input, not the matmul.
+  EXPECT_FALSE(canFuseProducer(M, PoolIdx, MatmulIdx));
+  EXPECT_FALSE(canFuseProducer(M, ReluIdx, ReluIdx));
+}
+
+TEST(LegalityTest, TileCandidatesMatchPaper) {
+  const std::vector<int64_t> &C = getDefaultTileCandidates();
+  // M = 8 sizes including zero (Sec. VII-A5).
+  EXPECT_EQ(C.size(), 8u);
+  EXPECT_EQ(C.front(), 0);
+  for (size_t I = 1; I < C.size(); ++I)
+    EXPECT_GT(C[I], C[I - 1]);
+}
+
+TEST(LegalityTest, PermutationValidation) {
+  EXPECT_TRUE(isValidPermutation({2, 0, 1}, 3));
+  EXPECT_TRUE(isValidPermutation({0}, 1));
+  EXPECT_FALSE(isValidPermutation({0, 0, 1}, 3)); // repeat
+  EXPECT_FALSE(isValidPermutation({0, 3, 1}, 3)); // out of range
+  EXPECT_FALSE(isValidPermutation({0, 1}, 3));    // arity
+}
+
+TEST(LegalityTest, EnumeratedCandidatesCount) {
+  // 3N - 6 for N >= 3 (Sec. V-A).
+  for (unsigned N = 3; N <= 12; ++N)
+    EXPECT_EQ(getEnumeratedInterchangeCandidates(N).size(), 3 * N - 6);
+  // Small nests degrade gracefully.
+  EXPECT_EQ(getEnumeratedInterchangeCandidates(2).size(), 1u);
+  EXPECT_EQ(getEnumeratedInterchangeCandidates(1).size(), 0u);
+}
+
+TEST(LegalityTest, EnumeratedCandidatesDistances) {
+  for (auto [I, J] : getEnumeratedInterchangeCandidates(8)) {
+    EXPECT_LT(I, J);
+    EXPECT_LE(J - I, 3u);
+    EXPECT_LT(J, 8u);
+  }
+}
+
+TEST(LegalityTest, SwapPermutation) {
+  std::vector<unsigned> P = makeSwapPermutation(4, 1, 3);
+  EXPECT_EQ(P, (std::vector<unsigned>{0, 3, 2, 1}));
+  EXPECT_TRUE(isValidPermutation(P, 4));
+}

@@ -1,0 +1,57 @@
+//===- ScheduleTest.cpp - Tests for the schedule IR -------------------------===//
+
+#include "transforms/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+TEST(ScheduleTest, FactoryKinds) {
+  EXPECT_EQ(Transformation::tiling({8, 8, 0}).Kind, TransformKind::Tiling);
+  EXPECT_EQ(Transformation::tiledParallelization({1, 1, 0}).Kind,
+            TransformKind::TiledParallelization);
+  EXPECT_EQ(Transformation::tiledFusion({4, 4}).Kind,
+            TransformKind::TiledFusion);
+  EXPECT_EQ(Transformation::interchange({1, 0}).Kind,
+            TransformKind::Interchange);
+  EXPECT_EQ(Transformation::vectorization().Kind,
+            TransformKind::Vectorization);
+  EXPECT_EQ(Transformation::noTransformation().Kind,
+            TransformKind::NoTransformation);
+}
+
+TEST(ScheduleTest, TerminalActions) {
+  EXPECT_TRUE(Transformation::vectorization().isTerminal());
+  EXPECT_TRUE(Transformation::noTransformation().isTerminal());
+  EXPECT_FALSE(Transformation::tiling({8}).isTerminal());
+  EXPECT_FALSE(Transformation::interchange({0}).isTerminal());
+}
+
+TEST(ScheduleTest, ToStringIncludesParameters) {
+  EXPECT_EQ(Transformation::tiling({8, 0, 4}).toString(), "tiling(8, 0, 4)");
+  EXPECT_EQ(Transformation::interchange({2, 0, 1}).toString(),
+            "interchange(2, 0, 1)");
+  EXPECT_EQ(Transformation::vectorization().toString(), "vectorization");
+}
+
+TEST(ScheduleTest, OpScheduleToString) {
+  OpSchedule S;
+  S.Transforms.push_back(Transformation::tiling({8, 8}));
+  S.Transforms.push_back(Transformation::vectorization());
+  EXPECT_EQ(S.toString(), "[tiling(8, 8); vectorization]");
+}
+
+TEST(ScheduleTest, ModuleScheduleFusedAway) {
+  ModuleSchedule S;
+  S.FusedAway = {2, 5};
+  EXPECT_TRUE(S.isFusedAway(2));
+  EXPECT_TRUE(S.isFusedAway(5));
+  EXPECT_FALSE(S.isFusedAway(0));
+}
+
+TEST(ScheduleTest, KindNamesRoundTrip) {
+  for (unsigned I = 0; I < NumTransformKinds; ++I) {
+    TransformKind K = static_cast<TransformKind>(I);
+    EXPECT_FALSE(getTransformKindName(K).empty());
+  }
+}
