@@ -1,0 +1,103 @@
+//===- bench_trainstep.cpp - Training-core throughput ------------------------===//
+//
+// The perf trajectory of the training core: ns per PPO train iteration
+// (episode collection + updates), blocked-matmul GFLOP/s forward and
+// through the backward products, and the cost-model schedule-cache hit
+// rate during training. scripts/bench_json.sh runs this binary with
+// google-benchmark's JSON writer to produce BENCH_trainstep.json, the
+// cross-PR comparison artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "nn/Ops.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mlirrl;
+using namespace mlirrl::bench;
+using namespace mlirrl::nn;
+
+namespace {
+
+/// One full PPO training iteration at the laptop benchmark scale. This
+/// is the number every other bench amortizes; its inverse is training
+/// iterations per second.
+void BM_TrainIteration(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+  HitMissCounters Cache = Sys.runner().getCostModel().getCacheCounters();
+  State.counters["cost_cache_hit_rate"] = Cache.hitRate();
+  State.counters["cost_cache_lookups"] =
+      static_cast<double>(Cache.total());
+}
+
+/// Train iteration with parallel episode collection (0 = all hardware
+/// threads); on a single-core host this measures pool overhead.
+void BM_TrainIterationParallelCollect(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  Options.Ppo.CollectThreads = 0;
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+}
+
+/// Forward blocked matmul at a square compute-bound size.
+void BM_MatmulForward(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(7);
+  std::vector<double> Ad(static_cast<size_t>(N) * N), Bd(Ad.size());
+  for (double &V : Ad)
+    V = R.nextDouble(-1, 1);
+  for (double &V : Bd)
+    V = R.nextDouble(-1, 1);
+  Tensor A = Tensor::fromData(N, N, Ad);
+  Tensor B = Tensor::fromData(N, N, Bd);
+  for (auto _ : State) {
+    Tensor C = matmul(A, B);
+    benchmark::DoNotOptimize(C.data().data());
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+/// Forward + both backward products through autograd (the PPO update
+/// path: dA = dC.B^T and dB = A^T.dC also run on the blocked kernels).
+void BM_MatmulForwardBackward(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(8);
+  std::vector<double> Ad(static_cast<size_t>(N) * N), Bd(Ad.size());
+  for (double &V : Ad)
+    V = R.nextDouble(-1, 1);
+  for (double &V : Bd)
+    V = R.nextDouble(-1, 1);
+  for (auto _ : State) {
+    Tensor A = Tensor::parameter(N, N, Ad);
+    Tensor B = Tensor::parameter(N, N, Bd);
+    Tensor Loss = sumAll(matmul(A, B));
+    Loss.backward();
+    benchmark::DoNotOptimize(A.grad().data());
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      6.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_TrainIteration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationParallelCollect)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatmulForward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatmulForwardBackward)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Emits BENCH_trainstep.json: ns-per-train-iteration (and the matmul /
+# cache counters) from bench_trainstep, as a machine-readable perf
+# trajectory for future PRs to compare against.
+#
+# Usage: scripts/bench_json.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_trainstep.json}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BIN="$REPO_ROOT/$BUILD_DIR/bench_trainstep"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (configure with google-benchmark available):" >&2
+  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_format=console \
+       --benchmark_out_format=json \
+       --benchmark_out="$OUT" \
+       --benchmark_min_time=0.2 "${@:3}"
+
+echo "wrote $OUT"

@@ -1,0 +1,153 @@
+//===- Gemm.cpp -----------------------------------------------------------===//
+
+#include "nn/Gemm.h"
+
+#include <algorithm>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+namespace {
+
+/// Cache-blocking parameters (doubles): a KC x NC panel of B (~256 KiB)
+/// stays L2-resident while MC rows of A stream against it; the MR-row
+/// register tile amortizes each B load over MR accumulator rows.
+constexpr unsigned MC = 64;
+constexpr unsigned KC = 256;
+constexpr unsigned NC = 512;
+constexpr unsigned MR = 4;
+
+/// Register-tiled inner kernel: C[i0..i0+Rows) x [j0..j1) accumulates the
+/// K-panel [k0..k1). Rows <= MR; the j loop is the vectorized axis and
+/// each B row loaded from the panel feeds Rows accumulator rows.
+inline void microNN(unsigned Rows, unsigned j0, unsigned j1, unsigned k0,
+                    unsigned k1, const double *__restrict A, unsigned LdA,
+                    const double *__restrict B, unsigned LdB,
+                    double *__restrict C, unsigned LdC, unsigned i0) {
+  switch (Rows) {
+  case 4:
+    for (unsigned K = k0; K < k1; ++K) {
+      const double A0 = A[(i0 + 0) * LdA + K];
+      const double A1 = A[(i0 + 1) * LdA + K];
+      const double A2 = A[(i0 + 2) * LdA + K];
+      const double A3 = A[(i0 + 3) * LdA + K];
+      const double *__restrict Bk = B + static_cast<size_t>(K) * LdB;
+      double *__restrict C0 = C + static_cast<size_t>(i0 + 0) * LdC;
+      double *__restrict C1 = C + static_cast<size_t>(i0 + 1) * LdC;
+      double *__restrict C2 = C + static_cast<size_t>(i0 + 2) * LdC;
+      double *__restrict C3 = C + static_cast<size_t>(i0 + 3) * LdC;
+      for (unsigned J = j0; J < j1; ++J) {
+        const double Bv = Bk[J];
+        C0[J] += A0 * Bv;
+        C1[J] += A1 * Bv;
+        C2[J] += A2 * Bv;
+        C3[J] += A3 * Bv;
+      }
+    }
+    break;
+  default:
+    for (unsigned I = i0; I < i0 + Rows; ++I) {
+      double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+      for (unsigned K = k0; K < k1; ++K) {
+        const double Av = A[I * LdA + K];
+        const double *__restrict Bk = B + static_cast<size_t>(K) * LdB;
+        for (unsigned J = j0; J < j1; ++J)
+          Ci[J] += Av * Bk[J];
+      }
+    }
+    break;
+  }
+}
+
+} // namespace
+
+void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  for (unsigned Jj = 0; Jj < N; Jj += NC) {
+    unsigned Jend = std::min(N, Jj + NC);
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      unsigned Kend = std::min(K, Kk + KC);
+      for (unsigned Ii = 0; Ii < M; Ii += MC) {
+        unsigned Iend = std::min(M, Ii + MC);
+        unsigned I = Ii;
+        for (; I + MR <= Iend; I += MR)
+          microNN(MR, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
+        if (I < Iend)
+          microNN(Iend - I, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
+      }
+    }
+  }
+}
+
+void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  // C[i][j] += sum_k A[i][k] * B[j][k]: both operands are scanned along
+  // k, so the inner loop is a unit-stride dot product; block j so the
+  // scanned rows of B stay cache-resident across the i loop.
+  for (unsigned Jj = 0; Jj < N; Jj += MC) {
+    unsigned Jend = std::min(N, Jj + MC);
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      unsigned Kend = std::min(K, Kk + KC);
+      for (unsigned I = 0; I < M; ++I) {
+        const double *__restrict Ai = A + static_cast<size_t>(I) * LdA;
+        double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+        for (unsigned J = Jj; J < Jend; ++J) {
+          const double *__restrict Bj = B + static_cast<size_t>(J) * LdB;
+          double Acc = 0.0;
+          for (unsigned Kx = Kk; Kx < Kend; ++Kx)
+            Acc += Ai[Kx] * Bj[Kx];
+          Ci[J] += Acc;
+        }
+      }
+    }
+  }
+}
+
+void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  // C[i][j] += sum_k A[k][i] * B[k][j]: a sequence of rank-1 updates.
+  // Unroll k by MR so each C row load/store is amortized over MR
+  // accumulated outer products; block i so the updated C panel stays
+  // cache-resident across the k sweep.
+  for (unsigned Ii = 0; Ii < M; Ii += MC) {
+    unsigned Iend = std::min(M, Ii + MC);
+    for (unsigned Jj = 0; Jj < N; Jj += NC) {
+      unsigned Jend = std::min(N, Jj + NC);
+      unsigned Kx = 0;
+      for (; Kx + MR <= K; Kx += MR) {
+        const double *__restrict A0 = A + static_cast<size_t>(Kx + 0) * LdA;
+        const double *__restrict A1 = A + static_cast<size_t>(Kx + 1) * LdA;
+        const double *__restrict A2 = A + static_cast<size_t>(Kx + 2) * LdA;
+        const double *__restrict A3 = A + static_cast<size_t>(Kx + 3) * LdA;
+        const double *__restrict B0 = B + static_cast<size_t>(Kx + 0) * LdB;
+        const double *__restrict B1 = B + static_cast<size_t>(Kx + 1) * LdB;
+        const double *__restrict B2 = B + static_cast<size_t>(Kx + 2) * LdB;
+        const double *__restrict B3 = B + static_cast<size_t>(Kx + 3) * LdB;
+        for (unsigned I = Ii; I < Iend; ++I) {
+          const double V0 = A0[I], V1 = A1[I], V2 = A2[I], V3 = A3[I];
+          double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+          for (unsigned J = Jj; J < Jend; ++J)
+            Ci[J] += V0 * B0[J] + V1 * B1[J] + V2 * B2[J] + V3 * B3[J];
+        }
+      }
+      for (; Kx < K; ++Kx) {
+        const double *__restrict Ak = A + static_cast<size_t>(Kx) * LdA;
+        const double *__restrict Bk = B + static_cast<size_t>(Kx) * LdB;
+        for (unsigned I = Ii; I < Iend; ++I) {
+          const double V = Ak[I];
+          // Zero rows contribute nothing; skipping them is exact and
+          // pays off in the K == 1 case (dW += X^T . dC with a sparse
+          // feature row X), where every zero skips a full C-row update.
+          if (V == 0.0)
+            continue;
+          double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+          for (unsigned J = Jj; J < Jend; ++J)
+            Ci[J] += V * Bk[J];
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,47 @@
+//===- Gemm.h - Blocked dense matrix kernels ---------------------*- C++-*-===//
+///
+/// \file
+/// Cache-blocked, register-tiled GEMM kernels over raw row-major buffers,
+/// shared by the autograd matmul (forward and both backward products) and
+/// the fused linear layer. All kernels *accumulate* into C (C += ...),
+/// which is exactly the contract gradient accumulation needs; forward
+/// callers start from a zeroed buffer.
+///
+/// Operands are plain pointers with explicit leading dimensions so the
+/// kernels run directly on TensorNode::Data / TensorNode::Grad without
+/// per-element at(i,j) indexing or temporary transposed copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_GEMM_H
+#define MLIRRL_NN_GEMM_H
+
+#include <cstddef>
+
+namespace mlirrl {
+namespace nn {
+
+/// C(MxN) += A(MxK) . B(KxN). Row-major with leading dimensions LdA /
+/// LdB / LdC (elements per row).
+void gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
+               unsigned LdA, const double *B, unsigned LdB, double *C,
+               unsigned LdC);
+
+/// C(MxN) += A(MxK) . B^T where B is stored row-major as NxK:
+/// C[i][j] += sum_k A[i][k] * B[j][k]. This is dA += dC . B^T with
+/// B passed in its stored (K-major) layout.
+void gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
+               unsigned LdA, const double *B, unsigned LdB, double *C,
+               unsigned LdC);
+
+/// C(MxN) += A^T . B where A is stored row-major as KxM:
+/// C[i][j] += sum_k A[k][i] * B[k][j]. This is dW += X^T . dC with X
+/// passed in its stored layout.
+void gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
+               unsigned LdA, const double *B, unsigned LdB, double *C,
+               unsigned LdC);
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_GEMM_H

@@ -19,7 +19,7 @@ Linear::Linear(unsigned In, unsigned Out, Rng &Rng) {
 
 Tensor Linear::forward(const Tensor &X) const {
   assert(X.cols() == W.rows() && "input feature arity mismatch");
-  return addBias(matmul(X, W), B);
+  return linear(X, W, B);
 }
 
 Mlp::Mlp(unsigned In, unsigned Hidden, unsigned Depth, Rng &Rng) {

@@ -17,6 +17,9 @@ LstmCell::State LstmCell::initialState() const {
 }
 
 LstmCell::State LstmCell::step(const Tensor &X, const State &Prev) const {
+  // The concatenated input is built once and drives all four gates; each
+  // gate is a single fused linear node (Linear::forward) on the shared
+  // blocked-GEMM path.
   Tensor XH = concatCols(X, Prev.H);
   Tensor I = sigmoidOp(InputGate.forward(XH));
   Tensor F = sigmoidOp(ForgetGate.forward(XH));

@@ -2,6 +2,7 @@
 
 #include "nn/Ops.h"
 
+#include "nn/Gemm.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -14,44 +15,79 @@ using namespace mlirrl::nn;
 /// to zero and gradients stay finite.
 static constexpr double MaskedLogit = -1e30;
 
+/// Forward product into a zeroed buffer. Single rows (the common
+/// inference shape: a 1xK feature row against a KxN weight matrix) take a
+/// sparse-aware axpy path -- feature rows are mostly zeros under masking
+/// and padding, and skipping them is exact; everything else goes through
+/// the blocked kernel.
+static void forwardProduct(unsigned M, unsigned N, unsigned K,
+                           const double *A, const double *B, double *C) {
+  if (M == 1) {
+    for (unsigned Kk = 0; Kk < K; ++Kk) {
+      const double Av = A[Kk];
+      if (Av == 0.0)
+        continue;
+      const double *__restrict Bk = B + static_cast<size_t>(Kk) * N;
+      for (unsigned J = 0; J < N; ++J)
+        C[J] += Av * Bk[J];
+    }
+    return;
+  }
+  gemmAccNN(M, N, K, A, K, B, N, C, N);
+}
+
+/// Shared backward for matmul-shaped nodes: dA += dC . B^T and
+/// dB += A^T . dC on the blocked kernels.
+static void matmulBackward(TensorNode &Self, unsigned M, unsigned K,
+                           unsigned N) {
+  TensorNode &An = *Self.Inputs[0];
+  TensorNode &Bn = *Self.Inputs[1];
+  if (An.RequiresGrad)
+    gemmAccNT(M, K, N, Self.Grad.data(), N, Bn.Data.data(), N,
+              An.Grad.data(), K);
+  if (Bn.RequiresGrad)
+    gemmAccTN(K, N, M, An.Data.data(), K, Self.Grad.data(), N,
+              Bn.Grad.data(), N);
+}
+
 Tensor nn::matmul(const Tensor &A, const Tensor &B) {
   assert(A.cols() == B.rows() && "matmul inner dims mismatch");
   unsigned M = A.rows(), K = A.cols(), N = B.cols();
   Tensor C = makeNode(M, N, {A, B}, "matmul");
   TensorNode &Node = *C.node();
-  const TensorNode &An = *A.node();
-  const TensorNode &Bn = *B.node();
-  for (unsigned I = 0; I < M; ++I)
-    for (unsigned Kk = 0; Kk < K; ++Kk) {
-      double Aik = An.at(I, Kk);
-      if (Aik == 0.0)
-        continue;
-      for (unsigned J = 0; J < N; ++J)
-        Node.at(I, J) += Aik * Bn.at(Kk, J);
-    }
+  forwardProduct(M, N, K, A.data().data(), B.data().data(),
+                 Node.Data.data());
   Node.Backward = [M, K, N](TensorNode &Self) {
-    TensorNode &An = *Self.Inputs[0];
-    TensorNode &Bn = *Self.Inputs[1];
-    // dA = dC . B^T
-    if (An.RequiresGrad)
-      for (unsigned I = 0; I < M; ++I)
-        for (unsigned J = 0; J < N; ++J) {
-          double G = Self.gradAt(I, J);
-          if (G == 0.0)
-            continue;
-          for (unsigned Kk = 0; Kk < K; ++Kk)
-            An.gradAt(I, Kk) += G * Bn.at(Kk, J);
-        }
-    // dB = A^T . dC
-    if (Bn.RequiresGrad)
-      for (unsigned I = 0; I < M; ++I)
-        for (unsigned Kk = 0; Kk < K; ++Kk) {
-          double Aik = An.at(I, Kk);
-          if (Aik == 0.0)
-            continue;
-          for (unsigned J = 0; J < N; ++J)
-            Bn.gradAt(Kk, J) += Aik * Self.gradAt(I, J);
-        }
+    matmulBackward(Self, M, K, N);
+  };
+  return C;
+}
+
+Tensor nn::linear(const Tensor &A, const Tensor &W, const Tensor &Bias) {
+  assert(A.cols() == W.rows() && "linear inner dims mismatch");
+  assert(Bias.rows() == 1 && Bias.cols() == W.cols() &&
+         "bias must be a 1xN row");
+  unsigned M = A.rows(), K = A.cols(), N = W.cols();
+  Tensor C = makeNode(M, N, {A, W, Bias}, "linear");
+  TensorNode &Node = *C.node();
+  const double *BiasRow = Bias.data().data();
+  for (unsigned I = 0; I < M; ++I) {
+    double *Ci = Node.Data.data() + static_cast<size_t>(I) * N;
+    for (unsigned J = 0; J < N; ++J)
+      Ci[J] = BiasRow[J];
+  }
+  forwardProduct(M, N, K, A.data().data(), W.data().data(),
+                 Node.Data.data());
+  Node.Backward = [M, K, N](TensorNode &Self) {
+    matmulBackward(Self, M, K, N);
+    TensorNode &BiasN = *Self.Inputs[2];
+    if (!BiasN.RequiresGrad)
+      return;
+    for (unsigned I = 0; I < M; ++I) {
+      const double *Gi = Self.Grad.data() + static_cast<size_t>(I) * N;
+      for (unsigned J = 0; J < N; ++J)
+        BiasN.Grad[J] += Gi[J];
+    }
   };
   return C;
 }

@@ -15,8 +15,15 @@
 namespace mlirrl {
 namespace nn {
 
-/// C[MxN] = A[MxK] x B[KxN].
+/// C[MxN] = A[MxK] x B[KxN]. Forward and both backward products run on
+/// the blocked kernels of Gemm.h.
 Tensor matmul(const Tensor &A, const Tensor &B);
+
+/// Fused dense layer: C[MxN] = A[MxK] x W[KxN] + Bias[1xN] broadcast over
+/// rows, as a single graph node (one less temporary than
+/// addBias(matmul(...))). Backward accumulates dA, dW and the column-sum
+/// bias gradient.
+Tensor linear(const Tensor &A, const Tensor &W, const Tensor &Bias);
 
 /// Elementwise addition of same-shaped tensors.
 Tensor add(const Tensor &A, const Tensor &B);

@@ -11,12 +11,72 @@
 using namespace mlirrl;
 using namespace mlirrl::nn;
 
+namespace {
+
+/// A per-thread recycling arena for tensor buffers. Graph construction
+/// allocates two buffers per node and frees them when the graph dies at
+/// the end of each step/minibatch; the shapes repeat every iteration, so
+/// returned buffers are almost always reused at their existing capacity
+/// instead of hitting the allocator.
+class BufferArena {
+public:
+  static BufferArena &local() {
+    thread_local BufferArena Arena;
+    return Arena;
+  }
+
+  std::vector<double> acquire(size_t Size) {
+    // LIFO reuse matches the repeating allocation pattern; scan a few
+    // entries for one already big enough so assign() never reallocates.
+    size_t Limit = Free.size() > ScanDepth ? Free.size() - ScanDepth : 0;
+    for (size_t I = Free.size(); I > Limit; --I) {
+      if (Free[I - 1].capacity() >= Size) {
+        std::vector<double> Buffer = std::move(Free[I - 1]);
+        Free.erase(Free.begin() + static_cast<ptrdiff_t>(I - 1));
+        PooledBytes -= Buffer.capacity() * sizeof(double);
+        Buffer.assign(Size, 0.0);
+        return Buffer;
+      }
+    }
+    return std::vector<double>(Size, 0.0);
+  }
+
+  void release(std::vector<double> &&Buffer) {
+    size_t Bytes = Buffer.capacity() * sizeof(double);
+    if (Bytes == 0 || Free.size() >= MaxEntries ||
+        PooledBytes + Bytes > MaxPooledBytes)
+      return;
+    PooledBytes += Bytes;
+    Free.push_back(std::move(Buffer));
+  }
+
+private:
+  static constexpr size_t ScanDepth = 8;
+  static constexpr size_t MaxEntries = 1024;
+  static constexpr size_t MaxPooledBytes = 128u << 20;
+
+  std::vector<std::vector<double>> Free;
+  size_t PooledBytes = 0;
+};
+
+/// Returns a node's buffers to the destroying thread's arena.
+void destroyNode(TensorNode *Node) {
+  BufferArena &Arena = BufferArena::local();
+  Arena.release(std::move(Node->Data));
+  Arena.release(std::move(Node->Grad));
+  delete Node;
+}
+
+} // namespace
+
 Tensor Tensor::zeros(unsigned Rows, unsigned Cols) {
-  auto Node = std::make_shared<TensorNode>();
+  std::shared_ptr<TensorNode> Node(new TensorNode, destroyNode);
   Node->Rows = Rows;
   Node->Cols = Cols;
-  Node->Data.assign(static_cast<size_t>(Rows) * Cols, 0.0);
-  Node->Grad.assign(Node->Data.size(), 0.0);
+  size_t Size = static_cast<size_t>(Rows) * Cols;
+  BufferArena &Arena = BufferArena::local();
+  Node->Data = Arena.acquire(Size);
+  Node->Grad = Arena.acquire(Size);
   return Tensor(std::move(Node));
 }
 
@@ -24,9 +84,14 @@ Tensor Tensor::fromData(unsigned Rows, unsigned Cols,
                         std::vector<double> Values) {
   assert(Values.size() == static_cast<size_t>(Rows) * Cols &&
          "data size mismatch");
-  Tensor T = zeros(Rows, Cols);
-  T.Node->Data = std::move(Values);
-  return T;
+  // Adopt the caller's buffer directly; only Grad comes from the arena
+  // (zeros() would zero-fill a Data buffer just to overwrite it).
+  std::shared_ptr<TensorNode> Node(new TensorNode, destroyNode);
+  Node->Rows = Rows;
+  Node->Cols = Cols;
+  Node->Data = std::move(Values);
+  Node->Grad = BufferArena::local().acquire(Node->Data.size());
+  return Tensor(std::move(Node));
 }
 
 Tensor Tensor::scalar(double Value) { return fromData(1, 1, {Value}); }

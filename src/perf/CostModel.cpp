@@ -205,7 +205,142 @@ TrafficBreakdown CostModel::estimateTraffic(const LoopNest &Nest) const {
   return Traffic;
 }
 
+// ---------------------------------------------------------------------------
+// Schedule memoization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// FNV-1a over mixed scalar words; the nest is folded field by field so
+/// any structural difference (trip counts, loop kinds, access maps,
+/// arithmetic) lands in the key.
+class StructuralHasher {
+public:
+  void word(uint64_t Value) {
+    Hash ^= Value;
+    Hash *= 0x100000001b3ull;
+  }
+  void signedWord(int64_t Value) { word(static_cast<uint64_t>(Value)); }
+  void string(const std::string &Str) {
+    word(Str.size());
+    for (char C : Str)
+      word(static_cast<uint8_t>(C));
+  }
+  void loop(const ScheduledLoop &L) {
+    word(L.IterDim);
+    signedWord(L.TripCount);
+    signedWord(L.Step);
+    word(static_cast<uint64_t>(L.Kind));
+    word((L.IsTileLoop ? 1u : 0u) | (L.Parallel ? 2u : 0u) |
+         (L.Vectorized ? 4u : 0u));
+  }
+  void affineExpr(const AffineExpr &E) {
+    word(E.getNumDims());
+    for (int64_t C : E.getCoeffs())
+      signedWord(C);
+    signedWord(E.getConstant());
+  }
+  void access(const TensorAccess &A) {
+    string(A.Value);
+    word(A.Map.getNumDims());
+    word(A.Map.getNumResults());
+    for (const AffineExpr &E : A.Map.getResults())
+      affineExpr(E);
+    word(A.TensorShape.size());
+    for (int64_t S : A.TensorShape)
+      signedWord(S);
+    word(A.ElemBytes);
+    word(A.IsWrite ? 1u : 0u);
+  }
+  uint64_t finish() const { return Hash; }
+
+private:
+  uint64_t Hash = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+uint64_t mlirrl::hashLoopNest(const LoopNest &Nest) {
+  StructuralHasher H;
+  H.string(Nest.Name);
+  H.word(Nest.OuterBand.size());
+  for (const ScheduledLoop &L : Nest.OuterBand)
+    H.loop(L);
+  H.word(Nest.Bodies.size());
+  for (const NestBody &Body : Nest.Bodies) {
+    H.string(Body.Name);
+    H.word(Body.Loops.size());
+    for (const ScheduledLoop &L : Body.Loops)
+      H.loop(L);
+    H.word(Body.Accesses.size());
+    for (const TensorAccess &A : Body.Accesses)
+      H.access(A);
+    H.signedWord(Body.Arith.Add);
+    H.signedWord(Body.Arith.Sub);
+    H.signedWord(Body.Arith.Mul);
+    H.signedWord(Body.Arith.Div);
+    H.signedWord(Body.Arith.Exp);
+    H.signedWord(Body.Arith.Max);
+  }
+  H.word(Nest.FusedIntermediates.size());
+  for (const std::string &Name : Nest.FusedIntermediates)
+    H.string(Name);
+  return H.finish();
+}
+
 TimeBreakdown CostModel::estimateNest(const LoopNest &Nest) const {
+  uint64_t Key = hashLoopNest(Nest);
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = CacheIndex.find(Key);
+    if (It != CacheIndex.end()) {
+      ++Counters.Hits;
+      CacheOrder.splice(CacheOrder.begin(), CacheOrder, It->second);
+      return It->second->Time;
+    }
+    ++Counters.Misses;
+  }
+
+  TimeBreakdown Time = computeNest(Nest);
+
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  if (CacheIndex.find(Key) == CacheIndex.end()) {
+    CacheOrder.push_front({Key, Time});
+    CacheIndex[Key] = CacheOrder.begin();
+    while (CacheOrder.size() > CacheCapacity) {
+      CacheIndex.erase(CacheOrder.back().Key);
+      CacheOrder.pop_back();
+    }
+  }
+  return Time;
+}
+
+HitMissCounters CostModel::getCacheCounters() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Counters;
+}
+
+void CostModel::resetCacheCounters() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Counters.reset();
+}
+
+void CostModel::clearCache() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  CacheOrder.clear();
+  CacheIndex.clear();
+}
+
+void CostModel::setCacheCapacity(size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  CacheCapacity = Capacity == 0 ? 1 : Capacity;
+  while (CacheOrder.size() > CacheCapacity) {
+    CacheIndex.erase(CacheOrder.back().Key);
+    CacheOrder.pop_back();
+  }
+}
+
+TimeBreakdown CostModel::computeNest(const LoopNest &Nest) const {
   double ComputeSeconds = 0.0, LoopIterations = 0.0;
   TrafficBreakdown Traffic;
   for (unsigned B = 0; B < Nest.Bodies.size(); ++B) {

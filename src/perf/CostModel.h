@@ -21,9 +21,14 @@
 #define MLIRRL_PERF_COSTMODEL_H
 
 #include "perf/MachineModel.h"
+#include "support/Stats.h"
 #include "transforms/LoopNest.h"
 
+#include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace mlirrl {
@@ -53,14 +58,33 @@ struct TrafficBreakdown {
   double L3Bytes = 0.0;    // misses into L3 (served by DRAM)
 };
 
-/// The analytical cost model.
+/// Structural hash of a scheduled nest: loop-nest shape, access maps and
+/// arithmetic -- everything estimateNest consumes. Two nests with equal
+/// keys are priced identically, which is what makes the schedule memo
+/// below sound.
+uint64_t hashLoopNest(const LoopNest &Nest);
+
+/// The analytical cost model. estimateNest results are memoized in an
+/// LRU table keyed by the structural schedule hash: episode sweeps
+/// re-price the same partial schedules constantly (every step re-times
+/// the whole module, every episode re-times the baseline), and a hit
+/// skips the working-set analysis entirely. The table is thread-safe so
+/// parallel episode collection can share one model.
 class CostModel {
 public:
   explicit CostModel(MachineModel Machine) : Machine(Machine) {}
 
+  /// Copies share the machine description and capacity setting but not
+  /// the memo table.
+  CostModel(const CostModel &Other) : CostModel(Other.Machine) {
+    std::lock_guard<std::mutex> Lock(Other.CacheMutex);
+    CacheCapacity = Other.CacheCapacity;
+  }
+  CostModel &operator=(const CostModel &Other) = delete;
+
   const MachineModel &getMachine() const { return Machine; }
 
-  /// Estimates execution time of one scheduled nest.
+  /// Estimates execution time of one scheduled nest (memoized).
   TimeBreakdown estimateNest(const LoopNest &Nest) const;
 
   /// Estimates memory traffic of one nest (the memory half of
@@ -70,8 +94,34 @@ public:
   /// Estimates a whole module: the sum over its nests.
   double estimateModule(const std::vector<LoopNest> &Nests) const;
 
+  /// Schedule-cache hit/miss counters since construction (or the last
+  /// resetCacheCounters()).
+  HitMissCounters getCacheCounters() const;
+  void resetCacheCounters() const;
+
+  /// Drops every memoized entry (counters untouched).
+  void clearCache() const;
+
+  /// Maximum number of memoized schedules (LRU evicted beyond it).
+  void setCacheCapacity(size_t Capacity);
+
 private:
   MachineModel Machine;
+
+  /// Uncached pricing (the original analytical pipeline).
+  TimeBreakdown computeNest(const LoopNest &Nest) const;
+
+  struct CacheEntry {
+    uint64_t Key = 0;
+    TimeBreakdown Time;
+  };
+  /// MRU-ordered entries + key index, guarded by CacheMutex.
+  mutable std::list<CacheEntry> CacheOrder;
+  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
+      CacheIndex;
+  mutable HitMissCounters Counters;
+  mutable std::mutex CacheMutex;
+  size_t CacheCapacity = 1u << 14;
 };
 
 } // namespace mlirrl

@@ -15,6 +15,7 @@ Runner::Runner(MachineModel Machine, RunnerOptions Options)
 double Runner::measure(double ModelSeconds) {
   if (!Options.Noise)
     return ModelSeconds;
+  std::lock_guard<std::mutex> Lock(NoiseMutex);
   std::vector<double> Samples;
   Samples.reserve(Options.Runs);
   for (unsigned I = 0; I < Options.Runs; ++I)

@@ -19,6 +19,8 @@
 #include "support/Rng.h"
 #include "transforms/Schedule.h"
 
+#include <mutex>
+
 namespace mlirrl {
 
 /// Measurement configuration.
@@ -53,7 +55,12 @@ private:
 
   CostModel Model;
   RunnerOptions Options;
+  /// Noise stream, mutex-guarded so parallel episode collection can
+  /// share one Runner. With noise enabled the stream's consumption order
+  /// depends on scheduling, so noisy measurements are only
+  /// replay-deterministic single-threaded; training keeps noise off.
   Rng Noise;
+  std::mutex NoiseMutex;
 };
 
 } // namespace mlirrl

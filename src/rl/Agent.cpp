@@ -29,7 +29,9 @@ ActorCritic::Sampled ActorCritic::act(const Observation &Obs, Rng &Rng,
   Sampled S;
   S.Action = Action;
   S.LogProb = Eval.LogProb.item();
-  S.Value = Eval.Value.item();
+  // Greedy evaluation skips the critic entirely (see below); rollouts
+  // store its baseline estimate.
+  S.Value = Eval.Value.valid() ? Eval.Value.item() : 0.0;
   return S;
 }
 
@@ -46,6 +48,12 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
                                 Rng *SampleRng, bool Greedy) const {
   PolicyNet::Heads Heads = Policy.forward(Obs);
   const bool Sampling = SampleRng != nullptr;
+  // Entropy only regularizes the PPO update; building its graph during
+  // rollouts is wasted work. The critic is likewise dead weight in
+  // greedy (deployment) inference, which only consumes the argmax
+  // actions -- skipping it halves the networks evaluated per step.
+  const bool NeedEntropy = !Sampling;
+  const bool NeedValue = !(Sampling && Greedy);
 
   auto MaskTensor = [](const std::vector<double> &Mask) {
     return Tensor::fromData(1, Mask.size(), Mask);
@@ -66,7 +74,8 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
     Action.FlatChoice = Choice;
     // Kind is decoded by the environment; keep it for buffer clarity.
     LogProbTerms.push_back(Dist.logProb(Choice));
-    EntropyTerms.push_back(Dist.entropy());
+    if (NeedEntropy)
+      EntropyTerms.push_back(Dist.entropy());
   } else if (Obs.InPointerSequence) {
     // Forced interchange continuation: only the pointer head acts.
     MaskedCategorical Dist(Heads.InterchangeLogits,
@@ -75,7 +84,8 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
     Action.Kind = TransformKind::Interchange;
     Action.PointerChoice = Choice;
     LogProbTerms.push_back(Dist.logProb(Choice));
-    EntropyTerms.push_back(Dist.entropy());
+    if (NeedEntropy)
+      EntropyTerms.push_back(Dist.entropy());
   } else {
     MaskedCategorical KindDist(Heads.TransformLogits,
                                MaskTensor(Obs.TransformMask));
@@ -83,7 +93,8 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
         ChooseFrom(KindDist, static_cast<unsigned>(Action.Kind));
     Action.Kind = static_cast<TransformKind>(KindChoice);
     LogProbTerms.push_back(KindDist.logProb(KindChoice));
-    EntropyTerms.push_back(KindDist.entropy());
+    if (NeedEntropy)
+      EntropyTerms.push_back(KindDist.entropy());
 
     switch (Action.Kind) {
     case TransformKind::Tiling:
@@ -101,7 +112,8 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
         if (Sampling)
           Action.TileSizeIdx[L] = Choice;
         LogProbTerms.push_back(Dist.logProb(Choice));
-        EntropyTerms.push_back(Dist.entropy());
+        if (NeedEntropy)
+          EntropyTerms.push_back(Dist.entropy());
       }
       break;
     }
@@ -117,7 +129,8 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
         Action.EnumeratedChoice = Choice;
         LogProbTerms.push_back(Dist.logProb(Choice));
       }
-      EntropyTerms.push_back(Dist.entropy());
+      if (NeedEntropy)
+        EntropyTerms.push_back(Dist.entropy());
       break;
     }
     case TransformKind::Vectorization:
@@ -132,12 +145,15 @@ ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
     LogProb = add(LogProb, LogProbTerms[I]);
   Eval.LogProb = LogProb;
 
-  Tensor Entropy = EntropyTerms.front();
-  for (size_t I = 1; I < EntropyTerms.size(); ++I)
-    Entropy = add(Entropy, EntropyTerms[I]);
-  Eval.Entropy = Entropy;
+  if (NeedEntropy) {
+    Tensor Entropy = EntropyTerms.front();
+    for (size_t I = 1; I < EntropyTerms.size(); ++I)
+      Entropy = add(Entropy, EntropyTerms[I]);
+    Eval.Entropy = Entropy;
+  }
 
-  Eval.Value = Value.forward(Obs);
+  if (NeedValue)
+    Eval.Value = Value.forward(Obs);
   return Eval;
 }
 

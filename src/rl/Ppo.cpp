@@ -17,12 +17,13 @@ PpoTrainer::PpoTrainer(ActorCritic &Agent, Runner &Run, PpoConfig Config)
       Optimizer(Agent.parameters(), Config.LearningRate),
       SampleRng(Config.Seed) {}
 
-PpoTrainer::EpisodeResult PpoTrainer::collectEpisode(const Module &Sample) {
+PpoTrainer::EpisodeResult
+PpoTrainer::collectEpisode(const Module &Sample, Rng &EpisodeRng) const {
   Environment Env(Agent.getEnvConfig(), Run, Sample);
   EpisodeResult Result;
   while (!Env.isDone()) {
     Observation Obs = Env.observe();
-    ActorCritic::Sampled S = Agent.act(Obs, SampleRng);
+    ActorCritic::Sampled S = Agent.act(Obs, EpisodeRng);
     Environment::StepOutcome Out = Env.step(S.Action);
 
     RolloutStep Step;
@@ -32,7 +33,7 @@ PpoTrainer::EpisodeResult PpoTrainer::collectEpisode(const Module &Sample) {
     Step.Value = S.Value;
     Step.Reward = Out.Reward;
     Step.EpisodeEnd = Out.Done;
-    Buffer.add(std::move(Step));
+    Result.Steps.push_back(std::move(Step));
 
     Result.Reward += Out.Reward;
   }
@@ -41,19 +42,51 @@ PpoTrainer::EpisodeResult PpoTrainer::collectEpisode(const Module &Sample) {
   return Result;
 }
 
+ThreadPool *PpoTrainer::collectionPool() {
+  if (Config.CollectThreads == 1)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Config.CollectThreads);
+  return Pool.get();
+}
+
 PpoIterationStats
 PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
   Buffer.clear();
   PpoIterationStats Stats;
+
+  // Draw this iteration's samples and the RNG stream key of each episode
+  // up front; collection is then embarrassingly parallel and its result
+  // is independent of the thread count (streams are keyed by the global
+  // sample index, merged back in sample order).
+  unsigned N = Config.SamplesPerIteration;
+  std::vector<const Module *> Samples(N);
+  std::vector<uint64_t> StreamKeys(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Samples[I] = &Dataset[DatasetCursor % Dataset.size()];
+    ++DatasetCursor;
+    StreamKeys[I] = EpisodeCounter++;
+  }
+
+  std::vector<EpisodeResult> Results(N);
+  auto RunOne = [&](size_t I) {
+    Rng EpisodeRng(Rng::deriveSeed(Config.Seed, StreamKeys[I]));
+    Results[I] = collectEpisode(*Samples[I], EpisodeRng);
+  };
+  if (ThreadPool *P = collectionPool())
+    P->parallelFor(N, RunOne);
+  else
+    for (unsigned I = 0; I < N; ++I)
+      RunOne(I);
+
   std::vector<double> Speedups;
   std::vector<double> Rewards;
-  for (unsigned I = 0; I < Config.SamplesPerIteration; ++I) {
-    const Module &Sample = Dataset[DatasetCursor % Dataset.size()];
-    ++DatasetCursor;
-    EpisodeResult R = collectEpisode(Sample);
+  for (EpisodeResult &R : Results) {
     Rewards.push_back(R.Reward);
     Speedups.push_back(std::max(R.Speedup, 1e-9));
     Stats.MeasurementSeconds += R.MeasurementSeconds;
+    for (RolloutStep &Step : R.Steps)
+      Buffer.add(std::move(Step));
   }
   Stats.MeanEpisodeReward = mean(Rewards);
   Stats.MeanSpeedup = geomean(Speedups);

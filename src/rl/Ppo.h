@@ -17,6 +17,9 @@
 #include "perf/Runner.h"
 #include "rl/Agent.h"
 #include "rl/RolloutBuffer.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
 
 namespace mlirrl {
 
@@ -33,6 +36,10 @@ struct PpoConfig {
   unsigned SamplesPerIteration = 64;
   double MaxGradNorm = 0.5;
   uint64_t Seed = 7;
+  /// Threads collecting episodes per iteration (0 = one per hardware
+  /// thread). Episode RNG streams are keyed by the global sample index,
+  /// so every thread count produces bitwise-identical rollouts.
+  unsigned CollectThreads = 1;
 };
 
 /// Per-iteration training statistics.
@@ -66,16 +73,23 @@ public:
   Rng &rng() { return SampleRng; }
 
 private:
-  /// Rolls one episode into the buffer; returns (total reward, speedup,
-  /// measurement seconds).
+  /// One collected episode: summary plus its steps (merged into the
+  /// shared buffer in sample order after the parallel phase).
   struct EpisodeResult {
     double Reward = 0.0;
     double Speedup = 1.0;
     double MeasurementSeconds = 0.0;
+    std::vector<RolloutStep> Steps;
   };
-  EpisodeResult collectEpisode(const Module &Sample);
+  /// Rolls one episode with its own RNG stream (thread-safe: touches no
+  /// trainer state besides the read-only agent and the runner).
+  EpisodeResult collectEpisode(const Module &Sample, Rng &EpisodeRng) const;
 
   void update(PpoIterationStats &Stats);
+
+  /// The pool used for collection (created on first use; nullptr while
+  /// CollectThreads == 1).
+  ThreadPool *collectionPool();
 
   ActorCritic &Agent;
   Runner &Run;
@@ -84,6 +98,9 @@ private:
   Rng SampleRng;
   RolloutBuffer Buffer;
   size_t DatasetCursor = 0;
+  /// Global episode counter: the RNG stream key of the next episode.
+  uint64_t EpisodeCounter = 0;
+  std::unique_ptr<ThreadPool> Pool;
 };
 
 } // namespace mlirrl

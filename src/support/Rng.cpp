@@ -18,6 +18,14 @@ static uint64_t splitMix64(uint64_t &X) {
 
 static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
 
+uint64_t Rng::deriveSeed(uint64_t Base, uint64_t Stream) {
+  // Two splitmix64 steps over a mixed word: adjacent (Base, Stream)
+  // pairs land on unrelated seeds.
+  uint64_t X = Base ^ (Stream * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  uint64_t A = splitMix64(X);
+  return splitMix64(X) ^ rotl(A, 23);
+}
+
 void Rng::reseed(uint64_t Seed) {
   uint64_t S = Seed;
   for (uint64_t &Word : State)

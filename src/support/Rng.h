@@ -29,6 +29,11 @@ public:
   /// Re-seeds the full 256-bit state from \p Seed via splitmix64.
   void reseed(uint64_t Seed);
 
+  /// Derives an independent stream seed from (Base, Stream), e.g. one
+  /// per-episode RNG per sample index. Deterministic and
+  /// collision-resistant across nearby stream ids.
+  static uint64_t deriveSeed(uint64_t Base, uint64_t Stream);
+
   /// Returns the next raw 64-bit value.
   uint64_t next();
 

@@ -10,9 +10,25 @@
 #ifndef MLIRRL_SUPPORT_STATS_H
 #define MLIRRL_SUPPORT_STATS_H
 
+#include <cstdint>
 #include <vector>
 
 namespace mlirrl {
+
+/// Hit/miss counters for memoization layers (the cost-model schedule
+/// cache reports these; PERF.md records the training-loop hit rate).
+struct HitMissCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  uint64_t total() const { return Hits + Misses; }
+  double hitRate() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(Hits) /
+                              static_cast<double>(total());
+  }
+  void reset() { Hits = Misses = 0; }
+};
 
 /// Arithmetic mean. Returns 0 for empty input.
 double mean(const std::vector<double> &Values);

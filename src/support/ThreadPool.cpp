@@ -1,0 +1,111 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace mlirrl;
+
+/// One parallelFor invocation: items are claimed by atomic increment;
+/// the last finisher signals completion.
+struct ThreadPool::Batch {
+  size_t N = 0;
+  const std::function<void(size_t)> *Fn = nullptr;
+  std::atomic<size_t> NextItem{0};
+  std::atomic<size_t> DoneItems{0};
+  std::mutex DoneMutex;
+  std::condition_variable DoneCondition;
+
+  /// Claims and runs items until the batch is drained. Returns the
+  /// number of items this thread completed.
+  size_t drain() {
+    size_t Ran = 0;
+    for (;;) {
+      size_t Item = NextItem.fetch_add(1, std::memory_order_relaxed);
+      if (Item >= N)
+        break;
+      (*Fn)(Item);
+      ++Ran;
+    }
+    if (Ran > 0 && DoneItems.fetch_add(Ran) + Ran == N) {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      DoneCondition.notify_all();
+    }
+    return Ran;
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(DoneMutex);
+    DoneCondition.wait(Lock, [this] { return DoneItems.load() >= N; });
+  }
+};
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = hardwareThreads();
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> Work;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Pending.empty(); });
+      if (ShuttingDown && Pending.empty())
+        return;
+      Work = Pending.front();
+      // Leave the batch visible until drained so every idle worker can
+      // join in; drained batches are dropped below.
+      if (Work->NextItem.load(std::memory_order_relaxed) >= Work->N) {
+        Pending.pop_front();
+        continue;
+      }
+    }
+    Work->drain();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  auto Work = std::make_shared<Batch>();
+  Work->N = N;
+  Work->Fn = &Fn;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.push_back(Work);
+  }
+  WorkAvailable.notify_all();
+  Work->drain();
+  Work->wait();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Pending.begin(); It != Pending.end(); ++It)
+    if (*It == Work) {
+      Pending.erase(It);
+      break;
+    }
+}

@@ -1,0 +1,59 @@
+//===- ThreadPool.h - Fixed-size worker pool ---------------------*- C++-*-===//
+///
+/// \file
+/// A small fixed-size thread pool for coarse-grained parallelism in the
+/// training loop (parallel episode collection). Work is distributed with
+/// an atomic index so parallelFor needs no per-item queue traffic, and
+/// the calling thread participates, so a 1-thread pool degenerates to a
+/// plain loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_THREADPOOL_H
+#define MLIRRL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlirrl {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads - 1 workers (the caller is the remaining
+  /// thread); 0 means one per hardware thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of threads that execute parallelFor work (workers + caller).
+  unsigned size() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Hardware thread count (at least 1).
+  static unsigned hardwareThreads();
+
+  /// Runs Fn(0) .. Fn(N-1) across the pool and the calling thread;
+  /// returns when all invocations completed. Item order across threads is
+  /// unspecified, so Fn must only touch per-index state.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  struct Batch;
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::deque<std::shared_ptr<Batch>> Pending;
+  bool ShuttingDown = false;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_THREADPOOL_H

@@ -1,0 +1,183 @@
+//===- GemmTest.cpp - Blocked matmul vs. naive reference --------------------===//
+//
+// The blocked kernels must be bit-compatible in shape handling with a
+// naive triple loop on every shape, in particular shapes that are not
+// multiples of the blocking parameters (MC/KC/NC/MR tails).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Gemm.h"
+#include "nn/Ops.h"
+#include "nn/Tensor.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+namespace {
+
+std::vector<double> randomData(Rng &R, unsigned N) {
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = R.nextDouble(-1.0, 1.0);
+  return V;
+}
+
+/// Naive C += A . B reference.
+void naiveNN(unsigned M, unsigned N, unsigned K, const std::vector<double> &A,
+             const std::vector<double> &B, std::vector<double> &C) {
+  for (unsigned I = 0; I < M; ++I)
+    for (unsigned Kk = 0; Kk < K; ++Kk)
+      for (unsigned J = 0; J < N; ++J)
+        C[I * N + J] += A[I * K + Kk] * B[Kk * N + J];
+}
+
+struct Shape {
+  unsigned M, K, N;
+};
+
+// Tails in every dimension: primes, ones, and sizes straddling the
+// MR = 4 / MC = 64 / KC = 256 / NC = 512 block boundaries.
+const Shape Shapes[] = {{1, 1, 1},    {1, 7, 3},    {4, 4, 4},
+                        {5, 9, 7},    {3, 257, 13}, {65, 5, 17},
+                        {2, 300, 520}, {67, 259, 33}, {128, 64, 96}};
+
+} // namespace
+
+TEST(GemmTest, BlockedNNMatchesNaive) {
+  Rng R(42);
+  for (const Shape &S : Shapes) {
+    std::vector<double> A = randomData(R, S.M * S.K);
+    std::vector<double> B = randomData(R, S.K * S.N);
+    std::vector<double> Ref(S.M * S.N, 0.0), Out(S.M * S.N, 0.0);
+    naiveNN(S.M, S.N, S.K, A, B, Ref);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(Out[I], Ref[I], 1e-12 * (1.0 + std::fabs(Ref[I])))
+          << "M=" << S.M << " K=" << S.K << " N=" << S.N << " idx=" << I;
+  }
+}
+
+TEST(GemmTest, BlockedNTMatchesNaive) {
+  Rng R(43);
+  for (const Shape &S : Shapes) {
+    // C(MxN) += A(MxK) . B^T with B stored NxK.
+    std::vector<double> A = randomData(R, S.M * S.K);
+    std::vector<double> B = randomData(R, S.N * S.K);
+    std::vector<double> Ref(S.M * S.N, 0.0), Out(S.M * S.N, 0.0);
+    for (unsigned I = 0; I < S.M; ++I)
+      for (unsigned J = 0; J < S.N; ++J)
+        for (unsigned Kk = 0; Kk < S.K; ++Kk)
+          Ref[I * S.N + J] += A[I * S.K + Kk] * B[J * S.K + Kk];
+    gemmAccNT(S.M, S.N, S.K, A.data(), S.K, B.data(), S.K, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(Out[I], Ref[I], 1e-12 * (1.0 + std::fabs(Ref[I])));
+  }
+}
+
+TEST(GemmTest, BlockedTNMatchesNaive) {
+  Rng R(44);
+  for (const Shape &S : Shapes) {
+    // C(MxN) += A^T . B with A stored KxM.
+    std::vector<double> A = randomData(R, S.K * S.M);
+    std::vector<double> B = randomData(R, S.K * S.N);
+    std::vector<double> Ref(S.M * S.N, 0.0), Out(S.M * S.N, 0.0);
+    for (unsigned Kk = 0; Kk < S.K; ++Kk)
+      for (unsigned I = 0; I < S.M; ++I)
+        for (unsigned J = 0; J < S.N; ++J)
+          Ref[I * S.N + J] += A[Kk * S.M + I] * B[Kk * S.N + J];
+    gemmAccTN(S.M, S.N, S.K, A.data(), S.M, B.data(), S.N, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(Out[I], Ref[I], 1e-12 * (1.0 + std::fabs(Ref[I])));
+  }
+}
+
+TEST(GemmTest, AccumulatesIntoExistingValues) {
+  std::vector<double> A = {1.0, 2.0};  // 1x2
+  std::vector<double> B = {3.0, 4.0};  // 2x1
+  std::vector<double> C = {10.0};      // pre-filled
+  gemmAccNN(1, 1, 2, A.data(), 2, B.data(), 1, C.data(), 1);
+  EXPECT_DOUBLE_EQ(C[0], 10.0 + 3.0 + 8.0);
+}
+
+TEST(GemmTest, MatmulOpBackwardMatchesManualGradients) {
+  // d/dA sum(A.B) = ones . B^T, d/dB = A^T . ones; random odd shapes so
+  // the kernel tails are exercised through the autograd path too.
+  Rng R(45);
+  for (const Shape &S : {Shape{3, 5, 7}, Shape{1, 130, 9}, Shape{66, 3, 5}}) {
+    Tensor A = Tensor::parameter(S.M, S.K, randomData(R, S.M * S.K));
+    Tensor B = Tensor::parameter(S.K, S.N, randomData(R, S.K * S.N));
+    Tensor Loss = sumAll(matmul(A, B));
+    Loss.backward();
+
+    for (unsigned I = 0; I < S.M; ++I)
+      for (unsigned Kk = 0; Kk < S.K; ++Kk) {
+        double Expect = 0.0;
+        for (unsigned J = 0; J < S.N; ++J)
+          Expect += B.at(Kk, J);
+        EXPECT_NEAR(A.grad()[I * S.K + Kk], Expect, 1e-10);
+      }
+    for (unsigned Kk = 0; Kk < S.K; ++Kk)
+      for (unsigned J = 0; J < S.N; ++J) {
+        double Expect = 0.0;
+        for (unsigned I = 0; I < S.M; ++I)
+          Expect += A.at(I, Kk);
+        EXPECT_NEAR(B.grad()[Kk * S.N + J], Expect, 1e-10);
+      }
+  }
+}
+
+TEST(GemmTest, MatmulBackwardHandlesZeroEntries) {
+  // The seed's Aik == 0 short-circuit skipped gradient rows; zeros in A
+  // must not disturb any gradient entry.
+  Tensor A = Tensor::parameter(2, 2, {0.0, 1.0, 2.0, 0.0});
+  Tensor B = Tensor::parameter(2, 2, {3.0, 4.0, 5.0, 6.0});
+  Tensor Loss = sumAll(matmul(A, B));
+  Loss.backward();
+  // dA[i][k] = sum_j B[k][j].
+  EXPECT_DOUBLE_EQ(A.grad()[0], 7.0);
+  EXPECT_DOUBLE_EQ(A.grad()[1], 11.0);
+  EXPECT_DOUBLE_EQ(A.grad()[2], 7.0);
+  EXPECT_DOUBLE_EQ(A.grad()[3], 11.0);
+  // dB[k][j] = sum_i A[i][k].
+  EXPECT_DOUBLE_EQ(B.grad()[0], 2.0);
+  EXPECT_DOUBLE_EQ(B.grad()[1], 2.0);
+  EXPECT_DOUBLE_EQ(B.grad()[2], 1.0);
+  EXPECT_DOUBLE_EQ(B.grad()[3], 1.0);
+}
+
+TEST(GemmTest, FusedLinearMatchesMatmulAddBias) {
+  Rng R(46);
+  unsigned M = 5, K = 37, N = 11;
+  std::vector<double> Xd = randomData(R, M * K);
+  std::vector<double> Wd = randomData(R, K * N);
+  std::vector<double> Bd = randomData(R, N);
+
+  Tensor X1 = Tensor::parameter(M, K, Xd);
+  Tensor W1 = Tensor::parameter(K, N, Wd);
+  Tensor B1 = Tensor::parameter(1, N, Bd);
+  Tensor Fused = linear(X1, W1, B1);
+  Tensor LossFused = sumAll(hadamard(Fused, Fused));
+  LossFused.backward();
+
+  Tensor X2 = Tensor::parameter(M, K, Xd);
+  Tensor W2 = Tensor::parameter(K, N, Wd);
+  Tensor B2 = Tensor::parameter(1, N, Bd);
+  Tensor Ref = addBias(matmul(X2, W2), B2);
+  Tensor LossRef = sumAll(hadamard(Ref, Ref));
+  LossRef.backward();
+
+  for (unsigned I = 0; I < M * N; ++I)
+    EXPECT_NEAR(Fused.data()[I], Ref.data()[I], 1e-12);
+  for (unsigned I = 0; I < M * K; ++I)
+    EXPECT_NEAR(X1.grad()[I], X2.grad()[I], 1e-10);
+  for (unsigned I = 0; I < K * N; ++I)
+    EXPECT_NEAR(W1.grad()[I], W2.grad()[I], 1e-10);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_NEAR(B1.grad()[I], B2.grad()[I], 1e-10);
+}

@@ -1,0 +1,101 @@
+//===- ParallelDeterminismTest.cpp - Thread-count-invariant training --------===//
+//
+// Episode RNG streams are keyed by the global sample index, not the
+// thread id, and collected steps merge back into the rollout buffer in
+// sample order -- so training must be bitwise identical for every
+// collection thread count given the same seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/MlirRl.h"
+
+#include "datasets/DnnOps.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+using namespace mlirrl;
+
+namespace {
+
+/// Exact bit-pattern equality: EXPECT_DOUBLE_EQ tolerates 4 ULPs, which
+/// would let a small thread-count-dependent divergence slip through the
+/// bitwise-determinism contract.
+#define EXPECT_SAME_BITS(X, Y)                                              \
+  EXPECT_EQ(std::bit_cast<uint64_t>(static_cast<double>(X)),                \
+            std::bit_cast<uint64_t>(static_cast<double>(Y)))
+
+MlirRlOptions tinyOptions(unsigned CollectThreads) {
+  MlirRlOptions O = MlirRlOptions::laptop();
+  O.Net.LstmHidden = 16;
+  O.Net.BackboneHidden = 16;
+  O.Ppo.SamplesPerIteration = 6;
+  O.Ppo.CollectThreads = CollectThreads;
+  O.Iterations = 3;
+  O.Seed = 2024;
+  return O;
+}
+
+std::vector<PpoIterationStats> trainWithThreads(unsigned CollectThreads) {
+  MlirRlOptions O = tinyOptions(CollectThreads);
+  MlirRl Sys(O);
+  std::vector<Module> Data = {makeMatmulModule(64, 64, 64),
+                              makeReluModule({512, 128})};
+  return Sys.train(Data);
+}
+
+} // namespace
+
+TEST(ParallelDeterminismTest, OneAndFourThreadRunsAreBitwiseIdentical) {
+  std::vector<PpoIterationStats> Seq = trainWithThreads(1);
+  std::vector<PpoIterationStats> Par = trainWithThreads(4);
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (unsigned I = 0; I < Seq.size(); ++I) {
+    EXPECT_SAME_BITS(Seq[I].MeanEpisodeReward, Par[I].MeanEpisodeReward);
+    EXPECT_SAME_BITS(Seq[I].MeanSpeedup, Par[I].MeanSpeedup);
+    EXPECT_SAME_BITS(Seq[I].PolicyLoss, Par[I].PolicyLoss);
+    EXPECT_SAME_BITS(Seq[I].ValueLoss, Par[I].ValueLoss);
+    EXPECT_SAME_BITS(Seq[I].Entropy, Par[I].Entropy);
+    EXPECT_EQ(Seq[I].StepsCollected, Par[I].StepsCollected);
+    EXPECT_SAME_BITS(Seq[I].MeasurementSeconds, Par[I].MeasurementSeconds);
+  }
+}
+
+TEST(ParallelDeterminismTest, HardwareThreadCountRunMatchesToo) {
+  // CollectThreads = 0 resolves to the hardware thread count, whatever
+  // that is on the host; results must still match the sequential run.
+  std::vector<PpoIterationStats> Seq = trainWithThreads(1);
+  std::vector<PpoIterationStats> Auto = trainWithThreads(0);
+  ASSERT_EQ(Seq.size(), Auto.size());
+  for (unsigned I = 0; I < Seq.size(); ++I) {
+    EXPECT_SAME_BITS(Seq[I].MeanEpisodeReward, Auto[I].MeanEpisodeReward);
+    EXPECT_SAME_BITS(Seq[I].MeanSpeedup, Auto[I].MeanSpeedup);
+  }
+}
+
+TEST(ParallelDeterminismTest, GreedyEvaluationUnaffectedByThreadCount) {
+  MlirRlOptions O1 = tinyOptions(1), O4 = tinyOptions(4);
+  MlirRl A(O1), B(O4);
+  std::vector<Module> Data = {makeMatmulModule(64, 64, 64)};
+  A.train(Data);
+  B.train(Data);
+  EXPECT_SAME_BITS(A.optimize(Data[0]), B.optimize(Data[0]));
+}
+
+TEST(ParallelDeterminismTest, ThreadPoolRunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(N, [&](size_t I) { Counts[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+  // Reuse of the same pool must work (second batch).
+  Pool.parallelFor(N, [&](size_t I) { Counts[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 2);
+}
