@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interchange.dir/bench/bench_ablation_interchange.cpp.o"
+  "CMakeFiles/bench_ablation_interchange.dir/bench/bench_ablation_interchange.cpp.o.d"
+  "bench_ablation_interchange"
+  "bench_ablation_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_operators.dir/bench/bench_fig5_operators.cpp.o"
+  "CMakeFiles/bench_fig5_operators.dir/bench/bench_fig5_operators.cpp.o.d"
+  "bench_fig5_operators"
+  "bench_fig5_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

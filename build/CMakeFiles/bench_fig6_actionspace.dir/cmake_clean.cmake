@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_actionspace.dir/bench/bench_fig6_actionspace.cpp.o"
+  "CMakeFiles/bench_fig6_actionspace.dir/bench/bench_fig6_actionspace.cpp.o.d"
+  "bench_fig6_actionspace"
+  "bench_fig6_actionspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_actionspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

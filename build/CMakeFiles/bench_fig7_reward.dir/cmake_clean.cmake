@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_reward.dir/bench/bench_fig7_reward.cpp.o"
+  "CMakeFiles/bench_fig7_reward.dir/bench/bench_fig7_reward.cpp.o.d"
+  "bench_fig7_reward"
+  "bench_fig7_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lqcd.dir/bench/bench_table4_lqcd.cpp.o"
+  "CMakeFiles/bench_table4_lqcd.dir/bench/bench_table4_lqcd.cpp.o.d"
+  "bench_table4_lqcd"
+  "bench_table4_lqcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lqcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_models.dir/bench/bench_table5_models.cpp.o"
+  "CMakeFiles/bench_table5_models.dir/bench/bench_table5_models.cpp.o.d"
+  "bench_table5_models"
+  "bench_table5_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trainstep.dir/bench/bench_trainstep.cpp.o"
+  "CMakeFiles/bench_trainstep.dir/bench/bench_trainstep.cpp.o.d"
+  "bench_trainstep"
+  "bench_trainstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trainstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

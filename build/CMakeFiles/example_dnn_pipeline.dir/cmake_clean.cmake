@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dnn_pipeline.dir/examples/dnn_pipeline.cpp.o"
+  "CMakeFiles/example_dnn_pipeline.dir/examples/dnn_pipeline.cpp.o.d"
+  "example_dnn_pipeline"
+  "example_dnn_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dnn_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inspect_ir.dir/examples/inspect_ir.cpp.o"
+  "CMakeFiles/example_inspect_ir.dir/examples/inspect_ir.cpp.o.d"
+  "example_inspect_ir"
+  "example_inspect_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inspect_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

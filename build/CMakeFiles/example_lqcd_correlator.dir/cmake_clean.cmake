@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lqcd_correlator.dir/examples/lqcd_correlator.cpp.o"
+  "CMakeFiles/example_lqcd_correlator.dir/examples/lqcd_correlator.cpp.o.d"
+  "example_lqcd_correlator"
+  "example_lqcd_correlator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lqcd_correlator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/HalideRl.cpp" "CMakeFiles/mlirrl.dir/src/baselines/HalideRl.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/baselines/HalideRl.cpp.o.d"
+  "/root/repo/src/baselines/LibraryOracle.cpp" "CMakeFiles/mlirrl.dir/src/baselines/LibraryOracle.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/baselines/LibraryOracle.cpp.o.d"
+  "/root/repo/src/baselines/Mullapudi.cpp" "CMakeFiles/mlirrl.dir/src/baselines/Mullapudi.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/baselines/Mullapudi.cpp.o.d"
+  "/root/repo/src/baselines/RandomSearch.cpp" "CMakeFiles/mlirrl.dir/src/baselines/RandomSearch.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/baselines/RandomSearch.cpp.o.d"
+  "/root/repo/src/baselines/ScheduleUtil.cpp" "CMakeFiles/mlirrl.dir/src/baselines/ScheduleUtil.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/baselines/ScheduleUtil.cpp.o.d"
+  "/root/repo/src/datasets/Dataset.cpp" "CMakeFiles/mlirrl.dir/src/datasets/Dataset.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/datasets/Dataset.cpp.o.d"
+  "/root/repo/src/datasets/DnnOps.cpp" "CMakeFiles/mlirrl.dir/src/datasets/DnnOps.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/datasets/DnnOps.cpp.o.d"
+  "/root/repo/src/datasets/Lqcd.cpp" "CMakeFiles/mlirrl.dir/src/datasets/Lqcd.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/datasets/Lqcd.cpp.o.d"
+  "/root/repo/src/datasets/Models.cpp" "CMakeFiles/mlirrl.dir/src/datasets/Models.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/datasets/Models.cpp.o.d"
+  "/root/repo/src/datasets/Sequences.cpp" "CMakeFiles/mlirrl.dir/src/datasets/Sequences.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/datasets/Sequences.cpp.o.d"
+  "/root/repo/src/env/ActionSpace.cpp" "CMakeFiles/mlirrl.dir/src/env/ActionSpace.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/env/ActionSpace.cpp.o.d"
+  "/root/repo/src/env/Environment.cpp" "CMakeFiles/mlirrl.dir/src/env/Environment.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/env/Environment.cpp.o.d"
+  "/root/repo/src/env/Featurizer.cpp" "CMakeFiles/mlirrl.dir/src/env/Featurizer.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/env/Featurizer.cpp.o.d"
+  "/root/repo/src/ir/AffineExpr.cpp" "CMakeFiles/mlirrl.dir/src/ir/AffineExpr.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/AffineMap.cpp" "CMakeFiles/mlirrl.dir/src/ir/AffineMap.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/AffineMap.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "CMakeFiles/mlirrl.dir/src/ir/Builder.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Lexer.cpp" "CMakeFiles/mlirrl.dir/src/ir/Lexer.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Lexer.cpp.o.d"
+  "/root/repo/src/ir/LinalgOp.cpp" "CMakeFiles/mlirrl.dir/src/ir/LinalgOp.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/LinalgOp.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "CMakeFiles/mlirrl.dir/src/ir/Module.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "CMakeFiles/mlirrl.dir/src/ir/Parser.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "CMakeFiles/mlirrl.dir/src/ir/Printer.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Types.cpp" "CMakeFiles/mlirrl.dir/src/ir/Types.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Types.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "CMakeFiles/mlirrl.dir/src/ir/Verifier.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/ir/Verifier.cpp.o.d"
+  "/root/repo/src/nn/Distributions.cpp" "CMakeFiles/mlirrl.dir/src/nn/Distributions.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Distributions.cpp.o.d"
+  "/root/repo/src/nn/Gemm.cpp" "CMakeFiles/mlirrl.dir/src/nn/Gemm.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Gemm.cpp.o.d"
+  "/root/repo/src/nn/Layers.cpp" "CMakeFiles/mlirrl.dir/src/nn/Layers.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Layers.cpp.o.d"
+  "/root/repo/src/nn/Lstm.cpp" "CMakeFiles/mlirrl.dir/src/nn/Lstm.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Lstm.cpp.o.d"
+  "/root/repo/src/nn/Ops.cpp" "CMakeFiles/mlirrl.dir/src/nn/Ops.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Ops.cpp.o.d"
+  "/root/repo/src/nn/Optimizer.cpp" "CMakeFiles/mlirrl.dir/src/nn/Optimizer.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Optimizer.cpp.o.d"
+  "/root/repo/src/nn/Serialization.cpp" "CMakeFiles/mlirrl.dir/src/nn/Serialization.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Serialization.cpp.o.d"
+  "/root/repo/src/nn/Tensor.cpp" "CMakeFiles/mlirrl.dir/src/nn/Tensor.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/nn/Tensor.cpp.o.d"
+  "/root/repo/src/perf/CacheSim.cpp" "CMakeFiles/mlirrl.dir/src/perf/CacheSim.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/perf/CacheSim.cpp.o.d"
+  "/root/repo/src/perf/CostModel.cpp" "CMakeFiles/mlirrl.dir/src/perf/CostModel.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/perf/CostModel.cpp.o.d"
+  "/root/repo/src/perf/MachineModel.cpp" "CMakeFiles/mlirrl.dir/src/perf/MachineModel.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/perf/MachineModel.cpp.o.d"
+  "/root/repo/src/perf/Runner.cpp" "CMakeFiles/mlirrl.dir/src/perf/Runner.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/perf/Runner.cpp.o.d"
+  "/root/repo/src/perf/WorkingSet.cpp" "CMakeFiles/mlirrl.dir/src/perf/WorkingSet.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/perf/WorkingSet.cpp.o.d"
+  "/root/repo/src/rl/Agent.cpp" "CMakeFiles/mlirrl.dir/src/rl/Agent.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/rl/Agent.cpp.o.d"
+  "/root/repo/src/rl/MlirRl.cpp" "CMakeFiles/mlirrl.dir/src/rl/MlirRl.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/rl/MlirRl.cpp.o.d"
+  "/root/repo/src/rl/PolicyNet.cpp" "CMakeFiles/mlirrl.dir/src/rl/PolicyNet.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/rl/PolicyNet.cpp.o.d"
+  "/root/repo/src/rl/Ppo.cpp" "CMakeFiles/mlirrl.dir/src/rl/Ppo.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/rl/Ppo.cpp.o.d"
+  "/root/repo/src/rl/RolloutBuffer.cpp" "CMakeFiles/mlirrl.dir/src/rl/RolloutBuffer.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/rl/RolloutBuffer.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "CMakeFiles/mlirrl.dir/src/support/Error.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/Error.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "CMakeFiles/mlirrl.dir/src/support/Format.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/Format.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "CMakeFiles/mlirrl.dir/src/support/Rng.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "CMakeFiles/mlirrl.dir/src/support/Stats.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "CMakeFiles/mlirrl.dir/src/support/Table.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/Table.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "CMakeFiles/mlirrl.dir/src/support/ThreadPool.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/support/ThreadPool.cpp.o.d"
+  "/root/repo/src/transforms/Apply.cpp" "CMakeFiles/mlirrl.dir/src/transforms/Apply.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/transforms/Apply.cpp.o.d"
+  "/root/repo/src/transforms/Legality.cpp" "CMakeFiles/mlirrl.dir/src/transforms/Legality.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/transforms/Legality.cpp.o.d"
+  "/root/repo/src/transforms/LoopNest.cpp" "CMakeFiles/mlirrl.dir/src/transforms/LoopNest.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/transforms/LoopNest.cpp.o.d"
+  "/root/repo/src/transforms/Schedule.cpp" "CMakeFiles/mlirrl.dir/src/transforms/Schedule.cpp.o" "gcc" "CMakeFiles/mlirrl.dir/src/transforms/Schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlirrl.
+# This may be replaced when dependencies are built.

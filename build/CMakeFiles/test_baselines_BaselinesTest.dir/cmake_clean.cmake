@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_BaselinesTest.dir/tests/baselines/BaselinesTest.cpp.o"
+  "CMakeFiles/test_baselines_BaselinesTest.dir/tests/baselines/BaselinesTest.cpp.o.d"
+  "test_baselines_BaselinesTest"
+  "test_baselines_BaselinesTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_BaselinesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

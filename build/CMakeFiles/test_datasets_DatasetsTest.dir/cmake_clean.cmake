@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets_DatasetsTest.dir/tests/datasets/DatasetsTest.cpp.o"
+  "CMakeFiles/test_datasets_DatasetsTest.dir/tests/datasets/DatasetsTest.cpp.o.d"
+  "test_datasets_DatasetsTest"
+  "test_datasets_DatasetsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets_DatasetsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_datasets_DatasetsTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_EnvironmentTest.dir/tests/env/EnvironmentTest.cpp.o"
+  "CMakeFiles/test_env_EnvironmentTest.dir/tests/env/EnvironmentTest.cpp.o.d"
+  "test_env_EnvironmentTest"
+  "test_env_EnvironmentTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_EnvironmentTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

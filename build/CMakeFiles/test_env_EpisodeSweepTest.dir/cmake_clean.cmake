@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_EpisodeSweepTest.dir/tests/env/EpisodeSweepTest.cpp.o"
+  "CMakeFiles/test_env_EpisodeSweepTest.dir/tests/env/EpisodeSweepTest.cpp.o.d"
+  "test_env_EpisodeSweepTest"
+  "test_env_EpisodeSweepTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_EpisodeSweepTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

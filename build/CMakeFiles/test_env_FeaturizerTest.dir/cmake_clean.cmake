@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_FeaturizerTest.dir/tests/env/FeaturizerTest.cpp.o"
+  "CMakeFiles/test_env_FeaturizerTest.dir/tests/env/FeaturizerTest.cpp.o.d"
+  "test_env_FeaturizerTest"
+  "test_env_FeaturizerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_FeaturizerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_AffineTest.dir/tests/ir/AffineTest.cpp.o"
+  "CMakeFiles/test_ir_AffineTest.dir/tests/ir/AffineTest.cpp.o.d"
+  "test_ir_AffineTest"
+  "test_ir_AffineTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_AffineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

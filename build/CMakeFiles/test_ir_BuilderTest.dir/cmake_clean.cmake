@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_BuilderTest.dir/tests/ir/BuilderTest.cpp.o"
+  "CMakeFiles/test_ir_BuilderTest.dir/tests/ir/BuilderTest.cpp.o.d"
+  "test_ir_BuilderTest"
+  "test_ir_BuilderTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_BuilderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

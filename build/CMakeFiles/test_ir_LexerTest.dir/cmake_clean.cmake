@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_LexerTest.dir/tests/ir/LexerTest.cpp.o"
+  "CMakeFiles/test_ir_LexerTest.dir/tests/ir/LexerTest.cpp.o.d"
+  "test_ir_LexerTest"
+  "test_ir_LexerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_LexerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

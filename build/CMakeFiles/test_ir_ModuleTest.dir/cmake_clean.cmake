@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_ModuleTest.dir/tests/ir/ModuleTest.cpp.o"
+  "CMakeFiles/test_ir_ModuleTest.dir/tests/ir/ModuleTest.cpp.o.d"
+  "test_ir_ModuleTest"
+  "test_ir_ModuleTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_ModuleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

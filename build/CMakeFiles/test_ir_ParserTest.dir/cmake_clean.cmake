@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_ParserTest.dir/tests/ir/ParserTest.cpp.o"
+  "CMakeFiles/test_ir_ParserTest.dir/tests/ir/ParserTest.cpp.o.d"
+  "test_ir_ParserTest"
+  "test_ir_ParserTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_ParserTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

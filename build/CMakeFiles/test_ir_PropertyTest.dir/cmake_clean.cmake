@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_PropertyTest.dir/tests/ir/PropertyTest.cpp.o"
+  "CMakeFiles/test_ir_PropertyTest.dir/tests/ir/PropertyTest.cpp.o.d"
+  "test_ir_PropertyTest"
+  "test_ir_PropertyTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_PropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_VerifierTest.dir/tests/ir/VerifierTest.cpp.o"
+  "CMakeFiles/test_ir_VerifierTest.dir/tests/ir/VerifierTest.cpp.o.d"
+  "test_ir_VerifierTest"
+  "test_ir_VerifierTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_VerifierTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_DistributionsTest.dir/tests/nn/DistributionsTest.cpp.o"
+  "CMakeFiles/test_nn_DistributionsTest.dir/tests/nn/DistributionsTest.cpp.o.d"
+  "test_nn_DistributionsTest"
+  "test_nn_DistributionsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_DistributionsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_GemmTest.dir/tests/nn/GemmTest.cpp.o"
+  "CMakeFiles/test_nn_GemmTest.dir/tests/nn/GemmTest.cpp.o.d"
+  "test_nn_GemmTest"
+  "test_nn_GemmTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_GemmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

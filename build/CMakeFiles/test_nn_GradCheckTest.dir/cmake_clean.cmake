@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_GradCheckTest.dir/tests/nn/GradCheckTest.cpp.o"
+  "CMakeFiles/test_nn_GradCheckTest.dir/tests/nn/GradCheckTest.cpp.o.d"
+  "test_nn_GradCheckTest"
+  "test_nn_GradCheckTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_GradCheckTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

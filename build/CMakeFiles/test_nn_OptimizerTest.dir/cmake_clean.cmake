@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_OptimizerTest.dir/tests/nn/OptimizerTest.cpp.o"
+  "CMakeFiles/test_nn_OptimizerTest.dir/tests/nn/OptimizerTest.cpp.o.d"
+  "test_nn_OptimizerTest"
+  "test_nn_OptimizerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_OptimizerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_TensorTest.dir/tests/nn/TensorTest.cpp.o"
+  "CMakeFiles/test_nn_TensorTest.dir/tests/nn/TensorTest.cpp.o.d"
+  "test_nn_TensorTest"
+  "test_nn_TensorTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_TensorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_CacheSimTest.dir/tests/perf/CacheSimTest.cpp.o"
+  "CMakeFiles/test_perf_CacheSimTest.dir/tests/perf/CacheSimTest.cpp.o.d"
+  "test_perf_CacheSimTest"
+  "test_perf_CacheSimTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_CacheSimTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_CostCacheTest.dir/tests/perf/CostCacheTest.cpp.o"
+  "CMakeFiles/test_perf_CostCacheTest.dir/tests/perf/CostCacheTest.cpp.o.d"
+  "test_perf_CostCacheTest"
+  "test_perf_CostCacheTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_CostCacheTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_CostModelTest.dir/tests/perf/CostModelTest.cpp.o"
+  "CMakeFiles/test_perf_CostModelTest.dir/tests/perf/CostModelTest.cpp.o.d"
+  "test_perf_CostModelTest"
+  "test_perf_CostModelTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_CostModelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_MachineSweepTest.dir/tests/perf/MachineSweepTest.cpp.o"
+  "CMakeFiles/test_perf_MachineSweepTest.dir/tests/perf/MachineSweepTest.cpp.o.d"
+  "test_perf_MachineSweepTest"
+  "test_perf_MachineSweepTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_MachineSweepTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

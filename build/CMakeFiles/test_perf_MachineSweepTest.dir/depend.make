@@ -1,0 +1,2 @@
+# Empty dependencies file for test_perf_MachineSweepTest.
+# This may be replaced when dependencies are built.

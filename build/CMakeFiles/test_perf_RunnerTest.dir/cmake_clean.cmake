@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_RunnerTest.dir/tests/perf/RunnerTest.cpp.o"
+  "CMakeFiles/test_perf_RunnerTest.dir/tests/perf/RunnerTest.cpp.o.d"
+  "test_perf_RunnerTest"
+  "test_perf_RunnerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_RunnerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_WorkingSetTest.dir/tests/perf/WorkingSetTest.cpp.o"
+  "CMakeFiles/test_perf_WorkingSetTest.dir/tests/perf/WorkingSetTest.cpp.o.d"
+  "test_perf_WorkingSetTest"
+  "test_perf_WorkingSetTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_WorkingSetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

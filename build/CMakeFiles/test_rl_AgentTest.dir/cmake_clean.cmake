@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_AgentTest.dir/tests/rl/AgentTest.cpp.o"
+  "CMakeFiles/test_rl_AgentTest.dir/tests/rl/AgentTest.cpp.o.d"
+  "test_rl_AgentTest"
+  "test_rl_AgentTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_AgentTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

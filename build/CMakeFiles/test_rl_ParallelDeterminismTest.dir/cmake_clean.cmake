@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_ParallelDeterminismTest.dir/tests/rl/ParallelDeterminismTest.cpp.o"
+  "CMakeFiles/test_rl_ParallelDeterminismTest.dir/tests/rl/ParallelDeterminismTest.cpp.o.d"
+  "test_rl_ParallelDeterminismTest"
+  "test_rl_ParallelDeterminismTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_ParallelDeterminismTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_PpoTest.dir/tests/rl/PpoTest.cpp.o"
+  "CMakeFiles/test_rl_PpoTest.dir/tests/rl/PpoTest.cpp.o.d"
+  "test_rl_PpoTest"
+  "test_rl_PpoTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_PpoTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_RolloutBufferTest.dir/tests/rl/RolloutBufferTest.cpp.o"
+  "CMakeFiles/test_rl_RolloutBufferTest.dir/tests/rl/RolloutBufferTest.cpp.o.d"
+  "test_rl_RolloutBufferTest"
+  "test_rl_RolloutBufferTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_RolloutBufferTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

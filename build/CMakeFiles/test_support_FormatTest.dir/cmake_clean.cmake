@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_FormatTest.dir/tests/support/FormatTest.cpp.o"
+  "CMakeFiles/test_support_FormatTest.dir/tests/support/FormatTest.cpp.o.d"
+  "test_support_FormatTest"
+  "test_support_FormatTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_FormatTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

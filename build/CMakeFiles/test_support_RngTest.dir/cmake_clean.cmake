@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_RngTest.dir/tests/support/RngTest.cpp.o"
+  "CMakeFiles/test_support_RngTest.dir/tests/support/RngTest.cpp.o.d"
+  "test_support_RngTest"
+  "test_support_RngTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_RngTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_StatsTest.dir/tests/support/StatsTest.cpp.o"
+  "CMakeFiles/test_support_StatsTest.dir/tests/support/StatsTest.cpp.o.d"
+  "test_support_StatsTest"
+  "test_support_StatsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_StatsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

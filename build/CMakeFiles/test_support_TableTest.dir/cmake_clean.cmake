@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_TableTest.dir/tests/support/TableTest.cpp.o"
+  "CMakeFiles/test_support_TableTest.dir/tests/support/TableTest.cpp.o.d"
+  "test_support_TableTest"
+  "test_support_TableTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_TableTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms_ApplyTest.dir/tests/transforms/ApplyTest.cpp.o"
+  "CMakeFiles/test_transforms_ApplyTest.dir/tests/transforms/ApplyTest.cpp.o.d"
+  "test_transforms_ApplyTest"
+  "test_transforms_ApplyTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms_ApplyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

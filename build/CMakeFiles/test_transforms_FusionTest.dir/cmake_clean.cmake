@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms_FusionTest.dir/tests/transforms/FusionTest.cpp.o"
+  "CMakeFiles/test_transforms_FusionTest.dir/tests/transforms/FusionTest.cpp.o.d"
+  "test_transforms_FusionTest"
+  "test_transforms_FusionTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms_FusionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms_LegalityTest.dir/tests/transforms/LegalityTest.cpp.o"
+  "CMakeFiles/test_transforms_LegalityTest.dir/tests/transforms/LegalityTest.cpp.o.d"
+  "test_transforms_LegalityTest"
+  "test_transforms_LegalityTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms_LegalityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

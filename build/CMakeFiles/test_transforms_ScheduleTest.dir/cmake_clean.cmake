@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms_ScheduleTest.dir/tests/transforms/ScheduleTest.cpp.o"
+  "CMakeFiles/test_transforms_ScheduleTest.dir/tests/transforms/ScheduleTest.cpp.o.d"
+  "test_transforms_ScheduleTest"
+  "test_transforms_ScheduleTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms_ScheduleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
