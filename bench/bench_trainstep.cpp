@@ -50,6 +50,40 @@ void BM_TrainIterationParallelCollect(benchmark::State &State) {
   }
 }
 
+/// Train-iteration throughput as a function of the vectorized-env batch
+/// width (Arg = BatchWidth; 1 reproduces the PR-1 single-env path
+/// bitwise). steps_per_s counts collected environment steps; the
+/// rollouts are identical for every width, so the counter isolates the
+/// GEMV -> GEMM batching win.
+void BM_TrainIterationBatchWidth(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  Options.Ppo.BatchWidth = static_cast<unsigned>(State.range(0));
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    Steps += Stats.StepsCollected;
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+  State.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+}
+
+/// The batched update in isolation: minibatch GEMMs partitioned across
+/// the ThreadPool (Arg = UpdateThreads; results are bitwise-invariant
+/// to it).
+void BM_TrainIterationUpdateThreads(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  Options.Ppo.UpdateThreads = static_cast<unsigned>(State.range(0));
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+}
+
 /// Forward blocked matmul at a square compute-bound size.
 void BM_MatmulForward(benchmark::State &State) {
   unsigned N = static_cast<unsigned>(State.range(0));
@@ -96,6 +130,15 @@ void BM_MatmulForwardBackward(benchmark::State &State) {
 
 BENCHMARK(BM_TrainIteration)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainIterationParallelCollect)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationBatchWidth)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationUpdateThreads)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatmulForward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MatmulForwardBackward)
     ->Arg(256)

@@ -15,6 +15,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "perf/Runner.h"
 #include "rl/MlirRl.h"
 
 #include <cstdio>

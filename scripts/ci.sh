@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, and guard
+# against build artifacts ever being committed again (PR 1 accidentally
+# committed the CMake cache and object files).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# --- Guard: no build artifacts in the index -------------------------------
+if git ls-files | grep -E '^build/|\.o$' >/dev/null; then
+  echo "error: build artifacts are tracked by git:" >&2
+  git ls-files | grep -E '^build/|\.o$' | head >&2
+  echo "(add them to .gitignore and 'git rm --cached' them)" >&2
+  exit 1
+fi
+
+# --- Tier-1 verify --------------------------------------------------------
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

@@ -4,7 +4,11 @@
 
 using namespace mlirrl;
 
-HalideRlBaseline::HalideRlBaseline(MachineModel Machine) : Model(Machine) {}
+HalideRlBaseline::HalideRlBaseline(MachineModel Machine)
+    : OwnedEval(std::make_unique<CostModelEvaluator>(Machine)),
+      Eval(*OwnedEval) {}
+
+HalideRlBaseline::HalideRlBaseline(Evaluator &Eval) : Eval(Eval) {}
 
 std::vector<HalideDirectives> HalideRlBaseline::directiveCandidates() {
   std::vector<HalideDirectives> Candidates;
@@ -29,7 +33,7 @@ HalideRlBaseline::bestDirectives(const Module &M, unsigned OpIdx,
   bool First = true;
   for (const HalideDirectives &D : directiveCandidates()) {
     LoopNest Nest = applyHalideDirectives(M, OpIdx, D);
-    double T = Model.estimateNest(Nest).TotalSeconds;
+    double T = Eval.timeNests({Nest});
     if (First || T < BestTime) {
       Best = D;
       BestTime = T;

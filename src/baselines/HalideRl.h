@@ -17,14 +17,22 @@
 #define MLIRRL_BASELINES_HALIDERL_H
 
 #include "baselines/ScheduleUtil.h"
-#include "perf/CostModel.h"
+#include "perf/Evaluator.h"
+
+#include <memory>
 
 namespace mlirrl {
 
 /// The Halide RL baseline.
 class HalideRlBaseline {
 public:
+  /// Owns a CostModelEvaluator over \p Machine (the common case).
   explicit HalideRlBaseline(MachineModel Machine);
+
+  /// Measures through an external evaluator (e.g. a CachingEvaluator
+  /// shared with the RL system for like-for-like comparisons). \p Eval
+  /// must outlive the baseline.
+  explicit HalideRlBaseline(Evaluator &Eval);
 
   /// Best-of-directive-list time for one module (ops scheduled
   /// independently, like per-stage Halide schedules).
@@ -38,7 +46,9 @@ public:
                                   double *BestSeconds = nullptr) const;
 
 private:
-  CostModel Model;
+  /// Set when constructed from a MachineModel; Eval points at it then.
+  std::unique_ptr<CostModelEvaluator> OwnedEval;
+  Evaluator &Eval;
 };
 
 } // namespace mlirrl

@@ -7,7 +7,12 @@
 using namespace mlirrl;
 
 MullapudiAutoscheduler::MullapudiAutoscheduler(MachineModel Machine)
-    : Model(Machine), Machine(Machine) {}
+    : OwnedEval(std::make_unique<CostModelEvaluator>(Machine)),
+      Eval(*OwnedEval), Machine(Machine) {}
+
+MullapudiAutoscheduler::MullapudiAutoscheduler(Evaluator &Eval,
+                                               MachineModel Machine)
+    : Eval(Eval), Machine(Machine) {}
 
 HalideDirectives
 MullapudiAutoscheduler::scheduleOp(const Module &M, unsigned OpIdx) const {
@@ -49,7 +54,7 @@ MullapudiAutoscheduler::scheduleOp(const Module &M, unsigned OpIdx) const {
       Footprint += static_cast<double>(
           computeFootprint(A, Loops, Depth, Machine.L2.LineBytes).Bytes);
     bool Fits = Footprint <= static_cast<double>(Machine.L2.SizeBytes);
-    double T = Model.estimateNest(Nest).TotalSeconds;
+    double T = Eval.timeNests({Nest});
     if (First || (Fits && Tile > BestTile) ||
         (BestTile == 0 && T < BestTime)) {
       BestTile = Fits ? Tile : BestTile;
@@ -67,7 +72,7 @@ double MullapudiAutoscheduler::timeModule(const Module &M) const {
   double Total = 0.0;
   for (unsigned I = 0; I < M.getNumOps(); ++I) {
     LoopNest Nest = applyHalideDirectives(M, I, scheduleOp(M, I));
-    Total += Model.estimateNest(Nest).TotalSeconds;
+    Total += Eval.timeNests({Nest});
   }
   return Total;
 }

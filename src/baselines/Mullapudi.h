@@ -14,14 +14,22 @@
 #define MLIRRL_BASELINES_MULLAPUDI_H
 
 #include "baselines/ScheduleUtil.h"
-#include "perf/CostModel.h"
+#include "perf/Evaluator.h"
+
+#include <memory>
 
 namespace mlirrl {
 
 /// The greedy autoscheduler.
 class MullapudiAutoscheduler {
 public:
+  /// Owns a CostModelEvaluator over \p Machine (the common case).
   explicit MullapudiAutoscheduler(MachineModel Machine);
+
+  /// Measures through an external evaluator (e.g. a CachingEvaluator
+  /// shared with the RL system). \p Eval must outlive the baseline; the
+  /// footprint heuristic still needs the machine description.
+  MullapudiAutoscheduler(Evaluator &Eval, MachineModel Machine);
 
   /// End-to-end time of the module under the autoscheduled program.
   double timeModule(const Module &M) const;
@@ -30,7 +38,9 @@ public:
   HalideDirectives scheduleOp(const Module &M, unsigned OpIdx) const;
 
 private:
-  CostModel Model;
+  /// Set when constructed from a MachineModel; Eval points at it then.
+  std::unique_ptr<CostModelEvaluator> OwnedEval;
+  Evaluator &Eval;
   MachineModel Machine;
 };
 

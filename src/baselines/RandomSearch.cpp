@@ -2,6 +2,8 @@
 
 #include "baselines/RandomSearch.h"
 
+#include "support/Rng.h"
+
 using namespace mlirrl;
 
 /// Samples a uniformly random action under the observation's masks.
@@ -44,13 +46,13 @@ static AgentAction randomAction(const Observation &Obs,
   return Action;
 }
 
-RandomSearchResult mlirrl::randomSearch(const EnvConfig &Config, Runner &Run,
-                                        const Module &M, unsigned Episodes,
-                                        uint64_t Seed) {
+RandomSearchResult mlirrl::randomSearch(const EnvConfig &Config,
+                                        Evaluator &Eval, const Module &M,
+                                        unsigned Episodes, uint64_t Seed) {
   Rng Rng(Seed);
   RandomSearchResult Best;
   for (unsigned E = 0; E < Episodes; ++E) {
-    Environment Env(Config, Run, M);
+    Environment Env(Config, Eval, M);
     while (!Env.isDone())
       Env.step(randomAction(Env.observe(), Config, Rng));
     double Speedup = Env.currentSpeedup();

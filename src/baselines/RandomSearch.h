@@ -23,8 +23,10 @@ struct RandomSearchResult {
 };
 
 /// Runs \p Episodes uniformly random episodes (respecting the action
-/// masks) and returns the best schedule found.
-RandomSearchResult randomSearch(const EnvConfig &Config, Runner &Run,
+/// masks) and returns the best schedule found. Measures through the
+/// shared Evaluator seam (any implementation works: Runner,
+/// CostModelEvaluator, a CachingEvaluator over either).
+RandomSearchResult randomSearch(const EnvConfig &Config, Evaluator &Eval,
                                 const Module &M, unsigned Episodes,
                                 uint64_t Seed = 42);
 

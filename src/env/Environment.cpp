@@ -11,14 +11,14 @@
 
 using namespace mlirrl;
 
-Environment::Environment(EnvConfig Config, Runner &Run, Module Sample)
-    : Config(Config), Feat(Config), Space(Config), Run(Run),
+Environment::Environment(EnvConfig Config, Evaluator &Eval, Module Sample)
+    : Config(Config), Feat(Config), Space(Config), Eval(Eval),
       Sample(std::move(Sample)) {
   assert(this->Sample.getNumOps() > 0 && "empty module");
   if (Config.ActionSpace == ActionSpaceMode::Flat)
     FlatActions = buildFlatActionList(Config);
 
-  BaselineSeconds = Run.timeBaseline(this->Sample);
+  BaselineSeconds = Eval.timeBaseline(this->Sample);
   PreviousSeconds = BaselineSeconds;
   // The baseline itself is measured once (Runs executions).
   MeasurementSeconds += BaselineSeconds;
@@ -86,7 +86,7 @@ double Environment::measuredModuleTime() {
   ModuleSchedule Partial = Sched;
   if (CurrentOp >= 0 && !Building.empty())
     Partial.OpSchedules[static_cast<unsigned>(CurrentOp)] = Building;
-  return Run.timeModule(Sample, Partial);
+  return Eval.timeModule(Sample, Partial);
 }
 
 double Environment::rewardAfterEffectiveStep() {
@@ -246,7 +246,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
 
   // Terminal reward: log-speedup of the fully assembled schedule.
   if (Done && Config.Reward == RewardMode::Final) {
-    double Final = Run.timeModule(Sample, Sched);
+    double Final = Eval.timeModule(Sample, Sched);
     MeasurementSeconds += Final;
     Outcome.Reward += std::log(BaselineSeconds / Final);
   }
@@ -280,7 +280,7 @@ void Environment::advanceToNextOp() {
 }
 
 double Environment::currentSpeedup() {
-  double Now = Run.timeModule(Sample, Sched);
+  double Now = Eval.timeModule(Sample, Sched);
   return BaselineSeconds / Now;
 }
 

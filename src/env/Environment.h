@@ -18,7 +18,7 @@
 
 #include "env/ActionSpace.h"
 #include "env/Featurizer.h"
-#include "perf/Runner.h"
+#include "perf/Evaluator.h"
 #include "transforms/Apply.h"
 
 #include <memory>
@@ -42,7 +42,10 @@ struct Observation {
 /// One episode over one module.
 class Environment {
 public:
-  Environment(EnvConfig Config, Runner &Run, Module Sample);
+  /// Rewards are measured through \p Eval, which must outlive the
+  /// environment and be thread-safe (it is shared across a VecEnv batch
+  /// and across parallel collectors).
+  Environment(EnvConfig Config, Evaluator &Eval, Module Sample);
 
   bool isDone() const { return Done; }
   const Observation &observe() const { return CurrentObs; }
@@ -91,7 +94,7 @@ private:
   EnvConfig Config;
   Featurizer Feat;
   ActionSpaceInfo Space;
-  Runner &Run;
+  Evaluator &Eval;
   Module Sample;
 
   ModuleSchedule Sched;

@@ -1,0 +1,47 @@
+//===- VecEnv.cpp ---------------------------------------------------------===//
+
+#include "env/VecEnv.h"
+
+#include "support/Error.h"
+
+using namespace mlirrl;
+
+VecEnv::VecEnv(const EnvConfig &Config, Evaluator &Eval,
+               std::vector<Module> Samples) {
+  if (Samples.empty())
+    reportFatalError("VecEnv needs at least one sample");
+  Envs.reserve(Samples.size());
+  for (Module &Sample : Samples)
+    Envs.push_back(
+        std::make_unique<Environment>(Config, Eval, std::move(Sample)));
+  for (unsigned I = 0; I < Envs.size(); ++I)
+    if (!Envs[I]->isDone())
+      Live.push_back(I);
+}
+
+std::vector<const Observation *> VecEnv::observeLive() const {
+  std::vector<const Observation *> Batch;
+  Batch.reserve(Live.size());
+  for (unsigned Idx : Live)
+    Batch.push_back(&Envs[Idx]->observe());
+  return Batch;
+}
+
+std::vector<VecEnv::StepOutcome>
+VecEnv::step(const std::vector<AgentAction> &Actions) {
+  if (Actions.size() != Live.size())
+    reportFatalError("VecEnv::step: one action per live environment");
+  std::vector<StepOutcome> Outcomes(Live.size());
+  std::vector<unsigned> StillLive;
+  StillLive.reserve(Live.size());
+  for (unsigned K = 0; K < Live.size(); ++K) {
+    Environment &Env = *Envs[Live[K]];
+    Environment::StepOutcome Out = Env.step(Actions[K]);
+    Outcomes[K].Reward = Out.Reward;
+    Outcomes[K].Done = Out.Done;
+    if (!Out.Done)
+      StillLive.push_back(Live[K]);
+  }
+  Live = std::move(StillLive);
+  return Outcomes;
+}

@@ -1,0 +1,66 @@
+//===- VecEnv.h - Vectorized environments ------------------------*- C++-*-===//
+///
+/// \file
+/// Drives a batch of independent Environments in lockstep so the policy
+/// can be evaluated once per *step* instead of once per *environment*:
+/// observeLive() packs the observations of every unfinished episode,
+/// the agent's batched forward turns them into one GEMM per network
+/// layer, and step() applies one action per live environment.
+///
+/// Episodes finish at different times; finished environments simply
+/// drop out of the live set (no auto-reset -- the training loop
+/// collects exactly one episode per sample). Environments never
+/// interact: a width-B batch produces bitwise-identical episodes to B
+/// sequential single-environment rollouts fed the same RNG streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_ENV_VECENV_H
+#define MLIRRL_ENV_VECENV_H
+
+#include "env/Environment.h"
+
+#include <memory>
+
+namespace mlirrl {
+
+/// A fixed batch of environments advancing in lockstep.
+class VecEnv {
+public:
+  /// One environment per sample, all measuring through \p Eval (which
+  /// must be thread-safe and outlive the batch).
+  VecEnv(const EnvConfig &Config, Evaluator &Eval,
+         std::vector<Module> Samples);
+
+  unsigned size() const { return static_cast<unsigned>(Envs.size()); }
+  bool allDone() const { return Live.empty(); }
+
+  /// Indices of unfinished environments, ascending. step() consumes one
+  /// action per entry, in this order.
+  const std::vector<unsigned> &liveIndices() const { return Live; }
+
+  /// Observations of the live environments, aligned with liveIndices().
+  /// Pointers are invalidated by step().
+  std::vector<const Observation *> observeLive() const;
+
+  struct StepOutcome {
+    double Reward = 0.0;
+    bool Done = false;
+  };
+
+  /// Applies Actions[k] to environment liveIndices()[k] (sizes must
+  /// match), then refreshes the live set. Outcomes align with the
+  /// *pre-step* live indices.
+  std::vector<StepOutcome> step(const std::vector<AgentAction> &Actions);
+
+  Environment &env(unsigned Idx) { return *Envs.at(Idx); }
+  const Environment &env(unsigned Idx) const { return *Envs.at(Idx); }
+
+private:
+  std::vector<std::unique_ptr<Environment>> Envs;
+  std::vector<unsigned> Live;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_ENV_VECENV_H

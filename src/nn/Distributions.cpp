@@ -10,29 +10,40 @@
 using namespace mlirrl;
 using namespace mlirrl::nn;
 
-MaskedCategorical::MaskedCategorical(Tensor Logits, Tensor Mask)
+BatchedMaskedCategorical::BatchedMaskedCategorical(Tensor Logits, Tensor Mask)
     : Logits(std::move(Logits)), Mask(std::move(Mask)) {
-  assert(this->Logits.rows() == 1 && "logits must be a single row");
-#ifndef NDEBUG
-  if (this->Mask.valid()) {
-    bool AnyValid = false;
-    for (double V : this->Mask.data())
-      AnyValid |= V != 0.0;
-    assert(AnyValid && "mask excludes every action");
-  }
-#endif
   LogProbs = logSoftmaxRows(this->Logits, this->Mask);
 }
 
-unsigned MaskedCategorical::sample(Rng &Rng) const {
-  std::vector<double> Probs = probabilities();
-  return static_cast<unsigned>(Rng.sampleWeighted(Probs));
+std::vector<double>
+BatchedMaskedCategorical::probabilitiesRow(unsigned Row) const {
+  assert(Row < batchSize() && "row out of range");
+#ifndef NDEBUG
+  // Sampling (or argmaxing) a fully-masked row would silently pick an
+  // invalid action: logSoftmaxRows turns the all-(-inf) row into a
+  // uniform distribution. Such rows exist legitimately in mixed
+  // batches (inactive heads) but must never be drawn from.
+  if (Mask.valid()) {
+    bool AnyValid = false;
+    for (unsigned I = 0; I < Mask.cols(); ++I)
+      AnyValid |= Mask.at(Row, I) != 0.0;
+    assert(AnyValid && "drawing from a fully-masked row");
+  }
+#endif
+  std::vector<double> Probs(LogProbs.cols());
+  for (unsigned I = 0; I < LogProbs.cols(); ++I)
+    Probs[I] = std::exp(LogProbs.at(Row, I));
+  return Probs;
 }
 
-unsigned MaskedCategorical::argmax() const {
+unsigned BatchedMaskedCategorical::sampleRow(unsigned Row, Rng &Rng) const {
+  return static_cast<unsigned>(Rng.sampleWeighted(probabilitiesRow(Row)));
+}
+
+unsigned BatchedMaskedCategorical::argmaxRow(unsigned Row) const {
+  std::vector<double> Probs = probabilitiesRow(Row);
   unsigned Best = 0;
   double BestValue = -1.0;
-  std::vector<double> Probs = probabilities();
   for (unsigned I = 0; I < Probs.size(); ++I) {
     if (Probs[I] > BestValue) {
       BestValue = Probs[I];
@@ -42,23 +53,40 @@ unsigned MaskedCategorical::argmax() const {
   return Best;
 }
 
+double BatchedMaskedCategorical::logProbValue(unsigned Row,
+                                              unsigned Index) const {
+  assert(!isMasked(Row, Index) && "log-prob of a masked action");
+  return LogProbs.at(Row, Index);
+}
+
+Tensor BatchedMaskedCategorical::logProbRows(const std::vector<int> &Cols) const {
+  return pickPerRow(LogProbs, Cols);
+}
+
+Tensor BatchedMaskedCategorical::entropyRows() const {
+  return entropyRowsOfLogits(Logits, Mask);
+}
+
+bool BatchedMaskedCategorical::isMasked(unsigned Row, unsigned Index) const {
+  assert(Row < batchSize() && Index < Logits.cols() && "index out of range");
+  return Mask.valid() && Mask.at(Row, Index) == 0.0;
+}
+
+MaskedCategorical::MaskedCategorical(Tensor Logits, Tensor Mask)
+    : Batch([&] {
+        assert(Logits.rows() == 1 && "logits must be a single row");
+#ifndef NDEBUG
+        if (Mask.valid()) {
+          bool AnyValid = false;
+          for (double V : Mask.data())
+            AnyValid |= V != 0.0;
+          assert(AnyValid && "mask excludes every action");
+        }
+#endif
+        return BatchedMaskedCategorical(std::move(Logits), std::move(Mask));
+      }()) {}
+
 Tensor MaskedCategorical::logProb(unsigned Index) const {
   assert(!isMasked(Index) && "log-prob of a masked action");
-  return pick(LogProbs, 0, Index);
-}
-
-Tensor MaskedCategorical::entropy() const {
-  return entropyOfLogits(Logits, Mask);
-}
-
-std::vector<double> MaskedCategorical::probabilities() const {
-  std::vector<double> Probs(LogProbs.cols());
-  for (unsigned I = 0; I < LogProbs.cols(); ++I)
-    Probs[I] = std::exp(LogProbs.at(0, I));
-  return Probs;
-}
-
-bool MaskedCategorical::isMasked(unsigned Index) const {
-  assert(Index < Logits.cols() && "index out of range");
-  return Mask.valid() && Mask.at(0, Index) == 0.0;
+  return Batch.logProbRows({static_cast<int>(Index)});
 }

@@ -2,10 +2,52 @@
 
 #include "nn/Gemm.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
+#include <atomic>
 
 using namespace mlirrl;
 using namespace mlirrl::nn;
+
+namespace {
+
+/// The pool minibatch-update GEMMs fan out over (see setGemmPool).
+std::atomic<ThreadPool *> GemmPool{nullptr};
+
+/// Row-partitioning threshold: below this many multiply-adds the
+/// parallelFor hand-off costs more than it saves.
+constexpr double MinParallelWork = 64.0 * 1024.0;
+
+/// Runs Fn(Row0, Rows) over contiguous row chunks of [0, M) on the
+/// installed pool, or serially as one chunk. Each output row is written
+/// by exactly one thread and every element keeps its serial
+/// accumulation order, so the result is bitwise-independent of the
+/// chunking.
+template <typename RowSlice>
+bool parallelOverRows(unsigned M, double Work, const RowSlice &Fn) {
+  ThreadPool *Pool = GemmPool.load(std::memory_order_acquire);
+  if (!Pool || Pool->size() <= 1 || Work < MinParallelWork || M < 8)
+    return false;
+  unsigned Chunks = std::min(Pool->size(), (M + 3) / 4);
+  unsigned Rows = (M + Chunks - 1) / Chunks;
+  Pool->parallelFor(Chunks, [&](size_t C) {
+    unsigned Row0 = static_cast<unsigned>(C) * Rows;
+    if (Row0 < M)
+      Fn(Row0, std::min(Rows, M - Row0));
+  });
+  return true;
+}
+
+} // namespace
+
+void nn::setGemmPool(ThreadPool *Pool) {
+  GemmPool.store(Pool, std::memory_order_release);
+}
+
+ThreadPool *nn::getGemmPool() {
+  return GemmPool.load(std::memory_order_acquire);
+}
 
 namespace {
 
@@ -61,9 +103,9 @@ inline void microNN(unsigned Rows, unsigned j0, unsigned j1, unsigned k0,
 
 } // namespace
 
-void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
-                   unsigned LdA, const double *B, unsigned LdB, double *C,
-                   unsigned LdC) {
+static void gemmAccNNSerial(unsigned M, unsigned N, unsigned K,
+                            const double *A, unsigned LdA, const double *B,
+                            unsigned LdB, double *C, unsigned LdC) {
   for (unsigned Jj = 0; Jj < N; Jj += NC) {
     unsigned Jend = std::min(N, Jj + NC);
     for (unsigned Kk = 0; Kk < K; Kk += KC) {
@@ -80,9 +122,9 @@ void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
   }
 }
 
-void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
-                   unsigned LdA, const double *B, unsigned LdB, double *C,
-                   unsigned LdC) {
+static void gemmAccNTSerial(unsigned M, unsigned N, unsigned K,
+                            const double *A, unsigned LdA, const double *B,
+                            unsigned LdB, double *C, unsigned LdC) {
   // C[i][j] += sum_k A[i][k] * B[j][k]: both operands are scanned along
   // k, so the inner loop is a unit-stride dot product; block j so the
   // scanned rows of B stay cache-resident across the i loop.
@@ -105,9 +147,9 @@ void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
   }
 }
 
-void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
-                   unsigned LdA, const double *B, unsigned LdB, double *C,
-                   unsigned LdC) {
+static void gemmAccTNSerial(unsigned M, unsigned N, unsigned K,
+                            const double *A, unsigned LdA, const double *B,
+                            unsigned LdB, double *C, unsigned LdC) {
   // C[i][j] += sum_k A[k][i] * B[k][j]: a sequence of rank-1 updates.
   // Unroll k by MR so each C row load/store is amortized over MR
   // accumulated outer products; block i so the updated C panel stays
@@ -128,6 +170,11 @@ void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
         const double *__restrict B3 = B + static_cast<size_t>(Kx + 3) * LdB;
         for (unsigned I = Ii; I < Iend; ++I) {
           const double V0 = A0[I], V1 = A1[I], V2 = A2[I], V3 = A3[I];
+          // Rows fed only by zeros contribute nothing; skipping them is
+          // exact and pays off in dW += X^T . dC with sparse feature
+          // batches X, where entire feature columns are zero.
+          if (V0 == 0.0 && V1 == 0.0 && V2 == 0.0 && V3 == 0.0)
+            continue;
           double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
           for (unsigned J = Jj; J < Jend; ++J)
             Ci[J] += V0 * B0[J] + V1 * B1[J] + V2 * B2[J] + V3 * B3[J];
@@ -150,4 +197,42 @@ void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
       }
     }
   }
+}
+
+void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        gemmAccNNSerial(Rows, N, K, A + static_cast<size_t>(Row0) * LdA, LdA,
+                        B, LdB, C + static_cast<size_t>(Row0) * LdC, LdC);
+      });
+  if (!Ran)
+    gemmAccNNSerial(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        gemmAccNTSerial(Rows, N, K, A + static_cast<size_t>(Row0) * LdA, LdA,
+                        B, LdB, C + static_cast<size_t>(Row0) * LdC, LdC);
+      });
+  if (!Ran)
+    gemmAccNTSerial(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
+                   unsigned LdA, const double *B, unsigned LdB, double *C,
+                   unsigned LdC) {
+  // Output rows index the columns of A (stored KxM), so a row slice
+  // offsets A by columns and C by rows; LdA/LdB are unchanged.
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        gemmAccTNSerial(Rows, N, K, A + Row0, LdA, B, LdB,
+                        C + static_cast<size_t>(Row0) * LdC, LdC);
+      });
+  if (!Ran)
+    gemmAccTNSerial(M, N, K, A, LdA, B, LdB, C, LdC);
 }

@@ -19,7 +19,21 @@
 #include <cstddef>
 
 namespace mlirrl {
+
+class ThreadPool;
+
 namespace nn {
+
+/// Installs a worker pool the GEMM kernels may partition output rows
+/// across (nullptr restores serial execution). Partitioning assigns
+/// whole output rows to threads and leaves every element's accumulation
+/// order untouched, so results are bitwise-identical for every pool
+/// size -- which is what lets the PPO update parallelize its minibatch
+/// GEMMs without breaking the determinism contract. The caller must
+/// keep the pool alive until the setting is cleared; set/clear from one
+/// thread only (kernels running concurrently read it).
+void setGemmPool(ThreadPool *Pool);
+ThreadPool *getGemmPool();
 
 /// C(MxN) += A(MxK) . B(KxN). Row-major with leading dimensions LdA /
 /// LdB / LdC (elements per row).

@@ -27,7 +27,17 @@ public:
   Linear(unsigned In, unsigned Out, Rng &Rng);
 
   Tensor forward(const Tensor &X) const;
+
+  /// y = [X, H] W + b without materializing the concatenation (see
+  /// nn::linearSplit); the LSTM gates run on this.
+  Tensor forwardSplit(const Tensor &X, const Tensor &H) const {
+    return linearSplit(X, H, W, B);
+  }
+
   std::vector<Tensor> parameters() const { return {W, B}; }
+
+  const Tensor &weight() const { return W; }
+  const Tensor &bias() const { return B; }
 
   unsigned inFeatures() const { return W.rows(); }
   unsigned outFeatures() const { return W.cols(); }

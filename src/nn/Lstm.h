@@ -23,18 +23,31 @@ public:
   LstmCell(unsigned In, unsigned Hidden, Rng &Rng);
 
   struct State {
-    Tensor H; // 1 x Hidden
-    Tensor C; // 1 x Hidden
+    Tensor H; // B x Hidden
+    Tensor C; // B x Hidden
   };
 
-  /// A zero initial state.
-  State initialState() const;
+  /// A zero initial state for a batch of \p BatchRows independent
+  /// sequences (rows never interact, so row r of a batched run is
+  /// bitwise-identical to a width-1 run of that sequence).
+  State initialState(unsigned BatchRows = 1) const;
 
-  /// Advances one step with input X [1 x In].
+  /// Advances one step with input X [B x In].
   State step(const Tensor &X, const State &Prev) const;
 
-  /// Runs a sequence and returns the final hidden state (the embedding).
+  /// Advances one step with the input batch in compressed sparse form
+  /// (bitwise the dense step; all four gates share the compression).
+  State stepSparse(const std::shared_ptr<const SparseRows> &X,
+                   const State &Prev) const;
+
+  /// Runs a sequence of [B x In] inputs and returns the final hidden
+  /// state (the embedding), one row per batch element.
   Tensor runSequence(const std::vector<Tensor> &Sequence) const;
+
+  /// runSequence over compressed sparse input batches -- the embedding
+  /// fast path (observation features are ~97% zeros).
+  Tensor runSequenceSparse(
+      const std::vector<std::shared_ptr<const SparseRows>> &Sequence) const;
 
   std::vector<Tensor> parameters() const;
   unsigned hiddenSize() const { return Hidden; }

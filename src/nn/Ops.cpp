@@ -15,22 +15,39 @@ using namespace mlirrl::nn;
 /// to zero and gradients stay finite.
 static constexpr double MaskedLogit = -1e30;
 
-/// Forward product into a zeroed buffer. Single rows (the common
-/// inference shape: a 1xK feature row against a KxN weight matrix) take a
-/// sparse-aware axpy path -- feature rows are mostly zeros under masking
-/// and padding, and skipping them is exact; everything else goes through
-/// the blocked kernel.
+/// Forward product into a zeroed buffer. Sparse activation rows (the
+/// common shape: feature rows that are mostly zeros under masking and
+/// padding, single or batched) take a sparse-aware axpy path; skipping
+/// exact zeros contributes nothing and keeps every output element's
+/// accumulation over k in ascending order, so the batched sparse path,
+/// the single-row path and the blocked dense kernel all agree bitwise.
 static void forwardProduct(unsigned M, unsigned N, unsigned K,
                            const double *A, const double *B, double *C) {
-  if (M == 1) {
+  auto SparseRow = [&](unsigned I) {
+    const double *__restrict Ai = A + static_cast<size_t>(I) * K;
+    double *__restrict Ci = C + static_cast<size_t>(I) * N;
     for (unsigned Kk = 0; Kk < K; ++Kk) {
-      const double Av = A[Kk];
+      const double Av = Ai[Kk];
       if (Av == 0.0)
         continue;
       const double *__restrict Bk = B + static_cast<size_t>(Kk) * N;
       for (unsigned J = 0; J < N; ++J)
-        C[J] += Av * Bk[J];
+        Ci[J] += Av * Bk[J];
     }
+  };
+  if (M == 1) {
+    SparseRow(0);
+    return;
+  }
+  // Batched: pick the path per the measured density. The scan is ~N
+  // times cheaper than the multiply it gates.
+  size_t Nnz = 0;
+  size_t Total = static_cast<size_t>(M) * K;
+  for (size_t I = 0; I < Total; ++I)
+    Nnz += A[I] != 0.0;
+  if (Nnz * 2 < Total) {
+    for (unsigned I = 0; I < M; ++I)
+      SparseRow(I);
     return;
   }
   gemmAccNN(M, N, K, A, K, B, N, C, N);
@@ -88,6 +105,134 @@ Tensor nn::linear(const Tensor &A, const Tensor &W, const Tensor &Bias) {
       for (unsigned J = 0; J < N; ++J)
         BiasN.Grad[J] += Gi[J];
     }
+  };
+  return C;
+}
+
+Tensor nn::linearSplit(const Tensor &X, const Tensor &H, const Tensor &W,
+                       const Tensor &Bias) {
+  assert(X.rows() == H.rows() && "linearSplit row-count mismatch");
+  assert(X.cols() + H.cols() == W.rows() && "linearSplit inner dims mismatch");
+  assert(Bias.rows() == 1 && Bias.cols() == W.cols() &&
+         "bias must be a 1xN row");
+  unsigned M = X.rows(), F = X.cols(), G = H.cols(), N = W.cols();
+  Tensor C = makeNode(M, N, {X, H, W, Bias}, "linearSplit");
+  TensorNode &Node = *C.node();
+  const double *BiasRow = Bias.data().data();
+  for (unsigned I = 0; I < M; ++I) {
+    double *Ci = Node.Data.data() + static_cast<size_t>(I) * N;
+    for (unsigned J = 0; J < N; ++J)
+      Ci[J] = BiasRow[J];
+  }
+  // X against W's first F rows, then H against the remaining G rows:
+  // the same k-ascending accumulation the concatenated product runs.
+  forwardProduct(M, N, F, X.data().data(), W.data().data(),
+                 Node.Data.data());
+  forwardProduct(M, N, G, H.data().data(),
+                 W.data().data() + static_cast<size_t>(F) * N,
+                 Node.Data.data());
+  Node.Backward = [M, F, G, N](TensorNode &Self) {
+    TensorNode &Xn = *Self.Inputs[0];
+    TensorNode &Hn = *Self.Inputs[1];
+    TensorNode &Wn = *Self.Inputs[2];
+    TensorNode &BiasN = *Self.Inputs[3];
+    if (Xn.RequiresGrad)
+      gemmAccNT(M, F, N, Self.Grad.data(), N, Wn.Data.data(), N,
+                Xn.Grad.data(), F);
+    if (Hn.RequiresGrad)
+      gemmAccNT(M, G, N, Self.Grad.data(), N,
+                Wn.Data.data() + static_cast<size_t>(F) * N, N,
+                Hn.Grad.data(), G);
+    if (Wn.RequiresGrad) {
+      gemmAccTN(F, N, M, Xn.Data.data(), F, Self.Grad.data(), N,
+                Wn.Grad.data(), N);
+      gemmAccTN(G, N, M, Hn.Data.data(), G, Self.Grad.data(), N,
+                Wn.Grad.data() + static_cast<size_t>(F) * N, N);
+    }
+    if (BiasN.RequiresGrad)
+      for (unsigned I = 0; I < M; ++I) {
+        const double *Gi = Self.Grad.data() + static_cast<size_t>(I) * N;
+        for (unsigned J = 0; J < N; ++J)
+          BiasN.Grad[J] += Gi[J];
+      }
+  };
+  return C;
+}
+
+SparseRows SparseRows::fromRows(
+    const std::vector<const std::vector<double> *> &Sources) {
+  SparseRows X;
+  X.Rows = static_cast<unsigned>(Sources.size());
+  X.Cols = Sources.empty()
+               ? 0
+               : static_cast<unsigned>(Sources.front()->size());
+  X.RowEntries.resize(X.Rows);
+  for (unsigned I = 0; I < X.Rows; ++I) {
+    const std::vector<double> &Row = *Sources[I];
+    assert(Row.size() == X.Cols && "ragged sparse batch");
+    for (unsigned J = 0; J < X.Cols; ++J)
+      if (Row[J] != 0.0)
+        X.RowEntries[I].push_back({J, Row[J]});
+  }
+  return X;
+}
+
+Tensor nn::linearSplitSparse(const std::shared_ptr<const SparseRows> &X,
+                             const Tensor &H, const Tensor &W,
+                             const Tensor &Bias) {
+  assert(X && X->Rows == H.rows() && "linearSplitSparse row-count mismatch");
+  assert(X->Cols + H.cols() == W.rows() &&
+         "linearSplitSparse inner dims mismatch");
+  assert(Bias.rows() == 1 && Bias.cols() == W.cols() &&
+         "bias must be a 1xN row");
+  unsigned M = X->Rows, F = X->Cols, G = H.cols(), N = W.cols();
+  Tensor C = makeNode(M, N, {H, W, Bias}, "linearSplitSparse");
+  TensorNode &Node = *C.node();
+  const double *BiasRow = Bias.data().data();
+  const double *Wd = W.data().data();
+  for (unsigned I = 0; I < M; ++I) {
+    double *Ci = Node.Data.data() + static_cast<size_t>(I) * N;
+    for (unsigned J = 0; J < N; ++J)
+      Ci[J] = BiasRow[J];
+    // X part, nonzero columns only, k ascending (the dense product's
+    // order with its zero terms dropped).
+    for (const SparseRows::Entry &E : X->RowEntries[I]) {
+      const double *Wk = Wd + static_cast<size_t>(E.Col) * N;
+      for (unsigned J = 0; J < N; ++J)
+        Ci[J] += E.Value * Wk[J];
+    }
+  }
+  forwardProduct(M, N, G, H.data().data(),
+                 Wd + static_cast<size_t>(F) * N, Node.Data.data());
+  Node.Backward = [X, M, F, G, N](TensorNode &Self) {
+    TensorNode &Hn = *Self.Inputs[0];
+    TensorNode &Wn = *Self.Inputs[1];
+    TensorNode &BiasN = *Self.Inputs[2];
+    if (Hn.RequiresGrad)
+      gemmAccNT(M, G, N, Self.Grad.data(), N,
+                Wn.Data.data() + static_cast<size_t>(F) * N, N,
+                Hn.Grad.data(), G);
+    if (Wn.RequiresGrad) {
+      // dW[k] += sum_i X[i][k] * dC[i]: rows ascending, so each element
+      // accumulates its samples in the same order the dense transposed
+      // product does -- but only nonzero feature rows are touched.
+      for (unsigned I = 0; I < M; ++I) {
+        const double *Gi = Self.Grad.data() + static_cast<size_t>(I) * N;
+        for (const SparseRows::Entry &E : X->RowEntries[I]) {
+          double *Wk = Wn.Grad.data() + static_cast<size_t>(E.Col) * N;
+          for (unsigned J = 0; J < N; ++J)
+            Wk[J] += E.Value * Gi[J];
+        }
+      }
+      gemmAccTN(G, N, M, Hn.Data.data(), G, Self.Grad.data(), N,
+                Wn.Grad.data() + static_cast<size_t>(F) * N, N);
+    }
+    if (BiasN.RequiresGrad)
+      for (unsigned I = 0; I < M; ++I) {
+        const double *Gi = Self.Grad.data() + static_cast<size_t>(I) * N;
+        for (unsigned J = 0; J < N; ++J)
+          BiasN.Grad[J] += Gi[J];
+      }
   };
   return C;
 }
@@ -324,42 +469,97 @@ Tensor nn::meanOf(const std::vector<Tensor> &Scalars) {
 }
 
 Tensor nn::concatCols(const Tensor &A, const Tensor &B) {
-  assert(A.rows() == 1 && B.rows() == 1 && "concatCols takes row vectors");
-  unsigned N = A.cols(), M = B.cols();
-  Tensor Out = makeNode(1, N + M, {A, B}, "concat");
+  assert(A.rows() == B.rows() && "concatCols row-count mismatch");
+  unsigned R = A.rows(), N = A.cols(), M = B.cols();
+  Tensor Out = makeNode(R, N + M, {A, B}, "concat");
   TensorNode &Node = *Out.node();
-  for (unsigned J = 0; J < N; ++J)
-    Node.at(0, J) = A.at(0, J);
-  for (unsigned J = 0; J < M; ++J)
-    Node.at(0, N + J) = B.at(0, J);
+  for (unsigned I = 0; I < R; ++I) {
+    for (unsigned J = 0; J < N; ++J)
+      Node.at(I, J) = A.at(I, J);
+    for (unsigned J = 0; J < M; ++J)
+      Node.at(I, N + J) = B.at(I, J);
+  }
   Node.Backward = [N, M](TensorNode &Self) {
     TensorNode &An = *Self.Inputs[0];
     TensorNode &Bn = *Self.Inputs[1];
-    if (An.RequiresGrad)
-      for (unsigned J = 0; J < N; ++J)
-        An.gradAt(0, J) += Self.gradAt(0, J);
-    if (Bn.RequiresGrad)
-      for (unsigned J = 0; J < M; ++J)
-        Bn.gradAt(0, J) += Self.gradAt(0, N + J);
+    for (unsigned I = 0; I < Self.Rows; ++I) {
+      if (An.RequiresGrad)
+        for (unsigned J = 0; J < N; ++J)
+          An.gradAt(I, J) += Self.gradAt(I, J);
+      if (Bn.RequiresGrad)
+        for (unsigned J = 0; J < M; ++J)
+          Bn.gradAt(I, J) += Self.gradAt(I, N + J);
+    }
   };
   return Out;
 }
 
 Tensor nn::sliceCols(const Tensor &A, unsigned Start, unsigned Len) {
-  assert(A.rows() == 1 && "sliceCols takes a row vector");
   assert(Start + Len <= A.cols() && "slice out of range");
-  Tensor Out = makeNode(1, Len, {A}, "slice");
+  unsigned R = A.rows();
+  Tensor Out = makeNode(R, Len, {A}, "slice");
   TensorNode &Node = *Out.node();
-  for (unsigned J = 0; J < Len; ++J)
-    Node.at(0, J) = A.at(0, Start + J);
+  for (unsigned I = 0; I < R; ++I)
+    for (unsigned J = 0; J < Len; ++J)
+      Node.at(I, J) = A.at(I, Start + J);
   Node.Backward = [Start, Len](TensorNode &Self) {
     TensorNode &In = *Self.Inputs[0];
     if (!In.RequiresGrad)
       return;
-    for (unsigned J = 0; J < Len; ++J)
-      In.gradAt(0, Start + J) += Self.gradAt(0, J);
+    for (unsigned I = 0; I < Self.Rows; ++I)
+      for (unsigned J = 0; J < Len; ++J)
+        In.gradAt(I, Start + J) += Self.gradAt(I, J);
   };
   return Out;
+}
+
+Tensor nn::pickPerRow(const Tensor &A, const std::vector<int> &Cols) {
+  assert(Cols.size() == A.rows() && "one column index per row");
+  unsigned R = A.rows();
+  Tensor Out = makeNode(R, 1, {A}, "pickPerRow");
+  TensorNode &Node = *Out.node();
+  for (unsigned I = 0; I < R; ++I) {
+    assert(Cols[I] < static_cast<int>(A.cols()) && "pick column out of range");
+    Node.at(I, 0) = Cols[I] < 0 ? 0.0 : A.at(I, static_cast<unsigned>(Cols[I]));
+  }
+  Node.Backward = [Cols](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (!In.RequiresGrad)
+      return;
+    for (unsigned I = 0; I < Self.Rows; ++I)
+      if (Cols[I] >= 0)
+        In.gradAt(I, static_cast<unsigned>(Cols[I])) += Self.gradAt(I, 0);
+  };
+  return Out;
+}
+
+Tensor nn::rowSums(const Tensor &A) {
+  unsigned R = A.rows(), C = A.cols();
+  Tensor Out = makeNode(R, 1, {A}, "rowSums");
+  TensorNode &Node = *Out.node();
+  for (unsigned I = 0; I < R; ++I) {
+    double Sum = 0.0;
+    for (unsigned J = 0; J < C; ++J)
+      Sum += A.at(I, J);
+    Node.at(I, 0) = Sum;
+  }
+  Node.Backward = [](TensorNode &Self) {
+    TensorNode &In = *Self.Inputs[0];
+    if (!In.RequiresGrad)
+      return;
+    for (unsigned I = 0; I < Self.Rows; ++I)
+      for (unsigned J = 0; J < In.Cols; ++J)
+        In.gradAt(I, J) += Self.gradAt(I, 0);
+  };
+  return Out;
+}
+
+Tensor nn::entropyRowsOfLogits(const Tensor &Logits, const Tensor &Mask) {
+  // Per-row H = -sum_j p log p; masked entries have p == 0 and
+  // p*logp == 0 (exp(-1e30) underflows), so the row sum is exact.
+  Tensor LogP = logSoftmaxRows(Logits, Mask);
+  Tensor P = expOp(LogP);
+  return rowSums(scale(hadamard(P, LogP), -1.0));
 }
 
 Tensor nn::entropyOfLogits(const Tensor &Logits, const Tensor &Mask) {

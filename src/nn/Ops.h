@@ -25,6 +25,45 @@ Tensor matmul(const Tensor &A, const Tensor &B);
 /// bias gradient.
 Tensor linear(const Tensor &A, const Tensor &W, const Tensor &Bias);
 
+/// Fused concatenated dense layer: C = [X, H] x W + Bias without
+/// materializing the concatenation ([BxF] and [BxG] against W
+/// [(F+G)xN]). Forward accumulates k ascending across the X rows then
+/// the H rows of W -- bitwise what linear(concatCols(X, H), W, Bias)
+/// produces -- but backward only touches the inputs that require
+/// gradients: when X is a non-trainable feature leaf (the LSTM gate
+/// case), the dX product is skipped entirely instead of being computed
+/// and discarded by the concat.
+Tensor linearSplit(const Tensor &X, const Tensor &H, const Tensor &W,
+                   const Tensor &Bias);
+
+/// A batch of mostly-zero feature rows in compressed form: only the
+/// nonzero (column, value) pairs, ascending per row. Observation
+/// feature vectors are ~97% zeros (masking and padding), so compressing
+/// once per batch replaces the per-gate scans over the dense width.
+struct SparseRows {
+  struct Entry {
+    unsigned Col = 0;
+    double Value = 0.0;
+  };
+  unsigned Rows = 0;
+  unsigned Cols = 0;
+  std::vector<std::vector<Entry>> RowEntries;
+
+  /// Compresses one row per source vector (all the same length).
+  static SparseRows
+  fromRows(const std::vector<const std::vector<double> *> &Sources);
+};
+
+/// linearSplit with the X operand in compressed sparse form (shared by
+/// all four gates of an LSTM step, so the batch is compressed once).
+/// Bitwise-identical to the dense product: skipped zeros contribute
+/// nothing and the k / row accumulation orders are unchanged. X is
+/// treated as a constant; backward produces dH, dW (only the nonzero
+/// feature rows) and dBias.
+Tensor linearSplitSparse(const std::shared_ptr<const SparseRows> &X,
+                         const Tensor &H, const Tensor &W,
+                         const Tensor &Bias);
+
 /// Elementwise addition of same-shaped tensors.
 Tensor add(const Tensor &A, const Tensor &B);
 
@@ -60,6 +99,14 @@ Tensor logSoftmaxRows(const Tensor &Logits, const Tensor &Mask = Tensor());
 /// Picks one element as a scalar (used for log-prob of a chosen action).
 Tensor pick(const Tensor &A, unsigned Row, unsigned Col);
 
+/// Batched pick: Out[r][0] = A[r][Cols[r]]. A column of -1 contributes
+/// 0.0 and receives no gradient (rows whose policy head is inactive in
+/// a mixed minibatch).
+Tensor pickPerRow(const Tensor &A, const std::vector<int> &Cols);
+
+/// Per-row sum: Out[r][0] = sum_j A[r][j].
+Tensor rowSums(const Tensor &A);
+
 /// Sum / mean over all entries, returning a scalar.
 Tensor sumAll(const Tensor &A);
 Tensor meanAll(const Tensor &A);
@@ -67,16 +114,21 @@ Tensor meanAll(const Tensor &A);
 /// Mean of a list of scalars (losses across a minibatch).
 Tensor meanOf(const std::vector<Tensor> &Scalars);
 
-/// Concatenates two row vectors [1xN], [1xM] into [1x(N+M)].
+/// Concatenates [BxN] and [BxM] (equal row counts) into [Bx(N+M)].
 Tensor concatCols(const Tensor &A, const Tensor &B);
 
-/// Extracts columns [Start, Start+Len) of a row vector [1xN] (used to
-/// carve per-loop-level rows out of the N*M tile heads).
+/// Extracts columns [Start, Start+Len) of every row of [BxN] (used to
+/// carve per-loop-level blocks out of the N*M tile heads).
 Tensor sliceCols(const Tensor &A, unsigned Start, unsigned Len);
 
 /// Row-wise entropy of the distribution implied by masked logits:
 /// -sum(p * log p) per row, summed over rows, as a scalar.
 Tensor entropyOfLogits(const Tensor &Logits, const Tensor &Mask = Tensor());
+
+/// Per-row entropy of masked logits as a [Bx1] column (the batched PPO
+/// update's entropy regularizer).
+Tensor entropyRowsOfLogits(const Tensor &Logits,
+                           const Tensor &Mask = Tensor());
 
 } // namespace nn
 } // namespace mlirrl

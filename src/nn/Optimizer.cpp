@@ -2,6 +2,10 @@
 
 #include "nn/Optimizer.h"
 
+#include "nn/Gemm.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cmath>
 
 using namespace mlirrl;
@@ -41,17 +45,34 @@ void Adam::step() {
   ++StepCount;
   double Bias1 = 1.0 - std::pow(Beta1, StepCount);
   double Bias2 = 1.0 - std::pow(Beta2, StepCount);
-  for (size_t I = 0; I < Params.size(); ++I) {
+  auto UpdateRange = [&](size_t I, size_t J0, size_t J1) {
     TensorNode &Node = *Params[I].node();
     std::vector<double> &M = FirstMoment[I];
     std::vector<double> &V = SecondMoment[I];
-    for (size_t J = 0; J < Node.Data.size(); ++J) {
+    for (size_t J = J0; J < J1; ++J) {
       double G = Node.Grad[J];
       M[J] = Beta1 * M[J] + (1.0 - Beta1) * G;
       V[J] = Beta2 * V[J] + (1.0 - Beta2) * G * G;
       double MHat = M[J] / Bias1;
       double VHat = V[J] / Bias2;
       Node.Data[J] -= LearningRate * MHat / (std::sqrt(VHat) + Epsilon);
+    }
+  };
+  // Every element updates independently, so partitioning large
+  // parameters across the installed pool is bitwise-identical to the
+  // serial sweep for any thread count. The moment vectors make this
+  // pass memory-bound, which is what the threads buy back.
+  ThreadPool *Pool = getGemmPool();
+  for (size_t I = 0; I < Params.size(); ++I) {
+    size_t N = Params[I].node()->Data.size();
+    if (Pool && Pool->size() > 1 && N >= 32768) {
+      size_t Chunk = (N + Pool->size() - 1) / Pool->size();
+      Pool->parallelFor((N + Chunk - 1) / Chunk, [&](size_t C) {
+        size_t J0 = C * Chunk;
+        UpdateRange(I, J0, std::min(N, J0 + Chunk));
+      });
+    } else {
+      UpdateRange(I, 0, N);
     }
   }
 }

@@ -70,13 +70,13 @@ void destroyNode(TensorNode *Node) {
 } // namespace
 
 Tensor Tensor::zeros(unsigned Rows, unsigned Cols) {
+  // Grad stays unallocated until backward() reaches the node: inference
+  // graphs (rollouts, greedy evaluation) never touch it, which halves
+  // their buffer traffic.
   std::shared_ptr<TensorNode> Node(new TensorNode, destroyNode);
   Node->Rows = Rows;
   Node->Cols = Cols;
-  size_t Size = static_cast<size_t>(Rows) * Cols;
-  BufferArena &Arena = BufferArena::local();
-  Node->Data = Arena.acquire(Size);
-  Node->Grad = Arena.acquire(Size);
+  Node->Data = BufferArena::local().acquire(static_cast<size_t>(Rows) * Cols);
   return Tensor(std::move(Node));
 }
 
@@ -90,7 +90,6 @@ Tensor Tensor::fromData(unsigned Rows, unsigned Cols,
   Node->Rows = Rows;
   Node->Cols = Cols;
   Node->Data = std::move(Values);
-  Node->Grad = BufferArena::local().acquire(Node->Data.size());
   return Tensor(std::move(Node));
 }
 
@@ -100,6 +99,9 @@ Tensor Tensor::parameter(unsigned Rows, unsigned Cols,
                          std::vector<double> Values) {
   Tensor T = fromData(Rows, Cols, std::move(Values));
   T.Node->RequiresGrad = true;
+  // Parameters are long-lived and the optimizer indexes their gradient
+  // unconditionally, so theirs is allocated eagerly.
+  T.Node->Grad.assign(T.Node->Data.size(), 0.0);
   return T;
 }
 
@@ -132,6 +134,13 @@ void Tensor::backward() const {
     Order.push_back(N);
     Stack.pop_back();
   }
+
+  // Gradients are lazily allocated; materialize them for every node
+  // the sweep can touch (zeroed, from the arena).
+  BufferArena &Arena = BufferArena::local();
+  for (TensorNode *N : Order)
+    if (N->Grad.size() != N->Data.size())
+      N->Grad = Arena.acquire(N->Data.size());
 
   // Seed and propagate in reverse topological order.
   Node->Grad[0] = 1.0;

@@ -294,11 +294,11 @@ TimeBreakdown CostModel::estimateNest(const LoopNest &Nest) const {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = CacheIndex.find(Key);
     if (It != CacheIndex.end()) {
-      ++Counters.Hits;
+      Counters.recordHit();
       CacheOrder.splice(CacheOrder.begin(), CacheOrder, It->second);
       return It->second->Time;
     }
-    ++Counters.Misses;
+    Counters.recordMiss();
   }
 
   TimeBreakdown Time = computeNest(Nest);

@@ -1,0 +1,183 @@
+//===- Evaluator.cpp ------------------------------------------------------===//
+
+#include "perf/Evaluator.h"
+
+#include "transforms/Apply.h"
+
+using namespace mlirrl;
+
+double Evaluator::timeModule(const Module &M, const ModuleSchedule &Sched) {
+  return timeNests(materializeModule(M, Sched));
+}
+
+double Evaluator::timeBaseline(const Module &M) {
+  return timeNests(materializeBaseline(M));
+}
+
+double Evaluator::speedup(const Module &M, const ModuleSchedule &Sched) {
+  return timeBaseline(M) / timeModule(M, Sched);
+}
+
+// ---------------------------------------------------------------------------
+// Structural hashing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// FNV-1a over mixed words (same construction as the cost model's
+/// per-nest hasher; separate seeds keep the key spaces disjoint).
+class FnvHasher {
+public:
+  explicit FnvHasher(uint64_t Seed) : Hash(Seed) {}
+
+  void word(uint64_t Value) {
+    Hash ^= Value;
+    Hash *= 0x100000001b3ull;
+  }
+  void signedWord(int64_t Value) { word(static_cast<uint64_t>(Value)); }
+  void bytes(const std::string &Str) {
+    word(Str.size());
+    for (char C : Str)
+      word(static_cast<uint8_t>(C));
+  }
+  uint64_t finish() const { return Hash; }
+
+private:
+  uint64_t Hash;
+};
+
+} // namespace
+
+uint64_t mlirrl::hashModuleStructure(const Module &M) {
+  // A direct structural walk (no string formatting on the lookup path):
+  // every field a measurement can depend on -- value shapes, loop
+  // bounds, iterator kinds, access maps, arithmetic profiles -- is
+  // folded into the key.
+  FnvHasher H(0xcbf29ce484222325ull);
+  auto Map = [&](const AffineMap &A) {
+    H.word(A.getNumDims());
+    H.word(A.getNumResults());
+    for (const AffineExpr &E : A.getResults()) {
+      for (int64_t Coeff : E.getCoeffs())
+        H.signedWord(Coeff);
+      H.signedWord(E.getConstant());
+    }
+  };
+  H.word(M.getValueOrder().size());
+  for (const std::string &Name : M.getValueOrder()) {
+    const ValueInfo &Value = M.getValue(Name);
+    H.bytes(Value.Name);
+    H.signedWord(Value.DefiningOp);
+    H.word(static_cast<uint64_t>(Value.Type.getElementType()));
+    for (int64_t Dim : Value.Type.getShape())
+      H.signedWord(Dim);
+  }
+  H.word(M.getNumOps());
+  for (const LinalgOp &Op : M.getOps()) {
+    H.bytes(Op.getResult());
+    H.word(static_cast<uint64_t>(Op.getKind()));
+    H.word(Op.getNumLoops());
+    for (int64_t Bound : Op.getLoopBounds())
+      H.signedWord(Bound);
+    for (IteratorKind Kind : Op.getIterators())
+      H.word(static_cast<uint64_t>(Kind));
+    H.word(Op.getNumInputs());
+    for (const OpOperand &In : Op.getInputs()) {
+      H.bytes(In.Value);
+      Map(In.Map);
+    }
+    Map(Op.getOutputMap());
+    const ArithCounts &Arith = Op.getArith();
+    for (int64_t Count : {Arith.Add, Arith.Sub, Arith.Mul, Arith.Div,
+                          Arith.Exp, Arith.Max})
+      H.signedWord(Count);
+  }
+  return H.finish();
+}
+
+uint64_t mlirrl::hashModuleSchedule(const ModuleSchedule &Sched) {
+  FnvHasher H(0x84222325cbf29ce4ull);
+  H.word(Sched.OpSchedules.size());
+  for (const auto &[OpIdx, Op] : Sched.OpSchedules) {
+    H.word(OpIdx);
+    H.word(Op.Transforms.size());
+    for (const Transformation &T : Op.Transforms) {
+      H.word(static_cast<uint64_t>(T.Kind));
+      H.word(T.TileSizes.size());
+      for (int64_t S : T.TileSizes)
+        H.signedWord(S);
+      H.word(T.Permutation.size());
+      for (unsigned P : T.Permutation)
+        H.word(P);
+    }
+    H.word(Op.FusedProducers.size());
+    for (unsigned P : Op.FusedProducers)
+      H.word(P);
+  }
+  H.word(Sched.FusedAway.size());
+  for (unsigned P : Sched.FusedAway)
+    H.word(P);
+  return H.finish();
+}
+
+// ---------------------------------------------------------------------------
+// CachingEvaluator
+// ---------------------------------------------------------------------------
+
+double CachingEvaluator::memoized(uint64_t Key,
+                                  const std::function<double()> &Compute) {
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = CacheIndex.find(Key);
+    if (It != CacheIndex.end()) {
+      Counters.recordHit();
+      CacheOrder.splice(CacheOrder.begin(), CacheOrder, It->second);
+      return It->second->Seconds;
+    }
+  }
+  Counters.recordMiss();
+
+  // Computed outside the lock so concurrent misses on different keys
+  // price in parallel; a racing duplicate of the same key computes the
+  // same value (inner evaluators are deterministic) and inserts once.
+  double Seconds = Compute();
+
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  if (CacheIndex.find(Key) == CacheIndex.end()) {
+    CacheOrder.push_front({Key, Seconds});
+    CacheIndex[Key] = CacheOrder.begin();
+    while (CacheOrder.size() > Capacity) {
+      CacheIndex.erase(CacheOrder.back().Key);
+      CacheOrder.pop_back();
+    }
+  }
+  return Seconds;
+}
+
+double CachingEvaluator::timeNests(const std::vector<LoopNest> &Nests) {
+  FnvHasher H(0x9e3779b97f4a7c15ull);
+  H.word(Nests.size());
+  for (const LoopNest &Nest : Nests)
+    H.word(hashLoopNest(Nest));
+  return memoized(H.finish(), [&] { return Inner.timeNests(Nests); });
+}
+
+double CachingEvaluator::timeModule(const Module &M,
+                                    const ModuleSchedule &Sched) {
+  FnvHasher H(0xa0761d6478bd642full);
+  H.word(hashModuleStructure(M));
+  H.word(hashModuleSchedule(Sched));
+  return memoized(H.finish(), [&] { return Inner.timeModule(M, Sched); });
+}
+
+double CachingEvaluator::timeBaseline(const Module &M) {
+  FnvHasher H(0xe7037ed1a0b428dbull);
+  H.word(hashModuleStructure(M));
+  return memoized(H.finish(), [&] { return Inner.timeBaseline(M); });
+}
+
+void CachingEvaluator::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  CacheOrder.clear();
+  CacheIndex.clear();
+}

@@ -1,0 +1,130 @@
+//===- Evaluator.h - The reward-measurement seam -----------------*- C++-*-===//
+///
+/// \file
+/// The one interface everything measures through: the RL environment's
+/// rewards, the search baselines (RandomSearch, Mullapudi, Halide RL)
+/// and the benches all price programs via an Evaluator instead of
+/// hard-wiring a Runner or a CostModel. The core operation prices a
+/// materialized program (a list of scheduled loop nests); module-level
+/// entry points materialize and delegate. Implementations must be
+/// thread-safe: one Evaluator is shared by all parallel episode
+/// collectors and by every environment of a VecEnv batch.
+///
+/// Implementations:
+///  * CostModelEvaluator -- the analytical cost model, undisturbed
+///    (deterministic; the training default).
+///  * Runner (perf/Runner.h) -- adds measurement noise and median-of-K
+///    runs on top of the cost model (the paper's testbed stand-in).
+///  * CachingEvaluator -- a decorator memoizing whole-program prices in
+///    front of any inner evaluator, with thread-safe hit/miss counters.
+///    It complements the per-nest schedule memo inside CostModel: a hit
+///    here also skips materialization and per-nest hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_PERF_EVALUATOR_H
+#define MLIRRL_PERF_EVALUATOR_H
+
+#include "ir/Module.h"
+#include "perf/CostModel.h"
+#include "support/Stats.h"
+#include "transforms/Schedule.h"
+
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace mlirrl {
+
+/// Abstract measurement interface. All entry points are thread-safe.
+class Evaluator {
+public:
+  virtual ~Evaluator() = default;
+
+  /// Prices a materialized program: the "measured" execution time in
+  /// seconds of the given scheduled loop nests.
+  virtual double timeNests(const std::vector<LoopNest> &Nests) = 0;
+
+  /// "Measured" time of the module under \p Sched. The default
+  /// materializes and delegates to timeNests.
+  virtual double timeModule(const Module &M, const ModuleSchedule &Sched);
+
+  /// "Measured" time of the unoptimized baseline.
+  virtual double timeBaseline(const Module &M);
+
+  /// Speedup of \p Sched over the baseline (> 1 means faster).
+  double speedup(const Module &M, const ModuleSchedule &Sched);
+};
+
+/// The analytical cost model as an Evaluator: deterministic, no noise.
+/// This is what training and the baselines measure through by default.
+class CostModelEvaluator : public Evaluator {
+public:
+  explicit CostModelEvaluator(MachineModel Machine) : Model(Machine) {}
+
+  double timeNests(const std::vector<LoopNest> &Nests) override {
+    return Model.estimateModule(Nests);
+  }
+
+  const CostModel &getCostModel() const { return Model; }
+
+private:
+  CostModel Model;
+};
+
+/// Structural content hash of a module (op shapes, access maps,
+/// arithmetic) -- combined with a schedule hash it keys whole-program
+/// measurements.
+uint64_t hashModuleStructure(const Module &M);
+
+/// Structural hash of a module schedule (per-op transformation
+/// sequences and the fusion structure).
+uint64_t hashModuleSchedule(const ModuleSchedule &Sched);
+
+/// A memoizing decorator over any Evaluator. timeModule/timeBaseline
+/// hits skip the inner evaluator entirely -- including materialization
+/// -- which is what makes sharing one CachingEvaluator across all
+/// collector threads pay off (every episode re-times the baseline,
+/// every step of an Immediate-reward episode re-times the module).
+///
+/// Wrap only deterministic inner evaluators (CostModelEvaluator, or a
+/// Runner with noise off): caching a noisy measurement would freeze one
+/// noise draw forever.
+class CachingEvaluator : public Evaluator {
+public:
+  explicit CachingEvaluator(Evaluator &Inner, size_t Capacity = 1u << 12)
+      : Inner(Inner), Capacity(Capacity) {}
+
+  double timeNests(const std::vector<LoopNest> &Nests) override;
+  double timeModule(const Module &M, const ModuleSchedule &Sched) override;
+  double timeBaseline(const Module &M) override;
+
+  /// Hit/miss counters since construction (or the last reset). Relaxed
+  /// snapshot; safe to read while collectors are running.
+  HitMissCounters getCounters() const { return Counters; }
+  void resetCounters() { Counters.reset(); }
+
+  /// Drops every memoized entry (counters untouched).
+  void clearCache();
+
+private:
+  double memoized(uint64_t Key, const std::function<double()> &Compute);
+
+  Evaluator &Inner;
+
+  struct CacheEntry {
+    uint64_t Key = 0;
+    double Seconds = 0.0;
+  };
+  /// MRU-ordered entries + key index, guarded by CacheMutex.
+  std::list<CacheEntry> CacheOrder;
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> CacheIndex;
+  std::mutex CacheMutex;
+  size_t Capacity;
+  HitMissCounters Counters;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_PERF_EVALUATOR_H

@@ -24,14 +24,6 @@ double Runner::measure(double ModelSeconds) {
   return median(std::move(Samples));
 }
 
-double Runner::timeModule(const Module &M, const ModuleSchedule &Sched) {
-  return measure(Model.estimateModule(materializeModule(M, Sched)));
-}
-
-double Runner::timeBaseline(const Module &M) {
-  return measure(Model.estimateModule(materializeBaseline(M)));
-}
-
-double Runner::speedup(const Module &M, const ModuleSchedule &Sched) {
-  return timeBaseline(M) / timeModule(M, Sched);
+double Runner::timeNests(const std::vector<LoopNest> &Nests) {
+  return measure(Model.estimateModule(Nests));
 }

@@ -5,9 +5,9 @@
 /// testbed: it materializes a module under a schedule, estimates its
 /// execution time, optionally perturbs it with measurement noise, and
 /// reports the median of several "runs" (the paper runs each code five
-/// times and takes the median). The environment's reward is
-/// log(speedup) of a schedule over the unoptimized baseline, both
-/// produced here.
+/// times and takes the median). It is one implementation of the
+/// Evaluator measurement seam; the environment's reward is log(speedup)
+/// of a schedule over the unoptimized baseline, both produced here.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +16,7 @@
 
 #include "ir/Module.h"
 #include "perf/CostModel.h"
+#include "perf/Evaluator.h"
 #include "support/Rng.h"
 #include "transforms/Schedule.h"
 
@@ -34,21 +35,19 @@ struct RunnerOptions {
   uint64_t Seed = 0x5eed;
 };
 
-/// Estimates execution times of (module, schedule) pairs.
-class Runner {
+/// Estimates execution times of (module, schedule) pairs: the cost
+/// model plus the testbed's measurement protocol (noise, median-of-K).
+class Runner : public Evaluator {
 public:
   explicit Runner(MachineModel Machine, RunnerOptions Options = {});
 
   const CostModel &getCostModel() const { return Model; }
 
-  /// Median "measured" time of the module under \p Sched, seconds.
-  double timeModule(const Module &M, const ModuleSchedule &Sched);
+  /// Median "measured" time of a materialized program, seconds.
+  double timeNests(const std::vector<LoopNest> &Nests) override;
 
-  /// Median "measured" time of the unoptimized baseline.
-  double timeBaseline(const Module &M);
-
-  /// Speedup of \p Sched over the baseline (> 1 means faster).
-  double speedup(const Module &M, const ModuleSchedule &Sched);
+  // timeModule / timeBaseline / speedup come from Evaluator (materialize
+  // + timeNests), so every entry point shares the noise protocol.
 
 private:
   double measure(double ModelSeconds);

@@ -6,9 +6,54 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
 
 using namespace mlirrl;
 using namespace mlirrl::nn;
+
+namespace {
+
+/// Packs one mask field of every observation into a [BxN] tensor.
+Tensor packMaskRows(const std::vector<const Observation *> &Batch,
+                    const std::vector<double> Observation::*Field) {
+  unsigned B = static_cast<unsigned>(Batch.size());
+  unsigned N = static_cast<unsigned>((Batch.front()->*Field).size());
+  std::vector<double> Packed;
+  Packed.reserve(static_cast<size_t>(B) * N);
+  for (const Observation *Obs : Batch) {
+    const std::vector<double> &Row = Obs->*Field;
+    assert(Row.size() == N && "ragged mask batch");
+    Packed.insert(Packed.end(), Row.begin(), Row.end());
+  }
+  return Tensor::fromData(B, N, std::move(Packed));
+}
+
+/// Lazily constructed per-(head, level) batched tile distributions: a
+/// distribution is only built when some row of the batch actually uses
+/// that head and level.
+class TileDistCache {
+public:
+  TileDistCache(const PolicyNet &Policy, const PolicyNet::Heads &Heads,
+                unsigned MaxLoops)
+      : Policy(Policy), Heads(Heads), Dists(3 * MaxLoops), MaxLoops(MaxLoops) {}
+
+  BatchedMaskedCategorical &get(unsigned HeadIdx, unsigned Level) {
+    std::optional<BatchedMaskedCategorical> &Slot =
+        Dists[HeadIdx * MaxLoops + Level];
+    if (!Slot)
+      Slot.emplace(Policy.tileRow(Heads, HeadIdx, Level));
+    return *Slot;
+  }
+
+private:
+  const PolicyNet &Policy;
+  const PolicyNet::Heads &Heads;
+  std::vector<std::optional<BatchedMaskedCategorical>> Dists;
+  unsigned MaxLoops;
+};
+
+} // namespace
 
 ActorCritic::ActorCritic(const EnvConfig &Env, unsigned FeatureSize,
                          NetConfig Net, uint64_t Seed)
@@ -23,137 +68,229 @@ ActorCritic::ActorCritic(const EnvConfig &Env, unsigned FeatureSize,
 
 ActorCritic::Sampled ActorCritic::act(const Observation &Obs, Rng &Rng,
                                       bool Greedy) const {
-  AgentAction Action;
-  Action.FlatChoice = static_cast<unsigned>(-1); // mark unsampled
-  Evaluation Eval = evaluateWithAction(Obs, Action, &Rng, Greedy);
-  Sampled S;
-  S.Action = Action;
-  S.LogProb = Eval.LogProb.item();
-  // Greedy evaluation skips the critic entirely (see below); rollouts
-  // store its baseline estimate.
-  S.Value = Eval.Value.valid() ? Eval.Value.item() : 0.0;
-  return S;
+  // A batch of one: there is exactly one action-space traversal to keep
+  // correct (actBatch / evaluateBatch), and the width-1 batch takes the
+  // same kernel paths, so this is the batched path's own bitwise
+  // contract applied to itself.
+  return actBatch({&Obs}, {&Rng}, Greedy).front();
 }
 
 ActorCritic::Evaluation
 ActorCritic::evaluate(const Observation &Obs,
                       const AgentAction &Action) const {
-  AgentAction Copy = Action;
-  return evaluateWithAction(Obs, Copy, /*SampleRng=*/nullptr,
-                            /*Greedy=*/false);
+  BatchEvaluation Batch = evaluateBatch({&Obs}, {&Action});
+  return Evaluation{Batch.LogProb, Batch.Entropy, Batch.Value};
 }
 
-ActorCritic::Evaluation
-ActorCritic::evaluateWithAction(const Observation &Obs, AgentAction &Action,
-                                Rng *SampleRng, bool Greedy) const {
-  PolicyNet::Heads Heads = Policy.forward(Obs);
-  const bool Sampling = SampleRng != nullptr;
-  // Entropy only regularizes the PPO update; building its graph during
-  // rollouts is wasted work. The critic is likewise dead weight in
-  // greedy (deployment) inference, which only consumes the argmax
-  // actions -- skipping it halves the networks evaluated per step.
-  const bool NeedEntropy = !Sampling;
-  const bool NeedValue = !(Sampling && Greedy);
+std::vector<ActorCritic::Sampled>
+ActorCritic::actBatch(const std::vector<const Observation *> &Batch,
+                      const std::vector<Rng *> &Rngs, bool Greedy) const {
+  assert(Batch.size() == Rngs.size() && "one RNG stream per observation");
+  unsigned B = static_cast<unsigned>(Batch.size());
+  PolicyNet::Heads Heads = Policy.forward(Batch);
+  std::vector<Sampled> Out(B);
 
-  auto MaskTensor = [](const std::vector<double> &Mask) {
-    return Tensor::fromData(1, Mask.size(), Mask);
-  };
-  auto ChooseFrom = [&](const MaskedCategorical &Dist,
-                        unsigned Stored) -> unsigned {
-    if (!Sampling)
-      return Stored;
-    return Greedy ? Dist.argmax() : Dist.sample(*SampleRng);
-  };
-
-  std::vector<Tensor> LogProbTerms;
-  std::vector<Tensor> EntropyTerms;
+  // Rollouts store the critic's baseline; greedy (deployment) inference
+  // only consumes the argmax actions, exactly as in act().
+  if (!Greedy) {
+    Tensor Values = Value.forward(Batch);
+    for (unsigned R = 0; R < B; ++R)
+      Out[R].Value = Values.at(R, 0);
+  }
 
   if (Env.ActionSpace == ActionSpaceMode::Flat) {
-    MaskedCategorical Dist(Heads.FlatLogits, MaskTensor(Obs.FlatMask));
-    unsigned Choice = ChooseFrom(Dist, Action.FlatChoice);
-    Action.FlatChoice = Choice;
-    // Kind is decoded by the environment; keep it for buffer clarity.
-    LogProbTerms.push_back(Dist.logProb(Choice));
-    if (NeedEntropy)
-      EntropyTerms.push_back(Dist.entropy());
-  } else if (Obs.InPointerSequence) {
-    // Forced interchange continuation: only the pointer head acts.
-    MaskedCategorical Dist(Heads.InterchangeLogits,
-                           MaskTensor(Obs.InterchangeMask));
-    unsigned Choice = ChooseFrom(Dist, Action.PointerChoice);
-    Action.Kind = TransformKind::Interchange;
-    Action.PointerChoice = Choice;
-    LogProbTerms.push_back(Dist.logProb(Choice));
-    if (NeedEntropy)
-      EntropyTerms.push_back(Dist.entropy());
-  } else {
-    MaskedCategorical KindDist(Heads.TransformLogits,
-                               MaskTensor(Obs.TransformMask));
-    unsigned KindChoice =
-        ChooseFrom(KindDist, static_cast<unsigned>(Action.Kind));
+    BatchedMaskedCategorical Dist(Heads.FlatLogits,
+                                  packMaskRows(Batch, &Observation::FlatMask));
+    for (unsigned R = 0; R < B; ++R) {
+      unsigned Choice =
+          Greedy ? Dist.argmaxRow(R) : Dist.sampleRow(R, *Rngs[R]);
+      Out[R].Action.FlatChoice = Choice;
+      Out[R].LogProb = Dist.logProbValue(R, Choice);
+    }
+    return Out;
+  }
+
+  BatchedMaskedCategorical KindDist(
+      Heads.TransformLogits, packMaskRows(Batch, &Observation::TransformMask));
+  // The interchange head is only consulted for pointer continuations
+  // and sampled Interchange actions; build its batch-wide softmax on
+  // first use (like the tile heads) instead of on every step.
+  std::optional<BatchedMaskedCategorical> InterDistSlot;
+  auto InterDist = [&]() -> BatchedMaskedCategorical & {
+    if (!InterDistSlot)
+      InterDistSlot.emplace(
+          Heads.InterchangeLogits,
+          packMaskRows(Batch, &Observation::InterchangeMask));
+    return *InterDistSlot;
+  };
+  TileDistCache TileDists(Policy, Heads, Env.MaxLoops);
+
+  // Each row consumes only its own RNG stream, and draws in the same
+  // order act() draws for that observation (kind, then the active
+  // parameter head level by level), so the resulting action, log-prob
+  // and value are bitwise those of the single-observation path.
+  for (unsigned R = 0; R < B; ++R) {
+    const Observation &Obs = *Batch[R];
+    Rng &SampleRng = *Rngs[R];
+    AgentAction &Action = Out[R].Action;
+    Action.FlatChoice = static_cast<unsigned>(-1); // unsampled (as act())
+    auto Choose = [&](const BatchedMaskedCategorical &Dist) {
+      return Greedy ? Dist.argmaxRow(R) : Dist.sampleRow(R, SampleRng);
+    };
+
+    if (Obs.InPointerSequence) {
+      unsigned Choice = Choose(InterDist());
+      Action.Kind = TransformKind::Interchange;
+      Action.PointerChoice = Choice;
+      Out[R].LogProb = InterDist().logProbValue(R, Choice);
+      continue;
+    }
+
+    unsigned KindChoice = Choose(KindDist);
     Action.Kind = static_cast<TransformKind>(KindChoice);
-    LogProbTerms.push_back(KindDist.logProb(KindChoice));
-    if (NeedEntropy)
-      EntropyTerms.push_back(KindDist.entropy());
+    double LogProb = KindDist.logProbValue(R, KindChoice);
 
     switch (Action.Kind) {
     case TransformKind::Tiling:
     case TransformKind::TiledParallelization:
     case TransformKind::TiledFusion: {
       unsigned HeadIdx = PolicyNet::tileHeadIndex(Action.Kind);
-      if (Sampling)
-        Action.TileSizeIdx.assign(Env.MaxLoops, 0);
+      Action.TileSizeIdx.assign(Env.MaxLoops, 0);
       unsigned Levels = std::min(Obs.NumLoops, Env.MaxLoops);
       for (unsigned L = 0; L < Levels; ++L) {
-        MaskedCategorical Dist(Policy.tileRow(Heads, HeadIdx, L));
-        unsigned Stored =
-            L < Action.TileSizeIdx.size() ? Action.TileSizeIdx[L] : 0;
-        unsigned Choice = ChooseFrom(Dist, Stored);
-        if (Sampling)
-          Action.TileSizeIdx[L] = Choice;
-        LogProbTerms.push_back(Dist.logProb(Choice));
-        if (NeedEntropy)
-          EntropyTerms.push_back(Dist.entropy());
+        BatchedMaskedCategorical &Dist = TileDists.get(HeadIdx, L);
+        unsigned Choice = Choose(Dist);
+        Action.TileSizeIdx[L] = Choice;
+        LogProb += Dist.logProbValue(R, Choice);
       }
       break;
     }
     case TransformKind::Interchange: {
-      MaskedCategorical Dist(Heads.InterchangeLogits,
-                             MaskTensor(Obs.InterchangeMask));
-      if (Env.Interchange == InterchangeMode::LevelPointers) {
-        unsigned Choice = ChooseFrom(Dist, Action.PointerChoice);
+      unsigned Choice = Choose(InterDist());
+      if (Env.Interchange == InterchangeMode::LevelPointers)
         Action.PointerChoice = Choice;
-        LogProbTerms.push_back(Dist.logProb(Choice));
-      } else {
-        unsigned Choice = ChooseFrom(Dist, Action.EnumeratedChoice);
+      else
         Action.EnumeratedChoice = Choice;
-        LogProbTerms.push_back(Dist.logProb(Choice));
-      }
-      if (NeedEntropy)
-        EntropyTerms.push_back(Dist.entropy());
+      LogProb += InterDist().logProbValue(R, Choice);
       break;
     }
     case TransformKind::Vectorization:
     case TransformKind::NoTransformation:
       break;
     }
+    Out[R].LogProb = LogProb;
+  }
+  return Out;
+}
+
+ActorCritic::BatchEvaluation
+ActorCritic::evaluateBatch(const std::vector<const Observation *> &Obs,
+                           const std::vector<const AgentAction *> &Actions) const {
+  assert(!Obs.empty() && Obs.size() == Actions.size() &&
+         "one action per observation");
+  unsigned B = static_cast<unsigned>(Obs.size());
+  PolicyNet::Heads Heads = Policy.forward(Obs);
+
+  std::vector<Tensor> LogProbTerms; // each B x 1
+  std::vector<Tensor> EntropyTerms; // each B x 1
+
+  /// Entropy of a head only regularizes rows for which the head is
+  /// active; an exact 0/1 row indicator zeroes the others (values and
+  /// gradients both).
+  auto MaskedEntropy = [B](const BatchedMaskedCategorical &Dist,
+                           const std::vector<double> &Active) {
+    return hadamard(Dist.entropyRows(),
+                    Tensor::fromData(B, 1, Active));
+  };
+
+  if (Env.ActionSpace == ActionSpaceMode::Flat) {
+    BatchedMaskedCategorical Dist(Heads.FlatLogits,
+                                  packMaskRows(Obs, &Observation::FlatMask));
+    std::vector<int> Cols(B);
+    for (unsigned R = 0; R < B; ++R)
+      Cols[R] = static_cast<int>(Actions[R]->FlatChoice);
+    LogProbTerms.push_back(Dist.logProbRows(Cols));
+    EntropyTerms.push_back(Dist.entropyRows());
+  } else {
+    // Transformation-selection head: every row except forced pointer
+    // continuations.
+    BatchedMaskedCategorical KindDist(
+        Heads.TransformLogits, packMaskRows(Obs, &Observation::TransformMask));
+    std::vector<int> KindCols(B);
+    std::vector<double> KindActive(B);
+    for (unsigned R = 0; R < B; ++R) {
+      bool Active = !Obs[R]->InPointerSequence;
+      KindActive[R] = Active ? 1.0 : 0.0;
+      KindCols[R] = Active ? static_cast<int>(Actions[R]->Kind) : -1;
+    }
+    LogProbTerms.push_back(KindDist.logProbRows(KindCols));
+    EntropyTerms.push_back(MaskedEntropy(KindDist, KindActive));
+
+    // Tile heads, level by level; a (head, level) pair no row uses
+    // costs nothing.
+    TileDistCache TileDists(Policy, Heads, Env.MaxLoops);
+    for (unsigned HeadIdx = 0; HeadIdx < 3; ++HeadIdx) {
+      for (unsigned L = 0; L < Env.MaxLoops; ++L) {
+        std::vector<int> Cols(B, -1);
+        std::vector<double> Active(B, 0.0);
+        bool Any = false;
+        for (unsigned R = 0; R < B; ++R) {
+          const AgentAction &A = *Actions[R];
+          if (Obs[R]->InPointerSequence ||
+              (A.Kind != TransformKind::Tiling &&
+               A.Kind != TransformKind::TiledParallelization &&
+               A.Kind != TransformKind::TiledFusion) ||
+              PolicyNet::tileHeadIndex(A.Kind) != HeadIdx)
+            continue;
+          if (L >= std::min(Obs[R]->NumLoops, Env.MaxLoops))
+            continue;
+          Cols[R] = L < A.TileSizeIdx.size()
+                        ? static_cast<int>(A.TileSizeIdx[L])
+                        : 0;
+          Active[R] = 1.0;
+          Any = true;
+        }
+        if (!Any)
+          continue;
+        BatchedMaskedCategorical &Dist = TileDists.get(HeadIdx, L);
+        LogProbTerms.push_back(Dist.logProbRows(Cols));
+        EntropyTerms.push_back(MaskedEntropy(Dist, Active));
+      }
+    }
+
+    // Interchange head: pointer continuations plus interchange actions.
+    std::vector<int> InterCols(B, -1);
+    std::vector<double> InterActive(B, 0.0);
+    bool AnyInter = false;
+    for (unsigned R = 0; R < B; ++R) {
+      const AgentAction &A = *Actions[R];
+      if (!Obs[R]->InPointerSequence &&
+          A.Kind != TransformKind::Interchange)
+        continue;
+      bool Pointer = Obs[R]->InPointerSequence ||
+                     Env.Interchange == InterchangeMode::LevelPointers;
+      InterCols[R] = static_cast<int>(Pointer ? A.PointerChoice
+                                              : A.EnumeratedChoice);
+      InterActive[R] = 1.0;
+      AnyInter = true;
+    }
+    if (AnyInter) {
+      BatchedMaskedCategorical InterDist(
+          Heads.InterchangeLogits,
+          packMaskRows(Obs, &Observation::InterchangeMask));
+      LogProbTerms.push_back(InterDist.logProbRows(InterCols));
+      EntropyTerms.push_back(MaskedEntropy(InterDist, InterActive));
+    }
   }
 
-  Evaluation Eval;
-  Tensor LogProb = LogProbTerms.front();
+  BatchEvaluation Eval;
+  Eval.LogProb = LogProbTerms.front();
   for (size_t I = 1; I < LogProbTerms.size(); ++I)
-    LogProb = add(LogProb, LogProbTerms[I]);
-  Eval.LogProb = LogProb;
-
-  if (NeedEntropy) {
-    Tensor Entropy = EntropyTerms.front();
-    for (size_t I = 1; I < EntropyTerms.size(); ++I)
-      Entropy = add(Entropy, EntropyTerms[I]);
-    Eval.Entropy = Entropy;
-  }
-
-  if (NeedValue)
-    Eval.Value = Value.forward(Obs);
+    Eval.LogProb = add(Eval.LogProb, LogProbTerms[I]);
+  Eval.Entropy = EntropyTerms.front();
+  for (size_t I = 1; I < EntropyTerms.size(); ++I)
+    Eval.Entropy = add(Eval.Entropy, EntropyTerms[I]);
+  Eval.Value = Value.forward(Obs);
   return Eval;
 }
 

@@ -32,6 +32,16 @@ public:
   /// Samples an action (greedy = argmax for evaluation rollouts).
   Sampled act(const Observation &Obs, Rng &Rng, bool Greedy = false) const;
 
+  /// Samples one action per observation through the batched policy
+  /// path: one GEMM per network layer for the whole batch instead of
+  /// one GEMV per observation. Rngs[i] is observation i's private
+  /// stream; each row consumes only its own stream, in the same order
+  /// as act(), so element i of the result is bitwise-identical to
+  /// act(*Batch[i], *Rngs[i], Greedy) for any batch width.
+  std::vector<Sampled> actBatch(const std::vector<const Observation *> &Batch,
+                                const std::vector<Rng *> &Rngs,
+                                bool Greedy = false) const;
+
   /// Re-evaluates a stored (observation, action) pair under the current
   /// parameters; all tensors are graph-alive for backward().
   struct Evaluation {
@@ -41,6 +51,19 @@ public:
   };
   Evaluation evaluate(const Observation &Obs, const AgentAction &Action) const;
 
+  /// Batched re-evaluation for the PPO update: per-row log-probs,
+  /// entropies and values as [Bx1] graph-alive tensors, computed with
+  /// one GEMM per layer for the whole minibatch. Heads inactive for a
+  /// given row contribute exact zeros (and no gradient) to that row.
+  struct BatchEvaluation {
+    nn::Tensor LogProb; // B x 1
+    nn::Tensor Entropy; // B x 1
+    nn::Tensor Value;   // B x 1
+  };
+  BatchEvaluation
+  evaluateBatch(const std::vector<const Observation *> &Obs,
+                const std::vector<const AgentAction *> &Actions) const;
+
   std::vector<nn::Tensor> parameters() const;
   std::vector<nn::Tensor> policyParameters() const {
     return Policy.parameters();
@@ -49,13 +72,6 @@ public:
   const EnvConfig &getEnvConfig() const { return Env; }
 
 private:
-  /// Builds the distributions for the active heads of (Obs, Action) and
-  /// folds log-probs/entropies; shared by act (sampling variant) and
-  /// evaluate.
-  Evaluation evaluateWithAction(const Observation &Obs,
-                                AgentAction &Action, Rng *SampleRng,
-                                bool Greedy) const;
-
   EnvConfig Env;
   PolicyNet Policy;
   ValueNet Value;

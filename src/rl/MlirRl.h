@@ -11,6 +11,7 @@
 #ifndef MLIRRL_RL_MLIRRL_H
 #define MLIRRL_RL_MLIRRL_H
 
+#include "perf/Runner.h"
 #include "rl/Ppo.h"
 
 #include <functional>

@@ -4,6 +4,8 @@
 
 #include "support/Error.h"
 
+#include <cassert>
+
 using namespace mlirrl;
 using namespace mlirrl::nn;
 
@@ -21,16 +23,30 @@ PolicyNet::PolicyNet(const EnvConfig &Env, unsigned FeatureSize,
                            Env.MaxLoops * Env.NumTileSizes, Rng);
 }
 
-Tensor PolicyNet::embed(const Observation &Obs) const {
-  // Producer first, consumer second; the final hidden state is the
-  // producer-consumer embedding (Sec. V-A1).
-  Tensor Producer = Tensor::fromData(1, Obs.Producer.size(), Obs.Producer);
-  Tensor Consumer = Tensor::fromData(1, Obs.Consumer.size(), Obs.Consumer);
-  return Lstm.runSequence({Producer, Consumer});
+/// Compresses one observation field across the batch (feature rows are
+/// ~97% zeros; every LSTM gate then touches only the nonzeros).
+static std::shared_ptr<const SparseRows>
+compressRows(const std::vector<const Observation *> &Batch,
+             const std::vector<double> Observation::*Field) {
+  std::vector<const std::vector<double> *> Sources;
+  Sources.reserve(Batch.size());
+  for (const Observation *Obs : Batch)
+    Sources.push_back(&(Obs->*Field));
+  return std::make_shared<const SparseRows>(SparseRows::fromRows(Sources));
 }
 
-PolicyNet::Heads PolicyNet::forward(const Observation &Obs) const {
-  Tensor Features = Backbone.forward(embed(Obs));
+Tensor PolicyNet::embed(const std::vector<const Observation *> &Batch) const {
+  // Producer first, consumer second; the final hidden state is the
+  // producer-consumer embedding (Sec. V-A1). The whole batch advances
+  // through the LSTM in lockstep, one GEMM per gate per step.
+  return Lstm.runSequenceSparse({compressRows(Batch, &Observation::Producer),
+                                 compressRows(Batch, &Observation::Consumer)});
+}
+
+PolicyNet::Heads
+PolicyNet::forward(const std::vector<const Observation *> &Batch) const {
+  assert(!Batch.empty() && "empty observation batch");
+  Tensor Features = Backbone.forward(embed(Batch));
   Heads H;
   if (FlatMode) {
     H.FlatLogits = FlatHead.forward(Features);
@@ -87,10 +103,11 @@ ValueNet::ValueNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
   (void)Env;
 }
 
-Tensor ValueNet::forward(const Observation &Obs) const {
-  Tensor Producer = Tensor::fromData(1, Obs.Producer.size(), Obs.Producer);
-  Tensor Consumer = Tensor::fromData(1, Obs.Consumer.size(), Obs.Consumer);
-  Tensor Embedding = Lstm.runSequence({Producer, Consumer});
+Tensor ValueNet::forward(const std::vector<const Observation *> &Batch) const {
+  assert(!Batch.empty() && "empty observation batch");
+  Tensor Embedding = Lstm.runSequenceSparse(
+      {compressRows(Batch, &Observation::Producer),
+       compressRows(Batch, &Observation::Consumer)});
   return Head.forward(Backbone.forward(Embedding));
 }
 

@@ -34,20 +34,29 @@ public:
   PolicyNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
             Rng &Rng);
 
-  /// All head logits for one observation (graph-alive tensors).
+  /// All head logits for a batch of observations, one row per
+  /// observation (graph-alive tensors). Every head is one fused linear
+  /// over the shared backbone features, so a B-observation batch costs
+  /// one GEMM per layer instead of B GEMVs. Rows are independent: row r
+  /// is bitwise-identical to forward({&Obs_r}) (the blocked GEMM
+  /// accumulates each output element in the same K order for every
+  /// batch size).
   struct Heads {
-    nn::Tensor TransformLogits;               // 1 x 6
-    std::vector<nn::Tensor> TileLogits;       // 3 heads, each 1 x (N*M)
-    nn::Tensor InterchangeLogits;             // 1 x interchangeHeadSize
+    nn::Tensor TransformLogits;               // B x 6
+    std::vector<nn::Tensor> TileLogits;       // 3 heads, each B x (N*M)
+    nn::Tensor InterchangeLogits;             // B x interchangeHeadSize
     nn::Tensor FlatLogits;                    // flat mode only
   };
 
-  Heads forward(const Observation &Obs) const;
+  Heads forward(const std::vector<const Observation *> &Batch) const;
+
+  /// Single-observation convenience: a batch of one.
+  Heads forward(const Observation &Obs) const { return forward({&Obs}); }
 
   /// The tile head index for a tiled transformation kind (0..2).
   static unsigned tileHeadIndex(TransformKind Kind);
 
-  /// Carves the per-level logits row [1 x M] out of a tile head.
+  /// Carves the per-level logits block [B x M] out of a tile head.
   nn::Tensor tileRow(const Heads &H, unsigned HeadIdx, unsigned Level) const;
 
   std::vector<nn::Tensor> parameters() const;
@@ -55,7 +64,7 @@ public:
   const EnvConfig &getEnvConfig() const { return Env; }
 
 private:
-  nn::Tensor embed(const Observation &Obs) const;
+  nn::Tensor embed(const std::vector<const Observation *> &Batch) const;
 
   EnvConfig Env;
   ActionSpaceInfo Space;
@@ -75,7 +84,9 @@ public:
   ValueNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
            Rng &Rng);
 
-  nn::Tensor forward(const Observation &Obs) const;
+  /// Batched value estimates [B x 1], one row per observation.
+  nn::Tensor forward(const std::vector<const Observation *> &Batch) const;
+  nn::Tensor forward(const Observation &Obs) const { return forward({&Obs}); }
   std::vector<nn::Tensor> parameters() const;
 
 private:

@@ -2,6 +2,8 @@
 
 #include "rl/Ppo.h"
 
+#include "env/VecEnv.h"
+#include "nn/Gemm.h"
 #include "nn/Ops.h"
 #include "support/Stats.h"
 
@@ -12,34 +14,68 @@
 using namespace mlirrl;
 using namespace mlirrl::nn;
 
-PpoTrainer::PpoTrainer(ActorCritic &Agent, Runner &Run, PpoConfig Config)
-    : Agent(Agent), Run(Run), Config(Config),
+PpoTrainer::PpoTrainer(ActorCritic &Agent, Evaluator &Eval, PpoConfig Config)
+    : Agent(Agent), Eval(Eval), Config(Config),
       Optimizer(Agent.parameters(), Config.LearningRate),
       SampleRng(Config.Seed) {}
 
-PpoTrainer::EpisodeResult
-PpoTrainer::collectEpisode(const Module &Sample, Rng &EpisodeRng) const {
-  Environment Env(Agent.getEnvConfig(), Run, Sample);
-  EpisodeResult Result;
-  while (!Env.isDone()) {
-    Observation Obs = Env.observe();
-    ActorCritic::Sampled S = Agent.act(Obs, EpisodeRng);
-    Environment::StepOutcome Out = Env.step(S.Action);
+std::vector<PpoTrainer::EpisodeResult>
+PpoTrainer::collectGroup(const std::vector<const Module *> &Samples,
+                         const std::vector<uint64_t> &StreamKeys) const {
+  unsigned B = static_cast<unsigned>(Samples.size());
+  std::vector<Module> Copies;
+  Copies.reserve(B);
+  for (const Module *M : Samples)
+    Copies.push_back(*M);
+  VecEnv Vec(Agent.getEnvConfig(), Eval, std::move(Copies));
 
-    RolloutStep Step;
-    Step.Obs = std::move(Obs);
-    Step.Action = S.Action;
-    Step.OldLogProb = S.LogProb;
-    Step.Value = S.Value;
-    Step.Reward = Out.Reward;
-    Step.EpisodeEnd = Out.Done;
-    Result.Steps.push_back(std::move(Step));
+  std::vector<Rng> Rngs;
+  Rngs.reserve(B);
+  for (uint64_t Key : StreamKeys)
+    Rngs.emplace_back(Rng::deriveSeed(Config.Seed, Key));
 
-    Result.Reward += Out.Reward;
+  std::vector<EpisodeResult> Results(B);
+  while (!Vec.allDone()) {
+    // The live set shrinks as episodes finish; keep the pre-step copy
+    // to route outcomes back to their episodes.
+    std::vector<unsigned> Live = Vec.liveIndices();
+    std::vector<const Observation *> ObsPtrs = Vec.observeLive();
+    // Stored observations are snapshotted before step() mutates them.
+    std::vector<Observation> ObsCopies;
+    ObsCopies.reserve(Live.size());
+    for (const Observation *Obs : ObsPtrs)
+      ObsCopies.push_back(*Obs);
+
+    std::vector<Rng *> RngPtrs(Live.size());
+    for (unsigned K = 0; K < Live.size(); ++K)
+      RngPtrs[K] = &Rngs[Live[K]];
+
+    std::vector<ActorCritic::Sampled> Sampled =
+        Agent.actBatch(ObsPtrs, RngPtrs);
+    std::vector<AgentAction> Actions(Live.size());
+    for (unsigned K = 0; K < Live.size(); ++K)
+      Actions[K] = Sampled[K].Action;
+    std::vector<VecEnv::StepOutcome> Outs = Vec.step(Actions);
+
+    for (unsigned K = 0; K < Live.size(); ++K) {
+      EpisodeResult &Episode = Results[Live[K]];
+      RolloutStep Step;
+      Step.Obs = std::move(ObsCopies[K]);
+      Step.Action = std::move(Sampled[K].Action);
+      Step.OldLogProb = Sampled[K].LogProb;
+      Step.Value = Sampled[K].Value;
+      Step.Reward = Outs[K].Reward;
+      Step.EpisodeEnd = Outs[K].Done;
+      Episode.Steps.push_back(std::move(Step));
+      Episode.Reward += Outs[K].Reward;
+    }
   }
-  Result.Speedup = Env.currentSpeedup();
-  Result.MeasurementSeconds = Env.getMeasurementSeconds();
-  return Result;
+
+  for (unsigned I = 0; I < B; ++I) {
+    Results[I].Speedup = Vec.env(I).currentSpeedup();
+    Results[I].MeasurementSeconds = Vec.env(I).getMeasurementSeconds();
+  }
+  return Results;
 }
 
 ThreadPool *PpoTrainer::collectionPool() {
@@ -50,15 +86,23 @@ ThreadPool *PpoTrainer::collectionPool() {
   return Pool.get();
 }
 
+ThreadPool *PpoTrainer::updatePool() {
+  if (Config.UpdateThreads == 1)
+    return nullptr;
+  if (!GemmPool)
+    GemmPool = std::make_unique<ThreadPool>(Config.UpdateThreads);
+  return GemmPool.get();
+}
+
 PpoIterationStats
 PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
   Buffer.clear();
   PpoIterationStats Stats;
 
   // Draw this iteration's samples and the RNG stream key of each episode
-  // up front; collection is then embarrassingly parallel and its result
-  // is independent of the thread count (streams are keyed by the global
-  // sample index, merged back in sample order).
+  // up front; groups are then embarrassingly parallel and the result is
+  // independent of both the batch width and the thread count (streams
+  // are keyed by the global sample index, merged back in sample order).
   unsigned N = Config.SamplesPerIteration;
   std::vector<const Module *> Samples(N);
   std::vector<uint64_t> StreamKeys(N);
@@ -68,25 +112,32 @@ PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
     StreamKeys[I] = EpisodeCounter++;
   }
 
-  std::vector<EpisodeResult> Results(N);
-  auto RunOne = [&](size_t I) {
-    Rng EpisodeRng(Rng::deriveSeed(Config.Seed, StreamKeys[I]));
-    Results[I] = collectEpisode(*Samples[I], EpisodeRng);
+  unsigned Width = std::max(1u, Config.BatchWidth);
+  unsigned Groups = (N + Width - 1) / Width;
+  std::vector<std::vector<EpisodeResult>> GroupResults(Groups);
+  auto RunGroup = [&](size_t G) {
+    unsigned Begin = static_cast<unsigned>(G) * Width;
+    unsigned End = std::min(N, Begin + Width);
+    GroupResults[G] = collectGroup(
+        {Samples.begin() + Begin, Samples.begin() + End},
+        {StreamKeys.begin() + Begin, StreamKeys.begin() + End});
   };
   if (ThreadPool *P = collectionPool())
-    P->parallelFor(N, RunOne);
+    P->parallelFor(Groups, RunGroup);
   else
-    for (unsigned I = 0; I < N; ++I)
-      RunOne(I);
+    for (unsigned G = 0; G < Groups; ++G)
+      RunGroup(G);
 
   std::vector<double> Speedups;
   std::vector<double> Rewards;
-  for (EpisodeResult &R : Results) {
-    Rewards.push_back(R.Reward);
-    Speedups.push_back(std::max(R.Speedup, 1e-9));
-    Stats.MeasurementSeconds += R.MeasurementSeconds;
-    for (RolloutStep &Step : R.Steps)
-      Buffer.add(std::move(Step));
+  for (std::vector<EpisodeResult> &Group : GroupResults) {
+    for (EpisodeResult &R : Group) {
+      Rewards.push_back(R.Reward);
+      Speedups.push_back(std::max(R.Speedup, 1e-9));
+      Stats.MeasurementSeconds += R.MeasurementSeconds;
+      for (RolloutStep &Step : R.Steps)
+        Buffer.add(std::move(Step));
+    }
   }
   Stats.MeanEpisodeReward = mean(Rewards);
   Stats.MeanSpeedup = geomean(Speedups);
@@ -98,7 +149,20 @@ PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
   return Stats;
 }
 
+namespace {
+
+/// Installs the update pool into the GEMM kernels for the current
+/// scope; the kernels stay serial when \p Pool is null.
+struct GemmPoolScope {
+  explicit GemmPoolScope(ThreadPool *Pool) { setGemmPool(Pool); }
+  ~GemmPoolScope() { setGemmPool(nullptr); }
+};
+
+} // namespace
+
 void PpoTrainer::update(PpoIterationStats &Stats) {
+  GemmPoolScope PoolScope(updatePool());
+
   std::vector<size_t> Indices(Buffer.size());
   std::iota(Indices.begin(), Indices.end(), 0u);
 
@@ -111,31 +175,38 @@ void PpoTrainer::update(PpoIterationStats &Stats) {
          Start += Config.MinibatchSize) {
       size_t End = std::min(Indices.size(),
                             Start + static_cast<size_t>(Config.MinibatchSize));
-      std::vector<Tensor> PolicyTerms, ValueTerms, EntropyTerms;
-      for (size_t I = Start; I < End; ++I) {
-        const RolloutStep &Step = Buffer.steps()[Indices[I]];
-        ActorCritic::Evaluation Eval =
-            Agent.evaluate(Step.Obs, Step.Action);
+      unsigned B = static_cast<unsigned>(End - Start);
 
-        // Clipped surrogate objective.
-        Tensor Ratio = expOp(
-            sub(Eval.LogProb, Tensor::scalar(Step.OldLogProb)));
-        Tensor Adv = Tensor::scalar(Step.Advantage);
-        Tensor Unclipped = hadamard(Ratio, Adv);
-        Tensor Clipped = hadamard(
-            clamp(Ratio, 1.0 - Config.ClipRange, 1.0 + Config.ClipRange),
-            Adv);
-        PolicyTerms.push_back(scale(minOp(Unclipped, Clipped), -1.0));
-
-        // Value regression to the GAE return.
-        Tensor Diff = sub(Eval.Value, Tensor::scalar(Step.Return));
-        ValueTerms.push_back(hadamard(Diff, Diff));
-
-        EntropyTerms.push_back(Eval.Entropy);
+      // Pack the minibatch; the whole forward then runs as one GEMM per
+      // network layer instead of one GEMV per sample.
+      std::vector<const Observation *> Obs(B);
+      std::vector<const AgentAction *> Actions(B);
+      std::vector<double> OldLogProb(B), Advantage(B), Return(B);
+      for (unsigned I = 0; I < B; ++I) {
+        const RolloutStep &Step = Buffer.steps()[Indices[Start + I]];
+        Obs[I] = &Step.Obs;
+        Actions[I] = &Step.Action;
+        OldLogProb[I] = Step.OldLogProb;
+        Advantage[I] = Step.Advantage;
+        Return[I] = Step.Return;
       }
-      Tensor PolicyLoss = meanOf(PolicyTerms);
-      Tensor ValueLoss = meanOf(ValueTerms);
-      Tensor Entropy = meanOf(EntropyTerms);
+      ActorCritic::BatchEvaluation Eval = Agent.evaluateBatch(Obs, Actions);
+
+      // Clipped surrogate objective over the batch rows.
+      Tensor Ratio = expOp(
+          sub(Eval.LogProb, Tensor::fromData(B, 1, std::move(OldLogProb))));
+      Tensor Adv = Tensor::fromData(B, 1, std::move(Advantage));
+      Tensor Unclipped = hadamard(Ratio, Adv);
+      Tensor Clipped = hadamard(
+          clamp(Ratio, 1.0 - Config.ClipRange, 1.0 + Config.ClipRange), Adv);
+      Tensor PolicyLoss = scale(meanAll(minOp(Unclipped, Clipped)), -1.0);
+
+      // Value regression to the GAE returns.
+      Tensor Diff =
+          sub(Eval.Value, Tensor::fromData(B, 1, std::move(Return)));
+      Tensor ValueLoss = meanAll(hadamard(Diff, Diff));
+
+      Tensor Entropy = meanAll(Eval.Entropy);
       Tensor Loss =
           add(add(PolicyLoss, scale(ValueLoss, Config.ValueCoef)),
               scale(Entropy, -Config.EntropyCoef));
@@ -159,7 +230,7 @@ void PpoTrainer::update(PpoIterationStats &Stats) {
 }
 
 double PpoTrainer::evaluate(const Module &Sample, ModuleSchedule *Out) {
-  Environment Env(Agent.getEnvConfig(), Run, Sample);
+  Environment Env(Agent.getEnvConfig(), Eval, Sample);
   while (!Env.isDone()) {
     ActorCritic::Sampled S =
         Agent.act(Env.observe(), SampleRng, /*Greedy=*/true);

@@ -8,13 +8,21 @@
 /// trajectories from a batch of code samples (64 in the paper) and runs
 /// the updates.
 ///
+/// Batching is the default shape of the loop: episodes are collected
+/// through vectorized environments (BatchWidth episodes advance in
+/// lockstep, one policy GEMM per step) and the update re-evaluates each
+/// minibatch through the batched agent path (one GEMM per layer per
+/// minibatch instead of one GEMV per sample). Both are
+/// bitwise-deterministic for a fixed seed regardless of batch width,
+/// collection thread count and update thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MLIRRL_RL_PPO_H
 #define MLIRRL_RL_PPO_H
 
 #include "nn/Optimizer.h"
-#include "perf/Runner.h"
+#include "perf/Evaluator.h"
 #include "rl/Agent.h"
 #include "rl/RolloutBuffer.h"
 #include "support/ThreadPool.h"
@@ -36,10 +44,20 @@ struct PpoConfig {
   unsigned SamplesPerIteration = 64;
   double MaxGradNorm = 0.5;
   uint64_t Seed = 7;
-  /// Threads collecting episodes per iteration (0 = one per hardware
-  /// thread). Episode RNG streams are keyed by the global sample index,
-  /// so every thread count produces bitwise-identical rollouts.
+  /// Episodes advanced in lockstep per vectorized-environment group
+  /// (the policy batch width during collection). Episode RNG streams
+  /// are keyed by the global sample index, so every width produces
+  /// bitwise-identical rollouts.
+  unsigned BatchWidth = 8;
+  /// Threads collecting episode groups per iteration (0 = one per
+  /// hardware thread). Groups are independent, so every thread count
+  /// produces bitwise-identical rollouts.
   unsigned CollectThreads = 1;
+  /// Threads the update's minibatch GEMMs are partitioned across
+  /// (0 = one per hardware thread). Row partitioning preserves each
+  /// output element's accumulation order, so every thread count
+  /// produces bitwise-identical updates.
+  unsigned UpdateThreads = 1;
 };
 
 /// Per-iteration training statistics.
@@ -59,7 +77,10 @@ struct PpoIterationStats {
 /// The trainer.
 class PpoTrainer {
 public:
-  PpoTrainer(ActorCritic &Agent, Runner &Run, PpoConfig Config);
+  /// Rewards are measured through \p Eval (a Runner, a
+  /// CostModelEvaluator, or a CachingEvaluator over either); it must be
+  /// thread-safe and outlive the trainer.
+  PpoTrainer(ActorCritic &Agent, Evaluator &Eval, PpoConfig Config);
 
   /// Runs one iteration: collects one episode per sample drawn from
   /// \p Dataset (cycling), then performs the PPO updates.
@@ -81,18 +102,24 @@ private:
     double MeasurementSeconds = 0.0;
     std::vector<RolloutStep> Steps;
   };
-  /// Rolls one episode with its own RNG stream (thread-safe: touches no
-  /// trainer state besides the read-only agent and the runner).
-  EpisodeResult collectEpisode(const Module &Sample, Rng &EpisodeRng) const;
+  /// Rolls one lockstep group of episodes through a VecEnv, one RNG
+  /// stream per episode (thread-safe: touches no trainer state besides
+  /// the read-only agent and the evaluator).
+  std::vector<EpisodeResult>
+  collectGroup(const std::vector<const Module *> &Samples,
+               const std::vector<uint64_t> &StreamKeys) const;
 
   void update(PpoIterationStats &Stats);
 
-  /// The pool used for collection (created on first use; nullptr while
-  /// CollectThreads == 1).
+  /// The pool used for group collection (created on first use; nullptr
+  /// while CollectThreads == 1).
   ThreadPool *collectionPool();
+  /// The pool the update's GEMMs are partitioned across (created on
+  /// first use; nullptr while UpdateThreads == 1).
+  ThreadPool *updatePool();
 
   ActorCritic &Agent;
-  Runner &Run;
+  Evaluator &Eval;
   PpoConfig Config;
   nn::Adam Optimizer;
   Rng SampleRng;
@@ -101,6 +128,7 @@ private:
   /// Global episode counter: the RNG stream key of the next episode.
   uint64_t EpisodeCounter = 0;
   std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<ThreadPool> GemmPool;
 };
 
 } // namespace mlirrl

@@ -10,24 +10,52 @@
 #ifndef MLIRRL_SUPPORT_STATS_H
 #define MLIRRL_SUPPORT_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace mlirrl {
 
 /// Hit/miss counters for memoization layers (the cost-model schedule
-/// cache reports these; PERF.md records the training-loop hit rate).
+/// cache and the CachingEvaluator report these; PERF.md records the
+/// training-loop hit rate). Counts are relaxed atomics so a shared cache
+/// can bump them from collector threads without a data race; copies take
+/// a relaxed snapshot, so a snapshot read concurrently with updates may
+/// mix counts from slightly different instants (fine for statistics).
 struct HitMissCounters {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
 
-  uint64_t total() const { return Hits + Misses; }
-  double hitRate() const {
-    return total() == 0 ? 0.0
-                        : static_cast<double>(Hits) /
-                              static_cast<double>(total());
+  HitMissCounters() = default;
+  HitMissCounters(const HitMissCounters &Other)
+      : Hits(Other.Hits.load(std::memory_order_relaxed)),
+        Misses(Other.Misses.load(std::memory_order_relaxed)) {}
+  HitMissCounters &operator=(const HitMissCounters &Other) {
+    Hits.store(Other.Hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    Misses.store(Other.Misses.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
   }
-  void reset() { Hits = Misses = 0; }
+
+  void recordHit() { Hits.fetch_add(1, std::memory_order_relaxed); }
+  void recordMiss() { Misses.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t total() const {
+    return Hits.load(std::memory_order_relaxed) +
+           Misses.load(std::memory_order_relaxed);
+  }
+  double hitRate() const {
+    uint64_t T = total();
+    return T == 0 ? 0.0
+                  : static_cast<double>(
+                        Hits.load(std::memory_order_relaxed)) /
+                        static_cast<double>(T);
+  }
+  void reset() {
+    Hits.store(0, std::memory_order_relaxed);
+    Misses.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// Arithmetic mean. Returns 0 for empty input.

@@ -7,6 +7,7 @@
 #include "datasets/DnnOps.h"
 #include "datasets/Lqcd.h"
 #include "ir/Builder.h"
+#include "perf/Runner.h"
 #include "transforms/Apply.h"
 
 #include <gtest/gtest.h>

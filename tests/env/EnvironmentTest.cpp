@@ -4,6 +4,7 @@
 
 #include "datasets/DnnOps.h"
 #include "ir/Builder.h"
+#include "perf/Runner.h"
 
 #include <gtest/gtest.h>
 

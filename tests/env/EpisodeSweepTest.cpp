@@ -10,6 +10,7 @@
 #include "baselines/RandomSearch.h"
 #include "datasets/Sequences.h"
 #include "env/Environment.h"
+#include "perf/Runner.h"
 
 #include <gtest/gtest.h>
 

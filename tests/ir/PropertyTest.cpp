@@ -16,6 +16,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "perf/CostModel.h"
+#include "perf/Runner.h"
 #include "transforms/Apply.h"
 
 #include <gtest/gtest.h>

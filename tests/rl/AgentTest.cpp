@@ -5,6 +5,7 @@
 #include "datasets/DnnOps.h"
 #include "env/Featurizer.h"
 #include "ir/Builder.h"
+#include "perf/Runner.h"
 
 #include <gtest/gtest.h>
 
