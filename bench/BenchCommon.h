@@ -43,6 +43,15 @@ inline std::vector<Module> operatorTrainingSet(uint64_t Seed = 11) {
   return generateDnnOperatorDataset(R, DnnDatasetCounts::scaled(0.08));
 }
 
+/// Clears the cost-model schedule-memo hit/miss counters so a bench's
+/// reported hit rate covers exactly the iterations it times, instead
+/// of accumulating across warmup and earlier repetitions (which
+/// overstated rates: every rep after the first started with a warm
+/// cache *and* the previous reps' counts).
+inline void resetMemoCounters(MlirRl &Sys) {
+  Sys.runner().getCostModel().resetCacheCounters();
+}
+
 /// Trains a fresh agent on \p Dataset and returns it.
 inline std::unique_ptr<MlirRl> trainAgent(const MlirRlOptions &Options,
                                           const std::vector<Module> &Dataset,

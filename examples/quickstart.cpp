@@ -7,7 +7,13 @@
 //   3. let random search explore the same action space;
 //   4. train a small RL agent and let it optimize the module.
 //
-// Build: cmake --build build && ./build/examples/quickstart
+// Build: cmake --build build && ./build/example_quickstart
+//
+// Training is checkpointed every 10 iterations (atomic writes,
+// keep-last-2 rotation). Kill it mid-run and restart with
+//   ./build/example_quickstart --resume [--checkpoint-dir DIR]
+// and it continues from the newest checkpoint, bitwise-identically to
+// an uninterrupted run.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,13 +22,30 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "perf/Runner.h"
+#include "rl/Checkpoint.h"
 #include "rl/MlirRl.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace mlirrl;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Resume = false;
+  std::string CheckpointDir = "quickstart-ckpt";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--resume") == 0) {
+      Resume = true;
+    } else if (std::strcmp(Argv[I], "--checkpoint-dir") == 0 &&
+               I + 1 < Argc) {
+      CheckpointDir = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--resume] [--checkpoint-dir DIR]\n", Argv[0]);
+      return 2;
+    }
+  }
   // -- 1. Parse the paper's Listing 1 matmul. ------------------------------
   const char *Source = R"(
     module @listing1 {
@@ -75,17 +98,43 @@ int main() {
   std::printf("random search (50 episodes) -> speedup %.1fx\n",
               Best.Speedup);
 
-  // -- 4. Train an agent. ----------------------------------------------------
+  // -- 4. Train an agent (checkpointed; --resume continues a run). ----------
   MlirRlOptions Options = MlirRlOptions::laptop();
   Options.Iterations = 40;
   MlirRl Sys(Options);
+  CheckpointManager Checkpoints({CheckpointDir, "quickstart",
+                                 /*KeepLast=*/2});
+  if (Resume) {
+    Expected<bool> Loaded = Checkpoints.loadLatest(Sys.trainer());
+    if (!Loaded) {
+      std::fprintf(stderr, "resume failed: %s\n", Loaded.getError().c_str());
+      return 1;
+    }
+    if (*Loaded)
+      std::printf("\nresumed from %s at iteration %llu\n",
+                  CheckpointDir.c_str(),
+                  static_cast<unsigned long long>(
+                      Sys.trainer().iterationsDone()));
+    else
+      std::printf("\nno checkpoint in %s, starting fresh\n",
+                  CheckpointDir.c_str());
+  }
   std::printf("\ntraining a small PPO agent (%u iterations)...\n",
               Options.Iterations);
-  Sys.train({M}, [](unsigned I, const PpoIterationStats &Stats) {
+  std::vector<Module> TrainingSet = {M};
+  for (unsigned I = static_cast<unsigned>(Sys.trainer().iterationsDone());
+       I < Options.Iterations; ++I) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(TrainingSet);
     if (I % 10 == 0)
       std::printf("  iteration %3u: mean speedup %.2fx, entropy %.2f\n", I,
                   Stats.MeanSpeedup, Stats.Entropy);
-  });
+    if ((I + 1) % 10 == 0) {
+      Expected<std::string> Saved = Checkpoints.save(Sys.trainer());
+      if (!Saved)
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     Saved.getError().c_str());
+    }
+  }
   ModuleSchedule Learned;
   double Speedup = Sys.optimize(M, &Learned);
   std::printf("\nlearned schedule:\n%s-> speedup %.1fx\n",

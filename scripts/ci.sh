@@ -17,5 +17,24 @@ fi
 # --- Tier-1 verify --------------------------------------------------------
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-cd build
-ctest --output-on-failure -j "$(nproc)"
+
+# --- Test-suite run + temp-dir hygiene guard ------------------------------
+# Checkpoint/serialization tests create scratch files; they must stay
+# under build/ (the ctest working directory). Snapshot the working tree
+# before the suite and fail if anything outside build/ changed -- a
+# leaked temp file would otherwise dirty every contributor checkout
+# silently. --ignored=matching keeps gitignored leaks visible too
+# (*.ckpt and quickstart-ckpt/ are ignored precisely because they are
+# expected OUTSIDE the repo tree; build/ and bench JSON are the only
+# sanctioned ignored outputs).
+snapshot_tree() {
+  git status --porcelain --ignored=matching | grep -vE '^!! (build/|BENCH_)' || true
+}
+tree_before=$(snapshot_tree)
+(cd build && ctest --output-on-failure --repeat until-pass:1 -j "$(nproc)")
+tree_after=$(snapshot_tree)
+if [[ "$tree_before" != "$tree_after" ]]; then
+  echo "error: the test suite wrote outside build/:" >&2
+  diff <(printf '%s\n' "$tree_before") <(printf '%s\n' "$tree_after") >&2 || true
+  exit 1
+fi

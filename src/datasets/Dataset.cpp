@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 using namespace mlirrl;
 
@@ -28,3 +29,67 @@ mlirrl::buildTrainingDataset(const DatasetConfig &Config) {
   Rng.shuffle(Dataset);
   return Dataset;
 }
+
+//===----------------------------------------------------------------------===//
+// ShardedDataset
+//===----------------------------------------------------------------------===//
+
+ShardedDataset::ShardedDataset(DatasetConfig Config, unsigned ShardSize)
+    : Config(Config), ShardWidth(ShardSize == 0 ? 1 : ShardSize),
+      CachedShard(~size_t(0)) {
+  // The epoch order is a seed-derived permutation of the generator
+  // indices (DNN kinds first, then sequences, then LQCD), so streamed
+  // epochs interleave sample kinds the way the materialized dataset's
+  // shuffle does.
+  Order.resize(Config.total());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = static_cast<uint32_t>(I);
+  Rng PermRng(Rng::deriveSeed(Config.Seed, 0x5ea5111eull));
+  PermRng.shuffle(Order);
+}
+
+Module ShardedDataset::generate(size_t Slot) const {
+  uint32_t Index = Order[Slot];
+  Rng R(Rng::deriveSeed(Config.Seed, 0xda7a0000ull + Index));
+  // Map the generator index onto its component range.
+  DnnDatasetCounts One;
+  One.Matmul = One.Conv2d = One.Maxpool = One.Add = One.Relu = 0;
+  uint32_t Rest = Index;
+  const std::pair<unsigned DnnDatasetCounts::*, unsigned> Kinds[] = {
+      {&DnnDatasetCounts::Matmul, Config.Dnn.Matmul},
+      {&DnnDatasetCounts::Conv2d, Config.Dnn.Conv2d},
+      {&DnnDatasetCounts::Maxpool, Config.Dnn.Maxpool},
+      {&DnnDatasetCounts::Add, Config.Dnn.Add},
+      {&DnnDatasetCounts::Relu, Config.Dnn.Relu}};
+  for (const auto &[Field, Count] : Kinds) {
+    if (Rest < Count) {
+      One.*Field = 1;
+      return generateDnnOperatorDataset(R, One).front();
+    }
+    Rest -= Count;
+  }
+  if (Rest < Config.Sequences)
+    return generateSequenceDataset(R, 1).front();
+  return generateLqcdDataset(R, 1).front();
+}
+
+void ShardedDataset::materializeShard(size_t Shard) {
+  Cache.clear();
+  size_t Begin = Shard * ShardWidth;
+  size_t End = std::min(Order.size(), Begin + ShardWidth);
+  Cache.reserve(End - Begin);
+  for (size_t Slot = Begin; Slot < End; ++Slot)
+    Cache.push_back(generate(Slot));
+  CachedShard = Shard;
+}
+
+const Module &ShardedDataset::next() {
+  size_t Slot = Cursor % Order.size();
+  size_t Shard = Slot / ShardWidth;
+  if (Shard != CachedShard)
+    materializeShard(Shard);
+  ++Cursor;
+  return Cache[Slot - Shard * ShardWidth];
+}
+
+void ShardedDataset::seek(uint64_t NewCursor) { Cursor = NewCursor; }

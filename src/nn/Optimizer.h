@@ -41,6 +41,44 @@ public:
   void setLearningRate(double Lr) { LearningRate = Lr; }
   const std::vector<Tensor> &getParams() const { return Params; }
 
+  /// The serializable optimizer state (moments + step count), captured
+  /// and restored by rl/Checkpoint so a resumed training's bias
+  /// correction and moment decay continue bitwise.
+  struct State {
+    unsigned StepCount = 0;
+    std::vector<std::vector<double>> FirstMoment, SecondMoment;
+  };
+
+  State getState() const {
+    return State{StepCount, FirstMoment, SecondMoment};
+  }
+
+  /// Copy-free views for the checkpoint save path (getState deep-copies
+  /// megabytes of moments; serialization only needs to read them).
+  unsigned stepCount() const { return StepCount; }
+  const std::vector<std::vector<double>> &firstMoments() const {
+    return FirstMoment;
+  }
+  const std::vector<std::vector<double>> &secondMoments() const {
+    return SecondMoment;
+  }
+
+  /// Restores a captured state. Returns false (and changes nothing)
+  /// when the moment shapes do not match the parameter list.
+  bool setState(State S) {
+    if (S.FirstMoment.size() != Params.size() ||
+        S.SecondMoment.size() != Params.size())
+      return false;
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (S.FirstMoment[I].size() != Params[I].size() ||
+          S.SecondMoment[I].size() != Params[I].size())
+        return false;
+    StepCount = S.StepCount;
+    FirstMoment = std::move(S.FirstMoment);
+    SecondMoment = std::move(S.SecondMoment);
+    return true;
+  }
+
 private:
   std::vector<Tensor> Params;
   double LearningRate, Beta1, Beta2, Epsilon;

@@ -1,0 +1,477 @@
+//===- Checkpoint.cpp -----------------------------------------------------===//
+
+#include "rl/Checkpoint.h"
+
+#include "datasets/Dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+using namespace mlirrl;
+using namespace mlirrl::serialize;
+
+// Chunk tags of the version-1 checkpoint layout.
+static constexpr uint32_t kConfigTag = fourCC('C', 'F', 'G', ' ');
+static constexpr uint32_t kParamsTag = fourCC('P', 'R', 'M', ' ');
+static constexpr uint32_t kAdamTag = fourCC('A', 'D', 'M', ' ');
+static constexpr uint32_t kRngTag = fourCC('R', 'N', 'G', ' ');
+static constexpr uint32_t kCountersTag = fourCC('C', 'T', 'R', ' ');
+static constexpr uint32_t kBufferTag = fourCC('B', 'U', 'F', ' ');
+static constexpr uint32_t kDatasetTag = fourCC('D', 'S', 'E', 'T');
+
+//===----------------------------------------------------------------------===//
+// Component serializers
+//===----------------------------------------------------------------------===//
+
+void ckpt::writeTensor(ArchiveWriter &W, const nn::Tensor &T) {
+  W.writeU32(T.rows());
+  W.writeU32(T.cols());
+  W.writeDoubles(T.data());
+}
+
+bool ckpt::readTensorInto(ChunkReader &R, const nn::Tensor &T,
+                          std::string &Error) {
+  unsigned Rows = R.readU32();
+  unsigned Cols = R.readU32();
+  std::vector<double> Data = R.readDoubles();
+  if (!R.ok()) {
+    Error = R.error();
+    return false;
+  }
+  if (Rows != T.rows() || Cols != T.cols() || Data.size() != T.size()) {
+    Error = "tensor shape mismatch: archive has " + std::to_string(Rows) +
+            "x" + std::to_string(Cols) + ", destination is " +
+            std::to_string(T.rows()) + "x" + std::to_string(T.cols());
+    return false;
+  }
+  T.node()->Data = std::move(Data);
+  return true;
+}
+
+Expected<nn::Tensor> ckpt::readTensor(ChunkReader &R) {
+  unsigned Rows = R.readU32();
+  unsigned Cols = R.readU32();
+  std::vector<double> Data = R.readDoubles();
+  if (!R.ok())
+    return makeError<nn::Tensor>(R.error());
+  if (Data.size() != static_cast<size_t>(Rows) * Cols)
+    return makeError<nn::Tensor>("tensor payload holds " +
+                                 std::to_string(Data.size()) +
+                                 " values for a " + std::to_string(Rows) +
+                                 "x" + std::to_string(Cols) + " shape");
+  return nn::Tensor::fromData(Rows, Cols, std::move(Data));
+}
+
+void ckpt::writeRng(ArchiveWriter &W, const Rng &R) {
+  Rng::Snapshot S = R.snapshot();
+  for (uint64_t Word : S.Words)
+    W.writeU64(Word);
+  W.writeBool(S.HasSpareGaussian);
+  W.writeDouble(S.SpareGaussian);
+}
+
+void ckpt::readRng(ChunkReader &R, Rng &Out) {
+  Rng::Snapshot S;
+  for (uint64_t &Word : S.Words)
+    Word = R.readU64();
+  S.HasSpareGaussian = R.readBool();
+  S.SpareGaussian = R.readDouble();
+  if (R.ok())
+    Out.restore(S);
+}
+
+void ckpt::writePpoConfig(ArchiveWriter &W, const PpoConfig &Config) {
+  W.writeDouble(Config.LearningRate);
+  W.writeDouble(Config.ClipRange);
+  W.writeDouble(Config.Gamma);
+  W.writeDouble(Config.Lambda);
+  W.writeDouble(Config.ValueCoef);
+  W.writeDouble(Config.EntropyCoef);
+  W.writeU32(Config.UpdateEpochs);
+  W.writeU32(Config.MinibatchSize);
+  W.writeU32(Config.SamplesPerIteration);
+  W.writeDouble(Config.MaxGradNorm);
+  W.writeU64(Config.Seed);
+  W.writeU32(Config.BatchWidth);
+  W.writeU32(Config.CollectThreads);
+  W.writeU32(Config.UpdateThreads);
+}
+
+PpoConfig ckpt::readPpoConfig(ChunkReader &R) {
+  PpoConfig Config;
+  Config.LearningRate = R.readDouble();
+  Config.ClipRange = R.readDouble();
+  Config.Gamma = R.readDouble();
+  Config.Lambda = R.readDouble();
+  Config.ValueCoef = R.readDouble();
+  Config.EntropyCoef = R.readDouble();
+  Config.UpdateEpochs = R.readU32();
+  Config.MinibatchSize = R.readU32();
+  Config.SamplesPerIteration = R.readU32();
+  Config.MaxGradNorm = R.readDouble();
+  Config.Seed = R.readU64();
+  Config.BatchWidth = R.readU32();
+  Config.CollectThreads = R.readU32();
+  Config.UpdateThreads = R.readU32();
+  return Config;
+}
+
+static void writeObservation(ArchiveWriter &W, const Observation &Obs) {
+  W.writeDoubles(Obs.Consumer);
+  W.writeDoubles(Obs.Producer);
+  W.writeDoubles(Obs.TransformMask);
+  W.writeDoubles(Obs.InterchangeMask);
+  W.writeDoubles(Obs.FlatMask);
+  W.writeBool(Obs.InPointerSequence);
+  W.writeU32(Obs.NumLoops);
+}
+
+static Observation readObservation(ChunkReader &R) {
+  Observation Obs;
+  Obs.Consumer = R.readDoubles();
+  Obs.Producer = R.readDoubles();
+  Obs.TransformMask = R.readDoubles();
+  Obs.InterchangeMask = R.readDoubles();
+  Obs.FlatMask = R.readDoubles();
+  Obs.InPointerSequence = R.readBool();
+  Obs.NumLoops = R.readU32();
+  return Obs;
+}
+
+static void writeAction(ArchiveWriter &W, const AgentAction &Action) {
+  W.writeU32(static_cast<uint32_t>(Action.Kind));
+  W.writeU32s(Action.TileSizeIdx);
+  W.writeU32(Action.EnumeratedChoice);
+  W.writeU32(Action.PointerChoice);
+  W.writeU32(Action.FlatChoice);
+}
+
+static AgentAction readAction(ChunkReader &R) {
+  AgentAction Action;
+  Action.Kind = static_cast<TransformKind>(R.readU32());
+  Action.TileSizeIdx = R.readU32s();
+  Action.EnumeratedChoice = R.readU32();
+  Action.PointerChoice = R.readU32();
+  Action.FlatChoice = R.readU32();
+  return Action;
+}
+
+void ckpt::writeRolloutStep(ArchiveWriter &W, const RolloutStep &Step) {
+  writeObservation(W, Step.Obs);
+  writeAction(W, Step.Action);
+  W.writeDouble(Step.OldLogProb);
+  W.writeDouble(Step.Value);
+  W.writeDouble(Step.Reward);
+  W.writeBool(Step.EpisodeEnd);
+  W.writeDouble(Step.Advantage);
+  W.writeDouble(Step.Return);
+}
+
+RolloutStep ckpt::readRolloutStep(ChunkReader &R) {
+  RolloutStep Step;
+  Step.Obs = readObservation(R);
+  Step.Action = readAction(R);
+  Step.OldLogProb = R.readDouble();
+  Step.Value = R.readDouble();
+  Step.Reward = R.readDouble();
+  Step.EpisodeEnd = R.readBool();
+  Step.Advantage = R.readDouble();
+  Step.Return = R.readDouble();
+  return Step;
+}
+
+//===----------------------------------------------------------------------===//
+// PpoTrainer state (declared in rl/Ppo.h)
+//===----------------------------------------------------------------------===//
+
+void PpoTrainer::saveState(ArchiveWriter &W) const {
+  W.beginChunk(kConfigTag);
+  ckpt::writePpoConfig(W, Config);
+  W.endChunk();
+
+  W.beginChunk(kParamsTag);
+  std::vector<nn::Tensor> Params = Agent.parameters();
+  W.writeU64(Params.size());
+  for (const nn::Tensor &P : Params)
+    ckpt::writeTensor(W, P);
+  W.endChunk();
+
+  W.beginChunk(kAdamTag);
+  W.writeU32(Optimizer.stepCount());
+  W.writeU64(Optimizer.firstMoments().size());
+  for (const std::vector<double> &M : Optimizer.firstMoments())
+    W.writeDoubles(M);
+  for (const std::vector<double> &V : Optimizer.secondMoments())
+    W.writeDoubles(V);
+  W.endChunk();
+
+  W.beginChunk(kRngTag);
+  ckpt::writeRng(W, SampleRng);
+  W.endChunk();
+
+  W.beginChunk(kCountersTag);
+  W.writeU64(DatasetCursor);
+  W.writeU64(EpisodeCounter);
+  W.writeU64(IterationsDone);
+  W.endChunk();
+
+  W.beginChunk(kBufferTag);
+  W.writeU64(Buffer.size());
+  for (const RolloutStep &Step : Buffer.steps())
+    ckpt::writeRolloutStep(W, Step);
+  W.endChunk();
+}
+
+Expected<bool> PpoTrainer::restoreState(const ArchiveReader &Reader) {
+  // Stage and validate everything before the commit below mutates the
+  // first byte of trainer state: a failure anywhere leaves the trainer
+  // exactly as it was.
+  Expected<ChunkReader> Cfg = Reader.chunk(kConfigTag);
+  if (!Cfg)
+    return makeError<bool>(Cfg.getError());
+  PpoConfig NewConfig = ckpt::readPpoConfig(*Cfg);
+  if (!Cfg->ok())
+    return makeError<bool>("config chunk: " + Cfg->error());
+
+  std::vector<nn::Tensor> Params = Agent.parameters();
+  Expected<ChunkReader> Prm = Reader.chunk(kParamsTag);
+  if (!Prm)
+    return makeError<bool>(Prm.getError());
+  uint64_t ParamCount = Prm->readU64();
+  if (!Prm->ok() || ParamCount != Params.size())
+    return makeError<bool>(
+        "parameter chunk holds " + std::to_string(ParamCount) +
+        " tensors, agent has " + std::to_string(Params.size()) +
+        " (checkpoint from a different architecture?)");
+  std::vector<std::vector<double>> NewData(Params.size());
+  for (size_t I = 0; I < Params.size(); ++I) {
+    unsigned Rows = Prm->readU32();
+    unsigned Cols = Prm->readU32();
+    NewData[I] = Prm->readDoubles();
+    if (!Prm->ok())
+      return makeError<bool>("parameter chunk: " + Prm->error());
+    if (Rows != Params[I].rows() || Cols != Params[I].cols() ||
+        NewData[I].size() != Params[I].size())
+      return makeError<bool>(
+          "parameter " + std::to_string(I) + " is " + std::to_string(Rows) +
+          "x" + std::to_string(Cols) + " in the checkpoint but " +
+          std::to_string(Params[I].rows()) + "x" +
+          std::to_string(Params[I].cols()) +
+          " in the agent (checkpoint from a different architecture?)");
+  }
+
+  Expected<ChunkReader> Adm = Reader.chunk(kAdamTag);
+  if (!Adm)
+    return makeError<bool>(Adm.getError());
+  nn::Adam::State AdamState;
+  AdamState.StepCount = Adm->readU32();
+  uint64_t MomentCount = Adm->readU64();
+  if (!Adm->ok() || MomentCount != Params.size())
+    return makeError<bool>("Adam chunk holds moments for " +
+                           std::to_string(MomentCount) + " parameters, " +
+                           std::to_string(Params.size()) + " expected");
+  AdamState.FirstMoment.resize(Params.size());
+  AdamState.SecondMoment.resize(Params.size());
+  for (std::vector<double> &M : AdamState.FirstMoment)
+    M = Adm->readDoubles();
+  for (std::vector<double> &V : AdamState.SecondMoment)
+    V = Adm->readDoubles();
+  if (!Adm->ok())
+    return makeError<bool>("Adam chunk: " + Adm->error());
+  for (size_t I = 0; I < Params.size(); ++I)
+    if (AdamState.FirstMoment[I].size() != Params[I].size() ||
+        AdamState.SecondMoment[I].size() != Params[I].size())
+      return makeError<bool>("Adam moment " + std::to_string(I) +
+                             " does not match its parameter's size");
+
+  Expected<ChunkReader> RngChunk = Reader.chunk(kRngTag);
+  if (!RngChunk)
+    return makeError<bool>(RngChunk.getError());
+  Rng NewRng(0);
+  ckpt::readRng(*RngChunk, NewRng);
+  if (!RngChunk->ok())
+    return makeError<bool>("RNG chunk: " + RngChunk->error());
+
+  Expected<ChunkReader> Ctr = Reader.chunk(kCountersTag);
+  if (!Ctr)
+    return makeError<bool>(Ctr.getError());
+  uint64_t NewDatasetCursor = Ctr->readU64();
+  uint64_t NewEpisodeCounter = Ctr->readU64();
+  uint64_t NewIterationsDone = Ctr->readU64();
+  if (!Ctr->ok())
+    return makeError<bool>("counter chunk: " + Ctr->error());
+
+  Expected<ChunkReader> Buf = Reader.chunk(kBufferTag);
+  if (!Buf)
+    return makeError<bool>(Buf.getError());
+  uint64_t StepCount = Buf->readU64();
+  std::vector<RolloutStep> NewSteps;
+  for (uint64_t I = 0; I < StepCount && Buf->ok(); ++I)
+    NewSteps.push_back(ckpt::readRolloutStep(*Buf));
+  if (!Buf->ok() || NewSteps.size() != StepCount)
+    return makeError<bool>("rollout-buffer chunk: " + Buf->error());
+
+  // Commit. Nothing below can fail.
+  Config = NewConfig;
+  for (size_t I = 0; I < Params.size(); ++I)
+    Params[I].node()->Data = std::move(NewData[I]);
+  bool AdamOk = Optimizer.setState(std::move(AdamState));
+  assert(AdamOk && "validated Adam state failed to apply");
+  (void)AdamOk;
+  Optimizer.setLearningRate(Config.LearningRate);
+  Optimizer.zeroGrad();
+  SampleRng = NewRng;
+  DatasetCursor = NewDatasetCursor;
+  EpisodeCounter = NewEpisodeCounter;
+  IterationsDone = NewIterationsDone;
+  Buffer.steps() = std::move(NewSteps);
+  // Thread pools are sized by the (possibly changed) config; drop them
+  // so the next iteration recreates them lazily.
+  Pool.reset();
+  GemmPool.reset();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// File-level checkpoints
+//===----------------------------------------------------------------------===//
+
+Expected<bool> mlirrl::saveCheckpoint(const PpoTrainer &Trainer,
+                                      const std::string &Path,
+                                      const ShardedDataset *Stream) {
+  ArchiveWriter W(CheckpointFormatVersion);
+  Trainer.saveState(W);
+  if (Stream) {
+    W.beginChunk(kDatasetTag);
+    W.writeU64(Stream->seed());
+    W.writeU64(Stream->size());
+    W.writeU64(Stream->cursor());
+    W.endChunk();
+  }
+  return W.writeFile(Path);
+}
+
+Expected<bool> mlirrl::loadCheckpoint(PpoTrainer &Trainer,
+                                      const std::string &Path,
+                                      ShardedDataset *Stream) {
+  Expected<ArchiveReader> Reader =
+      ArchiveReader::fromFile(Path, CheckpointFormatVersion);
+  if (!Reader)
+    return makeError<bool>("checkpoint " + Path + ": " + Reader.getError());
+
+  // Validate the stream chunk before restoreState mutates the trainer,
+  // so a mismatched stream leaves both untouched.
+  uint64_t StreamCursor = 0;
+  if (Stream) {
+    Expected<ChunkReader> Dset = Reader->chunk(kDatasetTag);
+    if (!Dset)
+      return makeError<bool>(
+          "checkpoint " + Path +
+          " records no dataset cursor (saved without a stream): " +
+          Dset.getError());
+    uint64_t Seed = Dset->readU64();
+    uint64_t Size = Dset->readU64();
+    StreamCursor = Dset->readU64();
+    if (!Dset->ok())
+      return makeError<bool>("dataset chunk: " + Dset->error());
+    if (Seed != Stream->seed() || Size != Stream->size())
+      return makeError<bool>(
+          "checkpointed dataset stream (seed " + std::to_string(Seed) +
+          ", " + std::to_string(Size) + " samples) does not match the "
+          "stream being resumed (seed " + std::to_string(Stream->seed()) +
+          ", " + std::to_string(Stream->size()) + " samples)");
+  }
+
+  Expected<bool> Restored = Trainer.restoreState(*Reader);
+  if (!Restored)
+    return Restored;
+  if (Stream)
+    Stream->seek(StreamCursor);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointManager
+//===----------------------------------------------------------------------===//
+
+std::vector<std::pair<uint64_t, std::string>>
+CheckpointManager::listCheckpoints() const {
+  std::vector<std::pair<uint64_t, std::string>> Found;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Opts.Directory, Ec);
+  if (Ec)
+    return Found;
+  const std::string Head = Opts.Prefix + "-";
+  const std::string Tail = ".ckpt";
+  for (const auto &Entry : It) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.size() <= Head.size() + Tail.size() ||
+        Name.compare(0, Head.size(), Head) != 0 ||
+        Name.compare(Name.size() - Tail.size(), Tail.size(), Tail) != 0)
+      continue;
+    std::string Digits =
+        Name.substr(Head.size(), Name.size() - Head.size() - Tail.size());
+    // 19 digits always fit a uint64; longer runs would throw in stoull.
+    if (Digits.empty() || Digits.size() > 19 ||
+        Digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    Found.emplace_back(std::stoull(Digits), Entry.path().string());
+  }
+  std::sort(Found.begin(), Found.end());
+  return Found;
+}
+
+Expected<std::string>
+CheckpointManager::save(const PpoTrainer &Trainer,
+                        const ShardedDataset *Stream) const {
+  std::error_code Ec;
+  std::filesystem::create_directories(Opts.Directory, Ec);
+  if (Ec)
+    return makeError<std::string>("cannot create checkpoint directory " +
+                                  Opts.Directory + ": " + Ec.message());
+  std::string Num = std::to_string(Trainer.iterationsDone());
+  if (Num.size() < 10)
+    Num.insert(0, 10 - Num.size(), '0');
+  std::string Path = Opts.Directory + "/" + Opts.Prefix + "-" + Num + ".ckpt";
+  Expected<bool> Written = saveCheckpoint(Trainer, Path, Stream);
+  if (!Written)
+    return makeError<std::string>(Written.getError());
+
+  // Rotate: keep the KeepLast newest by index, but never the file just
+  // written — a directory holding stale higher-index checkpoints from
+  // an earlier run must not swallow the fresh one.
+  std::vector<std::pair<uint64_t, std::string>> All = listCheckpoints();
+  if (Opts.KeepLast > 0 && All.size() > Opts.KeepLast)
+    for (size_t I = 0; I + Opts.KeepLast < All.size(); ++I)
+      if (All[I].second != Path)
+        std::filesystem::remove(All[I].second, Ec);
+  return Path;
+}
+
+std::string CheckpointManager::latestPath() const {
+  std::vector<std::pair<uint64_t, std::string>> All = listCheckpoints();
+  return All.empty() ? std::string() : All.back().second;
+}
+
+Expected<bool> CheckpointManager::loadLatest(PpoTrainer &Trainer,
+                                             ShardedDataset *Stream) const {
+  std::vector<std::pair<uint64_t, std::string>> All = listCheckpoints();
+  if (All.empty())
+    return false;
+  // Newest first; a corrupt newest checkpoint (torn write, disk error)
+  // falls back to the older ones keep-last-K retention exists for. A
+  // failed load leaves the trainer untouched, so trying the next is
+  // safe.
+  Expected<bool> LastError = makeError<bool>("no checkpoint loaded");
+  for (size_t I = All.size(); I > 0; --I) {
+    Expected<bool> Loaded =
+        loadCheckpoint(Trainer, All[I - 1].second, Stream);
+    if (Loaded)
+      return Loaded;
+    LastError = std::move(Loaded);
+  }
+  return LastError;
+}

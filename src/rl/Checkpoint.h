@@ -1,0 +1,124 @@
+//===- Checkpoint.h - Trainer checkpoints with bitwise-exact resume -*-C++-*-=//
+///
+/// \file
+/// Checkpointed long trainings: snapshotting and restoring the full
+/// PpoTrainer state — network parameters, Adam moments and step count,
+/// the sample RNG stream, episode/dataset cursors, the PPO
+/// configuration and any in-flight rollout steps — through the
+/// versioned, CRC-checked binary archives of support/Serialize.h. The
+/// contract is bitwise-exact resume: for any k, batch width and thread
+/// count, train(k); save; load; train(N-k) produces the same
+/// parameters, moments, RNG states and iteration statistics as an
+/// uninterrupted train(N) (CheckpointResumeTest).
+///
+/// Restores are all-or-nothing: every chunk is CRC- and shape-validated
+/// before a single byte of trainer state changes, so a corrupt or
+/// mismatched archive fails with a clean error and an untouched
+/// trainer.
+///
+/// CheckpointManager adds production file handling on top: atomic
+/// temp-file + rename writes (a crash never leaves a torn checkpoint
+/// behind) and keep-last-K rotation for long trainings that checkpoint
+/// every few iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_CHECKPOINT_H
+#define MLIRRL_RL_CHECKPOINT_H
+
+#include "rl/Ppo.h"
+#include "support/Serialize.h"
+
+#include <string>
+#include <vector>
+
+namespace mlirrl {
+
+class ShardedDataset;
+
+/// Version of the checkpoint archive content (bumped whenever a chunk
+/// layout changes; readers reject other versions instead of
+/// misinterpreting bytes).
+constexpr uint32_t CheckpointFormatVersion = 1;
+
+/// Component serializers, shared between the trainer state code and the
+/// round-trip tests. Writers append to the archive's open chunk;
+/// readers flag malformed payloads through the ChunkReader's sticky
+/// error (and the *Into variants additionally shape-check).
+namespace ckpt {
+
+void writeTensor(serialize::ArchiveWriter &W, const nn::Tensor &T);
+/// Reads a tensor written by writeTensor into \p T. Returns false
+/// (with \p Error set, \p T untouched) on shape mismatch or a
+/// malformed payload.
+bool readTensorInto(serialize::ChunkReader &R, const nn::Tensor &T,
+                    std::string &Error);
+/// Reads a tensor written by writeTensor as a fresh constant tensor.
+Expected<nn::Tensor> readTensor(serialize::ChunkReader &R);
+
+void writeRng(serialize::ArchiveWriter &W, const Rng &R);
+void readRng(serialize::ChunkReader &R, Rng &Out);
+
+void writePpoConfig(serialize::ArchiveWriter &W, const PpoConfig &Config);
+PpoConfig readPpoConfig(serialize::ChunkReader &R);
+
+void writeRolloutStep(serialize::ArchiveWriter &W, const RolloutStep &Step);
+RolloutStep readRolloutStep(serialize::ChunkReader &R);
+
+} // namespace ckpt
+
+/// Serializes \p Trainer (and, when \p Stream is given, its dataset
+/// cursor) and writes the archive to \p Path atomically.
+Expected<bool> saveCheckpoint(const PpoTrainer &Trainer,
+                              const std::string &Path,
+                              const ShardedDataset *Stream = nullptr);
+
+/// Restores \p Trainer (and \p Stream's cursor, when given) from the
+/// checkpoint at \p Path. Validates everything before mutating
+/// anything: on failure both trainer and stream are untouched.
+Expected<bool> loadCheckpoint(PpoTrainer &Trainer, const std::string &Path,
+                              ShardedDataset *Stream = nullptr);
+
+/// Rotating checkpoint files for long trainings: save() writes
+/// <dir>/<prefix>-<iteration>.ckpt atomically and prunes all but the
+/// newest KeepLast checkpoints; loadLatest() resumes from the newest.
+class CheckpointManager {
+public:
+  struct Options {
+    std::string Directory;
+    std::string Prefix = "ckpt";
+    /// Checkpoints retained after each save (older ones are deleted).
+    unsigned KeepLast = 3;
+  };
+
+  explicit CheckpointManager(Options Opts) : Opts(std::move(Opts)) {}
+
+  /// Saves \p Trainer under its current iterationsDone() index and
+  /// rotates. Returns the written path.
+  Expected<std::string> save(const PpoTrainer &Trainer,
+                             const ShardedDataset *Stream = nullptr) const;
+
+  /// Path of the newest checkpoint in the directory ("" when none).
+  std::string latestPath() const;
+
+  /// Loads the newest checkpoint into \p Trainer, falling back to the
+  /// older retained ones if the newest fails to load (corrupt archive,
+  /// shape mismatch). The value is false when the directory holds no
+  /// checkpoint (nothing to resume); an error means every retained
+  /// checkpoint failed.
+  Expected<bool> loadLatest(PpoTrainer &Trainer,
+                            ShardedDataset *Stream = nullptr) const;
+
+  const Options &options() const { return Opts; }
+
+private:
+  /// (iteration index, path) of every checkpoint in the directory,
+  /// sorted by index ascending.
+  std::vector<std::pair<uint64_t, std::string>> listCheckpoints() const;
+
+  Options Opts;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_CHECKPOINT_H

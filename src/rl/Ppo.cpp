@@ -2,6 +2,7 @@
 
 #include "rl/Ppo.h"
 
+#include "datasets/Dataset.h"
 #include "env/VecEnv.h"
 #include "nn/Gemm.h"
 #include "nn/Ops.h"
@@ -96,21 +97,42 @@ ThreadPool *PpoTrainer::updatePool() {
 
 PpoIterationStats
 PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
-  Buffer.clear();
-  PpoIterationStats Stats;
-
-  // Draw this iteration's samples and the RNG stream key of each episode
-  // up front; groups are then embarrassingly parallel and the result is
-  // independent of both the batch width and the thread count (streams
-  // are keyed by the global sample index, merged back in sample order).
   unsigned N = Config.SamplesPerIteration;
   std::vector<const Module *> Samples(N);
-  std::vector<uint64_t> StreamKeys(N);
   for (unsigned I = 0; I < N; ++I) {
     Samples[I] = &Dataset[DatasetCursor % Dataset.size()];
     ++DatasetCursor;
-    StreamKeys[I] = EpisodeCounter++;
   }
+  return runIteration(Samples);
+}
+
+PpoIterationStats PpoTrainer::trainIteration(ShardedDataset &Stream) {
+  // next() invalidates earlier references on shard switches, so the
+  // iteration's draw is copied out of the stream first.
+  unsigned N = Config.SamplesPerIteration;
+  std::vector<Module> Drawn;
+  Drawn.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Drawn.push_back(Stream.next());
+  std::vector<const Module *> Samples(N);
+  for (unsigned I = 0; I < N; ++I)
+    Samples[I] = &Drawn[I];
+  return runIteration(Samples);
+}
+
+PpoIterationStats
+PpoTrainer::runIteration(const std::vector<const Module *> &Samples) {
+  Buffer.clear();
+  PpoIterationStats Stats;
+
+  // Draw the RNG stream key of each episode up front; groups are then
+  // embarrassingly parallel and the result is independent of both the
+  // batch width and the thread count (streams are keyed by the global
+  // sample index, merged back in sample order).
+  unsigned N = static_cast<unsigned>(Samples.size());
+  std::vector<uint64_t> StreamKeys(N);
+  for (unsigned I = 0; I < N; ++I)
+    StreamKeys[I] = EpisodeCounter++;
 
   unsigned Width = std::max(1u, Config.BatchWidth);
   unsigned Groups = (N + Width - 1) / Width;
@@ -146,6 +168,7 @@ PpoTrainer::trainIteration(const std::vector<Module> &Dataset) {
   Buffer.computeAdvantages(Config.Gamma, Config.Lambda);
   Buffer.normalizeAdvantages();
   update(Stats);
+  ++IterationsDone;
   return Stats;
 }
 

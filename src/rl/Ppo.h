@@ -25,11 +25,19 @@
 #include "perf/Evaluator.h"
 #include "rl/Agent.h"
 #include "rl/RolloutBuffer.h"
+#include "support/Error.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
 
 namespace mlirrl {
+
+class ShardedDataset;
+
+namespace serialize {
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace serialize
 
 /// PPO hyperparameters (defaults = the paper's).
 struct PpoConfig {
@@ -86,12 +94,40 @@ public:
   /// \p Dataset (cycling), then performs the PPO updates.
   PpoIterationStats trainIteration(const std::vector<Module> &Dataset);
 
+  /// Streaming variant: draws this iteration's samples from \p Stream
+  /// (which owns the dataset cursor; checkpoints record it so streamed
+  /// trainings resume mid-epoch).
+  PpoIterationStats trainIteration(ShardedDataset &Stream);
+
   /// Greedy evaluation: optimizes \p Sample with argmax actions and
   /// returns the achieved speedup (and the schedule through \p Out).
   double evaluate(const Module &Sample, ModuleSchedule *Out = nullptr);
 
   const PpoConfig &getConfig() const { return Config; }
   Rng &rng() { return SampleRng; }
+
+  /// The optimizer's serializable state (checkpoint tests compare it
+  /// across the save/load seam).
+  nn::Adam::State optimizerState() const { return Optimizer.getState(); }
+
+  /// Completed trainIteration calls since construction (restored by
+  /// loadCheckpoint, so resumed loops know where to continue).
+  uint64_t iterationsDone() const { return IterationsDone; }
+  /// The RNG stream key the next collected episode will use.
+  uint64_t episodeCounter() const { return EpisodeCounter; }
+
+  /// Checkpointing (implemented in rl/Checkpoint.cpp): saveState
+  /// serializes every piece of trainer state — agent parameters, Adam
+  /// moments and step count, the sample RNG stream, the episode/dataset
+  /// cursors, the PPO configuration and the rollout buffer — such that
+  /// train(N) == train(k); save; load; train(N-k) bitwise. (The buffer
+  /// is snapshotted for completeness; iteration-boundary resume never
+  /// reads it back, since each iteration re-collects from scratch — it
+  /// is the seam a future mid-iteration checkpoint would build on.)
+  /// restoreState validates the whole archive (CRCs, shapes) before
+  /// mutating anything: on failure the trainer is untouched.
+  void saveState(serialize::ArchiveWriter &Writer) const;
+  Expected<bool> restoreState(const serialize::ArchiveReader &Reader);
 
 private:
   /// One collected episode: summary plus its steps (merged into the
@@ -108,6 +144,10 @@ private:
   std::vector<EpisodeResult>
   collectGroup(const std::vector<const Module *> &Samples,
                const std::vector<uint64_t> &StreamKeys) const;
+
+  /// The shared iteration core: collects one episode per entry of
+  /// \p Samples (stream keys drawn from EpisodeCounter), then updates.
+  PpoIterationStats runIteration(const std::vector<const Module *> &Samples);
 
   void update(PpoIterationStats &Stats);
 
@@ -127,6 +167,7 @@ private:
   size_t DatasetCursor = 0;
   /// Global episode counter: the RNG stream key of the next episode.
   uint64_t EpisodeCounter = 0;
+  uint64_t IterationsDone = 0;
   std::unique_ptr<ThreadPool> Pool;
   std::unique_ptr<ThreadPool> GemmPool;
 };

@@ -29,6 +29,31 @@ public:
   /// Re-seeds the full 256-bit state from \p Seed via splitmix64.
   void reseed(uint64_t Seed);
 
+  /// The full serializable generator state: the 256-bit xoshiro state
+  /// plus the cached Box-Muller spare. Checkpoints (rl/Checkpoint.h)
+  /// store it so a restored stream continues bitwise where it stopped.
+  struct Snapshot {
+    uint64_t Words[4] = {0, 0, 0, 0};
+    bool HasSpareGaussian = false;
+    double SpareGaussian = 0.0;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot S;
+    for (int I = 0; I < 4; ++I)
+      S.Words[I] = State[I];
+    S.HasSpareGaussian = HasSpareGaussian;
+    S.SpareGaussian = SpareGaussian;
+    return S;
+  }
+
+  void restore(const Snapshot &S) {
+    for (int I = 0; I < 4; ++I)
+      State[I] = S.Words[I];
+    HasSpareGaussian = S.HasSpareGaussian;
+    SpareGaussian = S.SpareGaussian;
+  }
+
   /// Derives an independent stream seed from (Base, Stream), e.g. one
   /// per-episode RNG per sample index. Deterministic and
   /// collision-resistant across nearby stream ids.

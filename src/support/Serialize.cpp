@@ -1,0 +1,400 @@
+//===- Serialize.cpp ------------------------------------------------------===//
+
+#include "support/Serialize.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace mlirrl;
+using namespace mlirrl::serialize;
+
+// Archive framing constants. The magic doubles as an endianness and
+// file-type check; bumping kFormatMagic would orphan every existing
+// archive, so format evolution goes through the version field instead.
+static const uint8_t kFormatMagic[8] = {'M', 'L', 'R', 'L',
+                                        'A', 'R', 'C', '\n'};
+
+uint32_t serialize::crc32(const uint8_t *Data, size_t Size) {
+  static uint32_t Table[256];
+  static bool TableReady = [] {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      Table[I] = C;
+    }
+    return true;
+  }();
+  (void)TableReady;
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    Crc = Table[(Crc ^ Data[I]) & 0xFFu] ^ (Crc >> 8);
+  return Crc ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitives
+//===----------------------------------------------------------------------===//
+
+static void appendU32(std::vector<uint8_t> &Bytes, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+static void appendU64(std::vector<uint8_t> &Bytes, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+static void patchU32(std::vector<uint8_t> &Bytes, size_t At, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Bytes[At + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+static void patchU64(std::vector<uint8_t> &Bytes, size_t At, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Bytes[At + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+static uint32_t loadU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+static uint64_t loadU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// ArchiveWriter
+//===----------------------------------------------------------------------===//
+
+ArchiveWriter::ArchiveWriter(uint32_t Version) {
+  Bytes.insert(Bytes.end(), kFormatMagic, kFormatMagic + sizeof(kFormatMagic));
+  appendU32(Bytes, Version);
+}
+
+void ArchiveWriter::beginChunk(uint32_t Tag) {
+  assert(!InChunk && "beginChunk inside an open chunk");
+  assert(!Finished && "beginChunk after finish");
+  InChunk = true;
+  ChunkHeaderAt = Bytes.size();
+  appendU32(Bytes, Tag);
+  appendU64(Bytes, 0); // payload size, patched by endChunk
+  appendU32(Bytes, 0); // payload CRC, patched by endChunk
+  PayloadStart = Bytes.size();
+}
+
+void ArchiveWriter::endChunk() {
+  assert(InChunk && "endChunk without an open chunk");
+  InChunk = false;
+  size_t PayloadSize = Bytes.size() - PayloadStart;
+  patchU64(Bytes, ChunkHeaderAt + 4, PayloadSize);
+  patchU32(Bytes, ChunkHeaderAt + 12,
+           crc32(Bytes.data() + PayloadStart, PayloadSize));
+}
+
+void ArchiveWriter::writeU8(uint8_t Value) {
+  assert(InChunk && "write outside a chunk");
+  Bytes.push_back(Value);
+}
+
+void ArchiveWriter::writeU32(uint32_t Value) {
+  assert(InChunk && "write outside a chunk");
+  appendU32(Bytes, Value);
+}
+
+void ArchiveWriter::writeU64(uint64_t Value) {
+  assert(InChunk && "write outside a chunk");
+  appendU64(Bytes, Value);
+}
+
+void ArchiveWriter::writeI64(int64_t Value) {
+  writeU64(static_cast<uint64_t>(Value));
+}
+
+void ArchiveWriter::writeBool(bool Value) { writeU8(Value ? 1 : 0); }
+
+void ArchiveWriter::writeDouble(double Value) {
+  uint64_t Pattern;
+  static_assert(sizeof(Pattern) == sizeof(Value));
+  std::memcpy(&Pattern, &Value, sizeof(Pattern));
+  writeU64(Pattern);
+}
+
+void ArchiveWriter::writeString(const std::string &Value) {
+  writeU64(Value.size());
+  assert(InChunk);
+  Bytes.insert(Bytes.end(), Value.begin(), Value.end());
+}
+
+void ArchiveWriter::writeDoubles(const std::vector<double> &Values) {
+  writeU64(Values.size());
+  for (double V : Values)
+    writeDouble(V);
+}
+
+void ArchiveWriter::writeU64s(const std::vector<uint64_t> &Values) {
+  writeU64(Values.size());
+  for (uint64_t V : Values)
+    writeU64(V);
+}
+
+void ArchiveWriter::writeU32s(const std::vector<unsigned> &Values) {
+  writeU64(Values.size());
+  for (unsigned V : Values)
+    writeU32(V);
+}
+
+std::vector<uint8_t> ArchiveWriter::finish() {
+  assert(!InChunk && "finish with an open chunk");
+  Finished = true;
+  return std::move(Bytes);
+}
+
+Expected<bool> ArchiveWriter::writeFile(const std::string &Path) {
+  return writeFileBytesAtomic(Path, finish());
+}
+
+//===----------------------------------------------------------------------===//
+// ChunkReader
+//===----------------------------------------------------------------------===//
+
+void ChunkReader::fail(const std::string &Why) {
+  if (!Failed) {
+    Failed = true;
+    Message = Why;
+  }
+}
+
+bool ChunkReader::take(size_t Count, const uint8_t *&Out) {
+  if (Failed)
+    return false;
+  if (Size - Pos < Count) {
+    fail("chunk underrun: needed " + std::to_string(Count) + " bytes, " +
+         std::to_string(Size - Pos) + " left");
+    return false;
+  }
+  Out = Data + Pos;
+  Pos += Count;
+  return true;
+}
+
+uint8_t ChunkReader::readU8() {
+  const uint8_t *P;
+  return take(1, P) ? *P : 0;
+}
+
+uint32_t ChunkReader::readU32() {
+  const uint8_t *P;
+  return take(4, P) ? loadU32(P) : 0;
+}
+
+uint64_t ChunkReader::readU64() {
+  const uint8_t *P;
+  return take(8, P) ? loadU64(P) : 0;
+}
+
+int64_t ChunkReader::readI64() { return static_cast<int64_t>(readU64()); }
+
+bool ChunkReader::readBool() { return readU8() != 0; }
+
+double ChunkReader::readDouble() {
+  uint64_t Pattern = readU64();
+  double Value;
+  std::memcpy(&Value, &Pattern, sizeof(Value));
+  return Value;
+}
+
+std::string ChunkReader::readString() {
+  uint64_t Count = readU64();
+  const uint8_t *P;
+  if (!take(Count, P))
+    return {};
+  return std::string(reinterpret_cast<const char *>(P), Count);
+}
+
+std::vector<double> ChunkReader::readDoubles() {
+  uint64_t Count = readU64();
+  if (Failed || Count > remaining() / 8) {
+    fail("chunk underrun reading a double vector of " +
+         std::to_string(Count) + " entries");
+    return {};
+  }
+  std::vector<double> Values(Count);
+  for (double &V : Values)
+    V = readDouble();
+  return Values;
+}
+
+std::vector<uint64_t> ChunkReader::readU64s() {
+  uint64_t Count = readU64();
+  if (Failed || Count > remaining() / 8) {
+    fail("chunk underrun reading a u64 vector of " + std::to_string(Count) +
+         " entries");
+    return {};
+  }
+  std::vector<uint64_t> Values(Count);
+  for (uint64_t &V : Values)
+    V = readU64();
+  return Values;
+}
+
+std::vector<unsigned> ChunkReader::readU32s() {
+  uint64_t Count = readU64();
+  if (Failed || Count > remaining() / 4) {
+    fail("chunk underrun reading a u32 vector of " + std::to_string(Count) +
+         " entries");
+    return {};
+  }
+  std::vector<unsigned> Values(Count);
+  for (unsigned &V : Values)
+    V = readU32();
+  return Values;
+}
+
+//===----------------------------------------------------------------------===//
+// ArchiveReader
+//===----------------------------------------------------------------------===//
+
+Expected<ArchiveReader> ArchiveReader::fromBytes(std::vector<uint8_t> Bytes,
+                                                 uint32_t ExpectVersion) {
+  const size_t HeaderSize = sizeof(kFormatMagic) + 4;
+  if (Bytes.size() < HeaderSize)
+    return makeError<ArchiveReader>("archive truncated: " +
+                                    std::to_string(Bytes.size()) +
+                                    " bytes is smaller than the header");
+  if (std::memcmp(Bytes.data(), kFormatMagic, sizeof(kFormatMagic)) != 0)
+    return makeError<ArchiveReader>("bad archive magic (not an mlirrl "
+                                    "archive, or corrupted header)");
+
+  ArchiveReader Reader;
+  Reader.Version = loadU32(Bytes.data() + sizeof(kFormatMagic));
+  if (Reader.Version != ExpectVersion)
+    return makeError<ArchiveReader>(
+        "archive version " + std::to_string(Reader.Version) +
+        ", expected " + std::to_string(ExpectVersion));
+
+  size_t Pos = HeaderSize;
+  while (Pos < Bytes.size()) {
+    if (Bytes.size() - Pos < 16)
+      return makeError<ArchiveReader>(
+          "archive truncated inside a chunk header at offset " +
+          std::to_string(Pos));
+    ChunkRef Ref;
+    Ref.Tag = loadU32(Bytes.data() + Pos);
+    uint64_t PayloadSize = loadU64(Bytes.data() + Pos + 4);
+    uint32_t StoredCrc = loadU32(Bytes.data() + Pos + 12);
+    Pos += 16;
+    if (Bytes.size() - Pos < PayloadSize)
+      return makeError<ArchiveReader>(
+          "archive truncated: chunk at offset " + std::to_string(Pos - 16) +
+          " claims " + std::to_string(PayloadSize) + " payload bytes, " +
+          std::to_string(Bytes.size() - Pos) + " remain");
+    uint32_t ActualCrc = crc32(Bytes.data() + Pos, PayloadSize);
+    if (ActualCrc != StoredCrc)
+      return makeError<ArchiveReader>(
+          "CRC mismatch in chunk at offset " + std::to_string(Pos - 16) +
+          " (archive corrupted)");
+    Ref.Offset = Pos;
+    Ref.Size = PayloadSize;
+    Reader.Chunks.push_back(Ref);
+    Pos += PayloadSize;
+  }
+  Reader.Bytes = std::move(Bytes);
+  return Reader;
+}
+
+Expected<ArchiveReader> ArchiveReader::fromFile(const std::string &Path,
+                                                uint32_t ExpectVersion) {
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return makeError<ArchiveReader>(Bytes.getError());
+  return fromBytes(std::move(*Bytes), ExpectVersion);
+}
+
+bool ArchiveReader::hasChunk(uint32_t Tag) const {
+  for (const ChunkRef &Ref : Chunks)
+    if (Ref.Tag == Tag)
+      return true;
+  return false;
+}
+
+Expected<ChunkReader> ArchiveReader::chunk(uint32_t Tag) const {
+  for (const ChunkRef &Ref : Chunks)
+    if (Ref.Tag == Tag)
+      return ChunkReader(Bytes.data() + Ref.Offset, Ref.Size);
+  char Name[5] = {static_cast<char>(Tag), static_cast<char>(Tag >> 8),
+                  static_cast<char>(Tag >> 16), static_cast<char>(Tag >> 24),
+                  0};
+  return makeError<ChunkReader>(std::string("archive has no '") + Name +
+                                "' chunk");
+}
+
+std::vector<uint32_t> ArchiveReader::tags() const {
+  std::vector<uint32_t> Tags;
+  Tags.reserve(Chunks.size());
+  for (const ChunkRef &Ref : Chunks)
+    Tags.push_back(Ref.Tag);
+  return Tags;
+}
+
+//===----------------------------------------------------------------------===//
+// File helpers
+//===----------------------------------------------------------------------===//
+
+Expected<std::vector<uint8_t>>
+serialize::readFileBytes(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return makeError<std::vector<uint8_t>>("cannot open " + Path +
+                                           " for reading");
+  std::vector<uint8_t> Bytes;
+  uint8_t Buffer[1 << 16];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Bytes.insert(Bytes.end(), Buffer, Buffer + Read);
+  bool Failed = std::ferror(File) != 0;
+  std::fclose(File);
+  if (Failed)
+    return makeError<std::vector<uint8_t>>("read error on " + Path);
+  return Bytes;
+}
+
+Expected<bool>
+serialize::writeFileBytesAtomic(const std::string &Path,
+                                const std::vector<uint8_t> &Bytes) {
+  std::string TmpPath = Path + ".tmp";
+  std::FILE *File = std::fopen(TmpPath.c_str(), "wb");
+  if (!File)
+    return makeError<bool>("cannot open " + TmpPath + " for writing");
+  bool Ok = Bytes.empty() ||
+            std::fwrite(Bytes.data(), 1, Bytes.size(), File) == Bytes.size();
+#if defined(__unix__) || defined(__APPLE__)
+  // Flush user buffers and force the data to disk before the rename:
+  // otherwise the filesystem may persist the rename first and a power
+  // loss leaves a short file at the (supposedly atomic) final path.
+  Ok = std::fflush(File) == 0 && Ok;
+  Ok = (fsync(fileno(File)) == 0) && Ok;
+#endif
+  Ok = std::fclose(File) == 0 && Ok;
+  if (!Ok) {
+    std::remove(TmpPath.c_str());
+    return makeError<bool>("write error on " + TmpPath);
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return makeError<bool>("cannot rename " + TmpPath + " to " + Path);
+  }
+  return true;
+}

@@ -1,0 +1,88 @@
+//===- IrRoundTripTest.cpp - parse(print(M)) re-prints identically ----------===//
+//
+// The textual IR round-trip property, checked mechanically over every
+// dataset generator instead of hand-picked samples: for each module M
+// the corpus produces, print(M) parses back, the reparse re-prints to
+// the identical text (print o parse is the identity on printed
+// modules), and the reparsed module passes the verifier. One
+// parametrized suite; adding a generator is adding a corpus entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Dataset.h"
+#include "datasets/Models.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace mlirrl;
+
+namespace {
+
+struct Corpus {
+  const char *Name;
+  std::vector<Module> (*Build)();
+};
+
+std::vector<Module> dnnOperators() {
+  Rng R(11);
+  std::vector<Module> Modules =
+      generateDnnOperatorDataset(R, DnnDatasetCounts::scaled(0.02));
+  for (OperatorBenchmark &B : makeOperatorBenchmarks())
+    Modules.push_back(std::move(B.M));
+  return Modules;
+}
+
+std::vector<Module> evaluationModels() {
+  return {makeResNet18(), makeVgg16(), makeMobileNetV2()};
+}
+
+std::vector<Module> lqcdKernels() {
+  Rng R(12);
+  return generateLqcdDataset(R, 12);
+}
+
+std::vector<Module> operatorSequences() {
+  Rng R(13);
+  return generateSequenceDataset(R, 16);
+}
+
+std::vector<Module> assembledTrainingSet() {
+  return buildTrainingDataset(DatasetConfig::scaled(0.01));
+}
+
+class IrRoundTripFixture : public ::testing::TestWithParam<Corpus> {};
+
+} // namespace
+
+TEST_P(IrRoundTripFixture, PrintParsePrintIsIdentityAndVerifies) {
+  std::vector<Module> Corpus = GetParam().Build();
+  ASSERT_FALSE(Corpus.empty());
+  for (const Module &M : Corpus) {
+    std::string First = printModule(M);
+    Expected<Module> Reparsed = parseModule(First);
+    ASSERT_TRUE(Reparsed.hasValue())
+        << M.getName() << ": " << Reparsed.getError() << "\n" << First;
+    EXPECT_EQ(printModule(*Reparsed), First) << M.getName();
+    std::string Error;
+    EXPECT_TRUE(verifyModule(*Reparsed, Error)) << M.getName() << ": "
+                                                << Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetGenerators, IrRoundTripFixture,
+    ::testing::Values(Corpus{"DnnOps", dnnOperators},
+                      Corpus{"Models", evaluationModels},
+                      Corpus{"Lqcd", lqcdKernels},
+                      Corpus{"Sequences", operatorSequences},
+                      Corpus{"Assembled", assembledTrainingSet}),
+    [](const ::testing::TestParamInfo<Corpus> &Info) {
+      return Info.param.Name;
+    });

@@ -4,37 +4,25 @@
 // batched policy path. Episode RNG streams are private per environment
 // and the batched forward is bitwise row-identical to the single path,
 // so a VecEnv rollout must reproduce B sequential single-environment
-// rollouts *bitwise* -- same actions, log-probs, values and rewards --
-// and training must be invariant to the batch width and to the update
-// thread count.
+// rollouts *bitwise* -- same actions, log-probs, values and rewards.
+// (Whole-training invariance to batch width and thread counts is swept
+// by DeterminismMatrixTest; the shared helpers live in TestUtil.h.)
 //
 //===----------------------------------------------------------------------===//
 
 #include "env/VecEnv.h"
 
+#include "TestUtil.h"
 #include "datasets/DnnOps.h"
 #include "perf/Runner.h"
 #include "rl/MlirRl.h"
 
 #include <gtest/gtest.h>
 
-#include <bit>
-#include <cstdint>
-
 using namespace mlirrl;
+using mlirrl::testutil::tinyNet;
 
 namespace {
-
-#define EXPECT_SAME_BITS(X, Y)                                              \
-  EXPECT_EQ(std::bit_cast<uint64_t>(static_cast<double>(X)),                \
-            std::bit_cast<uint64_t>(static_cast<double>(Y)))
-
-NetConfig tinyNet() {
-  NetConfig Net;
-  Net.LstmHidden = 16;
-  Net.BackboneHidden = 16;
-  return Net;
-}
 
 std::vector<Module> testModules() {
   return {makeMatmulModule(64, 64, 64), makeReluModule({512, 128}),
@@ -118,41 +106,6 @@ void expectSameTraces(const std::vector<std::vector<TraceStep>> &A,
   }
 }
 
-MlirRlOptions batchedOptions(unsigned BatchWidth, unsigned UpdateThreads = 1) {
-  MlirRlOptions O = MlirRlOptions::laptop();
-  O.Net.LstmHidden = 16;
-  O.Net.BackboneHidden = 16;
-  O.Ppo.SamplesPerIteration = 8;
-  O.Ppo.BatchWidth = BatchWidth;
-  O.Ppo.UpdateThreads = UpdateThreads;
-  O.Iterations = 3;
-  O.Seed = 2025;
-  return O;
-}
-
-std::vector<PpoIterationStats> trainWith(unsigned BatchWidth,
-                                         unsigned UpdateThreads = 1) {
-  MlirRlOptions O = batchedOptions(BatchWidth, UpdateThreads);
-  MlirRl Sys(O);
-  std::vector<Module> Data = {makeMatmulModule(64, 64, 64),
-                              makeReluModule({512, 128})};
-  return Sys.train(Data);
-}
-
-void expectSameHistories(const std::vector<PpoIterationStats> &A,
-                         const std::vector<PpoIterationStats> &B) {
-  ASSERT_EQ(A.size(), B.size());
-  for (unsigned I = 0; I < A.size(); ++I) {
-    EXPECT_SAME_BITS(A[I].MeanEpisodeReward, B[I].MeanEpisodeReward);
-    EXPECT_SAME_BITS(A[I].MeanSpeedup, B[I].MeanSpeedup);
-    EXPECT_SAME_BITS(A[I].PolicyLoss, B[I].PolicyLoss);
-    EXPECT_SAME_BITS(A[I].ValueLoss, B[I].ValueLoss);
-    EXPECT_SAME_BITS(A[I].Entropy, B[I].Entropy);
-    EXPECT_EQ(A[I].StepsCollected, B[I].StepsCollected);
-    EXPECT_SAME_BITS(A[I].MeasurementSeconds, B[I].MeasurementSeconds);
-  }
-}
-
 } // namespace
 
 TEST(VecEnvTest, BatchedRolloutsAreBitwiseSequentialRollouts) {
@@ -189,20 +142,6 @@ TEST(VecEnvTest, FlatActionSpaceRolloutsMatchToo) {
   auto Sequential = rollSequential(Config, Agent, Run, Samples, /*Seed=*/42);
   auto Vectorized = rollVectorized(Config, Agent, Run, Samples, /*Seed=*/42);
   expectSameTraces(Sequential, Vectorized);
-}
-
-TEST(VecEnvTest, TrainingIsInvariantToBatchWidth) {
-  std::vector<PpoIterationStats> Width1 = trainWith(1);
-  std::vector<PpoIterationStats> Width4 = trainWith(4);
-  std::vector<PpoIterationStats> Width32 = trainWith(32);
-  expectSameHistories(Width1, Width4);
-  expectSameHistories(Width1, Width32);
-}
-
-TEST(VecEnvTest, TrainingIsInvariantToUpdateThreadCount) {
-  std::vector<PpoIterationStats> Serial = trainWith(4, /*UpdateThreads=*/1);
-  std::vector<PpoIterationStats> Threaded = trainWith(4, /*UpdateThreads=*/4);
-  expectSameHistories(Serial, Threaded);
 }
 
 TEST(VecEnvTest, CachingEvaluatorPreservesRewardsAndCounts) {

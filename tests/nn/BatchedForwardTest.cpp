@@ -11,30 +11,19 @@
 
 #include "rl/Agent.h"
 
+#include "TestUtil.h"
 #include "datasets/DnnOps.h"
 #include "env/Environment.h"
 #include "perf/Runner.h"
 
 #include <gtest/gtest.h>
 
-#include <bit>
-#include <cstdint>
-
 using namespace mlirrl;
 using namespace mlirrl::nn;
 
 namespace {
 
-#define EXPECT_SAME_BITS(X, Y)                                              \
-  EXPECT_EQ(std::bit_cast<uint64_t>(static_cast<double>(X)),                \
-            std::bit_cast<uint64_t>(static_cast<double>(Y)))
-
-NetConfig tinyNet() {
-  NetConfig Net;
-  Net.LstmHidden = 24;
-  Net.BackboneHidden = 24;
-  return Net;
-}
+NetConfig tinyNet() { return mlirrl::testutil::tinyNet(24); }
 
 /// Collects \p Count diverse observations by rolling random episodes
 /// over a couple of modules (pooling, matmul: different loop counts,

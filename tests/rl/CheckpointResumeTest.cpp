@@ -1,0 +1,340 @@
+//===- CheckpointResumeTest.cpp - train(N) == train(k); save/load; rest -----===//
+//
+// The checkpoint contract: training N iterations straight through is
+// bitwise-identical to training k, saving, loading into a fresh
+// trainer and training the remaining N-k -- same per-iteration
+// statistics, same parameters, same Adam moments, same RNG streams --
+// across batch widths and collection thread counts. Plus the
+// production file handling on top: keep-last-K rotation, resume from
+// the newest checkpoint, and mid-epoch resume of a sharded dataset
+// stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Checkpoint.h"
+
+#include "TestUtil.h"
+#include "datasets/Dataset.h"
+#include "datasets/DnnOps.h"
+#include "rl/MlirRl.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace mlirrl;
+using namespace mlirrl::testutil;
+
+namespace {
+
+constexpr unsigned kTotalIterations = 8;
+constexpr unsigned kSplitAt = 3;
+
+MlirRlOptions resumeOptions(unsigned BatchWidth, unsigned CollectThreads) {
+  MlirRlOptions O = MlirRlOptions::laptop();
+  O.Net = tinyNet();
+  O.Ppo.SamplesPerIteration = 8;
+  O.Ppo.BatchWidth = BatchWidth;
+  O.Ppo.CollectThreads = CollectThreads;
+  O.Seed = 2026;
+  return O;
+}
+
+std::vector<Module> resumeDataset() {
+  return {makeMatmulModule(64, 64, 64), makeReluModule({512, 128}),
+          makeMatmulModule(128, 64, 32)};
+}
+
+/// A per-test scratch directory under the ctest working directory
+/// (inside build/), removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string &Name) : Path(Name) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  std::string file(const std::string &Name) const {
+    return Path + "/" + Name;
+  }
+  std::string Path;
+};
+
+struct ResumeCase {
+  unsigned BatchWidth;
+  unsigned CollectThreads;
+};
+
+class CheckpointResumeFixture
+    : public ::testing::TestWithParam<ResumeCase> {};
+
+} // namespace
+
+TEST_P(CheckpointResumeFixture, ResumedTrainingIsBitwiseUninterrupted) {
+  const ResumeCase Case = GetParam();
+  ScratchDir Scratch("checkpoint_resume_test_" +
+                     std::to_string(Case.BatchWidth) + "_" +
+                     std::to_string(Case.CollectThreads));
+  const std::string Path = Scratch.file("split.ckpt");
+  std::vector<Module> Data = resumeDataset();
+
+  // The reference: N iterations with no interruption.
+  MlirRl Straight(resumeOptions(Case.BatchWidth, Case.CollectThreads));
+  std::vector<PpoIterationStats> StraightHistory;
+  for (unsigned I = 0; I < kTotalIterations; ++I)
+    StraightHistory.push_back(Straight.trainer().trainIteration(Data));
+
+  // train(k); save.
+  MlirRl First(resumeOptions(Case.BatchWidth, Case.CollectThreads));
+  std::vector<PpoIterationStats> SplitHistory;
+  for (unsigned I = 0; I < kSplitAt; ++I)
+    SplitHistory.push_back(First.trainer().trainIteration(Data));
+  Expected<bool> Saved = saveCheckpoint(First.trainer(), Path);
+  ASSERT_TRUE(Saved.hasValue()) << Saved.getError();
+
+  // load into a fresh trainer; train(N - k).
+  MlirRl Resumed(resumeOptions(Case.BatchWidth, Case.CollectThreads));
+  Expected<bool> Loaded = loadCheckpoint(Resumed.trainer(), Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.getError();
+  EXPECT_EQ(Resumed.trainer().iterationsDone(), kSplitAt);
+  for (unsigned I = kSplitAt; I < kTotalIterations; ++I)
+    SplitHistory.push_back(Resumed.trainer().trainIteration(Data));
+
+  // Bitwise-identical iteration statistics across the save/load seam...
+  expectSameHistories(SplitHistory, StraightHistory);
+  // ...and identical final state: parameters, Adam moments and step
+  // count, RNG streams and cursors.
+  expectSameParameters(Resumed.agent().parameters(),
+                       Straight.agent().parameters());
+  nn::Adam::State StraightAdam = Straight.trainer().optimizerState();
+  nn::Adam::State ResumedAdam = Resumed.trainer().optimizerState();
+  EXPECT_EQ(ResumedAdam.StepCount, StraightAdam.StepCount);
+  ASSERT_EQ(ResumedAdam.FirstMoment.size(), StraightAdam.FirstMoment.size());
+  for (size_t I = 0; I < StraightAdam.FirstMoment.size(); ++I) {
+    ASSERT_EQ(ResumedAdam.FirstMoment[I].size(),
+              StraightAdam.FirstMoment[I].size());
+    for (size_t J = 0; J < StraightAdam.FirstMoment[I].size(); ++J) {
+      EXPECT_SAME_BITS(ResumedAdam.FirstMoment[I][J],
+                       StraightAdam.FirstMoment[I][J]);
+      EXPECT_SAME_BITS(ResumedAdam.SecondMoment[I][J],
+                       StraightAdam.SecondMoment[I][J]);
+    }
+  }
+  Rng::Snapshot StraightRng = Straight.trainer().rng().snapshot();
+  Rng::Snapshot ResumedRng = Resumed.trainer().rng().snapshot();
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(ResumedRng.Words[I], StraightRng.Words[I]);
+  EXPECT_EQ(ResumedRng.HasSpareGaussian, StraightRng.HasSpareGaussian);
+  EXPECT_SAME_BITS(ResumedRng.SpareGaussian, StraightRng.SpareGaussian);
+  EXPECT_EQ(Resumed.trainer().episodeCounter(),
+            Straight.trainer().episodeCounter());
+  EXPECT_EQ(Resumed.trainer().iterationsDone(), kTotalIterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndThreads, CheckpointResumeFixture,
+    ::testing::Values(ResumeCase{1, 1}, ResumeCase{1, 4}, ResumeCase{8, 1},
+                      ResumeCase{8, 4}),
+    [](const ::testing::TestParamInfo<ResumeCase> &Info) {
+      return "Width" + std::to_string(Info.param.BatchWidth) + "Threads" +
+             std::to_string(Info.param.CollectThreads);
+    });
+
+TEST(CheckpointManagerTest, RotationKeepsOnlyTheNewestK) {
+  ScratchDir Scratch("checkpoint_manager_test");
+  CheckpointManager Manager({Scratch.Path, "rot", /*KeepLast=*/2});
+  MlirRl Sys(resumeOptions(4, 1));
+  std::vector<Module> Data = resumeDataset();
+
+  for (unsigned I = 0; I < 4; ++I) {
+    Sys.trainer().trainIteration(Data);
+    Expected<std::string> Saved = Manager.save(Sys.trainer());
+    ASSERT_TRUE(Saved.hasValue()) << Saved.getError();
+  }
+
+  unsigned Remaining = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Scratch.Path))
+    Remaining += Entry.path().extension() == ".ckpt";
+  EXPECT_EQ(Remaining, 2u);
+  EXPECT_NE(Manager.latestPath().find("rot-0000000004.ckpt"),
+            std::string::npos);
+
+  // loadLatest resumes from the newest; training on matches a straight
+  // run's fifth iteration.
+  MlirRl Straight(resumeOptions(4, 1));
+  std::vector<PpoIterationStats> Reference;
+  for (unsigned I = 0; I < 5; ++I)
+    Reference.push_back(Straight.trainer().trainIteration(Data));
+
+  MlirRl Resumed(resumeOptions(4, 1));
+  Expected<bool> Loaded = Manager.loadLatest(Resumed.trainer());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.getError();
+  EXPECT_TRUE(*Loaded);
+  EXPECT_EQ(Resumed.trainer().iterationsDone(), 4u);
+  PpoIterationStats Fifth = Resumed.trainer().trainIteration(Data);
+  expectSameHistories({Fifth}, {Reference[4]});
+}
+
+TEST(CheckpointManagerTest, CorruptNewestFallsBackToOlderCheckpoint) {
+  ScratchDir Scratch("checkpoint_manager_fallback_test");
+  CheckpointManager Manager({Scratch.Path, "fb", /*KeepLast=*/2});
+  MlirRl Sys(resumeOptions(4, 1));
+  std::vector<Module> Data = resumeDataset();
+  for (unsigned I = 0; I < 2; ++I) {
+    Sys.trainer().trainIteration(Data);
+    ASSERT_TRUE(Manager.save(Sys.trainer()).hasValue());
+  }
+
+  // Tear the newest checkpoint in half (a crashed disk / power loss).
+  std::string Newest = Manager.latestPath();
+  ASSERT_NE(Newest.find("fb-0000000002.ckpt"), std::string::npos);
+  Expected<std::vector<uint8_t>> Bytes = serialize::readFileBytes(Newest);
+  ASSERT_TRUE(Bytes.hasValue());
+  Bytes->resize(Bytes->size() / 2);
+  ASSERT_TRUE(serialize::writeFileBytesAtomic(Newest, *Bytes).hasValue());
+
+  // loadLatest falls back to the retained iteration-1 checkpoint.
+  MlirRl Resumed(resumeOptions(4, 1));
+  Expected<bool> Loaded = Manager.loadLatest(Resumed.trainer());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.getError();
+  EXPECT_TRUE(*Loaded);
+  EXPECT_EQ(Resumed.trainer().iterationsDone(), 1u);
+}
+
+TEST(CheckpointManagerTest, StaleHigherIndexCheckpointsDoNotSwallowFreshSaves) {
+  ScratchDir Scratch("checkpoint_manager_stale_test");
+  CheckpointManager Manager({Scratch.Path, "st", /*KeepLast=*/2});
+  MlirRl Old(resumeOptions(4, 1));
+  std::vector<Module> Data = resumeDataset();
+  for (unsigned I = 0; I < 4; ++I) {
+    Old.trainer().trainIteration(Data);
+    ASSERT_TRUE(Manager.save(Old.trainer()).hasValue());
+  }
+
+  // A fresh run (iteration 1) saving into the same directory must not
+  // rotate its own just-written checkpoint away.
+  MlirRl FreshRun(resumeOptions(4, 1));
+  FreshRun.trainer().trainIteration(Data);
+  Expected<std::string> Saved = Manager.save(FreshRun.trainer());
+  ASSERT_TRUE(Saved.hasValue()) << Saved.getError();
+  EXPECT_TRUE(std::filesystem::exists(*Saved));
+}
+
+TEST(CheckpointManagerTest, LoadLatestOnEmptyDirectoryIsNotAnError) {
+  ScratchDir Scratch("checkpoint_manager_empty_test");
+  CheckpointManager Manager({Scratch.Path, "none", 2});
+  EXPECT_TRUE(Manager.latestPath().empty());
+  MlirRl Sys(resumeOptions(1, 1));
+  Expected<bool> Loaded = Manager.loadLatest(Sys.trainer());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.getError();
+  EXPECT_FALSE(*Loaded);
+}
+
+TEST(ShardedStreamTest, SeekReproducesTheExactSampleSequence) {
+  DatasetConfig Config;
+  Config.Dnn.Matmul = 3;
+  Config.Dnn.Conv2d = 1;
+  Config.Dnn.Maxpool = 1;
+  Config.Dnn.Add = 2;
+  Config.Dnn.Relu = 2;
+  Config.Sequences = 3;
+  Config.Lqcd = 1;
+  Config.Seed = 99;
+
+  ShardedDataset A(Config, /*ShardSize=*/4);
+  EXPECT_EQ(A.size(), 13u);
+  // Walk one and a half epochs, remembering the tail.
+  std::vector<std::string> Tail;
+  for (unsigned I = 0; I < 19; ++I) {
+    const Module &M = A.next();
+    if (I >= 7)
+      Tail.push_back(M.getName());
+  }
+
+  ShardedDataset B(Config, /*ShardSize=*/4);
+  B.seek(7);
+  for (const std::string &Expected : Tail)
+    EXPECT_EQ(B.next().getName(), Expected);
+}
+
+TEST(ShardedStreamTest, StreamedTrainingResumesMidEpochBitwise) {
+  ScratchDir Scratch("checkpoint_stream_test");
+  const std::string Path = Scratch.file("stream.ckpt");
+  DatasetConfig Config;
+  Config.Dnn.Matmul = 2;
+  Config.Dnn.Conv2d = 0;
+  Config.Dnn.Maxpool = 0;
+  Config.Dnn.Add = 2;
+  Config.Dnn.Relu = 2;
+  Config.Sequences = 2;
+  Config.Lqcd = 0;
+  Config.Seed = 7;
+
+  MlirRlOptions Options = resumeOptions(4, 1);
+  Options.Ppo.SamplesPerIteration = 5; // not a divisor of the 8-sample
+                                       // epoch: every save lands
+                                       // mid-epoch and mid-shard
+
+  // Uninterrupted streamed training.
+  MlirRl Straight(Options);
+  ShardedDataset StraightStream(Config, /*ShardSize=*/4);
+  std::vector<PpoIterationStats> Reference;
+  for (unsigned I = 0; I < 4; ++I)
+    Reference.push_back(Straight.trainer().trainIteration(StraightStream));
+
+  // Two iterations, checkpoint (with the stream cursor), resume both
+  // trainer and a fresh stream, two more.
+  MlirRl First(Options);
+  ShardedDataset FirstStream(Config, /*ShardSize=*/4);
+  std::vector<PpoIterationStats> SplitHistory;
+  for (unsigned I = 0; I < 2; ++I)
+    SplitHistory.push_back(First.trainer().trainIteration(FirstStream));
+  EXPECT_EQ(FirstStream.cursor(), 10u);
+  Expected<bool> Saved = saveCheckpoint(First.trainer(), Path, &FirstStream);
+  ASSERT_TRUE(Saved.hasValue()) << Saved.getError();
+
+  MlirRl Resumed(Options);
+  ShardedDataset ResumedStream(Config, /*ShardSize=*/4);
+  Expected<bool> Loaded =
+      loadCheckpoint(Resumed.trainer(), Path, &ResumedStream);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.getError();
+  EXPECT_EQ(ResumedStream.cursor(), 10u);
+  for (unsigned I = 0; I < 2; ++I)
+    SplitHistory.push_back(Resumed.trainer().trainIteration(ResumedStream));
+
+  expectSameHistories(SplitHistory, Reference);
+  expectSameParameters(Resumed.agent().parameters(),
+                       Straight.agent().parameters());
+}
+
+TEST(ShardedStreamTest, MismatchedStreamIsRejectedBeforeAnyMutation) {
+  ScratchDir Scratch("checkpoint_stream_mismatch_test");
+  const std::string Path = Scratch.file("stream.ckpt");
+  DatasetConfig Config;
+  Config.Dnn.Matmul = 2;
+  Config.Dnn.Conv2d = 0;
+  Config.Dnn.Maxpool = 0;
+  Config.Dnn.Add = 1;
+  Config.Dnn.Relu = 1;
+  Config.Sequences = 1;
+  Config.Lqcd = 0;
+
+  MlirRlOptions Options = resumeOptions(2, 1);
+  Options.Ppo.SamplesPerIteration = 3;
+  MlirRl Sys(Options);
+  ShardedDataset Stream(Config, 4);
+  Sys.trainer().trainIteration(Stream);
+  ASSERT_TRUE(saveCheckpoint(Sys.trainer(), Path, &Stream).hasValue());
+
+  DatasetConfig OtherConfig = Config;
+  OtherConfig.Seed = Config.Seed + 1;
+  ShardedDataset OtherStream(OtherConfig, 4);
+  MlirRl Fresh(Options);
+  Expected<bool> Loaded =
+      loadCheckpoint(Fresh.trainer(), Path, &OtherStream);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_EQ(OtherStream.cursor(), 0u);
+  EXPECT_EQ(Fresh.trainer().iterationsDone(), 0u);
+}

@@ -1,0 +1,81 @@
+//===- DeterminismMatrixTest.cpp - The bitwise invariance matrix ------------===//
+//
+// The repo's core invariant, checked systematically instead of
+// point-by-point: for a fixed seed, training is bitwise-identical
+// across every combination of vectorized-env batch width, collection
+// thread count and update thread count. One table-driven sweep over
+// {BatchWidth 1, 2, 32} x {CollectThreads 1, 4} x {UpdateThreads 1, 4}
+// compares full per-iteration histories against the all-serial
+// reference configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/MlirRl.h"
+
+#include "TestUtil.h"
+#include "datasets/DnnOps.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace mlirrl;
+using namespace mlirrl::testutil;
+
+namespace {
+
+struct MatrixCase {
+  unsigned BatchWidth;
+  unsigned CollectThreads;
+  unsigned UpdateThreads;
+};
+
+std::vector<MatrixCase> matrixCases() {
+  std::vector<MatrixCase> Cases;
+  for (unsigned Width : {1u, 2u, 32u})
+    for (unsigned Collect : {1u, 4u})
+      for (unsigned Update : {1u, 4u})
+        Cases.push_back({Width, Collect, Update});
+  return Cases;
+}
+
+std::vector<PpoIterationStats> trainWith(const MatrixCase &Case) {
+  MlirRlOptions O = MlirRlOptions::laptop();
+  O.Net = tinyNet();
+  O.Ppo.SamplesPerIteration = 8;
+  O.Ppo.BatchWidth = Case.BatchWidth;
+  O.Ppo.CollectThreads = Case.CollectThreads;
+  O.Ppo.UpdateThreads = Case.UpdateThreads;
+  O.Iterations = 2;
+  O.Seed = 2025;
+  MlirRl Sys(O);
+  std::vector<Module> Data = {makeMatmulModule(64, 64, 64),
+                              makeReluModule({512, 128})};
+  return Sys.train(Data);
+}
+
+/// The all-serial reference history, computed once for the whole sweep.
+const std::vector<PpoIterationStats> &referenceHistory() {
+  static const std::vector<PpoIterationStats> Reference =
+      trainWith({1, 1, 1});
+  return Reference;
+}
+
+class DeterminismMatrixFixture
+    : public ::testing::TestWithParam<MatrixCase> {};
+
+} // namespace
+
+TEST_P(DeterminismMatrixFixture, TrainingHistoryMatchesSerialReference) {
+  expectSameHistories(trainWith(GetParam()), referenceHistory());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthByThreads, DeterminismMatrixFixture,
+    ::testing::ValuesIn(matrixCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &Info) {
+      return "Width" + std::to_string(Info.param.BatchWidth) + "Collect" +
+             std::to_string(Info.param.CollectThreads) + "Update" +
+             std::to_string(Info.param.UpdateThreads);
+    });
