@@ -43,14 +43,14 @@ inline std::vector<Module> operatorTrainingSet(uint64_t Seed = 11) {
   return generateDnnOperatorDataset(R, DnnDatasetCounts::scaled(0.08));
 }
 
-/// Clears the cost-model schedule-memo hit/miss counters so a bench's
-/// reported hit rate covers exactly the iterations it times, instead
-/// of accumulating across warmup and earlier repetitions (which
+/// Clears every cache hit/miss counter in the process (cost-model
+/// schedule memo, evaluator program/op memos, incremental repricer) so
+/// a bench's reported hit rates cover exactly the iterations it times,
+/// instead of accumulating across warmup and earlier repetitions (which
 /// overstated rates: every rep after the first started with a warm
-/// cache *and* the previous reps' counts).
-inline void resetMemoCounters(MlirRl &Sys) {
-  Sys.runner().getCostModel().resetCacheCounters();
-}
+/// cache *and* the previous reps' counts). One entry point for all of
+/// them: the support/Stats.h registry.
+inline void resetCacheStats() { CacheStatsRegistry::instance().resetAll(); }
 
 /// Trains a fresh agent on \p Dataset and returns it.
 inline std::unique_ptr<MlirRl> trainAgent(const MlirRlOptions &Options,

@@ -10,7 +10,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "datasets/Sequences.h"
+#include "env/Environment.h"
 #include "nn/Ops.h"
+#include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
 
@@ -20,25 +23,105 @@ using namespace mlirrl::nn;
 
 namespace {
 
-/// One full PPO training iteration at the laptop benchmark scale. This
-/// is the number every other bench amortizes; its inverse is training
-/// iterations per second.
+/// One full PPO training iteration at the laptop benchmark scale,
+/// drawing its samples from the sharded dataset stream (the default
+/// training shape since streaming landed). This is the number every
+/// other bench amortizes; its inverse is training iterations per
+/// second.
 void BM_TrainIteration(benchmark::State &State) {
   MlirRlOptions Options = standardOptions(/*Iterations=*/0);
   MlirRl Sys(Options);
+  ShardedDataset Stream(DatasetConfig::scaled(0.02), /*ShardSize=*/16);
+  // Warm the memo layers once, then reset every cache counter: the hit
+  // rates reported below cover exactly this repetition's timed
+  // iterations.
+  Sys.trainer().trainIteration(Stream);
+  Stream.seek(0);
+  resetCacheStats();
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Stream);
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+  CacheStatsRegistry::CategoryStats Cache =
+      CacheStatsRegistry::instance().categoryStats("cost_model.nest_memo");
+  State.counters["cost_cache_hit_rate"] = Cache.hitRate();
+  State.counters["cost_cache_lookups"] =
+      static_cast<double>(Cache.total());
+  CacheStatsRegistry::CategoryStats Reuse =
+      CacheStatsRegistry::instance().categoryStats("state.price_reuse");
+  State.counters["state_price_reuse_rate"] = Reuse.hitRate();
+}
+
+/// The pre-streaming workload (a fixed, fully materialized operator
+/// dataset): the fixed-dataset path stays selectable and its number
+/// stays comparable with earlier PRs' committed artifacts.
+void BM_TrainIterationFixedDataset(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  MlirRl Sys(Options);
   std::vector<Module> Data = operatorTrainingSet();
-  // Warm the schedule memo once, then reset its counters: the hit rate
-  // reported below covers exactly this repetition's timed iterations.
   Sys.trainer().trainIteration(Data);
-  resetMemoCounters(Sys);
+  resetCacheStats();
   for (auto _ : State) {
     PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
     benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
   }
-  HitMissCounters Cache = Sys.runner().getCostModel().getCacheCounters();
+  CacheStatsRegistry::CategoryStats Cache =
+      CacheStatsRegistry::instance().categoryStats("cost_model.nest_memo");
   State.counters["cost_cache_hit_rate"] = Cache.hitRate();
   State.counters["cost_cache_lookups"] =
       static_cast<double>(Cache.total());
+}
+
+/// Per-step environment cost in Immediate-reward mode on multi-op
+/// modules -- the path the ScheduleState transaction layer targets
+/// (Arg 0: 1 = incremental dirty-op pricing, 0 = the from-scratch
+/// oracle; Arg 1: 0 = random operator sequences of a few ops, 1 =
+/// MobileNetV2, a full model of dozens of ops, where the O(module) vs
+/// O(dirty) gap is widest). Identical masked-random episodes either way
+/// (the two paths are bitwise-equal); steps_per_s isolates the win.
+void BM_ImmediateStepIncremental(benchmark::State &State) {
+  EnvConfig Config = EnvConfig::laptop();
+  Config.Reward = RewardMode::Immediate;
+  Config.Incremental = State.range(0) != 0;
+  CostModelEvaluator Eval(MachineModel::xeonE5_2680v4());
+
+  Rng ModuleRng(21);
+  std::vector<Module> Samples;
+  if (State.range(1) == 0)
+    for (unsigned I = 0; I < 4; ++I)
+      Samples.push_back(generateOperatorSequence(ModuleRng));
+  else
+    Samples.push_back(makeMobileNetV2());
+
+  uint64_t Steps = 0;
+  unsigned Episode = 0;
+  for (auto _ : State) {
+    const Module &M = Samples[Episode % Samples.size()];
+    Rng ActionRng(Rng::deriveSeed(77, Episode));
+    ++Episode;
+    Environment Env(Config, Eval, M);
+    while (!Env.isDone()) {
+      const Observation &Obs = Env.observe();
+      AgentAction A;
+      if (Obs.InPointerSequence) {
+        A.Kind = TransformKind::Interchange;
+        A.PointerChoice = static_cast<unsigned>(
+            ActionRng.sampleWeighted(Obs.InterchangeMask));
+      } else {
+        A.Kind = static_cast<TransformKind>(
+            ActionRng.sampleWeighted(Obs.TransformMask));
+        A.TileSizeIdx.resize(Config.MaxLoops);
+        for (unsigned &Idx : A.TileSizeIdx)
+          Idx = static_cast<unsigned>(
+              ActionRng.nextBounded(Config.NumTileSizes));
+      }
+      Env.step(A);
+      ++Steps;
+    }
+    benchmark::DoNotOptimize(Env.currentSpeedup());
+  }
+  State.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
 }
 
 /// Train iteration with parallel episode collection (0 = all hardware
@@ -52,6 +135,25 @@ void BM_TrainIterationParallelCollect(benchmark::State &State) {
     PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
     benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
   }
+}
+
+/// Collection-thread wall-clock sweep (Arg = CollectThreads; rollouts
+/// are bitwise-identical across the sweep). scripts/bench_json.sh
+/// --threads runs this matrix and records the multi-core numbers in
+/// PERF.md.
+void BM_TrainIterationCollectThreads(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  Options.Ppo.CollectThreads = static_cast<unsigned>(State.range(0));
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    Steps += Stats.StepsCollected;
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+  State.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
 }
 
 /// Train-iteration throughput as a function of the vectorized-env batch
@@ -133,15 +235,30 @@ void BM_MatmulForwardBackward(benchmark::State &State) {
 } // namespace
 
 BENCHMARK(BM_TrainIteration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationFixedDataset)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ImmediateStepIncremental)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainIterationParallelCollect)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainIterationBatchWidth)
     ->Arg(1)
     ->Arg(8)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TrainIterationUpdateThreads)
+BENCHMARK(BM_TrainIterationCollectThreads)
+    ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationUpdateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatmulForward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MatmulForwardBackward)

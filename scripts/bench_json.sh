@@ -3,11 +3,25 @@
 # cache counters) from bench_trainstep, as a machine-readable perf
 # trajectory for future PRs to compare against.
 #
-# Usage: scripts/bench_json.sh [build-dir] [output.json]
+# Usage: scripts/bench_json.sh [--threads] [build-dir] [output.json]
+#
+#   --threads   sweep only the CollectThreads / UpdateThreads matrix
+#               (the multi-core wall-clock numbers PERF.md records;
+#               default output BENCH_threads.json). Run it on a
+#               multi-core host -- on a 1-core box it records pool
+#               overhead, which is still worth pinning.
 set -euo pipefail
 
+FILTER=""
+DEFAULT_OUT=BENCH_trainstep.json
+if [[ "${1:-}" == "--threads" ]]; then
+  shift
+  FILTER="--benchmark_filter=CollectThreads|UpdateThreads"
+  DEFAULT_OUT=BENCH_threads.json
+fi
+
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_trainstep.json}
+OUT=${2:-$DEFAULT_OUT}
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BIN="$REPO_ROOT/$BUILD_DIR/bench_trainstep"
 
@@ -20,6 +34,6 @@ fi
 "$BIN" --benchmark_format=console \
        --benchmark_out_format=json \
        --benchmark_out="$OUT" \
-       --benchmark_min_time=0.2 "${@:3}"
+       --benchmark_min_time=0.2 ${FILTER:+"$FILTER"} "${@:3}"
 
 echo "wrote $OUT"

@@ -38,3 +38,12 @@ if [[ "$tree_before" != "$tree_after" ]]; then
   diff <(printf '%s\n' "$tree_before") <(printf '%s\n' "$tree_after") >&2 || true
   exit 1
 fi
+
+# --- Incremental fast-path smoke check ------------------------------------
+# One repetition of Immediate-reward episodes through the default
+# (incremental) environment path: asserts the per-nest op memo hit rate
+# is > 0 and that incremental stepping actually ran (nests materialized
+# << ops x steps), so the ScheduleState path cannot silently regress to
+# the from-scratch fallback. Also cross-checks the incremental price
+# against the from-scratch oracle bitwise.
+./build/example_perf_smoke

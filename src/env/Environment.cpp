@@ -13,10 +13,12 @@ using namespace mlirrl;
 
 Environment::Environment(EnvConfig Config, Evaluator &Eval, Module Sample)
     : Config(Config), Feat(Config), Space(Config), Eval(Eval),
-      Sample(std::move(Sample)) {
+      Sample(std::move(Sample)), State(this->Sample) {
   assert(this->Sample.getNumOps() > 0 && "empty module");
   if (Config.ActionSpace == ActionSpaceMode::Flat)
     FlatActions = buildFlatActionList(Config);
+  StaticFeat.resize(this->Sample.getNumOps());
+  ProducerFeat.resize(this->Sample.getNumOps());
 
   BaselineSeconds = Eval.timeBaseline(this->Sample);
   PreviousSeconds = BaselineSeconds;
@@ -33,15 +35,24 @@ unsigned Environment::effectiveLoops() const {
                   Sample.getOp(CurrentOp).getNumLoops());
 }
 
+const std::vector<unsigned> &Environment::currentFusedProducers() const {
+  static const std::vector<unsigned> Empty;
+  auto It = State.getSchedule().OpSchedules.find(
+      static_cast<unsigned>(CurrentOp));
+  return It == State.getSchedule().OpSchedules.end() ? Empty
+                                                     : It->second.FusedProducers;
+}
+
 int Environment::findProducerCandidate() const {
   // The fused group: the consumer plus everything already fused into it.
-  std::vector<unsigned> Group = Building.FusedProducers;
+  std::vector<unsigned> Group = currentFusedProducers();
   Group.push_back(static_cast<unsigned>(CurrentOp));
 
   auto InGroup = [&](unsigned Idx) {
     return std::find(Group.begin(), Group.end(), Idx) != Group.end();
   };
 
+  const ModuleSchedule &Sched = State.getSchedule();
   int Best = -1;
   for (unsigned Member : Group) {
     for (const OpOperand &In : Sample.getOp(Member).getInputs()) {
@@ -82,11 +93,12 @@ Environment::tileSizesFromAction(const AgentAction &Action) const {
 
 double Environment::measuredModuleTime() {
   // Measure the module under the schedule assembled so far, including
-  // the in-progress schedule of the current op.
-  ModuleSchedule Partial = Sched;
-  if (CurrentOp >= 0 && !Building.empty())
-    Partial.OpSchedules[static_cast<unsigned>(CurrentOp)] = Building;
-  return Eval.timeModule(Sample, Partial);
+  // the in-progress schedule of the current op (the state always holds
+  // exactly that). Incremental: only dirty op nests are re-priced.
+  // From-scratch: the whole-module oracle path, bitwise-identical.
+  if (Config.Incremental)
+    return Eval.timeState(State);
+  return Eval.timeModule(Sample, State.getSchedule());
 }
 
 double Environment::rewardAfterEffectiveStep() {
@@ -105,6 +117,13 @@ double Environment::rewardAfterEffectiveStep() {
 void Environment::recordHistoryForTiled(TransformKind Kind,
                                         const std::vector<unsigned> &SizeIdx) {
   History.recordTiled(TauUsed, Kind, SizeIdx);
+  ++HistoryVersion;
+}
+
+void Environment::recordHistoryForInterchange(
+    const std::vector<int> &Placement) {
+  History.recordInterchange(TauUsed, Placement);
+  ++HistoryVersion;
 }
 
 Environment::StepOutcome Environment::step(const AgentAction &Action) {
@@ -123,7 +142,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
                   static_cast<int>(Choice)) == PartialPlacement.end()) {
       PartialPlacement[NextPointerPos] = static_cast<int>(Choice);
       ++NextPointerPos;
-      History.recordInterchange(TauUsed, PartialPlacement);
+      recordHistoryForInterchange(PartialPlacement);
     }
     if (NextPointerPos == N) {
       // Complete: build the permutation over the full loop count
@@ -134,7 +153,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
         Perm[I] = I < N ? static_cast<unsigned>(PartialPlacement[I]) : I;
       Transformation T = Transformation::interchange(Perm);
       if (Machine->apply(T).Applied)
-        Building.Transforms.push_back(T);
+        State.apply(static_cast<unsigned>(CurrentOp), T);
       InPointerSequence = false;
       ++TauUsed;
       Outcome.Reward = rewardAfterEffectiveStep();
@@ -164,7 +183,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
             : Transformation::tiledParallelization(
                   tileSizesFromAction(Decoded));
     if (Machine->apply(T).Applied) {
-      Building.Transforms.push_back(T);
+      State.apply(static_cast<unsigned>(CurrentOp), T);
       recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
     }
     ++TauUsed;
@@ -176,9 +195,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
     Transformation T =
         Transformation::tiledFusion(tileSizesFromAction(Decoded));
     if (Producer >= 0 && Machine->apply(T).Applied) {
-      Building.Transforms.push_back(T);
-      Building.FusedProducers.push_back(static_cast<unsigned>(Producer));
-      Sched.FusedAway.push_back(static_cast<unsigned>(Producer));
+      State.apply(static_cast<unsigned>(CurrentOp), T, Producer);
       recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
     }
     ++TauUsed;
@@ -194,7 +211,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
         PartialPlacement[0] = static_cast<int>(Action.PointerChoice);
         NextPointerPos = 1;
         InPointerSequence = true;
-        History.recordInterchange(TauUsed, PartialPlacement);
+        recordHistoryForInterchange(PartialPlacement);
         if (N == 1) {
           // Degenerate single-loop interchange: identity, complete now.
           InPointerSequence = false;
@@ -213,11 +230,11 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
         Transformation T = Transformation::interchange(
             makeSwapPermutation(Op.getNumLoops(), I, J));
         if (Machine->apply(T).Applied) {
-          Building.Transforms.push_back(T);
+          State.apply(static_cast<unsigned>(CurrentOp), T);
           std::vector<int> Placement(Op.getNumLoops());
           for (unsigned L = 0; L < Op.getNumLoops(); ++L)
             Placement[L] = static_cast<int>(T.Permutation[L]);
-          History.recordInterchange(TauUsed, Placement);
+          recordHistoryForInterchange(Placement);
         }
       }
       ++TauUsed;
@@ -227,7 +244,8 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
   }
   case TransformKind::Vectorization: {
     if (Machine->apply(Transformation::vectorization()).Applied)
-      Building.Transforms.push_back(Transformation::vectorization());
+      State.apply(static_cast<unsigned>(CurrentOp),
+                  Transformation::vectorization());
     ++TauUsed;
     Outcome.Reward = rewardAfterEffectiveStep();
     finishCurrentOp();
@@ -246,7 +264,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
 
   // Terminal reward: log-speedup of the fully assembled schedule.
   if (Done && Config.Reward == RewardMode::Final) {
-    double Final = Eval.timeModule(Sample, Sched);
+    double Final = measuredModuleTime();
     MeasurementSeconds += Final;
     Outcome.Reward += std::log(BaselineSeconds / Final);
   }
@@ -257,18 +275,19 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
 }
 
 void Environment::finishCurrentOp() {
-  if (!Building.empty())
-    Sched.OpSchedules[static_cast<unsigned>(CurrentOp)] = Building;
+  // The state already holds everything applied to the current op; the
+  // op's schedule needs no commit step.
   advanceToNextOp();
 }
 
 void Environment::advanceToNextOp() {
+  const ModuleSchedule &Sched = State.getSchedule();
   int Next = CurrentOp - 1;
   while (Next >= 0 && Sched.isFusedAway(static_cast<unsigned>(Next)))
     --Next;
   CurrentOp = Next;
-  Building = OpSchedule();
   History = ActionHistory();
+  ++HistoryVersion;
   TauUsed = 0;
   InPointerSequence = false;
   if (CurrentOp < 0) {
@@ -280,8 +299,33 @@ void Environment::advanceToNextOp() {
 }
 
 double Environment::currentSpeedup() {
-  double Now = Eval.timeModule(Sample, Sched);
-  return BaselineSeconds / Now;
+  return BaselineSeconds / measuredModuleTime();
+}
+
+const std::vector<double> &Environment::staticFeatures(unsigned OpIdx) {
+  std::vector<double> &F = StaticFeat[OpIdx];
+  if (F.empty())
+    F = Feat.featurizeStatic(Sample, Sample.getOp(OpIdx));
+  return F;
+}
+
+const std::vector<double> &Environment::consumerFeatures() {
+  if (ConsumerFeatOp != CurrentOp || ConsumerFeatVersion != HistoryVersion) {
+    ConsumerFeat = staticFeatures(static_cast<unsigned>(CurrentOp));
+    Feat.appendHistory(History, ConsumerFeat);
+    ConsumerFeatOp = CurrentOp;
+    ConsumerFeatVersion = HistoryVersion;
+  }
+  return ConsumerFeat;
+}
+
+const std::vector<double> &Environment::producerFeatures(unsigned OpIdx) {
+  std::vector<double> &F = ProducerFeat[OpIdx];
+  if (F.empty()) {
+    F = staticFeatures(OpIdx);
+    Feat.appendHistory(ActionHistory(), F);
+  }
+  return F;
 }
 
 void Environment::computeObservation() {
@@ -295,13 +339,23 @@ void Environment::computeObservation() {
   Obs.NumLoops = N;
   Obs.InPointerSequence = InPointerSequence;
 
-  Obs.Consumer = Feat.featurize(Sample, Op, History);
   int Producer = findProducerCandidate();
-  if (Producer >= 0)
-    Obs.Producer = Feat.featurize(Sample, Sample.getOp(Producer),
-                                  ActionHistory());
-  else
-    Obs.Producer = Feat.zeroVector();
+  if (Config.Incremental) {
+    // Delta featurization: static prefixes are computed once per op,
+    // the consumer's history slabs only when the history moved, and
+    // producer vectors once per op (empty history). Values are
+    // bitwise-identical to the from-scratch featurize() calls below.
+    Obs.Consumer = consumerFeatures();
+    Obs.Producer = Producer >= 0
+                       ? producerFeatures(static_cast<unsigned>(Producer))
+                       : Feat.zeroVector();
+  } else {
+    Obs.Consumer = Feat.featurize(Sample, Op, History);
+    Obs.Producer = Producer >= 0
+                       ? Feat.featurize(Sample, Sample.getOp(Producer),
+                                        ActionHistory())
+                       : Feat.zeroVector();
+  }
 
   // Transformation mask.
   Obs.TransformMask.assign(NumTransformKinds, 0.0);

@@ -20,6 +20,7 @@
 #include "env/Featurizer.h"
 #include "perf/Evaluator.h"
 #include "transforms/Apply.h"
+#include "transforms/ScheduleState.h"
 
 #include <memory>
 #include <optional>
@@ -61,8 +62,14 @@ public:
   /// actions consume a step with no effect.
   StepOutcome step(const AgentAction &Action);
 
-  /// The schedule assembled so far (complete once done).
-  const ModuleSchedule &getSchedule() const { return Sched; }
+  /// The schedule assembled so far (complete once done), including the
+  /// in-progress transforms of the operation currently being optimized.
+  const ModuleSchedule &getSchedule() const { return State.getSchedule(); }
+
+  /// The transaction state behind the episode: per-op nest/price caches
+  /// and the schedule itself. Shared with the Evaluator for incremental
+  /// pricing; exposed for tests and the stats plumbing.
+  const ScheduleState &getState() const { return State; }
 
   /// Speedup of the assembled schedule over the baseline.
   double currentSpeedup();
@@ -81,6 +88,7 @@ private:
   void computeObservation();
   void recordHistoryForTiled(TransformKind Kind,
                              const std::vector<unsigned> &SizeIdx);
+  void recordHistoryForInterchange(const std::vector<int> &Placement);
   double rewardAfterEffectiveStep();
   void finishCurrentOp();
   void advanceToNextOp();
@@ -90,6 +98,15 @@ private:
   unsigned effectiveLoops() const;
   std::vector<int64_t> tileSizesFromAction(const AgentAction &Action) const;
   double measuredModuleTime();
+  /// Fused producers of the operation currently being optimized.
+  const std::vector<unsigned> &currentFusedProducers() const;
+  /// Cached static feature prefix of op \p OpIdx (incremental path).
+  const std::vector<double> &staticFeatures(unsigned OpIdx);
+  /// Consumer features of the current op under the current history
+  /// (cached; recomputed only when the history version moved).
+  const std::vector<double> &consumerFeatures();
+  /// Producer features of op \p OpIdx (empty history; cached per op).
+  const std::vector<double> &producerFeatures(unsigned OpIdx);
 
   EnvConfig Config;
   Featurizer Feat;
@@ -97,15 +114,26 @@ private:
   Evaluator &Eval;
   Module Sample;
 
-  ModuleSchedule Sched;
+  /// The transaction layer: schedule + per-op nest/price caches. All
+  /// schedule mutations flow through State.apply so dirtiness is exact.
+  ScheduleState State;
   bool Done = false;
   int CurrentOp = -1;
 
   // Per-operation state.
   std::optional<OpTransformState> Machine;
   ActionHistory History;
-  OpSchedule Building;
   unsigned TauUsed = 0;
+
+  // Feature caches (incremental path). HistoryVersion moves on every
+  // history mutation and on op advance; the consumer cache is keyed by
+  // (op, version) so untouched steps reuse the full vector.
+  std::vector<std::vector<double>> StaticFeat;
+  std::vector<std::vector<double>> ProducerFeat;
+  std::vector<double> ConsumerFeat;
+  int ConsumerFeatOp = -1;
+  uint64_t ConsumerFeatVersion = 0;
+  uint64_t HistoryVersion = 1;
 
   // Level-pointer sequence state.
   bool InPointerSequence = false;

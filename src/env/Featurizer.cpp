@@ -34,18 +34,22 @@ void ActionHistory::recordInterchange(unsigned Step,
 
 Featurizer::Featurizer(EnvConfig Config) : Config(Config) {}
 
-unsigned Featurizer::featureSize() const {
+unsigned Featurizer::staticFeatureSize() const {
   unsigned N = Config.MaxLoops;
   unsigned OpType = 6;
   unsigned LoopRanges = N * 3; // log-bound, parallel, reduction
   unsigned VecFlag = 1;
   unsigned Maps = Config.MaxArrays * Config.MaxRank * (N + 1);
   unsigned OpCounts = 5;
+  return OpType + LoopRanges + VecFlag + Maps + OpCounts;
+}
+
+unsigned Featurizer::featureSize() const {
+  unsigned N = Config.MaxLoops;
   unsigned Tau = Config.MaxScheduleLength;
   unsigned TileHistory = Tau * N * Config.NumTileSizes;
   unsigned InterchangeHistory = Tau * N * N;
-  return OpType + LoopRanges + VecFlag + Maps + OpCounts + TileHistory +
-         InterchangeHistory;
+  return staticFeatureSize() + TileHistory + InterchangeHistory;
 }
 
 /// The six one-hot operation categories of Fig. 1.
@@ -71,8 +75,8 @@ static unsigned opTypeIndex(OpKind Kind) {
   MLIRRL_UNREACHABLE("unknown op kind");
 }
 
-std::vector<double> Featurizer::featurize(const Module &M, const LinalgOp &Op,
-                                          const ActionHistory &History) const {
+std::vector<double> Featurizer::featurizeStatic(const Module &M,
+                                                const LinalgOp &Op) const {
   unsigned N = Config.MaxLoops;
   std::vector<double> Out;
   Out.reserve(featureSize());
@@ -141,8 +145,15 @@ std::vector<double> Featurizer::featurize(const Module &M, const LinalgOp &Op,
   for (int64_t Count : {A.Add, A.Sub, A.Mul, A.Div, A.Exp})
     Out.push_back(std::log1p(static_cast<double>(Count)));
 
+  assert(Out.size() == staticFeatureSize() && "static feature layout drift");
+  return Out;
+}
+
+void Featurizer::appendHistory(const ActionHistory &History,
+                               std::vector<double> &Out) const {
   // 6) Action history: tau x N x M tiled slab, then tau x N x N
   // interchange slab (Appendix A).
+  unsigned N = Config.MaxLoops;
   unsigned Tau = Config.MaxScheduleLength;
   unsigned MSizes = Config.NumTileSizes;
   for (unsigned T = 0; T < Tau; ++T) {
@@ -170,7 +181,12 @@ std::vector<double> Featurizer::featurize(const Module &M, const LinalgOp &Op,
         Out.push_back(On ? 1.0 : 0.0);
       }
   }
+}
 
+std::vector<double> Featurizer::featurize(const Module &M, const LinalgOp &Op,
+                                          const ActionHistory &History) const {
+  std::vector<double> Out = featurizeStatic(M, Op);
+  appendHistory(History, Out);
   assert(Out.size() == featureSize() && "feature layout drift");
   return Out;
 }

@@ -48,6 +48,14 @@ struct ActionHistory {
 };
 
 /// Computes feature vectors of fixed layout from (operation, history).
+///
+/// The layout is a static prefix (operation type, loop ranges,
+/// vectorization flag, access matrices, arithmetic counts -- a function
+/// of the operation alone) followed by the action-history slabs. The
+/// split is exposed so the environment can cache the static prefix per
+/// operation and re-emit only the history slabs the last action touched
+/// (delta featurization); featurize() itself is the concatenation, so
+/// both paths produce bitwise-identical vectors.
 class Featurizer {
 public:
   explicit Featurizer(EnvConfig Config);
@@ -55,9 +63,22 @@ public:
   /// Total feature vector length (fixed across operations).
   unsigned featureSize() const;
 
+  /// Length of the operation-only prefix (featureSize() minus the
+  /// history slabs).
+  unsigned staticFeatureSize() const;
+
   /// Featurizes one operation with its action history.
   std::vector<double> featurize(const Module &M, const LinalgOp &Op,
                                 const ActionHistory &History) const;
+
+  /// The operation-only prefix (sections 1-5 of the layout).
+  std::vector<double> featurizeStatic(const Module &M,
+                                      const LinalgOp &Op) const;
+
+  /// Appends the history slabs (section 6) to \p Out, which must hold a
+  /// static prefix.
+  void appendHistory(const ActionHistory &History,
+                     std::vector<double> &Out) const;
 
   /// The all-zero vector standing in for a missing producer.
   std::vector<double> zeroVector() const {

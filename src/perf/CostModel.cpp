@@ -4,6 +4,7 @@
 
 #include "perf/WorkingSet.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -211,21 +212,12 @@ TrafficBreakdown CostModel::estimateTraffic(const LoopNest &Nest) const {
 
 namespace {
 
-/// FNV-1a over mixed scalar words; the nest is folded field by field so
-/// any structural difference (trip counts, loop kinds, access maps,
-/// arithmetic) lands in the key.
-class StructuralHasher {
+/// The shared FNV-1a word hasher plus nest-specific folds; the nest is
+/// folded field by field so any structural difference (trip counts,
+/// loop kinds, access maps, arithmetic) lands in the key.
+class StructuralHasher : public FnvHasher {
 public:
-  void word(uint64_t Value) {
-    Hash ^= Value;
-    Hash *= 0x100000001b3ull;
-  }
-  void signedWord(int64_t Value) { word(static_cast<uint64_t>(Value)); }
-  void string(const std::string &Str) {
-    word(Str.size());
-    for (char C : Str)
-      word(static_cast<uint8_t>(C));
-  }
+  void string(const std::string &Str) { bytes(Str); }
   void loop(const ScheduledLoop &L) {
     word(L.IterDim);
     signedWord(L.TripCount);
@@ -252,10 +244,6 @@ public:
     word(A.ElemBytes);
     word(A.IsWrite ? 1u : 0u);
   }
-  uint64_t finish() const { return Hash; }
-
-private:
-  uint64_t Hash = 0xcbf29ce484222325ull;
 };
 
 } // namespace

@@ -120,6 +120,11 @@ private:
   mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
       CacheIndex;
   mutable HitMissCounters Counters;
+  /// Registry visibility: the memo reports under "cost_model.nest_memo"
+  /// and resets with CacheStatsRegistry::resetAll (each instance keeps
+  /// its own counts; the registry aggregates).
+  CacheStatsRegistry::Enrollment StatsEnrollment{"cost_model.nest_memo",
+                                                &Counters};
   mutable std::mutex CacheMutex;
   size_t CacheCapacity = 1u << 14;
 };

@@ -2,6 +2,7 @@
 
 #include "perf/Evaluator.h"
 
+#include "support/Hash.h"
 #include "transforms/Apply.h"
 
 using namespace mlirrl;
@@ -18,35 +19,39 @@ double Evaluator::speedup(const Module &M, const ModuleSchedule &Sched) {
   return timeBaseline(M) / timeModule(M, Sched);
 }
 
+double Evaluator::priceNest(const LoopNest &Nest) {
+  return timeNests({Nest});
+}
+
+double Evaluator::priceDirtyOp(ScheduleState &State, unsigned OpIdx) {
+  return priceNest(State.getNest(OpIdx));
+}
+
+double Evaluator::timeState(ScheduleState &State) {
+  // One loop for every implementation (priceDirtyOp is the only
+  // variation point): re-price dirty ops, reuse every clean op's cached
+  // price, and sum in ascending op order -- the exact order
+  // materializeModule walks, so the sum is bitwise-identical to the
+  // from-scratch path. The counter reference is resolved once:
+  // named() hands out stable references, and this is the hot path.
+  static HitMissCounters &Reuse =
+      CacheStatsRegistry::instance().named("state.price_reuse");
+  double Sum = 0.0;
+  for (unsigned OpIdx : State.liveOps()) {
+    if (State.hasPrice(OpIdx)) {
+      Reuse.recordHit();
+    } else {
+      Reuse.recordMiss();
+      State.setPrice(OpIdx, priceDirtyOp(State, OpIdx));
+    }
+    Sum += State.getPrice(OpIdx);
+  }
+  return combineNestPrices(Sum);
+}
+
 // ---------------------------------------------------------------------------
 // Structural hashing
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/// FNV-1a over mixed words (same construction as the cost model's
-/// per-nest hasher; separate seeds keep the key spaces disjoint).
-class FnvHasher {
-public:
-  explicit FnvHasher(uint64_t Seed) : Hash(Seed) {}
-
-  void word(uint64_t Value) {
-    Hash ^= Value;
-    Hash *= 0x100000001b3ull;
-  }
-  void signedWord(int64_t Value) { word(static_cast<uint64_t>(Value)); }
-  void bytes(const std::string &Str) {
-    word(Str.size());
-    for (char C : Str)
-      word(static_cast<uint8_t>(C));
-  }
-  uint64_t finish() const { return Hash; }
-
-private:
-  uint64_t Hash;
-};
-
-} // namespace
 
 uint64_t mlirrl::hashModuleStructure(const Module &M) {
   // A direct structural walk (no string formatting on the lookup path):
@@ -124,14 +129,19 @@ uint64_t mlirrl::hashModuleSchedule(const ModuleSchedule &Sched) {
 // CachingEvaluator
 // ---------------------------------------------------------------------------
 
-double CachingEvaluator::memoized(uint64_t Key,
-                                  const std::function<double()> &Compute) {
+CachingEvaluator::CachingEvaluator(Evaluator &Inner, size_t Capacity)
+    : Inner(Inner), Program("evaluator.program_memo", Capacity),
+      PerOp("evaluator.op_memo", Capacity) {}
+
+double
+CachingEvaluator::LruMemo::memoized(uint64_t Key,
+                                    const std::function<double()> &Compute) {
   {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = CacheIndex.find(Key);
-    if (It != CacheIndex.end()) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
       Counters.recordHit();
-      CacheOrder.splice(CacheOrder.begin(), CacheOrder, It->second);
+      Order.splice(Order.begin(), Order, It->second);
       return It->second->Seconds;
     }
   }
@@ -142,16 +152,22 @@ double CachingEvaluator::memoized(uint64_t Key,
   // same value (inner evaluators are deterministic) and inserts once.
   double Seconds = Compute();
 
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  if (CacheIndex.find(Key) == CacheIndex.end()) {
-    CacheOrder.push_front({Key, Seconds});
-    CacheIndex[Key] = CacheOrder.begin();
-    while (CacheOrder.size() > Capacity) {
-      CacheIndex.erase(CacheOrder.back().Key);
-      CacheOrder.pop_back();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Index.find(Key) == Index.end()) {
+    Order.push_front({Key, Seconds});
+    Index[Key] = Order.begin();
+    while (Order.size() > Capacity) {
+      Index.erase(Order.back().Key);
+      Order.pop_back();
     }
   }
   return Seconds;
+}
+
+void CachingEvaluator::LruMemo::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Order.clear();
+  Index.clear();
 }
 
 double CachingEvaluator::timeNests(const std::vector<LoopNest> &Nests) {
@@ -159,7 +175,7 @@ double CachingEvaluator::timeNests(const std::vector<LoopNest> &Nests) {
   H.word(Nests.size());
   for (const LoopNest &Nest : Nests)
     H.word(hashLoopNest(Nest));
-  return memoized(H.finish(), [&] { return Inner.timeNests(Nests); });
+  return Program.memoized(H.finish(), [&] { return Inner.timeNests(Nests); });
 }
 
 double CachingEvaluator::timeModule(const Module &M,
@@ -167,17 +183,34 @@ double CachingEvaluator::timeModule(const Module &M,
   FnvHasher H(0xa0761d6478bd642full);
   H.word(hashModuleStructure(M));
   H.word(hashModuleSchedule(Sched));
-  return memoized(H.finish(), [&] { return Inner.timeModule(M, Sched); });
+  return Program.memoized(H.finish(),
+                          [&] { return Inner.timeModule(M, Sched); });
 }
 
 double CachingEvaluator::timeBaseline(const Module &M) {
   FnvHasher H(0xe7037ed1a0b428dbull);
   H.word(hashModuleStructure(M));
-  return memoized(H.finish(), [&] { return Inner.timeBaseline(M); });
+  return Program.memoized(H.finish(), [&] { return Inner.timeBaseline(M); });
+}
+
+double CachingEvaluator::priceNest(const LoopNest &Nest) {
+  // No memo of its own: the per-op table keys on schedule-state keys
+  // (cheaper than hashing the nest), and the inner cost model already
+  // memoizes by nest hash.
+  return Inner.priceNest(Nest);
+}
+
+double CachingEvaluator::combineNestPrices(double SumSeconds) {
+  return Inner.combineNestPrices(SumSeconds);
+}
+
+double CachingEvaluator::priceDirtyOp(ScheduleState &State, unsigned OpIdx) {
+  return PerOp.memoized(State.opMemoKey(OpIdx), [&] {
+    return Inner.priceNest(State.getNest(OpIdx));
+  });
 }
 
 void CachingEvaluator::clearCache() {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  CacheOrder.clear();
-  CacheIndex.clear();
+  Program.clear();
+  PerOp.clear();
 }

@@ -10,13 +10,26 @@
 /// thread-safe: one Evaluator is shared by all parallel episode
 /// collectors and by every environment of a VecEnv batch.
 ///
+/// Two pricing granularities coexist:
+///
+///  * whole-module (timeNests / timeModule / timeBaseline) -- the
+///    from-scratch oracle;
+///  * per-nest (priceNest + combineNestPrices) and incremental
+///    (timeState over a ScheduleState) -- only dirty op nests are
+///    re-materialized and re-priced; clean ops reuse their cached
+///    price. The contract: summing the per-nest prices of a program's
+///    nests in nest order and applying combineNestPrices reproduces
+///    timeNests bitwise, so the two granularities are interchangeable.
+///
 /// Implementations:
 ///  * CostModelEvaluator -- the analytical cost model, undisturbed
 ///    (deterministic; the training default).
 ///  * Runner (perf/Runner.h) -- adds measurement noise and median-of-K
 ///    runs on top of the cost model (the paper's testbed stand-in).
 ///  * CachingEvaluator -- a decorator memoizing whole-program prices in
-///    front of any inner evaluator, with thread-safe hit/miss counters.
+///    front of any inner evaluator, with thread-safe hit/miss counters,
+///    plus a per-op memo for timeState keyed by (op structural hash x
+///    op schedule hash) so entries survive across samples sharing ops.
 ///    It complements the per-nest schedule memo inside CostModel: a hit
 ///    here also skips materialization and per-nest hashing.
 ///
@@ -29,6 +42,7 @@
 #include "perf/CostModel.h"
 #include "support/Stats.h"
 #include "transforms/Schedule.h"
+#include "transforms/ScheduleState.h"
 
 #include <functional>
 #include <list>
@@ -55,6 +69,32 @@ public:
 
   /// Speedup of \p Sched over the baseline (> 1 means faster).
   double speedup(const Module &M, const ModuleSchedule &Sched);
+
+  /// Price of one nest, such that combineNestPrices over the ordered sum
+  /// of a program's per-nest prices equals timeNests of that program
+  /// bitwise. The default prices a single-nest program with no combiner
+  /// applied -- correct for any evaluator whose timeNests is a plain sum
+  /// over nests; evaluators with module-level post-processing (Runner's
+  /// noise protocol) must override both members as a pair.
+  virtual double priceNest(const LoopNest &Nest);
+
+  /// Module-level combiner over the sum of per-nest prices (identity by
+  /// default; Runner applies its measurement protocol here).
+  virtual double combineNestPrices(double SumSeconds) { return SumSeconds; }
+
+  /// Incremental equivalent of timeModule: prices \p State's schedule,
+  /// re-pricing only ops whose cached price was invalidated by
+  /// ScheduleState::apply (through the priceDirtyOp hook) and summing
+  /// live-op prices in ascending op order (materializeModule's order,
+  /// so the result is bitwise equal to the from-scratch path). The
+  /// state's price slots are filled as a side effect; a state must only
+  /// ever be priced through one evaluator.
+  double timeState(ScheduleState &State);
+
+protected:
+  /// Prices one dirty op of a state (default: materialize + priceNest;
+  /// CachingEvaluator answers from its per-op memo instead).
+  virtual double priceDirtyOp(ScheduleState &State, unsigned OpIdx);
 };
 
 /// The analytical cost model as an Evaluator: deterministic, no noise.
@@ -65,6 +105,10 @@ public:
 
   double timeNests(const std::vector<LoopNest> &Nests) override {
     return Model.estimateModule(Nests);
+  }
+
+  double priceNest(const LoopNest &Nest) override {
+    return Model.estimateNest(Nest).TotalSeconds;
   }
 
   const CostModel &getCostModel() const { return Model; }
@@ -85,44 +129,72 @@ uint64_t hashModuleSchedule(const ModuleSchedule &Sched);
 /// A memoizing decorator over any Evaluator. timeModule/timeBaseline
 /// hits skip the inner evaluator entirely -- including materialization
 /// -- which is what makes sharing one CachingEvaluator across all
-/// collector threads pay off (every episode re-times the baseline,
-/// every step of an Immediate-reward episode re-times the module).
+/// collector threads pay off (every episode re-times the baseline).
+/// timeState misses consult a second, per-op memo keyed by
+/// ScheduleState::opMemoKey: a hit prices a dirty op without
+/// materializing its nest, and the keys are content-addressed so the
+/// entries survive across episodes and across samples that share ops.
 ///
 /// Wrap only deterministic inner evaluators (CostModelEvaluator, or a
 /// Runner with noise off): caching a noisy measurement would freeze one
 /// noise draw forever.
 class CachingEvaluator : public Evaluator {
 public:
-  explicit CachingEvaluator(Evaluator &Inner, size_t Capacity = 1u << 12)
-      : Inner(Inner), Capacity(Capacity) {}
+  explicit CachingEvaluator(Evaluator &Inner, size_t Capacity = 1u << 12);
 
   double timeNests(const std::vector<LoopNest> &Nests) override;
   double timeModule(const Module &M, const ModuleSchedule &Sched) override;
   double timeBaseline(const Module &M) override;
+  double priceNest(const LoopNest &Nest) override;
+  double combineNestPrices(double SumSeconds) override;
 
-  /// Hit/miss counters since construction (or the last reset). Relaxed
-  /// snapshot; safe to read while collectors are running.
-  HitMissCounters getCounters() const { return Counters; }
-  void resetCounters() { Counters.reset(); }
+  /// Whole-program hit/miss counters since construction (or the last
+  /// reset). Relaxed snapshot; safe to read while collectors are
+  /// running.
+  HitMissCounters getCounters() const { return Program.Counters; }
+  /// Per-op memo counters (timeState lookups).
+  HitMissCounters getOpCounters() const { return PerOp.Counters; }
+  void resetCounters() {
+    Program.Counters.reset();
+    PerOp.Counters.reset();
+  }
 
   /// Drops every memoized entry (counters untouched).
   void clearCache();
 
+protected:
+  /// timeState hook: a per-op memo lookup keyed by
+  /// ScheduleState::opMemoKey -- content-addressed, so a hit prices a
+  /// dirty op without materializing its nest, and entries are shared
+  /// across every episode and sample containing the same op under the
+  /// same partial schedule.
+  double priceDirtyOp(ScheduleState &State, unsigned OpIdx) override;
+
 private:
-  double memoized(uint64_t Key, const std::function<double()> &Compute);
+  /// One LRU memo table: MRU-ordered entries + key index, guarded by a
+  /// mutex, with hit/miss counters enrolled in the CacheStatsRegistry.
+  struct LruMemo {
+    LruMemo(const char *Category, size_t Capacity)
+        : Capacity(Capacity), Stats(Category, &Counters) {}
+
+    double memoized(uint64_t Key, const std::function<double()> &Compute);
+    void clear();
+
+    struct Entry {
+      uint64_t Key = 0;
+      double Seconds = 0.0;
+    };
+    std::list<Entry> Order;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+    std::mutex Mutex;
+    size_t Capacity;
+    HitMissCounters Counters;
+    CacheStatsRegistry::Enrollment Stats;
+  };
 
   Evaluator &Inner;
-
-  struct CacheEntry {
-    uint64_t Key = 0;
-    double Seconds = 0.0;
-  };
-  /// MRU-ordered entries + key index, guarded by CacheMutex.
-  std::list<CacheEntry> CacheOrder;
-  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> CacheIndex;
-  std::mutex CacheMutex;
-  size_t Capacity;
-  HitMissCounters Counters;
+  LruMemo Program;
+  LruMemo PerOp;
 };
 
 } // namespace mlirrl

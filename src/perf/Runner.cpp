@@ -27,3 +27,11 @@ double Runner::measure(double ModelSeconds) {
 double Runner::timeNests(const std::vector<LoopNest> &Nests) {
   return measure(Model.estimateModule(Nests));
 }
+
+double Runner::priceNest(const LoopNest &Nest) {
+  return Model.estimateNest(Nest).TotalSeconds;
+}
+
+double Runner::combineNestPrices(double SumSeconds) {
+  return measure(SumSeconds);
+}

@@ -46,8 +46,16 @@ public:
   /// Median "measured" time of a materialized program, seconds.
   double timeNests(const std::vector<LoopNest> &Nests) override;
 
-  // timeModule / timeBaseline / speedup come from Evaluator (materialize
-  // + timeNests), so every entry point shares the noise protocol.
+  /// Per-nest prices are the undisturbed model estimates; the noise +
+  /// median-of-K protocol applies once at module level in
+  /// combineNestPrices, exactly as timeNests applies it to the summed
+  /// estimate -- so incremental pricing reproduces timeNests bitwise.
+  double priceNest(const LoopNest &Nest) override;
+  double combineNestPrices(double SumSeconds) override;
+
+  // timeModule / timeBaseline / speedup / timeState come from Evaluator
+  // (materialize + timeNests, or per-nest prices + the combiner), so
+  // every entry point shares the noise protocol.
 
 private:
   double measure(double ModelSeconds);

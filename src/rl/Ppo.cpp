@@ -75,6 +75,8 @@ PpoTrainer::collectGroup(const std::vector<const Module *> &Samples,
   for (unsigned I = 0; I < B; ++I) {
     Results[I].Speedup = Vec.env(I).currentSpeedup();
     Results[I].MeasurementSeconds = Vec.env(I).getMeasurementSeconds();
+    Results[I].NestMaterializations =
+        Vec.env(I).getState().counters().NestMaterializations;
   }
   return Results;
 }
@@ -157,6 +159,7 @@ PpoTrainer::runIteration(const std::vector<const Module *> &Samples) {
       Rewards.push_back(R.Reward);
       Speedups.push_back(std::max(R.Speedup, 1e-9));
       Stats.MeasurementSeconds += R.MeasurementSeconds;
+      Stats.NestMaterializations += R.NestMaterializations;
       for (RolloutStep &Step : R.Steps)
         Buffer.add(std::move(Step));
     }

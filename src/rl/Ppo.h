@@ -16,6 +16,14 @@
 /// bitwise-deterministic for a fixed seed regardless of batch width,
 /// collection thread count and update thread count.
 ///
+/// Both the collection path and the greedy rollout (evaluate) step
+/// environments that price rewards and build observations through the
+/// per-episode ScheduleState transaction layer: each action re-prices
+/// and re-featurizes only the op nests it dirtied, which is what keeps
+/// Immediate-mode reward O(1) per action instead of O(module). The
+/// incremental path is bitwise-identical to the from-scratch oracle
+/// (tests/rl/DeterminismMatrixTest sweeps the pair).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MLIRRL_RL_PPO_H
@@ -80,6 +88,11 @@ struct PpoIterationStats {
   /// Accumulated simulated program-execution time spent on rewards (the
   /// Fig. 7 wall-clock axis).
   double MeasurementSeconds = 0.0;
+  /// Loop nests materialized by the iteration's environments (via the
+  /// ScheduleState transaction layer). Deterministic per seed; with
+  /// incremental stepping on it stays near one nest per effective
+  /// action instead of ops x steps.
+  uint64_t NestMaterializations = 0;
 };
 
 /// The trainer.
@@ -136,6 +149,7 @@ private:
     double Reward = 0.0;
     double Speedup = 1.0;
     double MeasurementSeconds = 0.0;
+    uint64_t NestMaterializations = 0;
     std::vector<RolloutStep> Steps;
   };
   /// Rolls one lockstep group of episodes through a VecEnv, one RNG

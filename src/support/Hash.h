@@ -1,0 +1,47 @@
+//===- Hash.h - Structural hashing building block ----------------*- C++-*-===//
+///
+/// \file
+/// The FNV-1a word hasher every structural memo key in the repo is built
+/// from (the cost model's per-nest hash, the evaluator's module-level
+/// keys, and the schedule-state's per-op keys). Distinct key spaces use
+/// distinct seeds; the mixing itself is shared so the key construction
+/// stays consistent across layers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_HASH_H
+#define MLIRRL_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace mlirrl {
+
+/// FNV-1a over mixed words. Fold every field a consumer of the hashed
+/// object can observe; two objects with equal keys are treated as
+/// interchangeable by the memo layers.
+class FnvHasher {
+public:
+  static constexpr uint64_t DefaultSeed = 0xcbf29ce484222325ull;
+
+  explicit FnvHasher(uint64_t Seed = DefaultSeed) : Hash(Seed) {}
+
+  void word(uint64_t Value) {
+    Hash ^= Value;
+    Hash *= 0x100000001b3ull;
+  }
+  void signedWord(int64_t Value) { word(static_cast<uint64_t>(Value)); }
+  void bytes(const std::string &Str) {
+    word(Str.size());
+    for (char C : Str)
+      word(static_cast<uint8_t>(C));
+  }
+  uint64_t finish() const { return Hash; }
+
+private:
+  uint64_t Hash;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_HASH_H

@@ -8,6 +8,92 @@
 
 using namespace mlirrl;
 
+// ---------------------------------------------------------------------------
+// CacheStatsRegistry
+// ---------------------------------------------------------------------------
+
+CacheStatsRegistry &CacheStatsRegistry::instance() {
+  // Leaked singleton: enrolled caches may live in static-duration
+  // objects whose destruction order is unknowable.
+  static CacheStatsRegistry *Registry = new CacheStatsRegistry();
+  return *Registry;
+}
+
+CacheStatsRegistry::Enrollment::Enrollment(const char *Category,
+                                           HitMissCounters *Counters) {
+  CacheStatsRegistry &R = instance();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  Id = R.NextId++;
+  R.EnrolledCounters.push_back({Id, Category, Counters});
+}
+
+CacheStatsRegistry::Enrollment::~Enrollment() {
+  if (Id == 0)
+    return;
+  CacheStatsRegistry &R = instance();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (size_t I = 0; I < R.EnrolledCounters.size(); ++I) {
+    if (R.EnrolledCounters[I].Id == Id) {
+      R.EnrolledCounters.erase(R.EnrolledCounters.begin() +
+                               static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+}
+
+HitMissCounters &CacheStatsRegistry::named(const char *Category) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, Counters] : NamedCounters)
+    if (Name == Category)
+      return *Counters;
+  // Leaked on purpose: named() hands out stable references that may be
+  // cached by callers for the process lifetime.
+  NamedCounters.emplace_back(Category, new HitMissCounters());
+  return *NamedCounters.back().second;
+}
+
+std::vector<CacheStatsRegistry::CategoryStats>
+CacheStatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<CategoryStats> Result;
+  auto Fold = [&](const std::string &Category, const HitMissCounters &C) {
+    for (CategoryStats &S : Result) {
+      if (S.Category == Category) {
+        S.Hits += C.Hits.load(std::memory_order_relaxed);
+        S.Misses += C.Misses.load(std::memory_order_relaxed);
+        return;
+      }
+    }
+    Result.push_back({Category, C.Hits.load(std::memory_order_relaxed),
+                      C.Misses.load(std::memory_order_relaxed)});
+  };
+  for (const Enrolled &E : EnrolledCounters)
+    Fold(E.Category, *E.Counters);
+  for (const auto &[Name, Counters] : NamedCounters)
+    Fold(Name, *Counters);
+  std::sort(Result.begin(), Result.end(),
+            [](const CategoryStats &A, const CategoryStats &B) {
+              return A.Category < B.Category;
+            });
+  return Result;
+}
+
+CacheStatsRegistry::CategoryStats
+CacheStatsRegistry::categoryStats(const char *Category) const {
+  for (const CategoryStats &S : snapshot())
+    if (S.Category == Category)
+      return S;
+  return {Category, 0, 0};
+}
+
+void CacheStatsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Enrolled &E : EnrolledCounters)
+    E.Counters->reset();
+  for (const auto &[Name, Counters] : NamedCounters)
+    Counters->reset();
+}
+
 double mlirrl::mean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0.0;

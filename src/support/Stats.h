@@ -12,6 +12,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace mlirrl {
@@ -56,6 +59,79 @@ struct HitMissCounters {
     Hits.store(0, std::memory_order_relaxed);
     Misses.store(0, std::memory_order_relaxed);
   }
+};
+
+/// The one place every cache in the system reports through: the
+/// cost-model schedule memo, the CachingEvaluator's program and per-op
+/// tables and the incremental repricer all surface their HitMissCounters
+/// here, under a category name, with a single reset entry point
+/// (resetAll). Two kinds of entries coexist:
+///
+///  * enrolled counters -- owned by a cache instance (each CostModel /
+///    CachingEvaluator keeps its own counts, as tests rely on), made
+///    visible for the instance's lifetime via an RAII Enrollment;
+///  * named counters -- owned by the registry itself, for process-wide
+///    tallies with no natural owner (the schedule-state repricer).
+///
+/// snapshot() aggregates both per category. All entry points are
+/// thread-safe; the counters themselves are relaxed atomics.
+class CacheStatsRegistry {
+public:
+  static CacheStatsRegistry &instance();
+
+  /// RAII enrollment of an instance-owned counter set. Default-constructed
+  /// enrollments are inert; enrolled ones deregister on destruction.
+  /// \p Counters must outlive the enrollment.
+  class Enrollment {
+  public:
+    Enrollment() = default;
+    Enrollment(const char *Category, HitMissCounters *Counters);
+    ~Enrollment();
+    Enrollment(const Enrollment &) = delete;
+    Enrollment &operator=(const Enrollment &) = delete;
+
+  private:
+    uint64_t Id = 0;
+  };
+
+  /// The registry-owned counter set of \p Category (created on first
+  /// use; a stable reference for the process lifetime).
+  HitMissCounters &named(const char *Category);
+
+  /// Per-category aggregate (enrolled + named), sorted by category name.
+  struct CategoryStats {
+    std::string Category;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+
+    uint64_t total() const { return Hits + Misses; }
+    double hitRate() const {
+      return total() == 0 ? 0.0
+                          : static_cast<double>(Hits) /
+                                static_cast<double>(total());
+    }
+  };
+  std::vector<CategoryStats> snapshot() const;
+
+  /// The aggregate of one category (zeros when nothing reported yet).
+  CategoryStats categoryStats(const char *Category) const;
+
+  /// Resets every live counter set, enrolled and named. The single
+  /// entry point benches use between warmup and the timed region.
+  void resetAll();
+
+private:
+  CacheStatsRegistry() = default;
+
+  struct Enrolled {
+    uint64_t Id;
+    std::string Category;
+    HitMissCounters *Counters;
+  };
+  mutable std::mutex Mutex;
+  std::vector<Enrolled> EnrolledCounters;
+  std::vector<std::pair<std::string, HitMissCounters *>> NamedCounters;
+  uint64_t NextId = 1;
 };
 
 /// Arithmetic mean. Returns 0 for empty input.

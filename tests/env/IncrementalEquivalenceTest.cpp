@@ -1,0 +1,178 @@
+//===- IncrementalEquivalenceTest.cpp - incremental == from-scratch ---------===//
+//
+// The property behind the ScheduleState transaction layer, checked
+// mechanically over every dataset generator: an environment stepping
+// incrementally (dirty-op pricing, delta featurization -- the default)
+// is bitwise-indistinguishable from one recomputing everything from
+// scratch. Two environments run in lockstep on identical randomized
+// masked action sequences; at every step the observations (consumer,
+// producer, all masks), rewards, done flags and measurement accounting
+// must match exactly, and at the end the schedules and speedups must
+// too. Both reward modes are swept -- Immediate is the mode whose every
+// step prices the module, so it is where stale caches would surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Dataset.h"
+#include "datasets/Models.h"
+#include "env/Environment.h"
+#include "perf/Evaluator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace mlirrl;
+
+namespace {
+
+struct Corpus {
+  const char *Name;
+  std::vector<Module> (*Build)();
+  RewardMode Reward;
+};
+
+std::vector<Module> dnnOperators() {
+  Rng R(31);
+  return generateDnnOperatorDataset(R, DnnDatasetCounts::scaled(0.01));
+}
+
+std::vector<Module> evaluationModel() {
+  // One full model: many ops, deep producer chains (fusion-heavy).
+  return {makeMobileNetV2()};
+}
+
+std::vector<Module> lqcdKernels() {
+  Rng R(32);
+  return generateLqcdDataset(R, 4);
+}
+
+std::vector<Module> operatorSequences() {
+  Rng R(33);
+  return generateSequenceDataset(R, 6);
+}
+
+/// A uniformly random action under the observation's masks (the same
+/// sampling scheme randomSearch uses).
+AgentAction randomMaskedAction(const Observation &Obs,
+                               const EnvConfig &Config, Rng &R) {
+  AgentAction A;
+  if (Obs.InPointerSequence) {
+    A.Kind = TransformKind::Interchange;
+    A.PointerChoice =
+        static_cast<unsigned>(R.sampleWeighted(Obs.InterchangeMask));
+    return A;
+  }
+  A.Kind = static_cast<TransformKind>(R.sampleWeighted(Obs.TransformMask));
+  switch (A.Kind) {
+  case TransformKind::Tiling:
+  case TransformKind::TiledParallelization:
+  case TransformKind::TiledFusion:
+    A.TileSizeIdx.resize(Config.MaxLoops);
+    for (unsigned &Idx : A.TileSizeIdx)
+      Idx = static_cast<unsigned>(R.nextBounded(Config.NumTileSizes));
+    break;
+  case TransformKind::Interchange:
+    A.PointerChoice =
+        static_cast<unsigned>(R.sampleWeighted(Obs.InterchangeMask));
+    A.EnumeratedChoice = A.PointerChoice;
+    break;
+  case TransformKind::Vectorization:
+  case TransformKind::NoTransformation:
+    break;
+  }
+  return A;
+}
+
+void expectSameVector(const std::vector<double> &A,
+                      const std::vector<double> &B, const char *What,
+                      unsigned Step) {
+  ASSERT_EQ(A.size(), B.size()) << What << " at step " << Step;
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(A[I], B[I]) << What << "[" << I << "] at step " << Step;
+}
+
+void expectSameObservation(const Observation &A, const Observation &B,
+                           unsigned Step) {
+  expectSameVector(A.Consumer, B.Consumer, "Consumer", Step);
+  expectSameVector(A.Producer, B.Producer, "Producer", Step);
+  expectSameVector(A.TransformMask, B.TransformMask, "TransformMask", Step);
+  expectSameVector(A.InterchangeMask, B.InterchangeMask, "InterchangeMask",
+                   Step);
+  expectSameVector(A.FlatMask, B.FlatMask, "FlatMask", Step);
+  ASSERT_EQ(A.InPointerSequence, B.InPointerSequence) << "step " << Step;
+  ASSERT_EQ(A.NumLoops, B.NumLoops) << "step " << Step;
+}
+
+class IncrementalEquivalenceFixture
+    : public ::testing::TestWithParam<Corpus> {};
+
+} // namespace
+
+TEST_P(IncrementalEquivalenceFixture, LockstepEpisodesMatchBitwise) {
+  std::vector<Module> Corpus = GetParam().Build();
+  ASSERT_FALSE(Corpus.empty());
+
+  EnvConfig Incremental = EnvConfig::laptop();
+  Incremental.Reward = GetParam().Reward;
+  Incremental.Incremental = true;
+  EnvConfig FromScratch = Incremental;
+  FromScratch.Incremental = false;
+
+  CostModelEvaluator Eval(MachineModel::xeonE5_2680v4());
+
+  uint64_t Seed = 0x1234;
+  for (const Module &M : Corpus) {
+    Environment Inc(Incremental, Eval, M);
+    Environment Ref(FromScratch, Eval, M);
+    Rng IncRng(Seed), RefRng(Seed);
+    ++Seed;
+
+    unsigned Step = 0;
+    expectSameObservation(Inc.observe(), Ref.observe(), Step);
+    while (!Inc.isDone()) {
+      ASSERT_FALSE(Ref.isDone()) << M.getName();
+      AgentAction A =
+          randomMaskedAction(Inc.observe(), Incremental, IncRng);
+      AgentAction B =
+          randomMaskedAction(Ref.observe(), FromScratch, RefRng);
+      Environment::StepOutcome OutA = Inc.step(A);
+      Environment::StepOutcome OutB = Ref.step(B);
+      ++Step;
+      ASSERT_EQ(OutA.Reward, OutB.Reward)
+          << M.getName() << " reward at step " << Step;
+      ASSERT_EQ(OutA.Done, OutB.Done) << M.getName() << " step " << Step;
+      expectSameObservation(Inc.observe(), Ref.observe(), Step);
+      ASSERT_LT(Step, 10000u) << "runaway episode";
+    }
+    ASSERT_TRUE(Ref.isDone());
+
+    // End-of-episode artifacts: schedule, prices, accounting.
+    EXPECT_EQ(Inc.getSchedule().toString(), Ref.getSchedule().toString())
+        << M.getName();
+    EXPECT_EQ(Inc.currentSpeedup(), Ref.currentSpeedup()) << M.getName();
+    EXPECT_EQ(Inc.getMeasurementSeconds(), Ref.getMeasurementSeconds())
+        << M.getName();
+    // The incremental price of the final schedule equals pricing the
+    // same schedule from scratch through the module-level oracle.
+    EXPECT_EQ(Eval.timeModule(M, Inc.getSchedule()),
+              Eval.timeModule(M, Ref.getSchedule()))
+        << M.getName();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetGenerators, IncrementalEquivalenceFixture,
+    ::testing::Values(
+        Corpus{"DnnOperatorsFinal", dnnOperators, RewardMode::Final},
+        Corpus{"DnnOperatorsImmediate", dnnOperators, RewardMode::Immediate},
+        Corpus{"ModelImmediate", evaluationModel, RewardMode::Immediate},
+        Corpus{"LqcdImmediate", lqcdKernels, RewardMode::Immediate},
+        Corpus{"SequencesFinal", operatorSequences, RewardMode::Final},
+        Corpus{"SequencesImmediate", operatorSequences,
+               RewardMode::Immediate}),
+    [](const ::testing::TestParamInfo<Corpus> &Info) {
+      return std::string(Info.param.Name);
+    });

@@ -3,10 +3,12 @@
 // The repo's core invariant, checked systematically instead of
 // point-by-point: for a fixed seed, training is bitwise-identical
 // across every combination of vectorized-env batch width, collection
-// thread count and update thread count. One table-driven sweep over
-// {BatchWidth 1, 2, 32} x {CollectThreads 1, 4} x {UpdateThreads 1, 4}
-// compares full per-iteration histories against the all-serial
-// reference configuration.
+// thread count, update thread count -- and, since the ScheduleState
+// layer landed, the incremental/from-scratch pricing axis. One
+// table-driven sweep over {BatchWidth 1, 2, 32} x {CollectThreads 1, 4}
+// x {UpdateThreads 1, 4} (incremental, the default) plus from-scratch
+// probes at the matrix corners compares full per-iteration histories
+// against the all-serial reference configuration.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +31,9 @@ struct MatrixCase {
   unsigned BatchWidth;
   unsigned CollectThreads;
   unsigned UpdateThreads;
+  /// False = the from-scratch pricing/featurization oracle; training
+  /// trajectories must be bitwise-identical to the incremental default.
+  bool Incremental = true;
 };
 
 std::vector<MatrixCase> matrixCases() {
@@ -37,12 +42,17 @@ std::vector<MatrixCase> matrixCases() {
     for (unsigned Collect : {1u, 4u})
       for (unsigned Update : {1u, 4u})
         Cases.push_back({Width, Collect, Update});
+  // From-scratch probes at the matrix corners: the incremental layer
+  // must be trajectory-invisible at every parallelism shape.
+  Cases.push_back({1, 1, 1, /*Incremental=*/false});
+  Cases.push_back({32, 4, 4, /*Incremental=*/false});
   return Cases;
 }
 
 std::vector<PpoIterationStats> trainWith(const MatrixCase &Case) {
   MlirRlOptions O = MlirRlOptions::laptop();
   O.Net = tinyNet();
+  O.Env.Incremental = Case.Incremental;
   O.Ppo.SamplesPerIteration = 8;
   O.Ppo.BatchWidth = Case.BatchWidth;
   O.Ppo.CollectThreads = Case.CollectThreads;
@@ -55,7 +65,8 @@ std::vector<PpoIterationStats> trainWith(const MatrixCase &Case) {
   return Sys.train(Data);
 }
 
-/// The all-serial reference history, computed once for the whole sweep.
+/// The all-serial reference history (incremental, the default),
+/// computed once for the whole sweep.
 const std::vector<PpoIterationStats> &referenceHistory() {
   static const std::vector<PpoIterationStats> Reference =
       trainWith({1, 1, 1});
@@ -77,5 +88,6 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<MatrixCase> &Info) {
       return "Width" + std::to_string(Info.param.BatchWidth) + "Collect" +
              std::to_string(Info.param.CollectThreads) + "Update" +
-             std::to_string(Info.param.UpdateThreads);
+             std::to_string(Info.param.UpdateThreads) +
+             (Info.param.Incremental ? "" : "FromScratch");
     });
