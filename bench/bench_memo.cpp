@@ -1,0 +1,123 @@
+//===- bench_memo.cpp - Striped-memo contention micro-bench -----------------===//
+//
+// The contention curve of the lock-striped shared memo
+// (support/StripedLru.h): lookup throughput of one table hammered by
+// {1, 2, 4, 8} threads at shard counts {1, 4, 16, 64}, plus the
+// single-threaded hit and miss costs. 1 shard is the global-lock
+// baseline the old CachingEvaluator::LruMemo imposed on every collector
+// thread; the spread between its numbers and the striped ones is the
+// case for sharding. scripts/bench_json.sh --memo records the sweep
+// (with the host's nproc) as BENCH_memo.json; per-config counters
+// report the contended-acquisition fraction, which is the signal that
+// survives even on a 1-core host where wall-clock cannot show scaling.
+//
+// The access pattern mirrors training: a bounded working set of keys,
+// mostly hits after first touch, every thread walking the keys in a
+// different order so first-touches race.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StripedLru.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+using namespace mlirrl;
+
+namespace {
+
+double valueOf(uint64_t Key) {
+  return static_cast<double>(stripedShardMix(Key ^ 0x9e3779b97f4a7c15ull)) *
+         0x1p-64;
+}
+
+/// One shared table per benchmark run; thread 0 owns setup/teardown
+/// (google-benchmark barriers the threads around the timed loop).
+StripedLruMemo<double> *SharedMemo = nullptr;
+
+/// Arg(0) = shard count. Run with ->Threads(N): all N threads hammer
+/// the same table over a shared working set. items_processed counts
+/// lookups, so the reported rate is lookups/s across all threads.
+void BM_StripedMemoLookup(benchmark::State &State) {
+  const uint64_t Keys = 512;
+  const unsigned Shards = static_cast<unsigned>(State.range(0));
+  if (State.thread_index() == 0)
+    SharedMemo = new StripedLruMemo<double>("bench.memo", Keys * 4, Shards);
+
+  uint64_t Walk = static_cast<uint64_t>(State.thread_index()) + 1;
+  uint64_t Lookups = 0;
+  for (auto _ : State) {
+    // One pass over the working set per iteration, thread-specific
+    // stride so concurrent threads collide on shards, not in lockstep.
+    for (uint64_t I = 0; I < Keys; ++I) {
+      uint64_t Key = (I * Walk + Lookups) % Keys;
+      benchmark::DoNotOptimize(
+          SharedMemo->memoized(Key, [Key] { return valueOf(Key); }));
+    }
+    Lookups += Keys;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Lookups));
+
+  if (State.thread_index() == 0) {
+    HitMissCounters C = SharedMemo->counters();
+    ContentionCounters L = SharedMemo->contention();
+    State.counters["hit_rate"] = C.hitRate();
+    State.counters["duplicates"] = static_cast<double>(
+        C.Duplicates.load(std::memory_order_relaxed));
+    State.counters["lock_acquisitions"] = static_cast<double>(
+        L.Acquisitions.load(std::memory_order_relaxed));
+    State.counters["contended_acquisitions"] = static_cast<double>(
+        L.Contended.load(std::memory_order_relaxed));
+    State.counters["contended_rate"] = L.contendedRate();
+    delete SharedMemo;
+    SharedMemo = nullptr;
+  }
+}
+
+/// Single-threaded cost of a pure hit stream (the steady-state of a
+/// warmed memo) per shard count: striping must not tax the fast path.
+void BM_StripedMemoHit(benchmark::State &State) {
+  const uint64_t Keys = 512;
+  StripedLruMemo<double> Memo("bench.memo_hit", Keys * 4,
+                              static_cast<unsigned>(State.range(0)));
+  for (uint64_t K = 0; K < Keys; ++K)
+    Memo.memoized(K, [K] { return valueOf(K); });
+  uint64_t Next = 0;
+  for (auto _ : State) {
+    uint64_t Key = Next++ % Keys;
+    benchmark::DoNotOptimize(
+        Memo.memoized(Key, [Key] { return valueOf(Key); }));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+
+/// Single-threaded miss + eviction churn: every lookup inserts and
+/// evicts (working set 4x the capacity), the worst case for the
+/// insert-then-trim path.
+void BM_StripedMemoMissEvict(benchmark::State &State) {
+  const uint64_t Capacity = 128;
+  StripedLruMemo<double> Memo("bench.memo_evict", Capacity,
+                              static_cast<unsigned>(State.range(0)));
+  uint64_t Next = 0;
+  for (auto _ : State) {
+    uint64_t Key = Next++ % (Capacity * 4);
+    benchmark::DoNotOptimize(
+        Memo.memoized(Key, [Key] { return valueOf(Key); }));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+
+} // namespace
+
+BENCHMARK(BM_StripedMemoLookup)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StripedMemoHit)->Arg(1)->Arg(16);
+BENCHMARK(BM_StripedMemoMissEvict)->Arg(1)->Arg(16);
+BENCHMARK_MAIN();

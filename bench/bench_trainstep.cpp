@@ -137,6 +137,38 @@ void BM_TrainIterationParallelCollect(benchmark::State &State) {
   }
 }
 
+/// The shared striped evaluator memo under parallel collection (Arg =
+/// memo shard count, 0 = memo disabled): 4 collector threads price
+/// through one CachingEvaluator, so 1 shard reproduces the old
+/// global-lock serialization and higher counts show what striping buys.
+/// Rollouts are bitwise-identical across the whole sweep; the counters
+/// record the evaluator-memo hit rate and the contended-acquisition
+/// fraction of the shard locks.
+void BM_TrainIterationMemoShards(benchmark::State &State) {
+  MlirRlOptions Options = standardOptions(/*Iterations=*/0);
+  Options.Ppo.CollectThreads = 4;
+  Options.MemoizeEvaluations = State.range(0) != 0;
+  Options.MemoShards = static_cast<unsigned>(State.range(0));
+  MlirRl Sys(Options);
+  std::vector<Module> Data = operatorTrainingSet();
+  Sys.trainer().trainIteration(Data);
+  resetCacheStats();
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    PpoIterationStats Stats = Sys.trainer().trainIteration(Data);
+    Steps += Stats.StepsCollected;
+    benchmark::DoNotOptimize(Stats.MeanEpisodeReward);
+  }
+  State.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+  if (CachingEvaluator *Memo = Sys.memo()) {
+    HitMissCounters Op = Memo->getOpCounters();
+    State.counters["op_memo_hit_rate"] = Op.hitRate();
+    ContentionCounters L = Memo->getOpContention();
+    State.counters["op_memo_contended_rate"] = L.contendedRate();
+  }
+}
+
 /// Collection-thread wall-clock sweep (Arg = CollectThreads; rollouts
 /// are bitwise-identical across the sweep). scripts/bench_json.sh
 /// --threads runs this matrix and records the multi-core numbers in
@@ -243,6 +275,11 @@ BENCHMARK(BM_ImmediateStepIncremental)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainIterationParallelCollect)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainIterationMemoShards)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainIterationBatchWidth)
     ->Arg(1)
     ->Arg(8)

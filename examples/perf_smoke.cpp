@@ -83,9 +83,10 @@ int main() {
   std::printf("perf smoke: %llu steps over %u episodes on a %u-op module\n",
               static_cast<unsigned long long>(Steps), Episodes,
               M.getNumOps());
-  std::printf("  op memo: %llu lookups, hit rate %.0f%%\n",
+  std::printf("  op memo: %llu lookups, hit rate %.0f%%, %llu duplicates\n",
               static_cast<unsigned long long>(OpMemo.total()),
-              OpMemo.hitRate() * 100.0);
+              OpMemo.hitRate() * 100.0,
+              static_cast<unsigned long long>(OpMemo.Duplicates));
   std::printf("  price reuse: %llu lookups, hit rate %.0f%%\n",
               static_cast<unsigned long long>(Reuse.total()),
               Reuse.hitRate() * 100.0);

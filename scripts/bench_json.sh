@@ -3,27 +3,82 @@
 # cache counters) from bench_trainstep, as a machine-readable perf
 # trajectory for future PRs to compare against.
 #
-# Usage: scripts/bench_json.sh [--threads] [build-dir] [output.json]
+# Usage: scripts/bench_json.sh [--threads|--memo] [build-dir] [output.json]
 #
 #   --threads   sweep only the CollectThreads / UpdateThreads matrix
 #               (the multi-core wall-clock numbers PERF.md records;
 #               default output BENCH_threads.json). Run it on a
 #               multi-core host -- on a 1-core box it records pool
 #               overhead, which is still worth pinning.
+#   --memo      sweep the striped-memo contention matrix from bench_memo
+#               (shard counts x thread counts; default output
+#               BENCH_memo.json). The contended_acquisitions counters
+#               are meaningful even on 1 core.
+#
+# Thread sweeps wider than the host's core count are skipped: a 1-core
+# box "benchmarking" 8 collector threads measures pool overhead and
+# scheduler noise, not scaling, and silently recording those numbers as
+# the perf trajectory misleads the next PR. The emitted JSON records
+# the host's nproc so a reader can tell which sweeps a committed
+# artifact could have run.
 set -euo pipefail
 
+BIN_NAME=bench_trainstep
 FILTER=""
 DEFAULT_OUT=BENCH_trainstep.json
-if [[ "${1:-}" == "--threads" ]]; then
-  shift
-  FILTER="--benchmark_filter=CollectThreads|UpdateThreads"
-  DEFAULT_OUT=BENCH_threads.json
-fi
+NPROC=$(nproc)
+
+# The benchmarks' thread/Threads() sweep points, pruned to the host.
+threads_regex() {
+  local allowed=""
+  for t in 1 2 4 8; do
+    if [[ "$t" -le "$NPROC" ]]; then
+      allowed+="${allowed:+|}$t"
+    fi
+  done
+  echo "($allowed)"
+}
+
+case "${1:-}" in
+  --threads)
+    shift
+    FILTER="--benchmark_filter=(CollectThreads|UpdateThreads)/$(threads_regex)\$"
+    DEFAULT_OUT=BENCH_threads.json
+    ;;
+  --memo)
+    shift
+    BIN_NAME=bench_memo
+    # BM_StripedMemoLookup/<shards>/... names carry a "threads:N"
+    # suffix (threads:1 included); keep host-feasible thread sweeps
+    # plus the suffix-free single-thread hit/eviction benchmarks.
+    FILTER="--benchmark_filter=StripedMemo.*(threads:$(threads_regex)\$|/(1|4|16|64)(/real_time)?\$)"
+    DEFAULT_OUT=BENCH_memo.json
+    ;;
+  *)
+    # Default perf-trajectory artifact: exclude the thread-sweep cases
+    # this host cannot actually run (negative filter, google-benchmark
+    # >= 1.6). BM_TrainIterationMemoShards pins CollectThreads=4
+    # internally, so it goes too on narrower hosts.
+    too_wide=""
+    for t in 2 4 8; do
+      if [[ "$t" -gt "$NPROC" ]]; then
+        too_wide+="${too_wide:+|}$t"
+      fi
+    done
+    if [[ -n "$too_wide" ]]; then
+      EXCLUDE="(CollectThreads|UpdateThreads)/($too_wide)\$"
+      if [[ "$NPROC" -lt 4 ]]; then
+        EXCLUDE+="|MemoShards"
+      fi
+      FILTER="--benchmark_filter=-($EXCLUDE)"
+    fi
+    ;;
+esac
 
 BUILD_DIR=${1:-build}
 OUT=${2:-$DEFAULT_OUT}
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BIN="$REPO_ROOT/$BUILD_DIR/bench_trainstep"
+BIN="$REPO_ROOT/$BUILD_DIR/$BIN_NAME"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (configure with google-benchmark available):" >&2
@@ -36,4 +91,12 @@ fi
        --benchmark_out="$OUT" \
        --benchmark_min_time=0.2 ${FILTER:+"$FILTER"} "${@:3}"
 
-echo "wrote $OUT"
+# Record the host's core count in the artifact: google-benchmark's own
+# context has num_cpus, but the explicit top-level key makes the
+# "which sweeps could this box actually run" question greppable.
+TMP="$OUT.tmp"
+awk -v nproc="$NPROC" 'NR==1 && $0 ~ /^\{/ { print "{"; print "  \"nproc\": " nproc ","; next } { print }' \
+    "$OUT" > "$TMP"
+mv "$TMP" "$OUT"
+
+echo "wrote $OUT (nproc=$NPROC)"

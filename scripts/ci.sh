@@ -47,3 +47,12 @@ fi
 # the from-scratch fallback. Also cross-checks the incremental price
 # against the from-scratch oracle bitwise.
 ./build/example_perf_smoke
+
+# --- Striped-memo smoke check ---------------------------------------------
+# The memo micro-bench in smoke mode: hammers the lock-striped shared
+# memo from 4 threads at 1 shard (the global-lock baseline) and 16
+# shards, asserting deterministic values, exact
+# hits+misses+duplicates accounting, the capacity bound, and -- when the
+# global lock actually contended -- that striping reduced contended
+# acquisitions.
+./build/example_memo_smoke

@@ -28,7 +28,11 @@ namespace mlirrl {
 class VecEnv {
 public:
   /// One environment per sample, all measuring through \p Eval (which
-  /// must be thread-safe and outlive the batch).
+  /// must be thread-safe and outlive the batch). Under parallel
+  /// collection every group of every collector thread receives the
+  /// *same* evaluator -- typically the trainer's shared lock-striped
+  /// CachingEvaluator -- so per-op memo entries cross group and thread
+  /// boundaries instead of being re-priced per environment.
   VecEnv(const EnvConfig &Config, Evaluator &Eval,
          std::vector<Module> Samples);
 

@@ -276,56 +276,44 @@ uint64_t mlirrl::hashLoopNest(const LoopNest &Nest) {
   return H.finish();
 }
 
+CostModel &CostModel::operator=(const CostModel &Other) {
+  if (this == &Other)
+    return *this;
+  // The memo operations stay under the settings lock: a concurrent
+  // setCacheCapacity on the destination also holds CacheMutex, so its
+  // capacity cannot be silently overwritten mid-assignment. Lock order
+  // is CacheMutex -> shard locks, same as setCacheCapacity.
+  std::scoped_lock Lock(CacheMutex, Other.CacheMutex);
+  Machine = Other.Machine;
+  CacheCapacity = Other.CacheCapacity;
+  // Mirror the copy constructor: the memo is per-instance state, and
+  // our entries priced against the machine we just replaced.
+  Memo.clear();
+  Memo.resetCounters();
+  Memo.setCapacity(CacheCapacity);
+  return *this;
+}
+
 TimeBreakdown CostModel::estimateNest(const LoopNest &Nest) const {
-  uint64_t Key = hashLoopNest(Nest);
-  {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = CacheIndex.find(Key);
-    if (It != CacheIndex.end()) {
-      Counters.recordHit();
-      CacheOrder.splice(CacheOrder.begin(), CacheOrder, It->second);
-      return It->second->Time;
-    }
-    Counters.recordMiss();
-  }
-
-  TimeBreakdown Time = computeNest(Nest);
-
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  if (CacheIndex.find(Key) == CacheIndex.end()) {
-    CacheOrder.push_front({Key, Time});
-    CacheIndex[Key] = CacheOrder.begin();
-    while (CacheOrder.size() > CacheCapacity) {
-      CacheIndex.erase(CacheOrder.back().Key);
-      CacheOrder.pop_back();
-    }
-  }
-  return Time;
+  // All the concurrency-sensitive LRU mechanics (re-check under the
+  // insert lock, duplicate accounting, tail eviction) live in the
+  // shared StripedLruMemo -- one implementation for every memo.
+  return Memo.memoized(hashLoopNest(Nest),
+                       [&] { return computeNest(Nest); });
 }
 
 HitMissCounters CostModel::getCacheCounters() const {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  return Counters;
+  return Memo.counters();
 }
 
-void CostModel::resetCacheCounters() const {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  Counters.reset();
-}
+void CostModel::resetCacheCounters() const { Memo.resetCounters(); }
 
-void CostModel::clearCache() const {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  CacheOrder.clear();
-  CacheIndex.clear();
-}
+void CostModel::clearCache() const { Memo.clear(); }
 
 void CostModel::setCacheCapacity(size_t Capacity) {
   std::lock_guard<std::mutex> Lock(CacheMutex);
   CacheCapacity = Capacity == 0 ? 1 : Capacity;
-  while (CacheOrder.size() > CacheCapacity) {
-    CacheIndex.erase(CacheOrder.back().Key);
-    CacheOrder.pop_back();
-  }
+  Memo.setCapacity(CacheCapacity);
 }
 
 TimeBreakdown CostModel::computeNest(const LoopNest &Nest) const {

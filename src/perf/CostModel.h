@@ -22,13 +22,12 @@
 
 #include "perf/MachineModel.h"
 #include "support/Stats.h"
+#include "support/StripedLru.h"
 #include "transforms/LoopNest.h"
 
 #include <cstdint>
-#include <list>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace mlirrl {
@@ -75,12 +74,26 @@ public:
   explicit CostModel(MachineModel Machine) : Machine(Machine) {}
 
   /// Copies share the machine description and capacity setting but not
-  /// the memo table.
-  CostModel(const CostModel &Other) : CostModel(Other.Machine) {
-    std::lock_guard<std::mutex> Lock(Other.CacheMutex);
-    CacheCapacity = Other.CacheCapacity;
+  /// the memo table (entries and counters start fresh). Both reads
+  /// happen under the source's lock: now that assignment can replace
+  /// Machine, an unlocked read could tear against a concurrent
+  /// `Other = ...`.
+  CostModel(const CostModel &Other) {
+    {
+      std::lock_guard<std::mutex> Lock(Other.CacheMutex);
+      Machine = Other.Machine;
+      CacheCapacity = Other.CacheCapacity;
+    }
+    Memo.setCapacity(CacheCapacity);
   }
-  CostModel &operator=(const CostModel &Other) = delete;
+  /// Same semantics as the copy constructor: takes the machine and the
+  /// capacity setting, drops our memoized entries (they priced against
+  /// the old machine) and resets the counters. Locks both sides in one
+  /// deadlock-free scoped_lock, so assigning from a model other threads
+  /// are concurrently pricing through is safe; pricing through the
+  /// *destination* during assignment is not (the machine description
+  /// itself is being replaced).
+  CostModel &operator=(const CostModel &Other);
 
   const MachineModel &getMachine() const { return Machine; }
 
@@ -111,20 +124,18 @@ private:
   /// Uncached pricing (the original analytical pipeline).
   TimeBreakdown computeNest(const LoopNest &Nest) const;
 
-  struct CacheEntry {
-    uint64_t Key = 0;
-    TimeBreakdown Time;
-  };
-  /// MRU-ordered entries + key index, guarded by CacheMutex.
-  mutable std::list<CacheEntry> CacheOrder;
-  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
-      CacheIndex;
-  mutable HitMissCounters Counters;
-  /// Registry visibility: the memo reports under "cost_model.nest_memo"
-  /// and resets with CacheStatsRegistry::resetAll (each instance keeps
-  /// its own counts; the registry aggregates).
-  CacheStatsRegistry::Enrollment StatsEnrollment{"cost_model.nest_memo",
-                                                &Counters};
+  /// The schedule memo: the shared StripedLruMemo building block (one
+  /// shard -- exact total-capacity LRU semantics, which the eviction
+  /// tests rely on; the CachingEvaluator in front absorbs the
+  /// cross-thread traffic striping targets). It owns its own per-shard
+  /// lock and reports under "cost_model.nest_memo" in the
+  /// CacheStatsRegistry (each instance keeps its own counts; the
+  /// registry aggregates; resetAll resets).
+  mutable StripedLruMemo<TimeBreakdown> Memo{"cost_model.nest_memo",
+                                             1u << 14, /*ShardCount=*/1};
+  /// Guards the settings (Machine, CacheCapacity) against the copy
+  /// paths; the memo's shard locks are only ever taken after (never
+  /// around) this one.
   mutable std::mutex CacheMutex;
   size_t CacheCapacity = 1u << 14;
 };

@@ -129,46 +129,10 @@ uint64_t mlirrl::hashModuleSchedule(const ModuleSchedule &Sched) {
 // CachingEvaluator
 // ---------------------------------------------------------------------------
 
-CachingEvaluator::CachingEvaluator(Evaluator &Inner, size_t Capacity)
-    : Inner(Inner), Program("evaluator.program_memo", Capacity),
-      PerOp("evaluator.op_memo", Capacity) {}
-
-double
-CachingEvaluator::LruMemo::memoized(uint64_t Key,
-                                    const std::function<double()> &Compute) {
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Index.find(Key);
-    if (It != Index.end()) {
-      Counters.recordHit();
-      Order.splice(Order.begin(), Order, It->second);
-      return It->second->Seconds;
-    }
-  }
-  Counters.recordMiss();
-
-  // Computed outside the lock so concurrent misses on different keys
-  // price in parallel; a racing duplicate of the same key computes the
-  // same value (inner evaluators are deterministic) and inserts once.
-  double Seconds = Compute();
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (Index.find(Key) == Index.end()) {
-    Order.push_front({Key, Seconds});
-    Index[Key] = Order.begin();
-    while (Order.size() > Capacity) {
-      Index.erase(Order.back().Key);
-      Order.pop_back();
-    }
-  }
-  return Seconds;
-}
-
-void CachingEvaluator::LruMemo::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Order.clear();
-  Index.clear();
-}
+CachingEvaluator::CachingEvaluator(Evaluator &Inner, size_t Capacity,
+                                   unsigned Shards)
+    : Inner(Inner), Program("evaluator.program_memo", Capacity, Shards),
+      PerOp("evaluator.op_memo", Capacity, Shards) {}
 
 double CachingEvaluator::timeNests(const std::vector<LoopNest> &Nests) {
   FnvHasher H(0x9e3779b97f4a7c15ull);

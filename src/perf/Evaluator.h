@@ -41,13 +41,9 @@
 #include "ir/Module.h"
 #include "perf/CostModel.h"
 #include "support/Stats.h"
+#include "support/StripedLru.h"
 #include "transforms/Schedule.h"
 #include "transforms/ScheduleState.h"
-
-#include <functional>
-#include <list>
-#include <mutex>
-#include <unordered_map>
 
 namespace mlirrl {
 
@@ -135,12 +131,21 @@ uint64_t hashModuleSchedule(const ModuleSchedule &Sched);
 /// materializing its nest, and the keys are content-addressed so the
 /// entries survive across episodes and across samples that share ops.
 ///
+/// Both tables are lock-striped (support/StripedLru.h): one instance is
+/// meant to be shared by every collector thread and every environment
+/// of every VecEnv group, and shard-local mutexes keep that sharing off
+/// a global lock. Sharing and eviction order may differ run to run, but
+/// every returned price is bitwise-deterministic (the values are pure
+/// functions of the keys), which is the invariant DeterminismMatrixTest
+/// sweeps across CollectThreads x shard counts.
+///
 /// Wrap only deterministic inner evaluators (CostModelEvaluator, or a
 /// Runner with noise off): caching a noisy measurement would freeze one
 /// noise draw forever.
 class CachingEvaluator : public Evaluator {
 public:
-  explicit CachingEvaluator(Evaluator &Inner, size_t Capacity = 1u << 12);
+  explicit CachingEvaluator(Evaluator &Inner, size_t Capacity = 1u << 12,
+                            unsigned Shards = 16);
 
   double timeNests(const std::vector<LoopNest> &Nests) override;
   double timeModule(const Module &M, const ModuleSchedule &Sched) override;
@@ -148,16 +153,24 @@ public:
   double priceNest(const LoopNest &Nest) override;
   double combineNestPrices(double SumSeconds) override;
 
-  /// Whole-program hit/miss counters since construction (or the last
-  /// reset). Relaxed snapshot; safe to read while collectors are
-  /// running.
-  HitMissCounters getCounters() const { return Program.Counters; }
+  /// Whole-program hit/miss/duplicate counters since construction (or
+  /// the last reset), aggregated over shards. Relaxed snapshot; safe to
+  /// read while collectors are running.
+  HitMissCounters getCounters() const { return Program.counters(); }
   /// Per-op memo counters (timeState lookups).
-  HitMissCounters getOpCounters() const { return PerOp.Counters; }
-  void resetCounters() {
-    Program.Counters.reset();
-    PerOp.Counters.reset();
+  HitMissCounters getOpCounters() const { return PerOp.counters(); }
+  /// Shard-lock acquisition statistics (total vs. contended), the
+  /// striping-effectiveness evidence the memo micro-bench records.
+  ContentionCounters getProgramContention() const {
+    return Program.contention();
   }
+  ContentionCounters getOpContention() const { return PerOp.contention(); }
+  void resetCounters() {
+    Program.resetCounters();
+    PerOp.resetCounters();
+  }
+
+  unsigned shardCount() const { return Program.shardCount(); }
 
   /// Drops every memoized entry (counters untouched).
   void clearCache();
@@ -171,30 +184,9 @@ protected:
   double priceDirtyOp(ScheduleState &State, unsigned OpIdx) override;
 
 private:
-  /// One LRU memo table: MRU-ordered entries + key index, guarded by a
-  /// mutex, with hit/miss counters enrolled in the CacheStatsRegistry.
-  struct LruMemo {
-    LruMemo(const char *Category, size_t Capacity)
-        : Capacity(Capacity), Stats(Category, &Counters) {}
-
-    double memoized(uint64_t Key, const std::function<double()> &Compute);
-    void clear();
-
-    struct Entry {
-      uint64_t Key = 0;
-      double Seconds = 0.0;
-    };
-    std::list<Entry> Order;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
-    std::mutex Mutex;
-    size_t Capacity;
-    HitMissCounters Counters;
-    CacheStatsRegistry::Enrollment Stats;
-  };
-
   Evaluator &Inner;
-  LruMemo Program;
-  LruMemo PerOp;
+  StripedLruMemo<double> Program;
+  StripedLruMemo<double> PerOp;
 };
 
 } // namespace mlirrl

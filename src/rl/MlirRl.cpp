@@ -20,9 +20,16 @@ MlirRlOptions MlirRlOptions::laptop() {
 
 MlirRl::MlirRl(MlirRlOptions Options)
     : Options(Options), Run(Options.Machine, Options.Runner),
+      // The memo is only sound over a deterministic inner evaluator:
+      // with noise on, every entry would freeze one draw, so the
+      // trainer falls back to the bare Runner.
+      Memo(Options.MemoizeEvaluations && !Options.Runner.Noise
+               ? std::make_unique<CachingEvaluator>(Run, Options.MemoCapacity,
+                                                    Options.MemoShards)
+               : nullptr),
       Agent(Options.Env, Featurizer(Options.Env).featureSize(), Options.Net,
             Options.Seed),
-      Trainer(Agent, Run, Options.Ppo) {}
+      Trainer(Agent, evaluator(), Options.Ppo) {}
 
 std::vector<PpoIterationStats> MlirRl::train(
     const std::vector<Module> &Dataset,

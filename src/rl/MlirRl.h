@@ -31,6 +31,20 @@ struct MlirRlOptions {
   unsigned Iterations = 100;
   uint64_t Seed = 1234;
 
+  /// Memoize prices in one lock-striped CachingEvaluator wrapped around
+  /// the Runner and shared by every collector thread and VecEnv group
+  /// (the whole-program and per-op tables of perf/Evaluator.h). On by
+  /// default; automatically disabled when Runner.Noise is set, since
+  /// caching a noisy measurement would freeze one draw forever. Values
+  /// are deterministic, so training trajectories are bitwise-identical
+  /// with the memo on or off (DeterminismMatrixTest sweeps both).
+  bool MemoizeEvaluations = true;
+  /// Total entry budget of each shared memo table.
+  size_t MemoCapacity = 1u << 12;
+  /// Lock stripes per table (rounded up to a power of two; 1 = the
+  /// global-lock baseline).
+  unsigned MemoShards = 16;
+
   /// A small, fast preset for laptop-scale experiments (same
   /// architecture, narrower nets, fewer samples per iteration).
   static MlirRlOptions laptop();
@@ -56,9 +70,19 @@ public:
   PpoTrainer &trainer() { return Trainer; }
   const MlirRlOptions &options() const { return Options; }
 
+  /// The evaluator the trainer measures through: the shared striped
+  /// CachingEvaluator when memoization is active, else the Runner.
+  Evaluator &evaluator() { return Memo ? static_cast<Evaluator &>(*Memo)
+                                       : static_cast<Evaluator &>(Run); }
+  /// The shared memo (nullptr when memoization is off or noise is on).
+  CachingEvaluator *memo() { return Memo.get(); }
+
 private:
   MlirRlOptions Options;
   Runner Run;
+  /// One striped memo shared across all collector threads; constructed
+  /// before the trainer, which holds a reference into it.
+  std::unique_ptr<CachingEvaluator> Memo;
   ActorCritic Agent;
   PpoTrainer Trainer;
 };

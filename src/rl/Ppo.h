@@ -100,7 +100,10 @@ class PpoTrainer {
 public:
   /// Rewards are measured through \p Eval (a Runner, a
   /// CostModelEvaluator, or a CachingEvaluator over either); it must be
-  /// thread-safe and outlive the trainer.
+  /// thread-safe and outlive the trainer. All collector threads and all
+  /// VecEnv groups share this one instance, so a lock-striped
+  /// CachingEvaluator (the MlirRl default) lets concurrent episodes
+  /// reuse each other's memoized prices without a global lock.
   PpoTrainer(ActorCritic &Agent, Evaluator &Eval, PpoConfig Config);
 
   /// Runs one iteration: collects one episode per sample drawn from

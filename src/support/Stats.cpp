@@ -20,11 +20,12 @@ CacheStatsRegistry &CacheStatsRegistry::instance() {
 }
 
 CacheStatsRegistry::Enrollment::Enrollment(const char *Category,
-                                           HitMissCounters *Counters) {
+                                           HitMissCounters *Counters,
+                                           ContentionCounters *Contention) {
   CacheStatsRegistry &R = instance();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   Id = R.NextId++;
-  R.EnrolledCounters.push_back({Id, Category, Counters});
+  R.EnrolledCounters.push_back({Id, Category, Counters, Contention});
 }
 
 CacheStatsRegistry::Enrollment::~Enrollment() {
@@ -56,21 +57,29 @@ std::vector<CacheStatsRegistry::CategoryStats>
 CacheStatsRegistry::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<CategoryStats> Result;
-  auto Fold = [&](const std::string &Category, const HitMissCounters &C) {
-    for (CategoryStats &S : Result) {
-      if (S.Category == Category) {
-        S.Hits += C.Hits.load(std::memory_order_relaxed);
-        S.Misses += C.Misses.load(std::memory_order_relaxed);
-        return;
-      }
+  auto Fold = [&](const std::string &Category, const HitMissCounters &C,
+                  const ContentionCounters *L) {
+    CategoryStats *Slot = nullptr;
+    for (CategoryStats &S : Result)
+      if (S.Category == Category)
+        Slot = &S;
+    if (!Slot) {
+      Result.push_back({Category});
+      Slot = &Result.back();
     }
-    Result.push_back({Category, C.Hits.load(std::memory_order_relaxed),
-                      C.Misses.load(std::memory_order_relaxed)});
+    Slot->Hits += C.Hits.load(std::memory_order_relaxed);
+    Slot->Misses += C.Misses.load(std::memory_order_relaxed);
+    Slot->Duplicates += C.Duplicates.load(std::memory_order_relaxed);
+    if (L) {
+      Slot->LockAcquisitions +=
+          L->Acquisitions.load(std::memory_order_relaxed);
+      Slot->LockContended += L->Contended.load(std::memory_order_relaxed);
+    }
   };
   for (const Enrolled &E : EnrolledCounters)
-    Fold(E.Category, *E.Counters);
+    Fold(E.Category, *E.Counters, E.Contention);
   for (const auto &[Name, Counters] : NamedCounters)
-    Fold(Name, *Counters);
+    Fold(Name, *Counters, nullptr);
   std::sort(Result.begin(), Result.end(),
             [](const CategoryStats &A, const CategoryStats &B) {
               return A.Category < B.Category;
@@ -88,8 +97,11 @@ CacheStatsRegistry::categoryStats(const char *Category) const {
 
 void CacheStatsRegistry::resetAll() {
   std::lock_guard<std::mutex> Lock(Mutex);
-  for (const Enrolled &E : EnrolledCounters)
+  for (const Enrolled &E : EnrolledCounters) {
     E.Counters->reset();
+    if (E.Contention)
+      E.Contention->reset();
+  }
   for (const auto &[Name, Counters] : NamedCounters)
     Counters->reset();
 }

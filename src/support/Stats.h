@@ -25,28 +25,44 @@ namespace mlirrl {
 /// can bump them from collector threads without a data race; copies take
 /// a relaxed snapshot, so a snapshot read concurrently with updates may
 /// mix counts from slightly different instants (fine for statistics).
+///
+/// Duplicates are the benign-race lookups of a concurrent memo table: a
+/// thread that missed, computed, and then found the key already inserted
+/// by a racer. Recording those as misses would skew hit rates under
+/// parallel collection (the same key would "miss" once per racing
+/// thread); recording them separately keeps the accounting identity
+/// hits + misses + duplicates == lookups exact, with misses counting
+/// actual insertions.
 struct HitMissCounters {
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Duplicates{0};
 
   HitMissCounters() = default;
   HitMissCounters(const HitMissCounters &Other)
       : Hits(Other.Hits.load(std::memory_order_relaxed)),
-        Misses(Other.Misses.load(std::memory_order_relaxed)) {}
+        Misses(Other.Misses.load(std::memory_order_relaxed)),
+        Duplicates(Other.Duplicates.load(std::memory_order_relaxed)) {}
   HitMissCounters &operator=(const HitMissCounters &Other) {
     Hits.store(Other.Hits.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
     Misses.store(Other.Misses.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+    Duplicates.store(Other.Duplicates.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     return *this;
   }
 
   void recordHit() { Hits.fetch_add(1, std::memory_order_relaxed); }
   void recordMiss() { Misses.fetch_add(1, std::memory_order_relaxed); }
+  void recordDuplicate() {
+    Duplicates.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t total() const {
     return Hits.load(std::memory_order_relaxed) +
-           Misses.load(std::memory_order_relaxed);
+           Misses.load(std::memory_order_relaxed) +
+           Duplicates.load(std::memory_order_relaxed);
   }
   double hitRate() const {
     uint64_t T = total();
@@ -58,6 +74,48 @@ struct HitMissCounters {
   void reset() {
     Hits.store(0, std::memory_order_relaxed);
     Misses.store(0, std::memory_order_relaxed);
+    Duplicates.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Lock-acquisition counters for striped (or otherwise mutex-guarded)
+/// shared structures: how many acquisitions there were and how many of
+/// them found the lock already held (try_lock failed and the caller had
+/// to block). The contended fraction is the direct evidence striping is
+/// (or is not) buying anything on a given host -- PERF.md records it
+/// next to the shard-sweep micro-bench.
+struct ContentionCounters {
+  std::atomic<uint64_t> Acquisitions{0};
+  std::atomic<uint64_t> Contended{0};
+
+  ContentionCounters() = default;
+  ContentionCounters(const ContentionCounters &Other)
+      : Acquisitions(Other.Acquisitions.load(std::memory_order_relaxed)),
+        Contended(Other.Contended.load(std::memory_order_relaxed)) {}
+  ContentionCounters &operator=(const ContentionCounters &Other) {
+    Acquisitions.store(Other.Acquisitions.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    Contended.store(Other.Contended.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+
+  void record(bool WasContended) {
+    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (WasContended)
+      Contended.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double contendedRate() const {
+    uint64_t A = Acquisitions.load(std::memory_order_relaxed);
+    return A == 0 ? 0.0
+                  : static_cast<double>(
+                        Contended.load(std::memory_order_relaxed)) /
+                        static_cast<double>(A);
+  }
+  void reset() {
+    Acquisitions.store(0, std::memory_order_relaxed);
+    Contended.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -81,11 +139,13 @@ public:
 
   /// RAII enrollment of an instance-owned counter set. Default-constructed
   /// enrollments are inert; enrolled ones deregister on destruction.
-  /// \p Counters must outlive the enrollment.
+  /// \p Counters (and \p Contention when given -- striped tables enroll
+  /// one set per shard) must outlive the enrollment.
   class Enrollment {
   public:
     Enrollment() = default;
-    Enrollment(const char *Category, HitMissCounters *Counters);
+    Enrollment(const char *Category, HitMissCounters *Counters,
+               ContentionCounters *Contention = nullptr);
     ~Enrollment();
     Enrollment(const Enrollment &) = delete;
     Enrollment &operator=(const Enrollment &) = delete;
@@ -103,12 +163,23 @@ public:
     std::string Category;
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Duplicates = 0;
+    /// Lock-contention aggregate (zero unless the category enrolled
+    /// ContentionCounters, e.g. a striped memo table).
+    uint64_t LockAcquisitions = 0;
+    uint64_t LockContended = 0;
 
-    uint64_t total() const { return Hits + Misses; }
+    uint64_t total() const { return Hits + Misses + Duplicates; }
     double hitRate() const {
       return total() == 0 ? 0.0
                           : static_cast<double>(Hits) /
                                 static_cast<double>(total());
+    }
+    double contendedRate() const {
+      return LockAcquisitions == 0
+                 ? 0.0
+                 : static_cast<double>(LockContended) /
+                       static_cast<double>(LockAcquisitions);
     }
   };
   std::vector<CategoryStats> snapshot() const;
@@ -127,6 +198,7 @@ private:
     uint64_t Id;
     std::string Category;
     HitMissCounters *Counters;
+    ContentionCounters *Contention; // nullptr for plain caches
   };
   mutable std::mutex Mutex;
   std::vector<Enrolled> EnrolledCounters;

@@ -1,0 +1,25 @@
+//===- StripedLru.cpp -----------------------------------------------------===//
+
+#include "support/StripedLru.h"
+
+using namespace mlirrl;
+
+unsigned mlirrl::stripedShardCount(unsigned Requested) {
+  if (Requested <= 1)
+    return 1;
+  unsigned N = 1;
+  while (N < Requested && N < 256)
+    N <<= 1;
+  return N;
+}
+
+uint64_t mlirrl::stripedShardMix(uint64_t Key) {
+  // splitmix64 finalizer: full-avalanche, so any key bit moves every
+  // shard-selection bit.
+  Key ^= Key >> 30;
+  Key *= 0xbf58476d1ce4e5b9ull;
+  Key ^= Key >> 27;
+  Key *= 0x94d049bb133111ebull;
+  Key ^= Key >> 31;
+  return Key;
+}

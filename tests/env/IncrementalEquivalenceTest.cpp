@@ -109,19 +109,19 @@ void expectSameObservation(const Observation &A, const Observation &B,
 class IncrementalEquivalenceFixture
     : public ::testing::TestWithParam<Corpus> {};
 
-} // namespace
-
-TEST_P(IncrementalEquivalenceFixture, LockstepEpisodesMatchBitwise) {
-  std::vector<Module> Corpus = GetParam().Build();
+/// The lockstep sweep itself, over any (thread-safe, deterministic)
+/// evaluator: both environments of each pair measure through \p Eval,
+/// and \p Oracle cross-checks the final schedules from scratch.
+void runLockstepSweep(const Corpus &Param, Evaluator &Eval,
+                      CostModelEvaluator &Oracle) {
+  std::vector<Module> Corpus = Param.Build();
   ASSERT_FALSE(Corpus.empty());
 
   EnvConfig Incremental = EnvConfig::laptop();
-  Incremental.Reward = GetParam().Reward;
+  Incremental.Reward = Param.Reward;
   Incremental.Incremental = true;
   EnvConfig FromScratch = Incremental;
   FromScratch.Incremental = false;
-
-  CostModelEvaluator Eval(MachineModel::xeonE5_2680v4());
 
   uint64_t Seed = 0x1234;
   for (const Module &M : Corpus) {
@@ -157,10 +157,33 @@ TEST_P(IncrementalEquivalenceFixture, LockstepEpisodesMatchBitwise) {
         << M.getName();
     // The incremental price of the final schedule equals pricing the
     // same schedule from scratch through the module-level oracle.
-    EXPECT_EQ(Eval.timeModule(M, Inc.getSchedule()),
-              Eval.timeModule(M, Ref.getSchedule()))
+    EXPECT_EQ(Oracle.timeModule(M, Inc.getSchedule()),
+              Oracle.timeModule(M, Ref.getSchedule()))
         << M.getName();
   }
+}
+
+} // namespace
+
+TEST_P(IncrementalEquivalenceFixture, LockstepEpisodesMatchBitwise) {
+  CostModelEvaluator Eval(MachineModel::xeonE5_2680v4());
+  runLockstepSweep(GetParam(), Eval, Eval);
+}
+
+TEST_P(IncrementalEquivalenceFixture,
+       LockstepEpisodesMatchThroughSharedStripedMemo) {
+  // The same sweep with both environments pricing through one shared
+  // lock-striped CachingEvaluator: the incremental path answers from
+  // the per-op memo, the from-scratch path from the whole-program memo,
+  // and hit-vs-miss must never change a returned price. A fresh oracle
+  // (outside the memo) cross-checks the final schedules.
+  CostModelEvaluator Inner(MachineModel::xeonE5_2680v4());
+  CachingEvaluator Shared(Inner, /*Capacity=*/1u << 12, /*Shards=*/8);
+  CostModelEvaluator Oracle(MachineModel::xeonE5_2680v4());
+  runLockstepSweep(GetParam(), Shared, Oracle);
+  // The sweep actually exercised both memo tables.
+  EXPECT_GT(Shared.getOpCounters().total(), 0u);
+  EXPECT_GT(Shared.getCounters().total(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,14 @@
 // probes at the matrix corners compares full per-iteration histories
 // against the all-serial reference configuration.
 //
+// Since the lock-striped shared memo landed, the matrix also sweeps
+// CollectThreads x memo shard counts {1, 4, 16, 64} plus memo-off
+// probes: every returned price is a deterministic function of its key,
+// so the shared striped CachingEvaluator must be trajectory-invisible
+// -- identical histories whether collectors share one global-lock
+// table, 64 stripes, or no memo at all, even though cache sharing and
+// eviction order differ run to run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "rl/MlirRl.h"
@@ -34,6 +42,12 @@ struct MatrixCase {
   /// False = the from-scratch pricing/featurization oracle; training
   /// trajectories must be bitwise-identical to the incremental default.
   bool Incremental = true;
+  /// Stripes of the shared CachingEvaluator (1 = the global-lock
+  /// single-mutex baseline). Ignored when Memoize is off.
+  unsigned MemoShards = 16;
+  /// False = no shared memo at all (the trainer prices through the bare
+  /// Runner); the memo must be trajectory-invisible.
+  bool Memoize = true;
 };
 
 std::vector<MatrixCase> matrixCases() {
@@ -46,6 +60,15 @@ std::vector<MatrixCase> matrixCases() {
   // must be trajectory-invisible at every parallelism shape.
   Cases.push_back({1, 1, 1, /*Incremental=*/false});
   Cases.push_back({32, 4, 4, /*Incremental=*/false});
+  // CollectThreads x shard-count probes: one shared striped memo, from
+  // the single-mutex baseline up to 64 stripes, serial and parallel.
+  for (unsigned Shards : {1u, 4u, 64u}) {
+    Cases.push_back({2, 1, 1, true, Shards});
+    Cases.push_back({2, 4, 1, true, Shards});
+  }
+  // Memo-off probes: cached and uncached pricing must coincide bitwise.
+  Cases.push_back({1, 1, 1, true, 16, /*Memoize=*/false});
+  Cases.push_back({32, 4, 4, true, 16, /*Memoize=*/false});
   return Cases;
 }
 
@@ -57,6 +80,8 @@ std::vector<PpoIterationStats> trainWith(const MatrixCase &Case) {
   O.Ppo.BatchWidth = Case.BatchWidth;
   O.Ppo.CollectThreads = Case.CollectThreads;
   O.Ppo.UpdateThreads = Case.UpdateThreads;
+  O.MemoizeEvaluations = Case.Memoize;
+  O.MemoShards = Case.MemoShards;
   O.Iterations = 2;
   O.Seed = 2025;
   MlirRl Sys(O);
@@ -86,8 +111,14 @@ INSTANTIATE_TEST_SUITE_P(
     WidthByThreads, DeterminismMatrixFixture,
     ::testing::ValuesIn(matrixCases()),
     [](const ::testing::TestParamInfo<MatrixCase> &Info) {
-      return "Width" + std::to_string(Info.param.BatchWidth) + "Collect" +
-             std::to_string(Info.param.CollectThreads) + "Update" +
-             std::to_string(Info.param.UpdateThreads) +
-             (Info.param.Incremental ? "" : "FromScratch");
+      std::string Name =
+          "Width" + std::to_string(Info.param.BatchWidth) + "Collect" +
+          std::to_string(Info.param.CollectThreads) + "Update" +
+          std::to_string(Info.param.UpdateThreads) +
+          (Info.param.Incremental ? "" : "FromScratch");
+      if (!Info.param.Memoize)
+        Name += "NoMemo";
+      else if (Info.param.MemoShards != 16)
+        Name += "Shards" + std::to_string(Info.param.MemoShards);
+      return Name;
     });
