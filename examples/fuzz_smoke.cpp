@@ -1,0 +1,97 @@
+//===- fuzz_smoke.cpp - CI-scale fuzzing with crash capture ---------------===//
+//
+// The fuzz engine at CI scale. scripts/ci.sh runs:
+//
+//   ./build/example_fuzz_smoke --inputs 10000 --episodes 200 \
+//       --corpus tests/fuzz/corpus
+//
+// Before each parser input runs, its text is persisted to
+// <corpus>/.inflight.mlir; if the process dies on it (signal, abort),
+// the file survives and ci.sh promotes it to a checked-in crash case.
+// Invariant violations the engine catches itself are written as
+// crash-<n>.mlir next to it and the run exits nonzero; on a clean run
+// the inflight file is removed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace mlirrl;
+namespace fs = std::filesystem;
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Opts;
+  Opts.ParserInputs = 10000;
+  Opts.Episodes = 200;
+  fs::path CorpusDir;
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Value = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (!std::strcmp(Argv[I], "--inputs"))
+      Opts.ParserInputs = static_cast<unsigned>(std::atoi(Value()));
+    else if (!std::strcmp(Argv[I], "--episodes"))
+      Opts.Episodes = static_cast<unsigned>(std::atoi(Value()));
+    else if (!std::strcmp(Argv[I], "--seed"))
+      Opts.Seed = std::strtoull(Value(), nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--corpus"))
+      CorpusDir = Value();
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--inputs N] [--episodes N] [--seed S] "
+                   "[--corpus DIR]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  fs::path Inflight;
+  if (!CorpusDir.empty()) {
+    std::error_code Ec;
+    fs::create_directories(CorpusDir, Ec);
+    Inflight = CorpusDir / ".inflight.mlir";
+  }
+
+  std::printf("fuzz: seed %llu, %u parser inputs, %u episodes\n",
+              static_cast<unsigned long long>(Opts.Seed), Opts.ParserInputs,
+              Opts.Episodes);
+
+  auto Hook = [&](unsigned Index, const std::string &Input) {
+    if (Inflight.empty())
+      return;
+    std::ofstream Out(Inflight, std::ios::trunc);
+    Out << "// seed " << Opts.Seed << " index " << Index << "\n" << Input;
+  };
+  FuzzStats Stats = runFuzzCampaign(Opts, Hook);
+
+  std::printf("fuzz: %s\n", Stats.summary().c_str());
+  if (!Stats.ok()) {
+    unsigned N = 0;
+    for (const FuzzViolation &V : Stats.Violations) {
+      std::fprintf(stderr, "VIOLATION [%s]: %s\n", V.Stage.c_str(),
+                   V.Message.c_str());
+      if (!CorpusDir.empty()) {
+        fs::path Crash =
+            CorpusDir / ("crash-" + std::to_string(N++) + ".mlir");
+        std::ofstream Out(Crash, std::ios::trunc);
+        Out << "// " << V.Stage << ": " << V.Message << "\n" << V.Input;
+        std::fprintf(stderr, "  input saved to %s\n", Crash.c_str());
+      }
+    }
+    return 1;
+  }
+
+  if (!Inflight.empty()) {
+    std::error_code Ec;
+    fs::remove(Inflight, Ec);
+  }
+  std::printf("fuzz: clean\n");
+  return 0;
+}

@@ -2,9 +2,19 @@
 # Tier-1 verification: configure, build, run the test suite, and guard
 # against build artifacts ever being committed again (PR 1 accidentally
 # committed the CMake cache and object files).
+#
+#   scripts/ci.sh             # the regular tier-1 gate
+#   scripts/ci.sh --sanitize  # additionally rebuild under ASan+UBSan in
+#                             # build-san/ and rerun the suite + fuzz there
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+sanitize=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  sanitize=1
+  shift
+fi
 
 # --- Guard: no build artifacts in the index -------------------------------
 if git ls-files | grep -E '^build/|\.o$' >/dev/null; then
@@ -56,3 +66,37 @@ fi
 # global lock actually contended -- that striping reduced contended
 # acquisitions.
 ./build/example_memo_smoke
+
+# --- Fuzz smoke -----------------------------------------------------------
+# The deterministic fuzz engine at CI scale: 10k seed-derived parser
+# inputs through the import gate plus 200 random-action episodes, zero
+# tolerated violations. Each input is persisted to
+# tests/fuzz/corpus/.inflight.mlir before it runs; a hard crash leaves
+# it behind, and we promote it to a checked-in crash case so the next
+# FuzzTest.CorpusReplays run covers it forever.
+fuzz_corpus=tests/fuzz/corpus
+if ! ./build/example_fuzz_smoke --inputs 10000 --episodes 200 \
+      --corpus "$fuzz_corpus"; then
+  if [[ -f "$fuzz_corpus/.inflight.mlir" ]]; then
+    crash="$fuzz_corpus/crash-$(date +%Y%m%d%H%M%S).mlir"
+    mv "$fuzz_corpus/.inflight.mlir" "$crash"
+    echo "error: fuzz smoke died; offending input saved to $crash" >&2
+  fi
+  exit 1
+fi
+
+# --- Sanitizer pass (opt-in) ----------------------------------------------
+# A second tree under ASan+UBSan: the whole test suite plus a reduced
+# fuzz campaign, halt-on-error. Kept out of the default gate because the
+# instrumented build roughly doubles CI time.
+if [[ "$sanitize" == 1 ]]; then
+  cmake -B build-san -S . -DMLIRRL_SANITIZE="address;undefined" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-san -j "$(nproc)"
+  (cd build-san &&
+     ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+     ctest --output-on-failure -j "$(nproc)")
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/example_fuzz_smoke --inputs 2000 --episodes 50 \
+    --corpus "$fuzz_corpus"
+fi

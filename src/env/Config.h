@@ -72,6 +72,19 @@ struct EnvConfig {
   /// IncrementalEquivalence tests sweep the pair).
   bool Incremental = true;
 
+  /// Run the post-transform invariant pass (transforms/PostTransformChecks)
+  /// on every candidate action before committing it: a schedule the
+  /// checks reject becomes a penalized no-op instead of corrupt state or
+  /// an abort. On legal actions the checks never fire, so trajectories
+  /// are bitwise-identical with the flag off; the per-step cost is one
+  /// extra candidate materialization (measured in PERF.md).
+  bool PostTransformChecks = true;
+
+  /// Reward subtracted when a post-transform check rejects an action
+  /// (only ever applied on check failure, never on the routine
+  /// engine-level rejections that are silent wasted steps).
+  double CheckFailurePenalty = 0.1;
+
   /// A reduced configuration for laptop-scale experiments: smaller
   /// feature tensors, same action semantics.
   static EnvConfig laptop();

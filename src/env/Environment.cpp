@@ -3,7 +3,9 @@
 #include "env/Environment.h"
 
 #include "support/Error.h"
+#include "support/Stats.h"
 #include "transforms/Legality.h"
+#include "transforms/PostTransformChecks.h"
 
 #include <algorithm>
 #include <cassert>
@@ -126,11 +128,53 @@ void Environment::recordHistoryForInterchange(
   ++HistoryVersion;
 }
 
+bool Environment::applyTransform(const Transformation &T, int Producer) {
+  // Trial-apply against a copy: the engine's routine rejections leave
+  // the step a silent no-op exactly as before (trajectory-preserving),
+  // and a check failure must not leave a half-applied machine behind.
+  OpTransformState Trial = *Machine;
+  if (!Trial.apply(T).Applied)
+    return false;
+
+  if (Config.PostTransformChecks) {
+    // The candidate schedule: everything committed to the current op so
+    // far plus this action. Checked from scratch, so divergence between
+    // the machine and the transaction state is also caught here.
+    OpSchedule Candidate;
+    auto It = State.getSchedule().OpSchedules.find(
+        static_cast<unsigned>(CurrentOp));
+    if (It != State.getSchedule().OpSchedules.end())
+      Candidate = It->second;
+    Candidate.Transforms.push_back(T);
+    if (Producer >= 0)
+      Candidate.FusedProducers.push_back(static_cast<unsigned>(Producer));
+    std::string Err;
+    if (!checkCandidateAction(Sample, static_cast<unsigned>(CurrentOp),
+                              Candidate, Err)) {
+      recordRobustnessEvent(RobustnessEvent::PostTransformCheckFailed);
+      CheckFailedThisStep = true;
+      return false;
+    }
+  }
+
+  *Machine = std::move(Trial);
+  State.apply(static_cast<unsigned>(CurrentOp), T, Producer);
+  return true;
+}
+
 Environment::StepOutcome Environment::step(const AgentAction &Action) {
-  if (Done)
-    reportFatalError("step() on a finished episode");
+  if (Done) {
+    // A buggy driver (or a future inference server replaying stale
+    // actions) must not take the process down: the episode is over, so
+    // the step is inert.
+    recordRobustnessEvent(RobustnessEvent::StepAfterDone);
+    StepOutcome Inert;
+    Inert.Done = true;
+    return Inert;
+  }
 
   StepOutcome Outcome;
+  CheckFailedThisStep = false;
   const unsigned N = effectiveLoops();
   const LinalgOp &Op = Sample.getOp(CurrentOp);
 
@@ -151,15 +195,15 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
       std::vector<unsigned> Perm(FullN);
       for (unsigned I = 0; I < FullN; ++I)
         Perm[I] = I < N ? static_cast<unsigned>(PartialPlacement[I]) : I;
-      Transformation T = Transformation::interchange(Perm);
-      if (Machine->apply(T).Applied)
-        State.apply(static_cast<unsigned>(CurrentOp), T);
+      applyTransform(Transformation::interchange(Perm));
       InPointerSequence = false;
       ++TauUsed;
       Outcome.Reward = rewardAfterEffectiveStep();
       if (TauUsed >= Config.MaxScheduleLength)
         finishCurrentOp();
     }
+    if (CheckFailedThisStep)
+      Outcome.Reward -= Config.CheckFailurePenalty;
     Outcome.Done = Done;
     computeObservation();
     return Outcome;
@@ -167,14 +211,25 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
 
   // ---- Flat-mode decoding ------------------------------------------------
   AgentAction Decoded = Action;
+  bool MalformedAction = false;
   if (Config.ActionSpace == ActionSpaceMode::Flat) {
-    const FlatAction &Flat = FlatActions.at(Action.FlatChoice);
-    Decoded.Kind = Flat.Kind;
-    Decoded.TileSizeIdx.assign(Config.MaxLoops, Flat.TileSizeIdx);
-    Decoded.EnumeratedChoice = Flat.SwapIdx;
+    if (Action.FlatChoice >= FlatActions.size()) {
+      // A flat index outside the action list is a driver bug (the
+      // policy's head can never produce one): waste the step instead of
+      // throwing out of std::vector::at.
+      MalformedAction = true;
+      ++TauUsed;
+      Outcome.Reward = rewardAfterEffectiveStep();
+    } else {
+      const FlatAction &Flat = FlatActions[Action.FlatChoice];
+      Decoded.Kind = Flat.Kind;
+      Decoded.TileSizeIdx.assign(Config.MaxLoops, Flat.TileSizeIdx);
+      Decoded.EnumeratedChoice = Flat.SwapIdx;
+    }
   }
 
-  switch (Decoded.Kind) {
+  if (!MalformedAction)
+    switch (Decoded.Kind) {
   case TransformKind::Tiling:
   case TransformKind::TiledParallelization: {
     Transformation T =
@@ -182,10 +237,8 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
             ? Transformation::tiling(tileSizesFromAction(Decoded))
             : Transformation::tiledParallelization(
                   tileSizesFromAction(Decoded));
-    if (Machine->apply(T).Applied) {
-      State.apply(static_cast<unsigned>(CurrentOp), T);
+    if (applyTransform(T))
       recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
-    }
     ++TauUsed;
     Outcome.Reward = rewardAfterEffectiveStep();
     break;
@@ -194,10 +247,8 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
     int Producer = findProducerCandidate();
     Transformation T =
         Transformation::tiledFusion(tileSizesFromAction(Decoded));
-    if (Producer >= 0 && Machine->apply(T).Applied) {
-      State.apply(static_cast<unsigned>(CurrentOp), T, Producer);
+    if (Producer >= 0 && applyTransform(T, Producer))
       recordHistoryForTiled(Decoded.Kind, Decoded.TileSizeIdx);
-    }
     ++TauUsed;
     Outcome.Reward = rewardAfterEffectiveStep();
     break;
@@ -229,8 +280,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
         auto [I, J] = Candidates[Decoded.EnumeratedChoice];
         Transformation T = Transformation::interchange(
             makeSwapPermutation(Op.getNumLoops(), I, J));
-        if (Machine->apply(T).Applied) {
-          State.apply(static_cast<unsigned>(CurrentOp), T);
+        if (applyTransform(T)) {
           std::vector<int> Placement(Op.getNumLoops());
           for (unsigned L = 0; L < Op.getNumLoops(); ++L)
             Placement[L] = static_cast<int>(T.Permutation[L]);
@@ -243,9 +293,7 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
     break;
   }
   case TransformKind::Vectorization: {
-    if (Machine->apply(Transformation::vectorization()).Applied)
-      State.apply(static_cast<unsigned>(CurrentOp),
-                  Transformation::vectorization());
+    applyTransform(Transformation::vectorization());
     ++TauUsed;
     Outcome.Reward = rewardAfterEffectiveStep();
     finishCurrentOp();
@@ -269,6 +317,8 @@ Environment::StepOutcome Environment::step(const AgentAction &Action) {
     Outcome.Reward += std::log(BaselineSeconds / Final);
   }
 
+  if (CheckFailedThisStep)
+    Outcome.Reward -= Config.CheckFailurePenalty;
   Outcome.Done = Done;
   computeObservation();
   return Outcome;

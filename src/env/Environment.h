@@ -92,6 +92,13 @@ private:
   double rewardAfterEffectiveStep();
   void finishCurrentOp();
   void advanceToNextOp();
+  /// The single commit gate for agent actions: trial-applies \p T to a
+  /// copy of the transform state, runs the post-transform checks on the
+  /// candidate schedule (when enabled), and only then commits to both
+  /// the machine and the transaction state. Returns false on the
+  /// engine's routine rejections (silent wasted step, as before) and on
+  /// check failures (penalized no-op, robustness counter bumped).
+  bool applyTransform(const Transformation &T, int Producer = -1);
   /// The current fusion candidate: the last producer feeding the fused
   /// group, fusable and exclusively consumed by the group. -1 if none.
   int findProducerCandidate() const;
@@ -124,6 +131,9 @@ private:
   std::optional<OpTransformState> Machine;
   ActionHistory History;
   unsigned TauUsed = 0;
+  /// Set when a post-transform check rejected the current step's action
+  /// (the step's reward is then docked by Config.CheckFailurePenalty).
+  bool CheckFailedThisStep = false;
 
   // Feature caches (incremental path). HistoryVersion moves on every
   // history mutation and on op advance; the consumer cache is keyed by

@@ -2,14 +2,19 @@
 
 #include "env/VecEnv.h"
 
-#include "support/Error.h"
+#include "support/Stats.h"
 
 using namespace mlirrl;
 
 VecEnv::VecEnv(const EnvConfig &Config, Evaluator &Eval,
                std::vector<Module> Samples) {
-  if (Samples.empty())
-    reportFatalError("VecEnv needs at least one sample");
+  if (Samples.empty()) {
+    // Recoverable misuse (e.g. a dataset shard that filtered down to
+    // nothing): a zero-width batch that is allDone() from the start,
+    // not an abort.
+    recordRobustnessEvent(RobustnessEvent::VecEnvEmptyBatch);
+    return;
+  }
   Envs.reserve(Samples.size());
   for (Module &Sample : Samples)
     Envs.push_back(
@@ -29,8 +34,14 @@ std::vector<const Observation *> VecEnv::observeLive() const {
 
 std::vector<VecEnv::StepOutcome>
 VecEnv::step(const std::vector<AgentAction> &Actions) {
-  if (Actions.size() != Live.size())
-    reportFatalError("VecEnv::step: one action per live environment");
+  if (Actions.size() != Live.size()) {
+    // Driver bug, not a reason to kill a training run: nothing is
+    // stepped (a partial lockstep step would desynchronize the batch)
+    // and the caller gets one inert outcome per live environment.
+    recordRobustnessEvent(RobustnessEvent::VecEnvActionArityMismatch);
+    std::vector<StepOutcome> Inert(Live.size());
+    return Inert;
+  }
   std::vector<StepOutcome> Outcomes(Live.size());
   std::vector<unsigned> StillLive;
   StillLive.reserve(Live.size());

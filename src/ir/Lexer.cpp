@@ -13,12 +13,18 @@ static bool isWordChar(char C) {
 }
 
 bool mlirrl::tokenize(const std::string &Source, std::vector<Token> &Tokens,
-                      std::string &ErrorMessage) {
+                      std::string &ErrorMessage, size_t MaxTokens) {
   Tokens.clear();
   unsigned Line = 1, Col = 1;
   size_t I = 0, N = Source.size();
 
   while (I < N) {
+    if (MaxTokens != 0 && Tokens.size() >= MaxTokens) {
+      ErrorMessage = formatString(
+          "%u:%u: input exceeds the token cap (%zu tokens)", Line, Col,
+          MaxTokens);
+      return false;
+    }
     char C = Source[I];
     // Whitespace and comments.
     if (C == '\n') {

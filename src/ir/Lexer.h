@@ -49,9 +49,11 @@ struct Token {
 
 /// Tokenizes \p Source. On bad characters, emits an Eof token after an
 /// error marker token is reported through \p ErrorMessage and returns
-/// false.
+/// false. \p MaxTokens caps the token stream for untrusted input (the
+/// import gate's first line of defense against pathological sources);
+/// 0 means no cap.
 bool tokenize(const std::string &Source, std::vector<Token> &Tokens,
-              std::string &ErrorMessage);
+              std::string &ErrorMessage, size_t MaxTokens = 0);
 
 } // namespace mlirrl
 

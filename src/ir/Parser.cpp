@@ -3,8 +3,11 @@
 #include "ir/Parser.h"
 
 #include "ir/Lexer.h"
+#include "ir/Verifier.h"
 #include "support/Format.h"
+#include "support/Stats.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -12,10 +15,15 @@ using namespace mlirrl;
 
 namespace {
 
-/// Recursive-descent parser over the token stream.
+/// Recursive-descent parser over the token stream. When \p Limits is
+/// given (the untrusted-input path), resource caps are enforced while
+/// parsing so a hostile source fails fast instead of building an
+/// arbitrarily large module first.
 class Parser {
 public:
-  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+  explicit Parser(std::vector<Token> Tokens,
+                  const ImportLimits *Limits = nullptr)
+      : Tokens(std::move(Tokens)), Limits(Limits) {}
 
   Expected<Module> parseModule();
 
@@ -56,6 +64,7 @@ private:
   bool parseArith(ArithCounts &Arith);
 
   std::vector<Token> Tokens;
+  const ImportLimits *Limits;
   size_t Pos = 0;
   std::string Diagnostic;
 };
@@ -68,9 +77,12 @@ bool Parser::parseInteger(int64_t &Value) {
     return error("expected integer");
   const std::string &Text = peek().Text;
   char *End = nullptr;
+  errno = 0;
   long long Parsed = std::strtoll(Text.c_str(), &End, 10);
   if (End != Text.c_str() + Text.size())
     return error("expected integer, got '" + Text + "'");
+  if (errno == ERANGE)
+    return error("integer '" + Text + "' does not fit in 64 bits");
   advance();
   Value = Negative ? -Parsed : Parsed;
   return true;
@@ -119,8 +131,12 @@ bool Parser::parseTensorType(TensorType &Type) {
     if (Parts[I].empty() || End != Parts[I].c_str() + Parts[I].size() ||
         Dim <= 0)
       return error("bad tensor dimension '" + Parts[I] + "'");
+    if (Limits && Dim > Limits->MaxDimSize)
+      return error("tensor dimension " + Parts[I] + " exceeds the cap");
     Shape.push_back(Dim);
   }
+  if (Limits && Shape.size() > Limits->MaxLoops)
+    return error("tensor rank exceeds the cap");
   Type = TensorType(std::move(Shape), Elem);
   return true;
 }
@@ -129,7 +145,10 @@ bool Parser::parseAffineExpr(const std::map<std::string, unsigned> &DimIndex,
                              unsigned NumDims, AffineExpr &Expr) {
   Expr = AffineExpr(NumDims);
   bool First = true;
+  unsigned Terms = 0;
   for (;;) {
+    if (Limits && ++Terms > Limits->MaxAffineTerms)
+      return error("affine expression exceeds the term cap");
     int64_t Sign = 1;
     if (match(TokenKind::Minus))
       Sign = -1;
@@ -269,10 +288,14 @@ bool Parser::parseOpBody(Module &M, const std::string &Result,
           return false;
         if (Bound <= 0)
           return error("loop bounds must be positive");
+        if (Limits && Bound > Limits->MaxDimSize)
+          return error("loop bound exceeds the cap");
         Bounds.push_back(Bound);
       } while (match(TokenKind::Comma));
       if (!expect(TokenKind::RBracket, "']'"))
         return false;
+      if (Limits && Bounds.size() > Limits->MaxLoops)
+        return error("loop count exceeds the cap");
       HasBounds = true;
     } else if (Attr == "iterators") {
       if (!expect(TokenKind::LBracket, "'['"))
@@ -356,6 +379,8 @@ bool Parser::parseStatement(Module &M) {
   std::string Result = advance().Text;
   if (M.hasValue(Result))
     return error("value redefinition '" + Result + "'");
+  if (Limits && M.getValueOrder().size() >= Limits->MaxValues)
+    return error("value count exceeds the cap");
   if (!expect(TokenKind::Equal, "'='"))
     return false;
   if (!check(TokenKind::Word))
@@ -368,6 +393,8 @@ bool Parser::parseStatement(Module &M) {
     M.addInput(Result, std::move(Type));
     return true;
   }
+  if (Limits && M.getNumOps() >= Limits->MaxOps)
+    return error("operation count exceeds the cap");
   std::string Mnemonic = advance().Text;
   return parseOpBody(M, Result, Mnemonic);
 }
@@ -411,4 +438,80 @@ Expected<Module> mlirrl::parseModule(const std::string &Source) {
   if (!tokenize(Source, Tokens, LexError))
     return makeError<Module>(LexError);
   return Parser(std::move(Tokens)).parseModule();
+}
+
+Expected<Module> mlirrl::parseModuleWithLimits(const std::string &Source,
+                                               const ImportLimits &Limits) {
+  if (Source.size() > Limits.MaxSourceBytes)
+    return makeError<Module>("source exceeds the byte cap (" +
+                             std::to_string(Limits.MaxSourceBytes) + ")");
+  std::vector<Token> Tokens;
+  std::string LexError;
+  if (!tokenize(Source, Tokens, LexError, Limits.MaxTokens))
+    return makeError<Module>(LexError);
+  return Parser(std::move(Tokens), &Limits).parseModule();
+}
+
+bool mlirrl::sanitizeModule(const Module &M, const ImportLimits &Limits,
+                            std::string &ErrorMessage) {
+  auto Fail = [&](const std::string &Why) {
+    ErrorMessage = Why;
+    return false;
+  };
+  if (M.getNumOps() == 0)
+    return Fail("module has no operations");
+  if (M.getNumOps() > Limits.MaxOps)
+    return Fail("operation count exceeds the cap");
+  if (M.getValueOrder().size() > Limits.MaxValues)
+    return Fail("value count exceeds the cap");
+  for (unsigned I = 0; I < M.getNumOps(); ++I) {
+    const LinalgOp &Op = M.getOp(I);
+    if (Op.getNumLoops() == 0)
+      return Fail("op " + Op.getResult() + " has no loops");
+    if (Op.getNumLoops() > Limits.MaxLoops)
+      return Fail("op " + Op.getResult() + " loop count exceeds the cap");
+    // The iteration-space product bounds every downstream int64
+    // computation (flops, footprints, trip-count products), so cap it
+    // with overflow-safe division instead of multiplying first.
+    int64_t Space = 1;
+    for (int64_t Bound : Op.getLoopBounds()) {
+      if (Bound <= 0 || Bound > Limits.MaxDimSize)
+        return Fail("op " + Op.getResult() + " loop bound outside the cap");
+      if (Space > Limits.MaxIterationSpace / Bound)
+        return Fail("op " + Op.getResult() +
+                    " iteration space exceeds the cap");
+      Space *= Bound;
+    }
+  }
+  for (const std::string &Name : M.getValueOrder()) {
+    const TensorType &Type = M.getValue(Name).Type;
+    if (Type.getShape().size() > Limits.MaxLoops)
+      return Fail("value " + Name + " rank exceeds the cap");
+    int64_t Elements = 1;
+    for (int64_t Dim : Type.getShape()) {
+      if (Dim <= 0 || Dim > Limits.MaxDimSize)
+        return Fail("value " + Name + " extent outside the cap");
+      if (Elements > Limits.MaxIterationSpace / Dim)
+        return Fail("value " + Name + " element count exceeds the cap");
+      Elements *= Dim;
+    }
+  }
+  return true;
+}
+
+Expected<Module> mlirrl::importModule(const std::string &Source,
+                                      const ImportLimits &Limits) {
+  auto Reject = [](const std::string &Why) {
+    recordRobustnessEvent(RobustnessEvent::ImportRejected);
+    return makeError<Module>(Why);
+  };
+  Expected<Module> M = parseModuleWithLimits(Source, Limits);
+  if (!M)
+    return Reject(M.getError());
+  std::string Err;
+  if (!verifyModule(*M, Err))
+    return Reject("verifier: " + Err);
+  if (!sanitizeModule(*M, Limits, Err))
+    return Reject("sanitizer: " + Err);
+  return M;
 }

@@ -31,6 +31,50 @@ namespace mlirrl {
 /// Parses a module from \p Source.
 Expected<Module> parseModule(const std::string &Source);
 
+/// Resource caps for externally-authored IR. Generated modules are never
+/// subject to them; the import gate applies them before untrusted text
+/// can reach the environment, so a pathological source is rejected with
+/// a diagnostic instead of exhausting memory or overflowing the cost
+/// model's integer arithmetic.
+struct ImportLimits {
+  /// Raw source size cap (rejected before lexing).
+  size_t MaxSourceBytes = 1u << 20;
+  /// Token-stream cap (enforced inside the lexer).
+  size_t MaxTokens = 1u << 17;
+  /// Maximum operations per module.
+  unsigned MaxOps = 64;
+  /// Maximum declared values (inputs + op results).
+  unsigned MaxValues = 256;
+  /// Maximum loop dimensions per op and maximum tensor rank.
+  unsigned MaxLoops = 16;
+  /// Maximum single loop bound / tensor extent.
+  int64_t MaxDimSize = int64_t(1) << 24;
+  /// Maximum product of one op's loop bounds (keeps flop counts and
+  /// iteration-space arithmetic far from int64 overflow).
+  int64_t MaxIterationSpace = int64_t(1) << 42;
+  /// Maximum terms in one affine expression (the parser's loop-depth
+  /// guard for untrusted maps).
+  unsigned MaxAffineTerms = 64;
+};
+
+/// Like parseModule, but enforces \p Limits while parsing (op count,
+/// value count, loop/rank arity, dimension sizes, affine-term counts).
+Expected<Module> parseModuleWithLimits(const std::string &Source,
+                                       const ImportLimits &Limits);
+
+/// Post-parse sanitization: re-checks \p M against \p Limits, including
+/// the per-op iteration-space product. Works on any module, parsed or
+/// built, so tests can probe the gate directly.
+bool sanitizeModule(const Module &M, const ImportLimits &Limits,
+                    std::string &ErrorMessage);
+
+/// The untrusted-input entry point: size caps -> lexer -> parser (with
+/// limits) -> verifier -> sanitization. Every rejection surfaces as an
+/// Expected error (and bumps the robustness.import_rejected counter);
+/// a returned module is safe to hand to the environment.
+Expected<Module> importModule(const std::string &Source,
+                              const ImportLimits &Limits = ImportLimits());
+
 } // namespace mlirrl
 
 #endif // MLIRRL_IR_PARSER_H

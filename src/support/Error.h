@@ -12,6 +12,33 @@
 /// Expected<T>, and unrecoverable invariant violations through
 /// reportFatalError / MLIRRL_UNREACHABLE.
 ///
+/// The policy -- which failures are which
+/// ======================================
+///
+/// The line is drawn at *whose bug it is*:
+///
+///  * Expected<T> (or bool + ErrorMessage, the Verifier idiom) is for
+///    failures an untrusted input can cause: parse errors, verifier
+///    rejections, sanitization-cap violations (ir/Parser.h's import
+///    gate), and illegal schedules reaching the transform engine
+///    (replayOpSchedule, materializeLoopNestChecked,
+///    transforms/PostTransformChecks). Nothing a file on disk or an
+///    agent action can contain may abort the process: the environment
+///    turns such failures into penalized no-op steps and counts them
+///    under the "robustness.*" categories (support/Stats.h).
+///
+///  * reportFatalError is reserved for states no input can legally
+///    produce -- a broken internal invariant, i.e. a bug in this
+///    library. The fatal convenience wrappers (materializeLoopNest,
+///    materializeModule) exist precisely for call sites whose schedules
+///    were already validated; new code handling externally influenced
+///    data must call the *Checked variants instead.
+///
+/// When adding a failure path, ask "can a hostile .mlir file or a
+/// random agent action reach this?" If yes, it must be an Expected.
+/// The fuzz harness (src/fuzz/Fuzz.h) enforces the split: any abort it
+/// can trigger from text or actions is a bug.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MLIRRL_SUPPORT_ERROR_H

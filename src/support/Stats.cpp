@@ -106,6 +106,30 @@ void CacheStatsRegistry::resetAll() {
     Counters->reset();
 }
 
+const char *mlirrl::getRobustnessEventName(RobustnessEvent Event) {
+  switch (Event) {
+  case RobustnessEvent::StepAfterDone:
+    return "robustness.step_after_done";
+  case RobustnessEvent::PostTransformCheckFailed:
+    return "robustness.post_transform_check_failed";
+  case RobustnessEvent::VecEnvEmptyBatch:
+    return "robustness.vecenv_empty_batch";
+  case RobustnessEvent::VecEnvActionArityMismatch:
+    return "robustness.vecenv_action_arity_mismatch";
+  case RobustnessEvent::ImportRejected:
+    return "robustness.import_rejected";
+  }
+  return "robustness.unknown";
+}
+
+HitMissCounters &mlirrl::robustnessCounter(RobustnessEvent Event) {
+  return CacheStatsRegistry::instance().named(getRobustnessEventName(Event));
+}
+
+void mlirrl::recordRobustnessEvent(RobustnessEvent Event) {
+  robustnessCounter(Event).recordMiss();
+}
+
 double mlirrl::mean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0.0;

@@ -206,6 +206,33 @@ private:
   uint64_t NextId = 1;
 };
 
+/// Recoverable misuse and untrusted-input failures that would once have
+/// been process-fatal. Each event tallies into the registry category
+/// "robustness.<event>" (as Misses -- there is no hit notion), so the
+/// fuzz harness and a future server can assert on / export them through
+/// the same snapshot() path as every cache.
+enum class RobustnessEvent {
+  /// step() called on a finished episode (returned inert).
+  StepAfterDone,
+  /// A post-transform check rejected an action (penalized no-op).
+  PostTransformCheckFailed,
+  /// VecEnv constructed over an empty sample batch.
+  VecEnvEmptyBatch,
+  /// VecEnv::step received the wrong number of actions.
+  VecEnvActionArityMismatch,
+  /// An imported module was rejected by the sanitization gate.
+  ImportRejected,
+};
+
+/// Stable category name of \p Event ("robustness.<event>").
+const char *getRobustnessEventName(RobustnessEvent Event);
+
+/// The registry-owned counter of \p Event.
+HitMissCounters &robustnessCounter(RobustnessEvent Event);
+
+/// Bumps \p Event's tally.
+void recordRobustnessEvent(RobustnessEvent Event);
+
 /// Arithmetic mean. Returns 0 for empty input.
 double mean(const std::vector<double> &Values);
 

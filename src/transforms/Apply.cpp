@@ -235,16 +235,27 @@ static std::vector<TensorAccess> collectAccesses(const Module &M,
   return Accesses;
 }
 
-LoopNest mlirrl::materializeLoopNest(const Module &M, unsigned OpIdx,
-                                     const OpSchedule &Sched) {
-  const LinalgOp &Op = M.getOp(OpIdx);
+Expected<OpTransformState> mlirrl::replayOpSchedule(const LinalgOp &Op,
+                                                    const OpSchedule &Sched) {
   OpTransformState State(Op);
   for (const Transformation &T : Sched.Transforms) {
     OpTransformState::ApplyResult Result = State.apply(T);
     if (!Result.Applied)
-      reportFatalError("materializeLoopNest: illegal schedule for " +
-                       Op.getResult() + ": " + Result.Reason);
+      return makeError<OpTransformState>("illegal schedule for " +
+                                         Op.getResult() + ": " +
+                                         Result.Reason);
   }
+  return State;
+}
+
+Expected<LoopNest> mlirrl::materializeLoopNestChecked(const Module &M,
+                                                      unsigned OpIdx,
+                                                      const OpSchedule &Sched) {
+  const LinalgOp &Op = M.getOp(OpIdx);
+  Expected<OpTransformState> Replayed = replayOpSchedule(Op, Sched);
+  if (!Replayed)
+    return makeError<LoopNest>(Replayed.getError());
+  const OpTransformState &State = *Replayed;
 
   std::vector<ScheduledLoop> TileLoops, PointLoops;
   buildLoops(State, TileLoops, PointLoops);
@@ -301,9 +312,9 @@ LoopNest mlirrl::materializeLoopNest(const Module &M, unsigned OpIdx,
         break;
     }
     if (!ReadMap)
-      reportFatalError("fused producer " + Producer.getResult() +
-                       " is not read by the fused group of " +
-                       Op.getResult());
+      return makeError<LoopNest>("fused producer " + Producer.getResult() +
+                                 " is not read by the fused group of " +
+                                 Op.getResult());
 
     std::vector<int64_t> Domain =
         computeFusedProducerDomain(Producer, *ReadMap, *ReaderBox);
@@ -334,8 +345,16 @@ LoopNest mlirrl::materializeLoopNest(const Module &M, unsigned OpIdx,
   return Nest;
 }
 
-std::vector<LoopNest> mlirrl::materializeModule(const Module &M,
-                                                const ModuleSchedule &Sched) {
+LoopNest mlirrl::materializeLoopNest(const Module &M, unsigned OpIdx,
+                                     const OpSchedule &Sched) {
+  Expected<LoopNest> Nest = materializeLoopNestChecked(M, OpIdx, Sched);
+  if (!Nest)
+    reportFatalError("materializeLoopNest: " + Nest.getError());
+  return std::move(*Nest);
+}
+
+Expected<std::vector<LoopNest>>
+mlirrl::materializeModuleChecked(const Module &M, const ModuleSchedule &Sched) {
   std::vector<LoopNest> Nests;
   static const OpSchedule EmptySchedule;
   for (unsigned I = 0; I < M.getNumOps(); ++I) {
@@ -344,9 +363,20 @@ std::vector<LoopNest> mlirrl::materializeModule(const Module &M,
     auto It = Sched.OpSchedules.find(I);
     const OpSchedule &OpSched =
         It == Sched.OpSchedules.end() ? EmptySchedule : It->second;
-    Nests.push_back(materializeLoopNest(M, I, OpSched));
+    Expected<LoopNest> Nest = materializeLoopNestChecked(M, I, OpSched);
+    if (!Nest)
+      return makeError<std::vector<LoopNest>>(Nest.getError());
+    Nests.push_back(std::move(*Nest));
   }
   return Nests;
+}
+
+std::vector<LoopNest> mlirrl::materializeModule(const Module &M,
+                                                const ModuleSchedule &Sched) {
+  Expected<std::vector<LoopNest>> Nests = materializeModuleChecked(M, Sched);
+  if (!Nests)
+    reportFatalError("materializeModule: " + Nests.getError());
+  return std::move(*Nests);
 }
 
 std::vector<LoopNest> mlirrl::materializeBaseline(const Module &M) {

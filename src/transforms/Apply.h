@@ -14,6 +14,7 @@
 #define MLIRRL_TRANSFORMS_APPLY_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "transforms/LoopNest.h"
 #include "transforms/Schedule.h"
 
@@ -76,14 +77,37 @@ private:
   unsigned NumApplied = 0;
 };
 
+/// Replays \p Sched's transformation sequence against \p Op. Fails with
+/// the engine's rejection reason when any transform of the sequence is
+/// inapplicable -- the recoverable path for schedules of unknown
+/// provenance (imported modules, fuzzed actions, corrupted archives).
+Expected<OpTransformState> replayOpSchedule(const LinalgOp &Op,
+                                            const OpSchedule &Sched);
+
 /// Materializes the scheduled loop nest of op \p OpIdx. Producer ops in
 /// \p Sched.FusedProducers are inlined at the consumer's tile
 /// granularity: their per-visit domains are derived from the consumer's
-/// point box through the access maps.
+/// point box through the access maps. Fails (instead of aborting) when
+/// the transformation sequence does not replay or a fused producer is
+/// not read by the fused group -- the untrusted-input entry point.
+Expected<LoopNest> materializeLoopNestChecked(const Module &M, unsigned OpIdx,
+                                              const OpSchedule &Sched);
+
+/// Like materializeLoopNestChecked, but treats failure as an internal
+/// invariant violation (reportFatalError). Only for schedules that were
+/// already validated at the boundary (the environment's post-transform
+/// gate, engine-generated schedules); anything externally sourced must
+/// go through the checked variant.
 LoopNest materializeLoopNest(const Module &M, unsigned OpIdx,
                              const OpSchedule &Sched);
 
-/// Materializes every non-fused-away op of the module.
+/// Materializes every non-fused-away op of the module; fails on the
+/// first op whose schedule does not replay.
+Expected<std::vector<LoopNest>>
+materializeModuleChecked(const Module &M, const ModuleSchedule &Sched);
+
+/// Materializes every non-fused-away op of the module. Fatal-on-error
+/// wrapper over materializeModuleChecked (see materializeLoopNest).
 std::vector<LoopNest> materializeModule(const Module &M,
                                         const ModuleSchedule &Sched);
 

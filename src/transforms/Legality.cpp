@@ -27,7 +27,9 @@ bool mlirrl::vectorizationPrecondition(const LinalgOp &Op) {
 }
 
 bool mlirrl::isVectorizationLegal(const LinalgOp &Op, int64_t InnermostTrip) {
-  return vectorizationPrecondition(Op) &&
+  // A non-positive trip cannot come out of a gated module (bounds are
+  // verified positive), but an untrusted schedule can still claim one.
+  return InnermostTrip >= 1 && vectorizationPrecondition(Op) &&
          InnermostTrip <= MaxVectorizableInnerTrip;
 }
 

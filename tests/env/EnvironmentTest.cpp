@@ -294,3 +294,101 @@ TEST_F(EnvFixture, TheoreticalFlatSizeFormula) {
   // |A| = 3 M^N + N! + 2 for N = 3, M = 8: 3*512 + 6 + 2 = 1544.
   EXPECT_DOUBLE_EQ(Info.flatTheoreticalSize(3), 1544.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Robustness: finished episodes, malformed actions and the
+// post-transform check gate must degrade gracefully, never fatally.
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "transforms/PostTransformChecks.h"
+
+TEST_F(EnvFixture, StepAfterDoneIsInert) {
+  Module M = makeMatmulModule(64, 64, 64);
+  Environment Env(Config, Run, M);
+  Env.step(simple(TransformKind::NoTransformation));
+  ASSERT_TRUE(Env.isDone());
+
+  uint64_t Before =
+      robustnessCounter(RobustnessEvent::StepAfterDone).Misses.load();
+  ModuleSchedule Frozen = Env.getSchedule();
+  auto Out = Env.step(tiled(TransformKind::Tiling, {4, 4, 0}));
+  EXPECT_TRUE(Out.Done);
+  EXPECT_DOUBLE_EQ(Out.Reward, 0.0);
+  EXPECT_TRUE(Env.isDone());
+  // The frozen schedule did not move, and the event was counted.
+  EXPECT_EQ(Env.getSchedule().toString(), Frozen.toString());
+  EXPECT_EQ(robustnessCounter(RobustnessEvent::StepAfterDone).Misses.load(),
+            Before + 1);
+}
+
+TEST_F(EnvFixture, MalformedFlatActionWastesStep) {
+  Config.ActionSpace = ActionSpaceMode::Flat;
+  Module M = makeMatmulModule(64, 64, 64);
+  Environment Env(Config, Run, M);
+
+  AgentAction A;
+  A.Kind = TransformKind::Tiling;
+  A.FlatChoice = 1u << 30; // far past the flat action list
+  ModuleSchedule Before = Env.getSchedule();
+  auto Out = Env.step(A);
+  EXPECT_FALSE(Env.isDone());
+  EXPECT_FALSE(Out.Done);
+  EXPECT_EQ(Env.getSchedule().toString(), Before.toString());
+
+  // The episode still finishes normally afterwards.
+  while (!Env.isDone())
+    Env.step(simple(TransformKind::NoTransformation));
+}
+
+TEST_F(EnvFixture, CheckedEpisodeMatchesUncheckedBitwise) {
+  // PostTransformChecks never fires on legal actions, so the whole
+  // trajectory -- rewards included -- must be bitwise identical with
+  // the pass on and off.
+  std::vector<AgentAction> Script = {
+      tiled(TransformKind::TiledParallelization, {4, 4, 0}),
+      tiled(TransformKind::Tiling, {0, 0, 5}),
+      simple(TransformKind::Vectorization),
+  };
+  std::vector<double> Rewards[2];
+  for (int Checked = 0; Checked < 2; ++Checked) {
+    EnvConfig C = Config;
+    C.PostTransformChecks = Checked == 1;
+    Module M = makeMatmulModule(128, 256, 192);
+    Environment Env(C, Run, M);
+    for (const AgentAction &A : Script)
+      if (!Env.isDone())
+        Rewards[Checked].push_back(Env.step(A).Reward);
+  }
+  ASSERT_EQ(Rewards[0].size(), Rewards[1].size());
+  for (size_t I = 0; I < Rewards[0].size(); ++I) {
+    EXPECT_EQ(Rewards[0][I], Rewards[1][I]) << "step " << I;
+  }
+}
+
+TEST_F(EnvFixture, StateVerifiesAfterEveryScriptedStep) {
+  Module M("fuse");
+  {
+    Builder B(M);
+    std::string X = B.declareInput({96, 48});
+    std::string W = B.declareInput({48, 64});
+    B.relu(B.matmul(X, W));
+  }
+  Environment Env(Config, Run, M);
+  std::vector<AgentAction> Script = {
+      tiled(TransformKind::TiledFusion, {4, 4}),
+      tiled(TransformKind::Tiling, {8, 0, 0}),
+      simple(TransformKind::NoTransformation),
+      tiled(TransformKind::TiledParallelization, {2, 2, 0}),
+      simple(TransformKind::Vectorization),
+  };
+  for (const AgentAction &A : Script) {
+    if (Env.isDone())
+      break;
+    Env.step(A);
+    std::string Err;
+    EXPECT_TRUE(verifyScheduleState(
+        const_cast<ScheduleState &>(Env.getState()), Err))
+        << Err;
+  }
+}

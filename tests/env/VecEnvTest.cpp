@@ -171,3 +171,52 @@ TEST(VecEnvTest, CachingEvaluatorPreservesRewardsAndCounts) {
   EXPECT_GT(After.Hits.load(std::memory_order_relaxed),
             Counters.Hits.load(std::memory_order_relaxed));
 }
+
+//===----------------------------------------------------------------------===//
+// Robustness: degenerate batches and malformed action vectors.
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+TEST(VecEnvRobustness, EmptyBatchIsInert) {
+  EnvConfig Config = EnvConfig::laptop();
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  Runner Eval(Machine);
+  uint64_t Before =
+      robustnessCounter(RobustnessEvent::VecEnvEmptyBatch).Misses.load();
+  VecEnv Vec(Config, Eval, {});
+  EXPECT_EQ(Vec.size(), 0u);
+  EXPECT_TRUE(Vec.allDone());
+  EXPECT_TRUE(Vec.observeLive().empty());
+  EXPECT_EQ(robustnessCounter(RobustnessEvent::VecEnvEmptyBatch).Misses.load(),
+            Before + 1);
+}
+
+TEST(VecEnvRobustness, ActionArityMismatchStepsNothing) {
+  EnvConfig Config = EnvConfig::laptop();
+  MachineModel Machine = MachineModel::xeonE5_2680v4();
+  Runner Eval(Machine);
+  VecEnv Vec(Config, Eval, testModules());
+  ASSERT_EQ(Vec.liveIndices().size(), 4u);
+
+  uint64_t Before = robustnessCounter(RobustnessEvent::VecEnvActionArityMismatch)
+                        .Misses.load();
+  // Two actions for four live environments: nothing may advance.
+  std::vector<AgentAction> TooFew(2);
+  std::vector<VecEnv::StepOutcome> Outs = Vec.step(TooFew);
+  EXPECT_EQ(Outs.size(), 4u);
+  for (const VecEnv::StepOutcome &Out : Outs) {
+    EXPECT_DOUBLE_EQ(Out.Reward, 0.0);
+    EXPECT_FALSE(Out.Done);
+  }
+  EXPECT_EQ(Vec.liveIndices().size(), 4u);
+  EXPECT_EQ(robustnessCounter(RobustnessEvent::VecEnvActionArityMismatch)
+                .Misses.load(),
+            Before + 1);
+
+  // The batch still finishes normally with well-formed actions.
+  AgentAction Stop;
+  Stop.Kind = TransformKind::NoTransformation;
+  while (!Vec.allDone())
+    Vec.step(std::vector<AgentAction>(Vec.liveIndices().size(), Stop));
+}

@@ -1,0 +1,11 @@
+// Regression: a 2^46-point iteration space that once flowed straight
+// into the cost model's int64 arithmetic. The sanitizer must reject it.
+module @bomb {
+  %t = tensor<8388608x8388608xf32>
+  %v = linalg.relu {
+    bounds = [8388608, 8388608],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<8388608x8388608xf32>
+}

@@ -1,0 +1,11 @@
+// Regression: a negative loop bound (and int64-min style values)
+// must die in the gate, not in ceil-division later.
+module @negative {
+  %t = tensor<4x4xf32>
+  %v = linalg.relu {
+    bounds = [-1, 4],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<4x4xf32>
+}

@@ -1,0 +1,12 @@
+// Regression: bounds larger than the operand tensor -- an
+// out-of-bounds access the verifier must catch before any
+// materialization happens.
+module @oob {
+  %t = tensor<4x4xf32>
+  %v = linalg.relu {
+    bounds = [8, 8],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<8x8xf32>
+}

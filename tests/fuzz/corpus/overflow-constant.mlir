@@ -1,0 +1,12 @@
+// Regression: integer literals at and past the int64 boundary inside
+// shapes, bounds and affine coefficients.
+module @overflow {
+  %t = tensor<9223372036854775807x4xf32>
+  %v = linalg.relu {
+    bounds = [99999999999999999999, 4],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (9223372036854775807 * d0, d1),
+            (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<4x4xf32>
+}

@@ -1,0 +1,20 @@
+// A valid module: the replay must accept it and find the baseline
+// finite (the corpus exercises the accept path too, not only
+// rejections).
+module @valid_chain {
+  %x = tensor<32x96xf32>
+  %w = tensor<96x24xf32>
+  %h = linalg.matmul {
+    bounds = [32, 24, 96],
+    iterators = [parallel, parallel, reduction],
+    maps = [(d0, d1, d2) -> (d0, d2), (d0, d1, d2) -> (d2, d1),
+            (d0, d1, d2) -> (d0, d1)],
+    arith = {mul: 1, add: 1}
+  } ins(%x, %w) : tensor<32x24xf32>
+  %a = linalg.relu {
+    bounds = [32, 24],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%h) : tensor<32x24xf32>
+}

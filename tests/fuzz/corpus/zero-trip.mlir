@@ -1,0 +1,12 @@
+// Regression: zero-extent tensor and zero loop bound. A zero-trip
+// nest prices to 0 seconds, which divides into a reward -- the
+// sanitizer must reject non-positive bounds.
+module @zero {
+  %t = tensor<0x4xf32>
+  %v = linalg.relu {
+    bounds = [0, 4],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<0x4xf32>
+}

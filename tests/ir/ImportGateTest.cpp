@@ -1,0 +1,192 @@
+//===- ImportGateTest.cpp - The untrusted-input sanitization gate ---------===//
+//
+// importModule = size caps -> lexer token cap -> parser with in-flight
+// limits -> verifier -> sanitizeModule. Each layer must reject its class
+// of hostile input with a diagnostic (and bump the robustness counter),
+// and a survivor must be safe for the environment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Builder.h"
+#include "ir/Lexer.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace mlirrl;
+
+namespace {
+
+const char *ValidSource = R"(module @ok {
+  %t = tensor<16x16xf32>
+  %v = linalg.relu {
+    bounds = [16, 16],
+    iterators = [parallel, parallel],
+    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+    arith = {max: 1}
+  } ins(%t) : tensor<16x16xf32>
+})";
+
+std::string relu16(unsigned Index, const std::string &Input) {
+  return "  %v" + std::to_string(Index) + " = linalg.relu {\n"
+         "    bounds = [16, 16], iterators = [parallel, parallel],\n"
+         "    maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],\n"
+         "    arith = {max: 1} } ins(" + Input + ") : tensor<16x16xf32>\n";
+}
+
+} // namespace
+
+TEST(ImportGateTest, ValidModulePassesAllLayers) {
+  Expected<Module> M = importModule(ValidSource);
+  ASSERT_TRUE(static_cast<bool>(M)) << M.getError();
+  EXPECT_EQ(M->getNumOps(), 1u);
+}
+
+TEST(ImportGateTest, RejectionsBumpTheRobustnessCounter) {
+  uint64_t Before =
+      robustnessCounter(RobustnessEvent::ImportRejected).Misses.load();
+  EXPECT_FALSE(static_cast<bool>(importModule("not ir at all")));
+  EXPECT_FALSE(static_cast<bool>(importModule("")));
+  EXPECT_EQ(robustnessCounter(RobustnessEvent::ImportRejected).Misses.load(),
+            Before + 2);
+}
+
+TEST(ImportGateTest, SourceByteCap) {
+  ImportLimits Limits;
+  Limits.MaxSourceBytes = 16;
+  Expected<Module> M = importModule(ValidSource, Limits);
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.getError().find("source"), std::string::npos) << M.getError();
+}
+
+TEST(ImportGateTest, LexerTokenCap) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  EXPECT_TRUE(tokenize(ValidSource, Tokens, Err));
+  EXPECT_FALSE(tokenize(ValidSource, Tokens, Err, /*MaxTokens=*/10));
+  EXPECT_NE(Err.find("token cap"), std::string::npos) << Err;
+
+  ImportLimits Limits;
+  Limits.MaxTokens = 10;
+  EXPECT_FALSE(static_cast<bool>(importModule(ValidSource, Limits)));
+}
+
+TEST(ImportGateTest, OpAndValueCountCaps) {
+  std::string Source = "module @many {\n  %t = tensor<16x16xf32>\n";
+  std::string In = "%t";
+  for (unsigned I = 0; I < 8; ++I) {
+    Source += relu16(I, In);
+    In = "%v" + std::to_string(I);
+  }
+  Source += "}\n";
+  ASSERT_TRUE(static_cast<bool>(importModule(Source)));
+
+  ImportLimits OpCap;
+  OpCap.MaxOps = 4;
+  Expected<Module> M = importModule(Source, OpCap);
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.getError().find("operation"), std::string::npos) << M.getError();
+
+  ImportLimits ValueCap;
+  ValueCap.MaxValues = 3;
+  EXPECT_FALSE(static_cast<bool>(importModule(Source, ValueCap)));
+}
+
+TEST(ImportGateTest, DimensionAndIterationSpaceCaps) {
+  // A single dimension over the cap dies in the parser.
+  Expected<Module> Huge = importModule(R"(module {
+    %t = tensor<99999999x4xf32>
+    %v = linalg.relu { bounds = [99999999, 4],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<99999999x4xf32> })");
+  EXPECT_FALSE(static_cast<bool>(Huge));
+
+  // Each dimension under the cap but the product over it dies in the
+  // sanitizer (per-dim cap is 2^24, product cap 2^42 < (2^23)^3).
+  Expected<Module> Product = importModule(R"(module {
+    %a = tensor<8388608x8388608xf32>
+    %b = tensor<8388608x8388608xf32>
+    %c = linalg.matmul { bounds = [8388608, 8388608, 8388608],
+      iterators = [parallel, parallel, reduction],
+      maps = [(d0, d1, d2) -> (d0, d2), (d0, d1, d2) -> (d2, d1),
+              (d0, d1, d2) -> (d0, d1)],
+      arith = {mul: 1, add: 1} } ins(%a, %b)
+      : tensor<8388608x8388608xf32> })");
+  ASSERT_FALSE(static_cast<bool>(Product));
+  EXPECT_NE(Product.getError().find("iteration space"), std::string::npos)
+      << Product.getError();
+}
+
+TEST(ImportGateTest, AffineTermCap) {
+  std::string Expr = "d0";
+  for (unsigned I = 0; I < 80; ++I)
+    Expr += " + d0";
+  std::string Source = "module {\n  %t = tensor<16x16xf32>\n"
+                       "  %v = linalg.relu { bounds = [16, 16],\n"
+                       "    iterators = [parallel, parallel],\n"
+                       "    maps = [(d0, d1) -> (" + Expr + ", d1),\n"
+                       "            (d0, d1) -> (d0, d1)],\n"
+                       "    arith = {max: 1} } ins(%t) : tensor<16x16xf32> }";
+  Expected<Module> M = importModule(Source);
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.getError().find("term cap"), std::string::npos) << M.getError();
+  // Without limits, the same source parses (the accumulated coefficient
+  // is legal in generated IR).
+  EXPECT_TRUE(static_cast<bool>(parseModule(Source)));
+}
+
+TEST(ImportGateTest, SanitizeRejectsDegenerateBounds) {
+  // Built modules bypass the parser; sanitizeModule must still reject.
+  Module M("built");
+  Builder B(M);
+  B.relu(B.declareInput({16, 16}));
+  ImportLimits Limits;
+  std::string Err;
+  EXPECT_TRUE(sanitizeModule(M, Limits, Err)) << Err;
+
+  Module Empty("empty");
+  EXPECT_FALSE(sanitizeModule(Empty, Limits, Err));
+  EXPECT_NE(Err.find("no operations"), std::string::npos) << Err;
+}
+
+TEST(ImportGateTest, ZeroAndNegativeBoundsRejected) {
+  EXPECT_FALSE(static_cast<bool>(importModule(R"(module {
+    %t = tensor<0x4xf32>
+    %v = linalg.relu { bounds = [0, 4],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<0x4xf32> })")));
+  EXPECT_FALSE(static_cast<bool>(importModule(R"(module {
+    %t = tensor<4x4xf32>
+    %v = linalg.relu { bounds = [-1, 4],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<4x4xf32> })")));
+}
+
+TEST(ImportGateTest, OverflowingIntegerLiteralRejected) {
+  // In a tensor type the oversized literal saturates strtoll and dies
+  // on the dimension cap; in a bounds list it goes through parseInteger
+  // and must be diagnosed as not fitting 64 bits.
+  Expected<Module> Dim = importModule(R"(module {
+    %t = tensor<99999999999999999999x4xf32>
+    %v = linalg.relu { bounds = [4, 4],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<4x4xf32> })");
+  ASSERT_FALSE(static_cast<bool>(Dim));
+  EXPECT_FALSE(Dim.getError().empty());
+
+  Expected<Module> Bound = importModule(R"(module {
+    %t = tensor<4x4xf32>
+    %v = linalg.relu { bounds = [99999999999999999999, 4],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<4x4xf32> })");
+  ASSERT_FALSE(static_cast<bool>(Bound));
+  EXPECT_NE(Bound.getError().find("64 bits"), std::string::npos)
+      << Bound.getError();
+}

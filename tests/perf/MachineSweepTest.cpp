@@ -12,15 +12,19 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 using namespace mlirrl;
 
 namespace {
 
 /// A parallel + vectorized matmul schedule exercising all resources.
 LoopNest scheduledMatmul(int64_t Size) {
-  static std::vector<Module *> Keep;
-  Module *M = new Module(makeMatmulModule(Size, Size, Size));
-  Keep.push_back(M);
+  // Fixtures outlive the nests (owned, so LeakSanitizer stays quiet).
+  static std::vector<std::unique_ptr<Module>> Keep;
+  Module *M = Keep.emplace_back(
+                      std::make_unique<Module>(makeMatmulModule(Size, Size, Size)))
+                  .get();
   OpSchedule S;
   S.Transforms.push_back(Transformation::tiledParallelization({16, 16, 0}));
   S.Transforms.push_back(Transformation::interchange({2, 0, 1}));

@@ -6,14 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 using namespace mlirrl;
 
 namespace {
 
 LoopNest matmulNest(int64_t M, int64_t N, int64_t K, OpSchedule Sched = {}) {
-  static std::vector<Module *> Keep; // fixtures outlive the nests
-  Module *Mod = new Module("mm");
-  Keep.push_back(Mod);
+  // Fixtures outlive the nests (owned, so LeakSanitizer stays quiet).
+  static std::vector<std::unique_ptr<Module>> Keep;
+  Module *Mod = Keep.emplace_back(std::make_unique<Module>("mm")).get();
   Builder B(*Mod);
   std::string A = B.declareInput({M, K});
   std::string Bv = B.declareInput({K, N});

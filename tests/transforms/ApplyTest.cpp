@@ -2,6 +2,7 @@
 
 #include "ir/Builder.h"
 #include "transforms/Apply.h"
+#include "transforms/Legality.h"
 
 #include <gtest/gtest.h>
 
@@ -229,4 +230,141 @@ TEST_F(MatmulFixture, MaterializeModuleSkipsFusedAway) {
   std::vector<LoopNest> Nests = materializeModule(M2, Sched);
   ASSERT_EQ(Nests.size(), 1u);
   EXPECT_EQ(Nests[0].Bodies.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial inputs: degenerate shapes and boundary parameters the
+// fuzzer generates on purpose. Every case must either apply cleanly and
+// survive the post-transform checks, or be rejected with a reason --
+// never corrupt the state.
+//===----------------------------------------------------------------------===//
+
+#include "transforms/PostTransformChecks.h"
+
+namespace {
+
+/// Materializes and validates, returning the first violation (empty =
+/// clean).
+std::string checkedMaterialize(const Module &M2, unsigned OpIdx,
+                               const OpSchedule &Sched) {
+  Expected<LoopNest> Nest = materializeLoopNestChecked(M2, OpIdx, Sched);
+  if (!Nest)
+    return Nest.getError();
+  std::string Err;
+  if (!checkLoopNest(M2, OpIdx, Sched, *Nest, Err))
+    return Err;
+  return "";
+}
+
+} // namespace
+
+TEST(AdversarialApply, OneDimensionalOp) {
+  Module M2("one_d");
+  Builder B2(M2);
+  B2.relu(B2.declareInput({193}));
+
+  // Identity interchange is the only permutation; tiling with a
+  // non-dividing size; vectorization of the residual point loop.
+  OpTransformState S(M2.getOp(0));
+  EXPECT_TRUE(S.apply(Transformation::interchange({0})).Applied);
+  ASSERT_TRUE(S.apply(Transformation::tiling({10})).Applied);
+  EXPECT_EQ(S.getPointTrips(), (std::vector<int64_t>{10}));
+  std::string Err;
+  EXPECT_TRUE(checkTransformState(S, Err)) << Err;
+
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::interchange({0}));
+  Sched.Transforms.push_back(Transformation::tiling({10}));
+  Sched.Transforms.push_back(Transformation::vectorization());
+  EXPECT_EQ(checkedMaterialize(M2, 0, Sched), "");
+}
+
+TEST(AdversarialApply, TwoLoopOpEveryLegalSwap) {
+  Module M2("two_loop");
+  Builder B2(M2);
+  B2.relu(B2.declareInput({5, 7}));
+
+  auto Candidates = getEnumeratedInterchangeCandidates(2);
+  ASSERT_EQ(Candidates.size(), 1u);
+  for (auto [I, J] : Candidates) {
+    OpSchedule Sched;
+    Sched.Transforms.push_back(
+        Transformation::interchange(makeSwapPermutation(2, I, J)));
+    EXPECT_EQ(checkedMaterialize(M2, 0, Sched), "");
+  }
+}
+
+TEST(AdversarialApply, OneTripLoops) {
+  // Bounds of 1 everywhere tiling could act: every tile size is >= the
+  // trip, so tiling must degrade to a no-op band or a rejection, and
+  // the nest must still check out.
+  Module M2("one_trip");
+  Builder B2(M2);
+  std::string X = B2.declareInput({1, 64});
+  std::string Y = B2.declareInput({64, 1});
+  B2.matmul(X, Y); // bounds (1, 1, 64)
+
+  OpTransformState S(M2.getOp(0));
+  auto R = S.apply(Transformation::tiling({1, 1, 0}));
+  if (R.Applied) {
+    std::string Err;
+    EXPECT_TRUE(checkTransformState(S, Err)) << Err;
+  }
+  OpSchedule Sched;
+  Sched.Transforms.push_back(Transformation::tiling({0, 0, 8}));
+  EXPECT_EQ(checkedMaterialize(M2, 0, Sched), "");
+}
+
+TEST_F(MatmulFixture, MaxSizeTiles) {
+  // Tile sizes at trip and trip-1: the former is a per-dim no-op, the
+  // latter produces a 2-trip tile loop with a fat residue; both must
+  // materialize to a checkable nest. Bounds are (256, 512, 1024).
+  {
+    OpSchedule Sched;
+    Sched.Transforms.push_back(Transformation::tiling({256, 512, 1024}));
+    Expected<OpTransformState> S = replayOpSchedule(op(), Sched);
+    if (S) {
+      std::string Err;
+      EXPECT_TRUE(checkTransformState(*S, Err)) << Err;
+    }
+  }
+  {
+    OpSchedule Sched;
+    Sched.Transforms.push_back(Transformation::tiling({255, 511, 1023}));
+    LoopNest Nest = materializeLoopNest(M, 0, Sched);
+    std::string Err;
+    EXPECT_TRUE(checkLoopNest(M, 0, Sched, Nest, Err)) << Err;
+    for (const ScheduledLoop &L : Nest.OuterBand)
+      EXPECT_EQ(L.TripCount, 2);
+  }
+}
+
+TEST(AdversarialApply, RepeatedInterchangeAtEveryLegalDistance) {
+  // A 4-loop op: apply each enumerated swap twice (self-inverse, must
+  // land back on identity) and chain all of them; the state must remain
+  // a valid permutation and the nest must materialize after each step.
+  Module M2("four_loop");
+  Builder B2(M2);
+  B2.poolingMax(B2.declareInput({1, 8, 16, 16}), 2, 2, 2);
+  const LinalgOp &Op = M2.getOp(0);
+  unsigned N = Op.getNumLoops();
+  ASSERT_GE(N, 4u);
+
+  for (auto [I, J] : getEnumeratedInterchangeCandidates(N)) {
+    OpTransformState S(Op);
+    std::vector<unsigned> Perm = makeSwapPermutation(N, I, J);
+    ASSERT_TRUE(S.apply(Transformation::interchange(Perm)).Applied);
+    ASSERT_TRUE(S.apply(Transformation::interchange(Perm)).Applied);
+    std::vector<unsigned> Identity(N);
+    for (unsigned L = 0; L < N; ++L)
+      Identity[L] = L;
+    EXPECT_EQ(S.getOrder(), Identity);
+  }
+
+  OpSchedule Chained;
+  for (auto [I, J] : getEnumeratedInterchangeCandidates(N)) {
+    Chained.Transforms.push_back(
+        Transformation::interchange(makeSwapPermutation(N, I, J)));
+    EXPECT_EQ(checkedMaterialize(M2, 0, Chained), "");
+  }
 }

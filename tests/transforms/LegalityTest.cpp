@@ -93,3 +93,43 @@ TEST(LegalityTest, SwapPermutation) {
   EXPECT_EQ(P, (std::vector<unsigned>{0, 3, 2, 1}));
   EXPECT_TRUE(isValidPermutation(P, 4));
 }
+
+//===----------------------------------------------------------------------===//
+// Adversarial degenerate shapes: the masks must stay meaningful at the
+// bottom of every size range.
+//===----------------------------------------------------------------------===//
+
+TEST(LegalityAdversarial, OneDimensionalOpMasks) {
+  Module M("one_d");
+  Builder B(M);
+  B.relu(B.declareInput({17}));
+  const LinalgOp &Op = M.getOp(0);
+
+  EXPECT_TRUE(vectorizationPrecondition(Op));
+  // Trips of 0 and 1 must never unlock SIMD.
+  EXPECT_FALSE(isVectorizationLegal(Op, 0));
+  EXPECT_TRUE(getEnumeratedInterchangeCandidates(Op.getNumLoops()).empty());
+  EXPECT_TRUE(isValidPermutation({0}, 1));
+  EXPECT_FALSE(isValidPermutation({}, 1));
+}
+
+TEST(LegalityAdversarial, ZeroLoopPermutation) {
+  // Empty permutations: valid only for an (impossible) zero-loop op;
+  // the gate rejects such modules, but the predicate must not crash.
+  EXPECT_TRUE(isValidPermutation({}, 0));
+  EXPECT_FALSE(isValidPermutation({0}, 0));
+}
+
+TEST(LegalityAdversarial, SelfFusionAndOutOfRangeProducers) {
+  Module M("chain");
+  Builder B(M);
+  std::string X = B.declareInput({8, 8});
+  std::string R1 = B.relu(X); // op 0
+  B.relu(R1);                 // op 1
+  EXPECT_TRUE(canFuseProducer(M, 1, 0));
+  EXPECT_FALSE(canFuseProducer(M, 0, 0));
+  EXPECT_FALSE(canFuseProducer(M, 1, 1));
+  // Out-of-range indices answer false instead of touching getOp.
+  EXPECT_FALSE(canFuseProducer(M, 1, 2));
+  EXPECT_FALSE(canFuseProducer(M, 9, 0));
+}
