@@ -1,0 +1,127 @@
+//===- bench_gemm.cpp - GEMM kernel throughput across dtypes ----------------===//
+//
+// GFLOP/s of the raw gemmAcc kernels (no autograd, no tensors) across
+// element type {double, float} x kernel variant {scalar fallback,
+// explicit SIMD} x square sizes 64..1024. This is the dtype speedup
+// ledger behind the f32 inference path: the headline comparison is
+// NN/float/simd at 512 against NN/double/scalar at 512 (the pre-SIMD
+// kernel), committed to PERF.md and tracked across PRs through
+// scripts/bench_json.sh --gemm (BENCH_gemm.json).
+//
+// The NT/TN backward kernels are benched in their scalar form only
+// (they have no SIMD variant; training runs them on double).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Gemm.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+namespace {
+
+template <typename T> std::vector<T> randomSquare(Rng &R, unsigned N) {
+  std::vector<T> V(static_cast<size_t>(N) * N);
+  for (T &X : V)
+    X = static_cast<T>(R.nextDouble(-1.0, 1.0));
+  return V;
+}
+
+/// Forces one dispatch mode for the benchmark's scope and restores
+/// Auto on exit (the process-global default).
+struct KernelScope {
+  explicit KernelScope(GemmKernel K) { setGemmKernel(K); }
+  ~KernelScope() { setGemmKernel(GemmKernel::Auto); }
+};
+
+template <typename T>
+void BM_GemmNN(benchmark::State &State, GemmKernel Kind) {
+  if (Kind == GemmKernel::Simd && !gemmSimdAvailable()) {
+    State.SkipWithError("no SIMD kernel in this build");
+    return;
+  }
+  KernelScope Scope(Kind);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(5);
+  std::vector<T> A = randomSquare<T>(R, N);
+  std::vector<T> B = randomSquare<T>(R, N);
+  std::vector<T> C(static_cast<size_t>(N) * N, T(0));
+  for (auto _ : State) {
+    gemmAccNN(N, N, N, A.data(), N, B.data(), N, C.data(), N);
+    benchmark::DoNotOptimize(C.data());
+    benchmark::ClobberMemory();
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+template <typename T> void BM_GemmNT(benchmark::State &State) {
+  KernelScope Scope(GemmKernel::Scalar);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(6);
+  std::vector<T> A = randomSquare<T>(R, N);
+  std::vector<T> B = randomSquare<T>(R, N);
+  std::vector<T> C(static_cast<size_t>(N) * N, T(0));
+  for (auto _ : State) {
+    gemmAccNT(N, N, N, A.data(), N, B.data(), N, C.data(), N);
+    benchmark::DoNotOptimize(C.data());
+    benchmark::ClobberMemory();
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+template <typename T> void BM_GemmTN(benchmark::State &State) {
+  KernelScope Scope(GemmKernel::Scalar);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(7);
+  std::vector<T> A = randomSquare<T>(R, N);
+  std::vector<T> B = randomSquare<T>(R, N);
+  std::vector<T> C(static_cast<size_t>(N) * N, T(0));
+  for (auto _ : State) {
+    gemmAccTN(N, N, N, A.data(), N, B.data(), N, C.data(), N);
+    benchmark::DoNotOptimize(C.data());
+    benchmark::ClobberMemory();
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmNNF64(benchmark::State &State, GemmKernel Kind) {
+  BM_GemmNN<double>(State, Kind);
+}
+void BM_GemmNNF32(benchmark::State &State, GemmKernel Kind) {
+  BM_GemmNN<float>(State, Kind);
+}
+
+} // namespace
+
+#define GEMM_SIZES Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+
+BENCHMARK_CAPTURE(BM_GemmNNF64, f64_scalar, GemmKernel::Scalar)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNNF64, f64_simd, GemmKernel::Simd)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNNF32, f32_scalar, GemmKernel::Scalar)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNNF32, f32_simd, GemmKernel::Simd)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_TEMPLATE(BM_GemmNT, double)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmNT, float)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN, double)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN, float)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

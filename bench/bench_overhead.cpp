@@ -46,6 +46,34 @@ void BM_PolicyInferencePaperSizeNets(benchmark::State &State) {
   }
 }
 
+/// Full-sequence policy inference on the f32 path: the same greedy
+/// rollout with MlirRlOptions::Inference = F32, so every policy
+/// forward runs the packed float nets on the float SIMD kernels.
+void BM_PolicyInferencePerSampleF32(benchmark::State &State) {
+  MlirRlOptions Options = opts();
+  Options.Inference = InferenceDtype::F32;
+  MlirRl Sys(Options);
+  Module M = makeMatmulModule(512, 512, 512);
+  for (auto _ : State) {
+    double Speedup = Sys.optimize(M);
+    benchmark::DoNotOptimize(Speedup);
+  }
+}
+
+/// f32 inference with the paper-size networks; the GEMM-bound case
+/// where the float SIMD kernels buy the most.
+void BM_PolicyInferencePaperSizeNetsF32(benchmark::State &State) {
+  MlirRlOptions Options = opts();
+  Options.Net = NetConfig(); // 512-unit LSTM + 3 x Dense(512)
+  Options.Inference = InferenceDtype::F32;
+  MlirRl Sys(Options);
+  Module M = makeMatmulModule(512, 512, 512);
+  for (auto _ : State) {
+    double Speedup = Sys.optimize(M);
+    benchmark::DoNotOptimize(Speedup);
+  }
+}
+
 /// Applying a full transformation sequence to a DNN operator.
 void BM_TransformApplicationDnnOp(benchmark::State &State) {
   Module M = makeConv2dModule(1, 64, 58, 58, 64, 3, 3, 1);
@@ -101,7 +129,9 @@ void BM_RewardEvaluation(benchmark::State &State) {
 } // namespace
 
 BENCHMARK(BM_PolicyInferencePerSample)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyInferencePerSampleF32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PolicyInferencePaperSizeNets)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyInferencePaperSizeNetsF32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TransformApplicationDnnOp)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TransformApplicationLqcdApp)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RewardEvaluation)->Unit(benchmark::kMicrosecond);

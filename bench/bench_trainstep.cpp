@@ -12,6 +12,7 @@
 #include "BenchCommon.h"
 #include "datasets/Sequences.h"
 #include "env/Environment.h"
+#include "nn/Gemm.h"
 #include "nn/Ops.h"
 #include "support/Rng.h"
 
@@ -242,6 +243,28 @@ void BM_MatmulForward(benchmark::State &State) {
       benchmark::Counter::kIsRate);
 }
 
+/// The float inference counterpart of BM_MatmulForward: the same
+/// N x N x N product on the float gemmAccNN entry (the kernel the
+/// packed f32 policy nets run on). The ratio against BM_MatmulForward
+/// is the raw dtype speedup behind MlirRlOptions::Inference = F32.
+void BM_MatmulForwardF32(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng R(7);
+  std::vector<float> Af(static_cast<size_t>(N) * N), Bf(Af.size());
+  for (float &V : Af)
+    V = static_cast<float>(R.nextDouble(-1, 1));
+  for (float &V : Bf)
+    V = static_cast<float>(R.nextDouble(-1, 1));
+  std::vector<float> C(Af.size(), 0.0f);
+  for (auto _ : State) {
+    gemmAccNN(N, N, N, Af.data(), N, Bf.data(), N, C.data(), N);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * N * N * N * static_cast<double>(State.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
 /// Forward + both backward products through autograd (the PPO update
 /// path: dA = dC.B^T and dB = A^T.dC also run on the blocked kernels).
 void BM_MatmulForwardBackward(benchmark::State &State) {
@@ -298,6 +321,8 @@ BENCHMARK(BM_TrainIterationUpdateThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MatmulForward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatmulForwardF32)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MatmulForwardBackward)
     ->Arg(256)
     ->Unit(benchmark::kMicrosecond);

@@ -14,6 +14,12 @@
 #               (shard counts x thread counts; default output
 #               BENCH_memo.json). The contended_acquisitions counters
 #               are meaningful even on 1 core.
+#   --gemm      the raw GEMM kernel GFLOP/s matrix from bench_gemm
+#               (dtype x kernel variant x size; default output
+#               BENCH_gemm.json). Single-core numbers; the artifact
+#               records the compiler and -march the kernels were built
+#               with, since the SIMD micro-kernel's throughput is a
+#               property of both.
 #
 # Thread sweeps wider than the host's core count are skipped: a 1-core
 # box "benchmarking" 8 collector threads measures pool overhead and
@@ -53,6 +59,11 @@ case "${1:-}" in
     # plus the suffix-free single-thread hit/eviction benchmarks.
     FILTER="--benchmark_filter=StripedMemo.*(threads:$(threads_regex)\$|/(1|4|16|64)(/real_time)?\$)"
     DEFAULT_OUT=BENCH_memo.json
+    ;;
+  --gemm)
+    shift
+    BIN_NAME=bench_gemm
+    DEFAULT_OUT=BENCH_gemm.json
     ;;
   *)
     # Default perf-trajectory artifact: exclude the thread-sweep cases
@@ -94,9 +105,25 @@ fi
 # Record the host's core count in the artifact: google-benchmark's own
 # context has num_cpus, but the explicit top-level key makes the
 # "which sweeps could this box actually run" question greppable.
+# The GEMM artifact additionally records the compiler and the -march
+# the kernels were built with: SIMD micro-kernel GFLOP/s is a property
+# of (machine, compiler, ISA flags), and comparing artifacts that
+# differ in any of the three is meaningless.
+CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[A-Z]*=//p' "$REPO_ROOT/$BUILD_DIR/CMakeCache.txt" | head -1)
+COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
+MARCH=native
+grep -q 'MLIRRL_HAS_MARCH_NATIVE:INTERNAL=1' \
+    "$REPO_ROOT/$BUILD_DIR/CMakeCache.txt" 2>/dev/null || MARCH=default
 TMP="$OUT.tmp"
-awk -v nproc="$NPROC" 'NR==1 && $0 ~ /^\{/ { print "{"; print "  \"nproc\": " nproc ","; next } { print }' \
-    "$OUT" > "$TMP"
+awk -v nproc="$NPROC" -v compiler="$COMPILER" -v march="$MARCH" '
+  NR==1 && $0 ~ /^\{/ {
+    print "{"
+    print "  \"nproc\": " nproc ","
+    print "  \"compiler\": \"" compiler "\","
+    print "  \"march\": \"" march "\","
+    next
+  }
+  { print }' "$OUT" > "$TMP"
 mv "$TMP" "$OUT"
 
-echo "wrote $OUT (nproc=$NPROC)"
+echo "wrote $OUT (nproc=$NPROC, $COMPILER, -march=$MARCH)"

@@ -58,6 +58,15 @@ fi
 # against the from-scratch oracle bitwise.
 ./build/example_perf_smoke
 
+# --- GEMM dispatch smoke check --------------------------------------------
+# Cross-checks the dispatched GEMM micro-kernel (SIMD where the build
+# has one) against the portable scalar fallback at runtime on the CI
+# machine itself: double AND float, NN/NT/TN, tail-heavy shapes,
+# bitwise comparison. Double parity is what the bitwise-deterministic
+# training contract rides on; float parity covers the f32 greedy
+# inference path.
+./build/example_gemm_smoke
+
 # --- Striped-memo smoke check ---------------------------------------------
 # The memo micro-bench in smoke mode: hammers the lock-striped shared
 # memo from 4 threads at 1 shard (the global-lock baseline) and 16
@@ -99,4 +108,9 @@ if [[ "$sanitize" == 1 ]]; then
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./build-san/example_fuzz_smoke --inputs 2000 --episodes 50 \
     --corpus "$fuzz_corpus"
+  # The SIMD micro-kernels under ASan+UBSan (vector loads/stores and
+  # the tail delegation are exactly where an out-of-bounds lane read
+  # would hide).
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/example_gemm_smoke
 fi

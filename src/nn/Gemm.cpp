@@ -2,10 +2,13 @@
 
 #include "nn/Gemm.h"
 
+#include "nn/GemmKernel.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cstdint>
 
 using namespace mlirrl;
 using namespace mlirrl::nn;
@@ -14,6 +17,20 @@ namespace {
 
 /// The pool minibatch-update GEMMs fan out over (see setGemmPool).
 std::atomic<ThreadPool *> GemmPool{nullptr};
+
+/// The kernel dispatch override (see setGemmKernel).
+std::atomic<GemmKernel> KernelKind{GemmKernel::Auto};
+
+/// Resolves the dispatch to "run the SIMD micro-kernel?" once per
+/// public entry, so one gemmAcc call never mixes kernels across its
+/// row chunks.
+bool simdActive() {
+#if MLIRRL_GEMM_HAVE_SIMD
+  return KernelKind.load(std::memory_order_acquire) != GemmKernel::Scalar;
+#else
+  return false;
+#endif
+}
 
 /// Row-partitioning threshold: below this many multiply-adds the
 /// parallelFor hand-off costs more than it saves.
@@ -39,6 +56,80 @@ bool parallelOverRows(unsigned M, double Work, const RowSlice &Fn) {
   return true;
 }
 
+/// Debug guard at the public entry points: operand base pointers must
+/// exist and be element-aligned. Sub-matrix views (e.g. the per-gate
+/// W + F*N slices linearSplit passes) land at arbitrary element
+/// offsets, so element alignment is the strongest invariant holding
+/// here; the 64-byte alignment of whole tensor buffers is asserted
+/// where it is guaranteed, in the Tensor arena.
+template <typename T>
+inline void assertOperands(unsigned M, unsigned N, unsigned K, const T *A,
+                           const T *B, const T *C) {
+#ifndef NDEBUG
+  if (M == 0 || N == 0 || K == 0)
+    return;
+  assert(A && B && C && "GEMM operand is null");
+  assert(reinterpret_cast<uintptr_t>(A) % alignof(T) == 0 &&
+         reinterpret_cast<uintptr_t>(B) % alignof(T) == 0 &&
+         reinterpret_cast<uintptr_t>(C) % alignof(T) == 0 &&
+         "GEMM operand is not element-aligned");
+#else
+  (void)M;
+  (void)N;
+  (void)K;
+  (void)A;
+  (void)B;
+  (void)C;
+#endif
+}
+
+template <typename T>
+void gemmAccNNImpl(unsigned M, unsigned N, unsigned K, const T *A,
+                   unsigned LdA, const T *B, unsigned LdB, T *C,
+                   unsigned LdC) {
+  assertOperands(M, N, K, A, B, C);
+  const bool Simd = simdActive();
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        detail::gemmNNSerial<T>(Rows, N, K, A + static_cast<size_t>(Row0) * LdA,
+                                LdA, B, LdB, C + static_cast<size_t>(Row0) * LdC,
+                                LdC, Simd);
+      });
+  if (!Ran)
+    detail::gemmNNSerial<T>(M, N, K, A, LdA, B, LdB, C, LdC, Simd);
+}
+
+template <typename T>
+void gemmAccNTImpl(unsigned M, unsigned N, unsigned K, const T *A,
+                   unsigned LdA, const T *B, unsigned LdB, T *C,
+                   unsigned LdC) {
+  assertOperands(M, N, K, A, B, C);
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        detail::gemmNTSerial<T>(Rows, N, K, A + static_cast<size_t>(Row0) * LdA,
+                                LdA, B, LdB,
+                                C + static_cast<size_t>(Row0) * LdC, LdC);
+      });
+  if (!Ran)
+    detail::gemmNTSerial<T>(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+template <typename T>
+void gemmAccTNImpl(unsigned M, unsigned N, unsigned K, const T *A,
+                   unsigned LdA, const T *B, unsigned LdB, T *C,
+                   unsigned LdC) {
+  assertOperands(M, N, K, A, B, C);
+  // Output rows index the columns of A (stored KxM), so a row slice
+  // offsets A by columns and C by rows; LdA/LdB are unchanged.
+  bool Ran = parallelOverRows(
+      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
+        detail::gemmTNSerial<T>(Rows, N, K, A + Row0, LdA, B, LdB,
+                                C + static_cast<size_t>(Row0) * LdC, LdC);
+      });
+  if (!Ran)
+    detail::gemmTNSerial<T>(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
 } // namespace
 
 void nn::setGemmPool(ThreadPool *Pool) {
@@ -49,190 +140,64 @@ ThreadPool *nn::getGemmPool() {
   return GemmPool.load(std::memory_order_acquire);
 }
 
-namespace {
+void nn::setGemmKernel(GemmKernel Kind) {
+  KernelKind.store(Kind, std::memory_order_release);
+}
 
-/// Cache-blocking parameters (doubles): a KC x NC panel of B (~256 KiB)
-/// stays L2-resident while MC rows of A stream against it; the MR-row
-/// register tile amortizes each B load over MR accumulator rows.
-constexpr unsigned MC = 64;
-constexpr unsigned KC = 256;
-constexpr unsigned NC = 512;
-constexpr unsigned MR = 4;
+GemmKernel nn::getGemmKernel() {
+  return KernelKind.load(std::memory_order_acquire);
+}
 
-/// Register-tiled inner kernel: C[i0..i0+Rows) x [j0..j1) accumulates the
-/// K-panel [k0..k1). Rows <= MR; the j loop is the vectorized axis and
-/// each B row loaded from the panel feeds Rows accumulator rows.
-inline void microNN(unsigned Rows, unsigned j0, unsigned j1, unsigned k0,
-                    unsigned k1, const double *__restrict A, unsigned LdA,
-                    const double *__restrict B, unsigned LdB,
-                    double *__restrict C, unsigned LdC, unsigned i0) {
-  switch (Rows) {
-  case 4:
-    for (unsigned K = k0; K < k1; ++K) {
-      const double A0 = A[(i0 + 0) * LdA + K];
-      const double A1 = A[(i0 + 1) * LdA + K];
-      const double A2 = A[(i0 + 2) * LdA + K];
-      const double A3 = A[(i0 + 3) * LdA + K];
-      const double *__restrict Bk = B + static_cast<size_t>(K) * LdB;
-      double *__restrict C0 = C + static_cast<size_t>(i0 + 0) * LdC;
-      double *__restrict C1 = C + static_cast<size_t>(i0 + 1) * LdC;
-      double *__restrict C2 = C + static_cast<size_t>(i0 + 2) * LdC;
-      double *__restrict C3 = C + static_cast<size_t>(i0 + 3) * LdC;
-      for (unsigned J = j0; J < j1; ++J) {
-        const double Bv = Bk[J];
-        C0[J] += A0 * Bv;
-        C1[J] += A1 * Bv;
-        C2[J] += A2 * Bv;
-        C3[J] += A3 * Bv;
-      }
-    }
-    break;
+bool nn::gemmSimdAvailable() { return MLIRRL_GEMM_HAVE_SIMD != 0; }
+
+unsigned nn::gemmSimdLanes(size_t ElemSize) {
+#if MLIRRL_GEMM_HAVE_SIMD
+  switch (ElemSize) {
+  case sizeof(float):
+    return detail::SimdTraits<float>::Lanes;
+  case sizeof(double):
+    return detail::SimdTraits<double>::Lanes;
   default:
-    for (unsigned I = i0; I < i0 + Rows; ++I) {
-      double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
-      for (unsigned K = k0; K < k1; ++K) {
-        const double Av = A[I * LdA + K];
-        const double *__restrict Bk = B + static_cast<size_t>(K) * LdB;
-        for (unsigned J = j0; J < j1; ++J)
-          Ci[J] += Av * Bk[J];
-      }
-    }
-    break;
+    return 1;
   }
-}
-
-} // namespace
-
-static void gemmAccNNSerial(unsigned M, unsigned N, unsigned K,
-                            const double *A, unsigned LdA, const double *B,
-                            unsigned LdB, double *C, unsigned LdC) {
-  for (unsigned Jj = 0; Jj < N; Jj += NC) {
-    unsigned Jend = std::min(N, Jj + NC);
-    for (unsigned Kk = 0; Kk < K; Kk += KC) {
-      unsigned Kend = std::min(K, Kk + KC);
-      for (unsigned Ii = 0; Ii < M; Ii += MC) {
-        unsigned Iend = std::min(M, Ii + MC);
-        unsigned I = Ii;
-        for (; I + MR <= Iend; I += MR)
-          microNN(MR, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
-        if (I < Iend)
-          microNN(Iend - I, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
-      }
-    }
-  }
-}
-
-static void gemmAccNTSerial(unsigned M, unsigned N, unsigned K,
-                            const double *A, unsigned LdA, const double *B,
-                            unsigned LdB, double *C, unsigned LdC) {
-  // C[i][j] += sum_k A[i][k] * B[j][k]: both operands are scanned along
-  // k, so the inner loop is a unit-stride dot product; block j so the
-  // scanned rows of B stay cache-resident across the i loop.
-  for (unsigned Jj = 0; Jj < N; Jj += MC) {
-    unsigned Jend = std::min(N, Jj + MC);
-    for (unsigned Kk = 0; Kk < K; Kk += KC) {
-      unsigned Kend = std::min(K, Kk + KC);
-      for (unsigned I = 0; I < M; ++I) {
-        const double *__restrict Ai = A + static_cast<size_t>(I) * LdA;
-        double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
-        for (unsigned J = Jj; J < Jend; ++J) {
-          const double *__restrict Bj = B + static_cast<size_t>(J) * LdB;
-          double Acc = 0.0;
-          for (unsigned Kx = Kk; Kx < Kend; ++Kx)
-            Acc += Ai[Kx] * Bj[Kx];
-          Ci[J] += Acc;
-        }
-      }
-    }
-  }
-}
-
-static void gemmAccTNSerial(unsigned M, unsigned N, unsigned K,
-                            const double *A, unsigned LdA, const double *B,
-                            unsigned LdB, double *C, unsigned LdC) {
-  // C[i][j] += sum_k A[k][i] * B[k][j]: a sequence of rank-1 updates.
-  // Unroll k by MR so each C row load/store is amortized over MR
-  // accumulated outer products; block i so the updated C panel stays
-  // cache-resident across the k sweep.
-  for (unsigned Ii = 0; Ii < M; Ii += MC) {
-    unsigned Iend = std::min(M, Ii + MC);
-    for (unsigned Jj = 0; Jj < N; Jj += NC) {
-      unsigned Jend = std::min(N, Jj + NC);
-      unsigned Kx = 0;
-      for (; Kx + MR <= K; Kx += MR) {
-        const double *__restrict A0 = A + static_cast<size_t>(Kx + 0) * LdA;
-        const double *__restrict A1 = A + static_cast<size_t>(Kx + 1) * LdA;
-        const double *__restrict A2 = A + static_cast<size_t>(Kx + 2) * LdA;
-        const double *__restrict A3 = A + static_cast<size_t>(Kx + 3) * LdA;
-        const double *__restrict B0 = B + static_cast<size_t>(Kx + 0) * LdB;
-        const double *__restrict B1 = B + static_cast<size_t>(Kx + 1) * LdB;
-        const double *__restrict B2 = B + static_cast<size_t>(Kx + 2) * LdB;
-        const double *__restrict B3 = B + static_cast<size_t>(Kx + 3) * LdB;
-        for (unsigned I = Ii; I < Iend; ++I) {
-          const double V0 = A0[I], V1 = A1[I], V2 = A2[I], V3 = A3[I];
-          // Rows fed only by zeros contribute nothing; skipping them is
-          // exact and pays off in dW += X^T . dC with sparse feature
-          // batches X, where entire feature columns are zero.
-          if (V0 == 0.0 && V1 == 0.0 && V2 == 0.0 && V3 == 0.0)
-            continue;
-          double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
-          for (unsigned J = Jj; J < Jend; ++J)
-            Ci[J] += V0 * B0[J] + V1 * B1[J] + V2 * B2[J] + V3 * B3[J];
-        }
-      }
-      for (; Kx < K; ++Kx) {
-        const double *__restrict Ak = A + static_cast<size_t>(Kx) * LdA;
-        const double *__restrict Bk = B + static_cast<size_t>(Kx) * LdB;
-        for (unsigned I = Ii; I < Iend; ++I) {
-          const double V = Ak[I];
-          // Zero rows contribute nothing; skipping them is exact and
-          // pays off in the K == 1 case (dW += X^T . dC with a sparse
-          // feature row X), where every zero skips a full C-row update.
-          if (V == 0.0)
-            continue;
-          double *__restrict Ci = C + static_cast<size_t>(I) * LdC;
-          for (unsigned J = Jj; J < Jend; ++J)
-            Ci[J] += V * Bk[J];
-        }
-      }
-    }
-  }
+#else
+  (void)ElemSize;
+  return 1;
+#endif
 }
 
 void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
                    unsigned LdA, const double *B, unsigned LdB, double *C,
                    unsigned LdC) {
-  bool Ran = parallelOverRows(
-      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
-        gemmAccNNSerial(Rows, N, K, A + static_cast<size_t>(Row0) * LdA, LdA,
-                        B, LdB, C + static_cast<size_t>(Row0) * LdC, LdC);
-      });
-  if (!Ran)
-    gemmAccNNSerial(M, N, K, A, LdA, B, LdB, C, LdC);
+  gemmAccNNImpl<double>(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+void nn::gemmAccNN(unsigned M, unsigned N, unsigned K, const float *A,
+                   unsigned LdA, const float *B, unsigned LdB, float *C,
+                   unsigned LdC) {
+  gemmAccNNImpl<float>(M, N, K, A, LdA, B, LdB, C, LdC);
 }
 
 void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
                    unsigned LdA, const double *B, unsigned LdB, double *C,
                    unsigned LdC) {
-  bool Ran = parallelOverRows(
-      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
-        gemmAccNTSerial(Rows, N, K, A + static_cast<size_t>(Row0) * LdA, LdA,
-                        B, LdB, C + static_cast<size_t>(Row0) * LdC, LdC);
-      });
-  if (!Ran)
-    gemmAccNTSerial(M, N, K, A, LdA, B, LdB, C, LdC);
+  gemmAccNTImpl<double>(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+void nn::gemmAccNT(unsigned M, unsigned N, unsigned K, const float *A,
+                   unsigned LdA, const float *B, unsigned LdB, float *C,
+                   unsigned LdC) {
+  gemmAccNTImpl<float>(M, N, K, A, LdA, B, LdB, C, LdC);
 }
 
 void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
                    unsigned LdA, const double *B, unsigned LdB, double *C,
                    unsigned LdC) {
-  // Output rows index the columns of A (stored KxM), so a row slice
-  // offsets A by columns and C by rows; LdA/LdB are unchanged.
-  bool Ran = parallelOverRows(
-      M, static_cast<double>(M) * N * K, [&](unsigned Row0, unsigned Rows) {
-        gemmAccTNSerial(Rows, N, K, A + Row0, LdA, B, LdB,
-                        C + static_cast<size_t>(Row0) * LdC, LdC);
-      });
-  if (!Ran)
-    gemmAccTNSerial(M, N, K, A, LdA, B, LdB, C, LdC);
+  gemmAccTNImpl<double>(M, N, K, A, LdA, B, LdB, C, LdC);
+}
+
+void nn::gemmAccTN(unsigned M, unsigned N, unsigned K, const float *A,
+                   unsigned LdA, const float *B, unsigned LdB, float *C,
+                   unsigned LdC) {
+  gemmAccTNImpl<float>(M, N, K, A, LdA, B, LdB, C, LdC);
 }

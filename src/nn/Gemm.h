@@ -11,6 +11,13 @@
 /// kernels run directly on TensorNode::Data / TensorNode::Grad without
 /// per-element at(i,j) indexing or temporary transposed copies.
 ///
+/// Every kernel exists for double and for float. The double kernels are
+/// the training path and are bitwise-stable (same accumulation order
+/// per element regardless of pool size or kernel dispatch); the float
+/// kernels carry the opt-in f32 inference path
+/// (MlirRlOptions::Inference), where the NN product runs an explicitly
+/// SIMD micro-kernel when the platform has one (see setGemmKernel).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MLIRRL_NN_GEMM_H
@@ -35,10 +42,39 @@ namespace nn {
 void setGemmPool(ThreadPool *Pool);
 ThreadPool *getGemmPool();
 
+/// Which inner NN micro-kernel the gemmAcc entry points run. The two
+/// kernels accumulate every C element over k in the same order (SIMD
+/// only widens the independent j lanes), so the choice never changes
+/// results -- it is a speed knob, exposed so benchmarks can measure
+/// both and the gemm_smoke example can cross-check them at runtime.
+enum class GemmKernel {
+  Auto,   ///< Simd where compiled in, else Scalar (the default).
+  Scalar, ///< Force the portable scalar micro-kernel.
+  Simd,   ///< Force the vector-extension micro-kernel (no-op without it).
+};
+
+/// Sets the process-wide kernel dispatch (set from one thread only;
+/// kernels running concurrently read it).
+void setGemmKernel(GemmKernel Kind);
+GemmKernel getGemmKernel();
+
+/// Whether the SIMD micro-kernel was compiled in (GNU vector
+/// extensions; false only on compilers without them, where Simd
+/// dispatch silently runs the scalar kernel).
+bool gemmSimdAvailable();
+
+/// SIMD lane count per vector for a 4/8-byte element on this build
+/// (e.g. 8/4 for the 32-byte generic vectors); 1 without SIMD.
+/// For benchmark/perf-log labeling.
+unsigned gemmSimdLanes(size_t ElemSize);
+
 /// C(MxN) += A(MxK) . B(KxN). Row-major with leading dimensions LdA /
 /// LdB / LdC (elements per row).
 void gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
                unsigned LdA, const double *B, unsigned LdB, double *C,
+               unsigned LdC);
+void gemmAccNN(unsigned M, unsigned N, unsigned K, const float *A,
+               unsigned LdA, const float *B, unsigned LdB, float *C,
                unsigned LdC);
 
 /// C(MxN) += A(MxK) . B^T where B is stored row-major as NxK:
@@ -47,12 +83,18 @@ void gemmAccNN(unsigned M, unsigned N, unsigned K, const double *A,
 void gemmAccNT(unsigned M, unsigned N, unsigned K, const double *A,
                unsigned LdA, const double *B, unsigned LdB, double *C,
                unsigned LdC);
+void gemmAccNT(unsigned M, unsigned N, unsigned K, const float *A,
+               unsigned LdA, const float *B, unsigned LdB, float *C,
+               unsigned LdC);
 
 /// C(MxN) += A^T . B where A is stored row-major as KxM:
 /// C[i][j] += sum_k A[k][i] * B[k][j]. This is dW += X^T . dC with X
 /// passed in its stored layout.
 void gemmAccTN(unsigned M, unsigned N, unsigned K, const double *A,
                unsigned LdA, const double *B, unsigned LdB, double *C,
+               unsigned LdC);
+void gemmAccTN(unsigned M, unsigned N, unsigned K, const float *A,
+               unsigned LdA, const float *B, unsigned LdB, float *C,
                unsigned LdC);
 
 } // namespace nn

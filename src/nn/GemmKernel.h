@@ -1,0 +1,348 @@
+//===- GemmKernel.h - Dtype-generic blocked GEMM kernels ---------*- C++-*-===//
+///
+/// \file
+/// The dtype-generic kernel layer under nn/Gemm.h: cache-blocked,
+/// register-tiled accumulate kernels templated on the element type,
+/// instantiated for double (training; bitwise-stable) and float (the
+/// vectorized inference path).
+///
+/// Two inner kernels exist for the NN (C += A.B) product:
+///
+///  - a portable scalar micro-kernel -- the reference semantics; the
+///    double instantiation is the pre-dtype-refactor kernel verbatim,
+///    which is what keeps the training path bitwise-identical across
+///    the refactor; and
+///  - an explicitly SIMD micro-kernel built on GNU vector extensions
+///    (32-byte generic vectors, lowered by the compiler to whatever the
+///    target has: AVX2, SSE2, NEON, or scalar code).
+///
+/// Both accumulate every C element over k in ascending order; the SIMD
+/// kernel only widens the *j* axis, where lanes are independent
+/// accumulator chains, so the two kernels are bitwise-identical on any
+/// input for both dtypes (the gemm_smoke example and GemmTest assert
+/// exact equality at runtime -- the guard against a miscompiled or
+/// misdispatched SIMD path). Which one runs is a runtime dispatch
+/// (nn::setGemmKernel); Auto resolves to SIMD where the extension
+/// exists.
+///
+/// The NT (A.B^T) and TN (A^T.B) kernels are k-reduction respectively
+/// rank-1-update shaped; they keep the scalar-ordered template only
+/// (they carry the backward pass, which stays f64, and their inner
+/// loops are already unit-stride for the autovectorizer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_GEMMKERNEL_H
+#define MLIRRL_NN_GEMMKERNEL_H
+
+#include <algorithm>
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MLIRRL_GEMM_HAVE_SIMD 1
+#else
+#define MLIRRL_GEMM_HAVE_SIMD 0
+#endif
+
+namespace mlirrl {
+namespace nn {
+namespace detail {
+
+/// Cache-blocking parameters, in elements: a KC x NC panel of B stays
+/// cache-resident while MC rows of A stream against it; the MR-row
+/// register tile amortizes each B load over MR accumulator rows. The
+/// element counts are shared by both dtypes (the float panels are half
+/// the bytes, which only helps).
+constexpr unsigned MC = 64;
+constexpr unsigned KC = 256;
+constexpr unsigned NC = 512;
+constexpr unsigned MR = 4;
+
+#if MLIRRL_GEMM_HAVE_SIMD
+/// Generic SIMD vector of T: 32 bytes wide (4 doubles / 8 floats).
+/// 32 beats 64 measurably on AVX-512 hardware here (GCC's 64-byte
+/// lowering plus zmm frequency effects); on narrower ISAs the compiler
+/// splits the vector, which costs nothing. The alignment override makes
+/// loads/stores through casted pointers legal at element alignment (the
+/// compiler emits unaligned moves); rows at arbitrary leading
+/// dimensions are never vector-aligned.
+template <typename T> struct SimdTraits {
+  static constexpr unsigned Bytes = 32;
+  static constexpr unsigned Lanes = Bytes / sizeof(T);
+  typedef T Vec __attribute__((vector_size(Bytes), aligned(alignof(T))));
+};
+#endif
+
+/// Portable scalar micro-kernel for C += A.B: C rows [i0, i0+Rows) x
+/// [j0, j1) accumulate the K-panel [k0, k1). Rows <= MR; the j loop is
+/// the (auto-)vectorized axis and each B row loaded from the panel
+/// feeds Rows accumulator rows. This is the double kernel the repo
+/// trained on before the dtype refactor, verbatim.
+template <typename T>
+inline void microNNScalar(unsigned Rows, unsigned j0, unsigned j1, unsigned k0,
+                          unsigned k1, const T *__restrict A, unsigned LdA,
+                          const T *__restrict B, unsigned LdB, T *__restrict C,
+                          unsigned LdC, unsigned i0) {
+  switch (Rows) {
+  case 4:
+    for (unsigned K = k0; K < k1; ++K) {
+      const T A0 = A[(i0 + 0) * LdA + K];
+      const T A1 = A[(i0 + 1) * LdA + K];
+      const T A2 = A[(i0 + 2) * LdA + K];
+      const T A3 = A[(i0 + 3) * LdA + K];
+      const T *__restrict Bk = B + static_cast<size_t>(K) * LdB;
+      T *__restrict C0 = C + static_cast<size_t>(i0 + 0) * LdC;
+      T *__restrict C1 = C + static_cast<size_t>(i0 + 1) * LdC;
+      T *__restrict C2 = C + static_cast<size_t>(i0 + 2) * LdC;
+      T *__restrict C3 = C + static_cast<size_t>(i0 + 3) * LdC;
+      for (unsigned J = j0; J < j1; ++J) {
+        const T Bv = Bk[J];
+        C0[J] += A0 * Bv;
+        C1[J] += A1 * Bv;
+        C2[J] += A2 * Bv;
+        C3[J] += A3 * Bv;
+      }
+    }
+    break;
+  default:
+    for (unsigned I = i0; I < i0 + Rows; ++I) {
+      T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+      for (unsigned K = k0; K < k1; ++K) {
+        const T Av = A[I * LdA + K];
+        const T *__restrict Bk = B + static_cast<size_t>(K) * LdB;
+        for (unsigned J = j0; J < j1; ++J)
+          Ci[J] += Av * Bk[J];
+      }
+    }
+    break;
+  }
+}
+
+#if MLIRRL_GEMM_HAVE_SIMD
+
+/// Explicit-SIMD micro-kernel: identical accumulation semantics to
+/// microNNScalar (each C element's k chain is untouched; only the j
+/// axis is widened into independent lanes), so its output is required
+/// to be bitwise-identical -- the j tail runs the same scalar
+/// expression the scalar kernel runs.
+template <typename T>
+inline void microNNSimd(unsigned Rows, unsigned j0, unsigned j1, unsigned k0,
+                        unsigned k1, const T *__restrict A, unsigned LdA,
+                        const T *__restrict B, unsigned LdB, T *__restrict C,
+                        unsigned LdC, unsigned i0) {
+  using Vec = typename SimdTraits<T>::Vec;
+  constexpr unsigned L = SimdTraits<T>::Lanes;
+  if (Rows == MR) {
+    T *__restrict C0 = C + static_cast<size_t>(i0 + 0) * LdC;
+    T *__restrict C1 = C + static_cast<size_t>(i0 + 1) * LdC;
+    T *__restrict C2 = C + static_cast<size_t>(i0 + 2) * LdC;
+    T *__restrict C3 = C + static_cast<size_t>(i0 + 3) * LdC;
+    const T *__restrict A0 = A + static_cast<size_t>(i0 + 0) * LdA;
+    const T *__restrict A1 = A + static_cast<size_t>(i0 + 1) * LdA;
+    const T *__restrict A2 = A + static_cast<size_t>(i0 + 2) * LdA;
+    const T *__restrict A3 = A + static_cast<size_t>(i0 + 3) * LdA;
+    unsigned J = j0;
+    // Outer-product body: a 4-row x 2-vector C tile lives in registers
+    // across the whole K panel (8 accumulators + 2 B loads + 4 A
+    // broadcasts = within budget of a 16-register ISA), so C traffic
+    // drops from per-k to per-panel. Holding an element's partial sum
+    // in a register instead of storing/reloading it every k does not
+    // reorder its k chain -- this stays bitwise-equal to the scalar
+    // kernel.
+    for (; J + 2 * L <= j1; J += 2 * L) {
+      Vec S00 = *reinterpret_cast<const Vec *>(C0 + J);
+      Vec S01 = *reinterpret_cast<const Vec *>(C0 + J + L);
+      Vec S10 = *reinterpret_cast<const Vec *>(C1 + J);
+      Vec S11 = *reinterpret_cast<const Vec *>(C1 + J + L);
+      Vec S20 = *reinterpret_cast<const Vec *>(C2 + J);
+      Vec S21 = *reinterpret_cast<const Vec *>(C2 + J + L);
+      Vec S30 = *reinterpret_cast<const Vec *>(C3 + J);
+      Vec S31 = *reinterpret_cast<const Vec *>(C3 + J + L);
+      for (unsigned K = k0; K < k1; ++K) {
+        const T *__restrict Bk = B + static_cast<size_t>(K) * LdB;
+        const Vec B0 = *reinterpret_cast<const Vec *>(Bk + J);
+        const Vec B1 = *reinterpret_cast<const Vec *>(Bk + J + L);
+        const Vec VA0 = A0[K] - Vec{}; // broadcast
+        const Vec VA1 = A1[K] - Vec{};
+        const Vec VA2 = A2[K] - Vec{};
+        const Vec VA3 = A3[K] - Vec{};
+        S00 += VA0 * B0;
+        S01 += VA0 * B1;
+        S10 += VA1 * B0;
+        S11 += VA1 * B1;
+        S20 += VA2 * B0;
+        S21 += VA2 * B1;
+        S30 += VA3 * B0;
+        S31 += VA3 * B1;
+      }
+      *reinterpret_cast<Vec *>(C0 + J) = S00;
+      *reinterpret_cast<Vec *>(C0 + J + L) = S01;
+      *reinterpret_cast<Vec *>(C1 + J) = S10;
+      *reinterpret_cast<Vec *>(C1 + J + L) = S11;
+      *reinterpret_cast<Vec *>(C2 + J) = S20;
+      *reinterpret_cast<Vec *>(C2 + J + L) = S21;
+      *reinterpret_cast<Vec *>(C3 + J) = S30;
+      *reinterpret_cast<Vec *>(C3 + J + L) = S31;
+    }
+    // Single-vector j tail, accumulators still held over K.
+    for (; J + L <= j1; J += L) {
+      Vec S0 = *reinterpret_cast<const Vec *>(C0 + J);
+      Vec S1 = *reinterpret_cast<const Vec *>(C1 + J);
+      Vec S2 = *reinterpret_cast<const Vec *>(C2 + J);
+      Vec S3 = *reinterpret_cast<const Vec *>(C3 + J);
+      for (unsigned K = k0; K < k1; ++K) {
+        const Vec Bv = *reinterpret_cast<const Vec *>(
+            B + static_cast<size_t>(K) * LdB + J);
+        S0 += (A0[K] - Vec{}) * Bv;
+        S1 += (A1[K] - Vec{}) * Bv;
+        S2 += (A2[K] - Vec{}) * Bv;
+        S3 += (A3[K] - Vec{}) * Bv;
+      }
+      *reinterpret_cast<Vec *>(C0 + J) = S0;
+      *reinterpret_cast<Vec *>(C1 + J) = S1;
+      *reinterpret_cast<Vec *>(C2 + J) = S2;
+      *reinterpret_cast<Vec *>(C3 + J) = S3;
+    }
+    // Sub-vector j tail: run the scalar micro-kernel itself, not a
+    // hand-written scalar loop. Bitwise identity with Scalar dispatch
+    // must not hinge on the compiler contracting two different loops
+    // into the same mul/fma mix, so the tail shares the scalar kernel's
+    // machine code outright.
+    if (J < j1)
+      microNNScalar<T>(MR, J, j1, k0, k1, A, LdA, B, LdB, C, LdC, i0);
+    return;
+  }
+  const unsigned jv = j0 + ((j1 - j0) / L) * L;
+  for (unsigned I = i0; I < i0 + Rows; ++I) {
+    T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+    const T *__restrict Ai = A + static_cast<size_t>(I) * LdA;
+    for (unsigned J = j0; J < jv; J += L) {
+      Vec S = *reinterpret_cast<const Vec *>(Ci + J);
+      for (unsigned K = k0; K < k1; ++K)
+        S += (Ai[K] - Vec{}) *
+             *reinterpret_cast<const Vec *>(B + static_cast<size_t>(K) * LdB +
+                                            J);
+      *reinterpret_cast<Vec *>(Ci + J) = S;
+    }
+  }
+  if (jv < j1)
+    microNNScalar<T>(Rows, jv, j1, k0, k1, A, LdA, B, LdB, C, LdC, i0);
+}
+
+#endif // MLIRRL_GEMM_HAVE_SIMD
+
+/// Blocked serial driver for C(MxN) += A(MxK) . B(KxN); \p Simd selects
+/// the micro-kernel (resolved once at the public entry point).
+template <typename T>
+void gemmNNSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
+                  const T *B, unsigned LdB, T *C, unsigned LdC, bool Simd) {
+  (void)Simd;
+  for (unsigned Jj = 0; Jj < N; Jj += NC) {
+    unsigned Jend = std::min(N, Jj + NC);
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      unsigned Kend = std::min(K, Kk + KC);
+      for (unsigned Ii = 0; Ii < M; Ii += MC) {
+        unsigned Iend = std::min(M, Ii + MC);
+        unsigned I = Ii;
+#if MLIRRL_GEMM_HAVE_SIMD
+        if (Simd) {
+          for (; I + MR <= Iend; I += MR)
+            microNNSimd<T>(MR, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
+          if (I < Iend)
+            microNNSimd<T>(Iend - I, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C,
+                           LdC, I);
+          continue;
+        }
+#endif
+        for (; I + MR <= Iend; I += MR)
+          microNNScalar<T>(MR, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C, LdC, I);
+        if (I < Iend)
+          microNNScalar<T>(Iend - I, Jj, Jend, Kk, Kend, A, LdA, B, LdB, C,
+                           LdC, I);
+      }
+    }
+  }
+}
+
+/// C(MxN) += A(MxK) . B^T with B stored NxK: both operands are scanned
+/// along k, so the inner loop is a unit-stride dot product; block j so
+/// the scanned rows of B stay cache-resident across the i loop.
+template <typename T>
+void gemmNTSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
+                  const T *B, unsigned LdB, T *C, unsigned LdC) {
+  for (unsigned Jj = 0; Jj < N; Jj += MC) {
+    unsigned Jend = std::min(N, Jj + MC);
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      unsigned Kend = std::min(K, Kk + KC);
+      for (unsigned I = 0; I < M; ++I) {
+        const T *__restrict Ai = A + static_cast<size_t>(I) * LdA;
+        T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+        for (unsigned J = Jj; J < Jend; ++J) {
+          const T *__restrict Bj = B + static_cast<size_t>(J) * LdB;
+          T Acc = T(0);
+          for (unsigned Kx = Kk; Kx < Kend; ++Kx)
+            Acc += Ai[Kx] * Bj[Kx];
+          Ci[J] += Acc;
+        }
+      }
+    }
+  }
+}
+
+/// C(MxN) += A^T . B with A stored KxM: a sequence of rank-1 updates.
+/// Unroll k by MR so each C row load/store is amortized over MR
+/// accumulated outer products; block i so the updated C panel stays
+/// cache-resident across the k sweep.
+template <typename T>
+void gemmTNSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
+                  const T *B, unsigned LdB, T *C, unsigned LdC) {
+  for (unsigned Ii = 0; Ii < M; Ii += MC) {
+    unsigned Iend = std::min(M, Ii + MC);
+    for (unsigned Jj = 0; Jj < N; Jj += NC) {
+      unsigned Jend = std::min(N, Jj + NC);
+      unsigned Kx = 0;
+      for (; Kx + MR <= K; Kx += MR) {
+        const T *__restrict A0 = A + static_cast<size_t>(Kx + 0) * LdA;
+        const T *__restrict A1 = A + static_cast<size_t>(Kx + 1) * LdA;
+        const T *__restrict A2 = A + static_cast<size_t>(Kx + 2) * LdA;
+        const T *__restrict A3 = A + static_cast<size_t>(Kx + 3) * LdA;
+        const T *__restrict B0 = B + static_cast<size_t>(Kx + 0) * LdB;
+        const T *__restrict B1 = B + static_cast<size_t>(Kx + 1) * LdB;
+        const T *__restrict B2 = B + static_cast<size_t>(Kx + 2) * LdB;
+        const T *__restrict B3 = B + static_cast<size_t>(Kx + 3) * LdB;
+        for (unsigned I = Ii; I < Iend; ++I) {
+          const T V0 = A0[I], V1 = A1[I], V2 = A2[I], V3 = A3[I];
+          // Rows fed only by zeros contribute nothing; skipping them is
+          // exact and pays off in dW += X^T . dC with sparse feature
+          // batches X, where entire feature columns are zero.
+          if (V0 == T(0) && V1 == T(0) && V2 == T(0) && V3 == T(0))
+            continue;
+          T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+          for (unsigned J = Jj; J < Jend; ++J)
+            Ci[J] += V0 * B0[J] + V1 * B1[J] + V2 * B2[J] + V3 * B3[J];
+        }
+      }
+      for (; Kx < K; ++Kx) {
+        const T *__restrict Ak = A + static_cast<size_t>(Kx) * LdA;
+        const T *__restrict Bk = B + static_cast<size_t>(Kx) * LdB;
+        for (unsigned I = Ii; I < Iend; ++I) {
+          const T V = Ak[I];
+          // Zero rows contribute nothing; skipping them is exact and
+          // pays off in the K == 1 case (dW += X^T . dC with a sparse
+          // feature row X), where every zero skips a full C-row update.
+          if (V == T(0))
+            continue;
+          T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+          for (unsigned J = Jj; J < Jend; ++J)
+            Ci[J] += V * Bk[J];
+        }
+      }
+    }
+  }
+}
+
+} // namespace detail
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_GEMMKERNEL_H

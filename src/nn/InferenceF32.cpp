@@ -1,0 +1,162 @@
+//===- InferenceF32.cpp ---------------------------------------------------===//
+
+#include "nn/InferenceF32.h"
+
+#include "nn/Gemm.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+MatF32 MatF32::fromTensor(const Tensor &T) {
+  MatF32 M(T.rows(), T.cols());
+  const DBuffer &Src = T.data();
+  for (size_t I = 0; I < Src.size(); ++I)
+    M.Data[I] = static_cast<float>(Src[I]);
+  return M;
+}
+
+LinearF32 LinearF32::pack(const Linear &L) {
+  return LinearF32{MatF32::fromTensor(L.weight()), MatF32::fromTensor(L.bias())};
+}
+
+/// Prefills every row of \p Out with the bias row (the accumulate-into-C
+/// GEMM contract then adds the product on top).
+static MatF32 biasRows(unsigned Rows, const MatF32 &Bias) {
+  MatF32 Out(Rows, Bias.Cols);
+  for (unsigned R = 0; R < Rows; ++R)
+    for (unsigned C = 0; C < Bias.Cols; ++C)
+      Out.row(R)[C] = Bias.at(0, C);
+  return Out;
+}
+
+namespace {
+
+/// The float image of Ops.cpp's forwardProduct: C += A . B with the
+/// same zero-skipping row path for single-row and sparse inputs.
+/// Greedy inference is mostly M == 1 over ReLU activations (half
+/// zeros) and the step-1 LSTM hidden state (all zeros); streaming the
+/// whole dense weight panel through the blocked kernel for those rows
+/// costs more bandwidth than the skipped multiplies save.
+void forwardProductF32(unsigned M, unsigned N, unsigned K, const float *A,
+                       const float *B, float *C) {
+  auto SparseRow = [&](unsigned I) {
+    const float *__restrict Ai = A + static_cast<size_t>(I) * K;
+    float *__restrict Ci = C + static_cast<size_t>(I) * N;
+    for (unsigned Kk = 0; Kk < K; ++Kk) {
+      const float Av = Ai[Kk];
+      if (Av == 0.0f)
+        continue;
+      const float *__restrict Bk = B + static_cast<size_t>(Kk) * N;
+      for (unsigned J = 0; J < N; ++J)
+        Ci[J] += Av * Bk[J];
+    }
+  };
+  if (M == 1) {
+    SparseRow(0);
+    return;
+  }
+  size_t Nnz = 0;
+  size_t Total = static_cast<size_t>(M) * K;
+  for (size_t I = 0; I < Total; ++I)
+    Nnz += A[I] != 0.0f;
+  if (Nnz * 2 < Total) {
+    for (unsigned I = 0; I < M; ++I)
+      SparseRow(I);
+    return;
+  }
+  gemmAccNN(M, N, K, A, K, B, N, C, N);
+}
+
+} // namespace
+
+MatF32 LinearF32::forward(const MatF32 &X) const {
+  assert(X.Cols == W.Rows && "linear shape mismatch");
+  MatF32 Out = biasRows(X.Rows, B);
+  forwardProductF32(X.Rows, W.Cols, X.Cols, X.Data.data(), W.Data.data(),
+                    Out.Data.data());
+  return Out;
+}
+
+MlpF32 MlpF32::pack(const Mlp &M) {
+  MlpF32 Out;
+  for (const Linear &L : M.layers())
+    Out.Layers.push_back(LinearF32::pack(L));
+  return Out;
+}
+
+MatF32 MlpF32::forward(const MatF32 &X) const {
+  assert(!Layers.empty() && "empty MLP");
+  MatF32 Cur = Layers.front().forward(X);
+  for (size_t I = 1; I < Layers.size(); ++I) {
+    for (float &V : Cur.Data)
+      V = V > 0.0f ? V : 0.0f;
+    Cur = Layers[I].forward(Cur);
+  }
+  // The stack applies ReLU after every layer (Mlp::forward's shape).
+  for (float &V : Cur.Data)
+    V = V > 0.0f ? V : 0.0f;
+  return Cur;
+}
+
+MatF32 nn::linearSplitSparseF32(const SparseRows &X, const MatF32 &H,
+                                const LinearF32 &L) {
+  const unsigned F = X.Cols;                  // sparse feature width
+  const unsigned G = H.Cols;                  // hidden width
+  const unsigned N = L.W.Cols;                // output width
+  assert(L.W.Rows == F + G && "split weight shape mismatch");
+  assert(H.Rows == X.Rows && "batch size mismatch");
+  MatF32 Out = biasRows(X.Rows, L.B);
+  // X part: rows are ~97% zeros, so accumulate one axpy per nonzero
+  // against the matching W row (the float image of forwardProduct's
+  // sparse path).
+  for (unsigned R = 0; R < X.Rows; ++R) {
+    float *OutR = Out.row(R);
+    for (const SparseRows::Entry &E : X.RowEntries[R]) {
+      const float V = static_cast<float>(E.Value);
+      const float *WRow = L.W.row(E.Col);
+      for (unsigned C = 0; C < N; ++C)
+        OutR[C] += V * WRow[C];
+    }
+  }
+  // H part against the lower G rows of W: the density-dispatched
+  // product (the step-1 hidden state is all zeros and skips outright;
+  // dense batched rows take the float SIMD GEMM).
+  forwardProductF32(H.Rows, N, G, H.Data.data(), L.W.row(F), Out.Data.data());
+  return Out;
+}
+
+LstmCellF32 LstmCellF32::pack(const LstmCell &Cell) {
+  LstmCellF32 Out;
+  Out.Hidden = Cell.hiddenSize();
+  Out.InputGate = LinearF32::pack(Cell.inputGate());
+  Out.ForgetGate = LinearF32::pack(Cell.forgetGate());
+  Out.CellGate = LinearF32::pack(Cell.cellGate());
+  Out.OutputGate = LinearF32::pack(Cell.outputGate());
+  return Out;
+}
+
+MatF32 LstmCellF32::runSequenceSparse(
+    const std::vector<std::shared_ptr<const SparseRows>> &Sequence) const {
+  assert(!Sequence.empty() && "empty LSTM sequence");
+  const unsigned B = Sequence.front()->Rows;
+  MatF32 Hs(B, Hidden);
+  MatF32 Cs(B, Hidden);
+  for (const std::shared_ptr<const SparseRows> &X : Sequence) {
+    MatF32 I = linearSplitSparseF32(*X, Hs, InputGate);
+    MatF32 F = linearSplitSparseF32(*X, Hs, ForgetGate);
+    MatF32 G = linearSplitSparseF32(*X, Hs, CellGate);
+    MatF32 O = linearSplitSparseF32(*X, Hs, OutputGate);
+    for (size_t K = 0; K < Cs.Data.size(); ++K) {
+      const float Iv = 1.0f / (1.0f + std::exp(-I.Data[K]));
+      const float Fv = 1.0f / (1.0f + std::exp(-F.Data[K]));
+      const float Gv = std::tanh(G.Data[K]);
+      const float Ov = 1.0f / (1.0f + std::exp(-O.Data[K]));
+      Cs.Data[K] = Fv * Cs.Data[K] + Iv * Gv;
+      Hs.Data[K] = Ov * std::tanh(Cs.Data[K]);
+    }
+  }
+  return Hs;
+}

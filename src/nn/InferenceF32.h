@@ -1,0 +1,101 @@
+//===- InferenceF32.h - Float32 inference mirrors ----------------*- C++-*-===//
+///
+/// \file
+/// Float32 mirrors of the forward-only layer stack, for the opt-in f32
+/// greedy-inference path (MlirRlOptions::Inference). Parameters train
+/// in double; these types hold packed float copies converted once per
+/// parameter version, and their forward passes run the float GEMM
+/// kernels of nn/Gemm.h (the explicitly SIMD NN micro-kernel at twice
+/// the lane width of double).
+///
+/// Nothing here is differentiable and nothing feeds training: results
+/// track the f64 forward pass to float relative error (bounded by
+/// tests/rl/InferenceF32Test), which is enough for greedy argmax
+/// inference but deliberately kept away from the bitwise-deterministic
+/// training contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_NN_INFERENCEF32_H
+#define MLIRRL_NN_INFERENCEF32_H
+
+#include "nn/Lstm.h"
+#include "support/AlignedAlloc.h"
+
+#include <memory>
+#include <vector>
+
+namespace mlirrl {
+namespace nn {
+
+/// Float buffer with the same 64-byte-aligned allocation the double
+/// tensor buffers use.
+using FBuffer = std::vector<float, AlignedAllocator<float, BufferAlignment>>;
+
+/// A dense row-major float matrix. Plain storage, no graph.
+struct MatF32 {
+  unsigned Rows = 0;
+  unsigned Cols = 0;
+  FBuffer Data;
+
+  MatF32() = default;
+  MatF32(unsigned Rows, unsigned Cols)
+      : Rows(Rows), Cols(Cols),
+        Data(static_cast<size_t>(Rows) * Cols, 0.0f) {}
+
+  /// Packs a double tensor's values, narrowing each to float.
+  static MatF32 fromTensor(const Tensor &T);
+
+  float *row(unsigned R) { return Data.data() + static_cast<size_t>(R) * Cols; }
+  const float *row(unsigned R) const {
+    return Data.data() + static_cast<size_t>(R) * Cols;
+  }
+  float at(unsigned R, unsigned C) const {
+    return Data[static_cast<size_t>(R) * Cols + C];
+  }
+};
+
+/// Packed float copy of a Linear layer (W: In x Out, B: 1 x Out).
+struct LinearF32 {
+  MatF32 W;
+  MatF32 B;
+
+  static LinearF32 pack(const Linear &L);
+
+  /// Y(B x Out) = X(B x In) . W + bias broadcast over rows.
+  MatF32 forward(const MatF32 &X) const;
+};
+
+/// Packed float MLP: the Linear+ReLU backbone stack.
+struct MlpF32 {
+  std::vector<LinearF32> Layers;
+
+  static MlpF32 pack(const Mlp &M);
+
+  MatF32 forward(const MatF32 &X) const;
+};
+
+/// The fused split product in float: Y = [X, H] . W + bias without
+/// materializing the concatenation, with X in the batch's compressed
+/// sparse form (values narrowed to float on the fly). The float
+/// counterpart of linearSplitSparse's forward half.
+MatF32 linearSplitSparseF32(const SparseRows &X, const MatF32 &H,
+                            const LinearF32 &L);
+
+/// Packed float LSTM cell; runSequenceSparse mirrors
+/// LstmCell::runSequenceSparse (producer row, consumer row, final
+/// hidden state is the embedding).
+struct LstmCellF32 {
+  unsigned Hidden = 0;
+  LinearF32 InputGate, ForgetGate, CellGate, OutputGate;
+
+  static LstmCellF32 pack(const LstmCell &Cell);
+
+  MatF32 runSequenceSparse(
+      const std::vector<std::shared_ptr<const SparseRows>> &Sequence) const;
+};
+
+} // namespace nn
+} // namespace mlirrl
+
+#endif // MLIRRL_NN_INFERENCEF32_H

@@ -60,6 +60,9 @@ public:
 
   unsigned outFeatures() const;
 
+  /// The layer stack (read-only; the f32 inference packer walks it).
+  const std::vector<Linear> &layers() const { return Layers; }
+
 private:
   std::vector<Linear> Layers;
 };

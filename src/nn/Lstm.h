@@ -52,6 +52,12 @@ public:
   std::vector<Tensor> parameters() const;
   unsigned hiddenSize() const { return Hidden; }
 
+  /// Gate layers (read-only; the f32 inference packer copies them).
+  const Linear &inputGate() const { return InputGate; }
+  const Linear &forgetGate() const { return ForgetGate; }
+  const Linear &cellGate() const { return CellGate; }
+  const Linear &outputGate() const { return OutputGate; }
+
 private:
   unsigned Hidden = 0;
   // Gate layers over the concatenated [x, h] input.

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <unordered_set>
 
 using namespace mlirrl;
@@ -25,23 +26,27 @@ public:
     return Arena;
   }
 
-  std::vector<double> acquire(size_t Size) {
-    // LIFO reuse matches the repeating allocation pattern; scan a few
-    // entries for one already big enough so assign() never reallocates.
-    size_t Limit = Free.size() > ScanDepth ? Free.size() - ScanDepth : 0;
-    for (size_t I = Free.size(); I > Limit; --I) {
-      if (Free[I - 1].capacity() >= Size) {
-        std::vector<double> Buffer = std::move(Free[I - 1]);
-        Free.erase(Free.begin() + static_cast<ptrdiff_t>(I - 1));
-        PooledBytes -= Buffer.capacity() * sizeof(double);
-        Buffer.assign(Size, 0.0);
-        return Buffer;
-      }
-    }
-    return std::vector<double>(Size, 0.0);
+  DBuffer acquire(size_t Size) {
+    DBuffer Buffer = reuse(Size);
+    Buffer.assign(Size, 0.0);
+    assert(Buffer.empty() || reinterpret_cast<uintptr_t>(Buffer.data()) %
+                                     BufferAlignment ==
+                                 0);
+    return Buffer;
   }
 
-  void release(std::vector<double> &&Buffer) {
+  /// A recycled buffer filled with a copy of [Values, Values + Size)
+  /// instead of zeros (one pass, no zero-fill).
+  DBuffer acquireFrom(const double *Values, size_t Size) {
+    DBuffer Buffer = reuse(Size);
+    Buffer.assign(Values, Values + Size);
+    assert(Buffer.empty() || reinterpret_cast<uintptr_t>(Buffer.data()) %
+                                     BufferAlignment ==
+                                 0);
+    return Buffer;
+  }
+
+  void release(DBuffer &&Buffer) {
     size_t Bytes = Buffer.capacity() * sizeof(double);
     if (Bytes == 0 || Free.size() >= MaxEntries ||
         PooledBytes + Bytes > MaxPooledBytes)
@@ -51,11 +56,28 @@ public:
   }
 
 private:
+  /// LIFO reuse matches the repeating allocation pattern; scan a few
+  /// entries for one already big enough so assign() never reallocates.
+  /// All buffers come from the 64-byte-aligned allocator (DBuffer), so
+  /// every tensor base the GEMM/SIMD kernels see is cache-line aligned.
+  DBuffer reuse(size_t Size) {
+    size_t Limit = Free.size() > ScanDepth ? Free.size() - ScanDepth : 0;
+    for (size_t I = Free.size(); I > Limit; --I) {
+      if (Free[I - 1].capacity() >= Size) {
+        DBuffer Buffer = std::move(Free[I - 1]);
+        Free.erase(Free.begin() + static_cast<ptrdiff_t>(I - 1));
+        PooledBytes -= Buffer.capacity() * sizeof(double);
+        return Buffer;
+      }
+    }
+    return DBuffer();
+  }
+
   static constexpr size_t ScanDepth = 8;
   static constexpr size_t MaxEntries = 1024;
   static constexpr size_t MaxPooledBytes = 128u << 20;
 
-  std::vector<std::vector<double>> Free;
+  std::vector<DBuffer> Free;
   size_t PooledBytes = 0;
 };
 
@@ -84,12 +106,12 @@ Tensor Tensor::fromData(unsigned Rows, unsigned Cols,
                         std::vector<double> Values) {
   assert(Values.size() == static_cast<size_t>(Rows) * Cols &&
          "data size mismatch");
-  // Adopt the caller's buffer directly; only Grad comes from the arena
-  // (zeros() would zero-fill a Data buffer just to overwrite it).
+  // The caller's buffer is copied into an arena buffer (one pass, no
+  // zero-fill) so Data keeps the arena's 64-byte alignment guarantee.
   std::shared_ptr<TensorNode> Node(new TensorNode, destroyNode);
   Node->Rows = Rows;
   Node->Cols = Cols;
-  Node->Data = std::move(Values);
+  Node->Data = BufferArena::local().acquireFrom(Values.data(), Values.size());
   return Tensor(std::move(Node));
 }
 

@@ -12,6 +12,8 @@
 #ifndef MLIRRL_NN_TENSOR_H
 #define MLIRRL_NN_TENSOR_H
 
+#include "support/AlignedAlloc.h"
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,12 +25,16 @@ namespace nn {
 
 class Tensor;
 
+/// Tensor buffer storage: 64-byte-aligned so SIMD kernels see aligned
+/// bases (the arena in Tensor.cpp recycles these).
+using DBuffer = std::vector<double, AlignedAllocator<double, BufferAlignment>>;
+
 /// The graph node behind a Tensor handle.
 struct TensorNode {
   unsigned Rows = 0;
   unsigned Cols = 0;
-  std::vector<double> Data;
-  std::vector<double> Grad;
+  DBuffer Data;
+  DBuffer Grad;
   bool RequiresGrad = false;
 
   /// Parents in the compute graph (kept alive through backward).
@@ -70,9 +76,9 @@ public:
   double at(unsigned R, unsigned C) const { return Node->at(R, C); }
   double item() const;
 
-  const std::vector<double> &data() const { return Node->Data; }
-  std::vector<double> &mutableData() { return Node->Data; }
-  const std::vector<double> &grad() const { return Node->Grad; }
+  const DBuffer &data() const { return Node->Data; }
+  DBuffer &mutableData() { return Node->Data; }
+  const DBuffer &grad() const { return Node->Grad; }
 
   bool requiresGrad() const { return Node->RequiresGrad; }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <optional>
 
 using namespace mlirrl;
@@ -27,6 +28,43 @@ Tensor packMaskRows(const std::vector<const Observation *> &Batch,
     Packed.insert(Packed.end(), Row.begin(), Row.end());
   }
   return Tensor::fromData(B, N, std::move(Packed));
+}
+
+/// Masked greedy argmax over one float logits row: the first valid
+/// index with the strictly greatest logit -- softmax is monotone, so
+/// this is argmaxRow's masked-probability argmax (first-index ties
+/// included) applied to float logits. \p Mask may be null for no mask.
+unsigned argmaxMaskedF32(const float *Logits, unsigned N,
+                         const std::vector<double> *Mask) {
+  assert((!Mask || Mask->size() == N) && "mask width mismatch");
+  unsigned Best = 0;
+  float BestValue = 0.0f;
+  bool Any = false;
+  for (unsigned I = 0; I < N; ++I) {
+    if (Mask && (*Mask)[I] == 0.0)
+      continue;
+    if (!Any || Logits[I] > BestValue) {
+      Any = true;
+      BestValue = Logits[I];
+      Best = I;
+    }
+  }
+  assert(Any && "argmax over a fully-masked row");
+  return Best;
+}
+
+/// Masked log-softmax of one entry of a float logits row (max-shifted,
+/// accumulated in double).
+double logProbMaskedF32(const float *Logits, unsigned N,
+                        const std::vector<double> *Mask, unsigned Index) {
+  float Max = Logits[argmaxMaskedF32(Logits, N, Mask)];
+  double Sum = 0.0;
+  for (unsigned I = 0; I < N; ++I) {
+    if (Mask && (*Mask)[I] == 0.0)
+      continue;
+    Sum += std::exp(static_cast<double>(Logits[I]) - Max);
+  }
+  return static_cast<double>(Logits[Index]) - Max - std::log(Sum);
 }
 
 /// Lazily constructed per-(head, level) batched tile distributions: a
@@ -86,6 +124,10 @@ std::vector<ActorCritic::Sampled>
 ActorCritic::actBatch(const std::vector<const Observation *> &Batch,
                       const std::vector<Rng *> &Rngs, bool Greedy) const {
   assert(Batch.size() == Rngs.size() && "one RNG stream per observation");
+  // Greedy inference consumes no RNG draws and no critic values, so the
+  // packed float policy can stand in for the whole forward pass.
+  if (Greedy && Inference == InferenceDtype::F32)
+    return actBatchGreedyF32(Batch);
   unsigned B = static_cast<unsigned>(Batch.size());
   PolicyNet::Heads Heads = Policy.forward(Batch);
   std::vector<Sampled> Out(B);
@@ -172,6 +214,104 @@ ActorCritic::actBatch(const std::vector<const Observation *> &Batch,
       else
         Action.EnumeratedChoice = Choice;
       LogProb += InterDist().logProbValue(R, Choice);
+      break;
+    }
+    case TransformKind::Vectorization:
+    case TransformKind::NoTransformation:
+      break;
+    }
+    Out[R].LogProb = LogProb;
+  }
+  return Out;
+}
+
+void ActorCritic::setInferenceDtype(InferenceDtype Dtype) {
+  Inference = Dtype;
+  invalidateInferenceCache();
+}
+
+void ActorCritic::invalidateInferenceCache() {
+  std::lock_guard<std::mutex> Lock(PackLock);
+  Packed.reset();
+}
+
+std::shared_ptr<const PolicyNetF32> ActorCritic::packedPolicy() const {
+  std::lock_guard<std::mutex> Lock(PackLock);
+  if (!Packed)
+    Packed = std::make_shared<const PolicyNetF32>(Policy);
+  return Packed;
+}
+
+std::vector<ActorCritic::Sampled> ActorCritic::actBatchGreedyF32(
+    const std::vector<const Observation *> &Batch) const {
+  unsigned B = static_cast<unsigned>(Batch.size());
+  std::shared_ptr<const PolicyNetF32> Net = packedPolicy();
+  PolicyNetF32::Heads Heads = Net->forward(Batch);
+  std::vector<Sampled> Out(B);
+
+  if (Env.ActionSpace == ActionSpaceMode::Flat) {
+    for (unsigned R = 0; R < B; ++R) {
+      const float *Row = Heads.FlatLogits.row(R);
+      unsigned N = Heads.FlatLogits.Cols;
+      unsigned Choice = argmaxMaskedF32(Row, N, &Batch[R]->FlatMask);
+      Out[R].Action.FlatChoice = Choice;
+      Out[R].LogProb = logProbMaskedF32(Row, N, &Batch[R]->FlatMask, Choice);
+    }
+    return Out;
+  }
+
+  // The same action-space traversal as the f64 greedy branch: forced
+  // pointer continuations, then kind, then the active parameter head
+  // level by level.
+  for (unsigned R = 0; R < B; ++R) {
+    const Observation &Obs = *Batch[R];
+    AgentAction &Action = Out[R].Action;
+    Action.FlatChoice = static_cast<unsigned>(-1); // unsampled (as act())
+    const float *InterRow = Heads.InterchangeLogits.row(R);
+    unsigned InterN = Heads.InterchangeLogits.Cols;
+
+    if (Obs.InPointerSequence) {
+      unsigned Choice = argmaxMaskedF32(InterRow, InterN,
+                                        &Obs.InterchangeMask);
+      Action.Kind = TransformKind::Interchange;
+      Action.PointerChoice = Choice;
+      Out[R].LogProb =
+          logProbMaskedF32(InterRow, InterN, &Obs.InterchangeMask, Choice);
+      continue;
+    }
+
+    const float *KindRow = Heads.TransformLogits.row(R);
+    unsigned KindN = Heads.TransformLogits.Cols;
+    unsigned KindChoice = argmaxMaskedF32(KindRow, KindN, &Obs.TransformMask);
+    Action.Kind = static_cast<TransformKind>(KindChoice);
+    double LogProb =
+        logProbMaskedF32(KindRow, KindN, &Obs.TransformMask, KindChoice);
+
+    switch (Action.Kind) {
+    case TransformKind::Tiling:
+    case TransformKind::TiledParallelization:
+    case TransformKind::TiledFusion: {
+      unsigned HeadIdx = PolicyNet::tileHeadIndex(Action.Kind);
+      Action.TileSizeIdx.assign(Env.MaxLoops, 0);
+      unsigned Levels = std::min(Obs.NumLoops, Env.MaxLoops);
+      for (unsigned L = 0; L < Levels; ++L) {
+        const float *Row = Net->tileRow(Heads, HeadIdx, L, R);
+        unsigned N = Net->tileRowWidth();
+        unsigned Choice = argmaxMaskedF32(Row, N, nullptr);
+        Action.TileSizeIdx[L] = Choice;
+        LogProb += logProbMaskedF32(Row, N, nullptr, Choice);
+      }
+      break;
+    }
+    case TransformKind::Interchange: {
+      unsigned Choice = argmaxMaskedF32(InterRow, InterN,
+                                        &Obs.InterchangeMask);
+      if (Env.Interchange == InterchangeMode::LevelPointers)
+        Action.PointerChoice = Choice;
+      else
+        Action.EnumeratedChoice = Choice;
+      LogProb +=
+          logProbMaskedF32(InterRow, InterN, &Obs.InterchangeMask, Choice);
       break;
     }
     case TransformKind::Vectorization:

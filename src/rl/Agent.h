@@ -12,9 +12,21 @@
 #ifndef MLIRRL_RL_AGENT_H
 #define MLIRRL_RL_AGENT_H
 
-#include "rl/PolicyNet.h"
+#include "rl/PolicyNetF32.h"
+
+#include <memory>
+#include <mutex>
 
 namespace mlirrl {
+
+/// Element type greedy policy inference runs in. Training, sampling
+/// rollouts and the critic always run in F64 (the bitwise-deterministic
+/// path); F32 routes greedy actBatch/act calls through a packed float
+/// copy of the policy on the float SIMD GEMM kernels.
+enum class InferenceDtype {
+  F64, ///< Default: every forward pass in double.
+  F32, ///< Greedy inference on the packed float policy.
+};
 
 /// The actor-critic pair.
 class ActorCritic {
@@ -71,10 +83,34 @@ public:
 
   const EnvConfig &getEnvConfig() const { return Env; }
 
+  /// Selects the greedy-inference element type (default F64). F32 only
+  /// changes how greedy act/actBatch calls compute their logits; every
+  /// other path is untouched.
+  void setInferenceDtype(InferenceDtype Dtype);
+  InferenceDtype inferenceDtype() const { return Inference; }
+
+  /// Drops the cached packed f32 policy. Must be called after any
+  /// mutation of the policy parameters (optimizer step, checkpoint
+  /// restore); the next greedy f32 query repacks from the fresh
+  /// doubles. Cheap no-op when nothing is cached.
+  void invalidateInferenceCache();
+
 private:
+  /// The greedy branch of actBatch on the packed float policy.
+  std::vector<Sampled>
+  actBatchGreedyF32(const std::vector<const Observation *> &Batch) const;
+
+  /// The packed policy, building it on first use (thread-safe; returns
+  /// a shared snapshot so a concurrent invalidation cannot free it
+  /// mid-forward).
+  std::shared_ptr<const PolicyNetF32> packedPolicy() const;
+
   EnvConfig Env;
   PolicyNet Policy;
   ValueNet Value;
+  InferenceDtype Inference = InferenceDtype::F64;
+  mutable std::mutex PackLock;
+  mutable std::shared_ptr<const PolicyNetF32> Packed;
 };
 
 } // namespace mlirrl

@@ -29,7 +29,7 @@ static constexpr uint32_t kDatasetTag = fourCC('D', 'S', 'E', 'T');
 void ckpt::writeTensor(ArchiveWriter &W, const nn::Tensor &T) {
   W.writeU32(T.rows());
   W.writeU32(T.cols());
-  W.writeDoubles(T.data());
+  W.writeDoubles(T.data().data(), T.data().size());
 }
 
 bool ckpt::readTensorInto(ChunkReader &R, const nn::Tensor &T,
@@ -47,7 +47,7 @@ bool ckpt::readTensorInto(ChunkReader &R, const nn::Tensor &T,
             std::to_string(T.rows()) + "x" + std::to_string(T.cols());
     return false;
   }
-  T.node()->Data = std::move(Data);
+  T.node()->Data.assign(Data.begin(), Data.end());
   return true;
 }
 
@@ -317,7 +317,7 @@ Expected<bool> PpoTrainer::restoreState(const ArchiveReader &Reader) {
   // Commit. Nothing below can fail.
   Config = NewConfig;
   for (size_t I = 0; I < Params.size(); ++I)
-    Params[I].node()->Data = std::move(NewData[I]);
+    Params[I].node()->Data.assign(NewData[I].begin(), NewData[I].end());
   bool AdamOk = Optimizer.setState(std::move(AdamState));
   assert(AdamOk && "validated Adam state failed to apply");
   (void)AdamOk;
@@ -332,6 +332,9 @@ Expected<bool> PpoTrainer::restoreState(const ArchiveReader &Reader) {
   // so the next iteration recreates them lazily.
   Pool.reset();
   GemmPool.reset();
+  // The restore rewrote the parameters: any packed f32 copy of the
+  // policy is stale.
+  Agent.invalidateInferenceCache();
   return true;
 }
 

@@ -29,7 +29,9 @@ MlirRl::MlirRl(MlirRlOptions Options)
                : nullptr),
       Agent(Options.Env, Featurizer(Options.Env).featureSize(), Options.Net,
             Options.Seed),
-      Trainer(Agent, evaluator(), Options.Ppo) {}
+      Trainer(Agent, evaluator(), Options.Ppo) {
+  Agent.setInferenceDtype(Options.Inference);
+}
 
 std::vector<PpoIterationStats> MlirRl::train(
     const std::vector<Module> &Dataset,

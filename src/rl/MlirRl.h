@@ -31,6 +31,15 @@ struct MlirRlOptions {
   unsigned Iterations = 100;
   uint64_t Seed = 1234;
 
+  /// Element type for greedy policy inference (optimize() rollouts).
+  /// F64 (the default) keeps every forward pass on the
+  /// bitwise-deterministic double path; F32 routes greedy inference
+  /// through a packed float copy of the policy on the float SIMD GEMM
+  /// kernels (~2x the logits throughput, float-level relative error --
+  /// bounded by tests/rl/InferenceF32Test). Training is unaffected
+  /// either way.
+  InferenceDtype Inference = InferenceDtype::F64;
+
   /// Memoize prices in one lock-striped CachingEvaluator wrapped around
   /// the Runner and shared by every collector thread and VecEnv group
   /// (the whole-program and per-op tables of perf/Evaluator.h). On by

@@ -25,9 +25,9 @@ PolicyNet::PolicyNet(const EnvConfig &Env, unsigned FeatureSize,
 
 /// Compresses one observation field across the batch (feature rows are
 /// ~97% zeros; every LSTM gate then touches only the nonzeros).
-static std::shared_ptr<const SparseRows>
-compressRows(const std::vector<const Observation *> &Batch,
-             const std::vector<double> Observation::*Field) {
+std::shared_ptr<const SparseRows>
+PolicyNet::compressRows(const std::vector<const Observation *> &Batch,
+                        const std::vector<double> Observation::*Field) {
   std::vector<const std::vector<double> *> Sources;
   Sources.reserve(Batch.size());
   for (const Observation *Obs : Batch)
@@ -106,8 +106,8 @@ ValueNet::ValueNet(const EnvConfig &Env, unsigned FeatureSize, NetConfig Net,
 Tensor ValueNet::forward(const std::vector<const Observation *> &Batch) const {
   assert(!Batch.empty() && "empty observation batch");
   Tensor Embedding = Lstm.runSequenceSparse(
-      {compressRows(Batch, &Observation::Producer),
-       compressRows(Batch, &Observation::Consumer)});
+      {PolicyNet::compressRows(Batch, &Observation::Producer),
+       PolicyNet::compressRows(Batch, &Observation::Consumer)});
   return Head.forward(Backbone.forward(Embedding));
 }
 

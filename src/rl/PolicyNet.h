@@ -63,7 +63,15 @@ public:
 
   const EnvConfig &getEnvConfig() const { return Env; }
 
+  /// Compresses one observation field across the batch into the sparse
+  /// form the LSTM gates consume (shared by the f64 embedding and the
+  /// packed f32 inference path).
+  static std::shared_ptr<const nn::SparseRows>
+  compressRows(const std::vector<const Observation *> &Batch,
+               const std::vector<double> Observation::*Field);
+
 private:
+  friend class PolicyNetF32; // packs the layers into float copies
   nn::Tensor embed(const std::vector<const Observation *> &Batch) const;
 
   EnvConfig Env;

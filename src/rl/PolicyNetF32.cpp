@@ -1,0 +1,43 @@
+//===- PolicyNetF32.cpp ---------------------------------------------------===//
+
+#include "rl/PolicyNetF32.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+using namespace mlirrl::nn;
+
+PolicyNetF32::PolicyNetF32(const PolicyNet &Net)
+    : Env(Net.Env), FlatMode(Net.FlatMode), Lstm(LstmCellF32::pack(Net.Lstm)),
+      Backbone(MlpF32::pack(Net.Backbone)),
+      TransformHead(LinearF32::pack(Net.TransformHead)),
+      InterchangeHead(LinearF32::pack(Net.InterchangeHead)),
+      FlatHead(LinearF32::pack(Net.FlatHead)) {
+  for (const Linear &Head : Net.TileHeads)
+    TileHeads.push_back(LinearF32::pack(Head));
+}
+
+PolicyNetF32::Heads
+PolicyNetF32::forward(const std::vector<const Observation *> &Batch) const {
+  assert(!Batch.empty() && "empty observation batch");
+  // Producer first, consumer second, like PolicyNet::embed.
+  MatF32 Embedding = Lstm.runSequenceSparse(
+      {PolicyNet::compressRows(Batch, &Observation::Producer),
+       PolicyNet::compressRows(Batch, &Observation::Consumer)});
+  MatF32 Features = Backbone.forward(Embedding);
+  Heads H;
+  if (FlatMode) {
+    H.FlatLogits = FlatHead.forward(Features);
+    return H;
+  }
+  H.TransformLogits = TransformHead.forward(Features);
+  for (const LinearF32 &Head : TileHeads)
+    H.TileLogits.push_back(Head.forward(Features));
+  H.InterchangeLogits = InterchangeHead.forward(Features);
+  return H;
+}
+
+const float *PolicyNetF32::tileRow(const Heads &H, unsigned HeadIdx,
+                                   unsigned Level, unsigned Row) const {
+  return H.TileLogits.at(HeadIdx).row(Row) + Level * Env.NumTileSizes;
+}

@@ -1,0 +1,58 @@
+//===- PolicyNetF32.h - Packed float32 actor ---------------------*- C++-*-===//
+///
+/// \file
+/// A packed float copy of the PolicyNet for the opt-in f32
+/// greedy-inference path: same architecture, same sparse embedding
+/// walk, float parameters and float GEMMs (nn/InferenceF32.h). Built
+/// from a trained PolicyNet whenever the agent's parameter version
+/// changes (ActorCritic caches one and drops it on update/restore);
+/// produces logits only -- sampling, training and the critic stay on
+/// the double path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_RL_POLICYNETF32_H
+#define MLIRRL_RL_POLICYNETF32_H
+
+#include "nn/InferenceF32.h"
+#include "rl/PolicyNet.h"
+
+namespace mlirrl {
+
+/// The float image of PolicyNet::forward.
+class PolicyNetF32 {
+public:
+  /// Narrows every parameter of \p Net to float.
+  explicit PolicyNetF32(const PolicyNet &Net);
+
+  /// Head logits for a batch, one row per observation; mirrors
+  /// PolicyNet::Heads with plain float matrices.
+  struct Heads {
+    nn::MatF32 TransformLogits;            // B x 6
+    std::vector<nn::MatF32> TileLogits;    // 3 heads, each B x (N*M)
+    nn::MatF32 InterchangeLogits;          // B x interchangeHeadSize
+    nn::MatF32 FlatLogits;                 // flat mode only
+  };
+
+  Heads forward(const std::vector<const Observation *> &Batch) const;
+
+  /// The per-level logits block of a tile head: row \p Row of head
+  /// \p HeadIdx, columns [Level*NumTileSizes, +NumTileSizes).
+  const float *tileRow(const Heads &H, unsigned HeadIdx, unsigned Level,
+                       unsigned Row) const;
+  unsigned tileRowWidth() const { return Env.NumTileSizes; }
+
+private:
+  EnvConfig Env;
+  bool FlatMode;
+  nn::LstmCellF32 Lstm;
+  nn::MlpF32 Backbone;
+  nn::LinearF32 TransformHead;
+  std::vector<nn::LinearF32> TileHeads;
+  nn::LinearF32 InterchangeHead;
+  nn::LinearF32 FlatHead;
+};
+
+} // namespace mlirrl
+
+#endif // MLIRRL_RL_POLICYNETF32_H

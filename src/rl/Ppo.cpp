@@ -253,6 +253,9 @@ void PpoTrainer::update(PpoIterationStats &Stats) {
     Stats.ValueLoss = ValueLossAcc / MinibatchCount;
     Stats.Entropy = EntropyAcc / MinibatchCount;
   }
+  // The optimizer stepped the parameters: any packed f32 copy of the
+  // policy is stale.
+  Agent.invalidateInferenceCache();
 }
 
 double PpoTrainer::evaluate(const Module &Sample, ModuleSchedule *Out) {

@@ -139,9 +139,13 @@ void ArchiveWriter::writeString(const std::string &Value) {
 }
 
 void ArchiveWriter::writeDoubles(const std::vector<double> &Values) {
-  writeU64(Values.size());
-  for (double V : Values)
-    writeDouble(V);
+  writeDoubles(Values.data(), Values.size());
+}
+
+void ArchiveWriter::writeDoubles(const double *Values, size_t Count) {
+  writeU64(Count);
+  for (size_t I = 0; I < Count; ++I)
+    writeDouble(Values[I]);
 }
 
 void ArchiveWriter::writeU64s(const std::vector<uint64_t> &Values) {

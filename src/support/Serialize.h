@@ -60,6 +60,9 @@ public:
   void writeDouble(double Value);
   void writeString(const std::string &Value);
   void writeDoubles(const std::vector<double> &Values);
+  /// Pointer/count form for buffers with non-default allocators (the
+  /// aligned tensor buffers).
+  void writeDoubles(const double *Values, size_t Count);
   void writeU64s(const std::vector<uint64_t> &Values);
   void writeU32s(const std::vector<unsigned> &Values);
 

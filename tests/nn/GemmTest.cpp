@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 using namespace mlirrl;
@@ -180,4 +181,161 @@ TEST(GemmTest, FusedLinearMatchesMatmulAddBias) {
     EXPECT_NEAR(W1.grad()[I], W2.grad()[I], 1e-10);
   for (unsigned I = 0; I < N; ++I)
     EXPECT_NEAR(B1.grad()[I], B2.grad()[I], 1e-10);
+}
+
+//===----------------------------------------------------------------------===//
+// Dtype-parameterized kernels: float accuracy and scalar/SIMD parity.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> randomDataF(Rng &R, unsigned N) {
+  std::vector<float> V(N);
+  for (float &X : V)
+    X = static_cast<float>(R.nextDouble(-1.0, 1.0));
+  return V;
+}
+
+// Edge shapes per dimension: ones, primes, and non-multiples of the
+// MR = 4 register tile and the SIMD vector length (8 floats / 4
+// doubles per 32-byte vector).
+const Shape EdgeShapes[] = {{1, 1, 1},     {1, 31, 1},   {1, 1, 257},
+                            {4, 8, 16},    {5, 9, 7},    {13, 31, 17},
+                            {2, 3, 514},   {3, 257, 13}, {67, 259, 33},
+                            {130, 100, 300}};
+
+/// Float results accumulate up to K products of values in [-1, 1]; the
+/// bound is the usual K * eps * |.| forward-error envelope with slack.
+double floatTol(unsigned K, double Ref) {
+  return 1e-4 * (1.0 + static_cast<double>(K) * 1e-2) *
+         (1.0 + std::fabs(Ref));
+}
+
+/// Restores the dispatch mode on scope exit so a failing expectation
+/// cannot leak a forced kernel into the other tests.
+struct KernelScope {
+  GemmKernel Saved = getGemmKernel();
+  ~KernelScope() { setGemmKernel(Saved); }
+};
+
+} // namespace
+
+TEST(GemmTest, FloatNNMatchesNaiveWithinRelError) {
+  Rng R(52);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<float> A = randomDataF(R, S.M * S.K);
+    std::vector<float> B = randomDataF(R, S.K * S.N);
+    std::vector<float> Out(S.M * S.N, 0.0f);
+    std::vector<double> Ref(S.M * S.N, 0.0);
+    for (unsigned I = 0; I < S.M; ++I)
+      for (unsigned Kk = 0; Kk < S.K; ++Kk)
+        for (unsigned J = 0; J < S.N; ++J)
+          Ref[I * S.N + J] +=
+              static_cast<double>(A[I * S.K + Kk]) * B[Kk * S.N + J];
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(static_cast<double>(Out[I]), Ref[I], floatTol(S.K, Ref[I]))
+          << "M=" << S.M << " K=" << S.K << " N=" << S.N << " idx=" << I;
+  }
+}
+
+TEST(GemmTest, FloatNTMatchesNaiveWithinRelError) {
+  Rng R(53);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<float> A = randomDataF(R, S.M * S.K);
+    std::vector<float> B = randomDataF(R, S.N * S.K);
+    std::vector<float> Out(S.M * S.N, 0.0f);
+    std::vector<double> Ref(S.M * S.N, 0.0);
+    for (unsigned I = 0; I < S.M; ++I)
+      for (unsigned J = 0; J < S.N; ++J)
+        for (unsigned Kk = 0; Kk < S.K; ++Kk)
+          Ref[I * S.N + J] +=
+              static_cast<double>(A[I * S.K + Kk]) * B[J * S.K + Kk];
+    gemmAccNT(S.M, S.N, S.K, A.data(), S.K, B.data(), S.K, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(static_cast<double>(Out[I]), Ref[I], floatTol(S.K, Ref[I]))
+          << "M=" << S.M << " K=" << S.K << " N=" << S.N << " idx=" << I;
+  }
+}
+
+TEST(GemmTest, FloatTNMatchesNaiveWithinRelError) {
+  Rng R(54);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<float> A = randomDataF(R, S.K * S.M);
+    std::vector<float> B = randomDataF(R, S.K * S.N);
+    std::vector<float> Out(S.M * S.N, 0.0f);
+    std::vector<double> Ref(S.M * S.N, 0.0);
+    for (unsigned Kk = 0; Kk < S.K; ++Kk)
+      for (unsigned I = 0; I < S.M; ++I)
+        for (unsigned J = 0; J < S.N; ++J)
+          Ref[I * S.N + J] +=
+              static_cast<double>(A[Kk * S.M + I]) * B[Kk * S.N + J];
+    gemmAccTN(S.M, S.N, S.K, A.data(), S.M, B.data(), S.N, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(static_cast<double>(Out[I]), Ref[I], floatTol(S.K, Ref[I]))
+          << "M=" << S.M << " K=" << S.K << " N=" << S.N << " idx=" << I;
+  }
+}
+
+TEST(GemmTest, DoubleEdgeShapesMatchNaive) {
+  Rng R(55);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<double> A = randomData(R, S.M * S.K);
+    std::vector<double> B = randomData(R, S.K * S.N);
+    std::vector<double> Ref(S.M * S.N, 0.0), Out(S.M * S.N, 0.0);
+    naiveNN(S.M, S.N, S.K, A, B, Ref);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Out.data(), S.N);
+    for (unsigned I = 0; I < S.M * S.N; ++I)
+      EXPECT_NEAR(Out[I], Ref[I], 1e-12 * (1.0 + std::fabs(Ref[I])))
+          << "M=" << S.M << " K=" << S.K << " N=" << S.N << " idx=" << I;
+  }
+}
+
+TEST(GemmTest, DispatchedNNBitwiseEqualsScalarDouble) {
+  if (!gemmSimdAvailable())
+    GTEST_SKIP() << "no SIMD kernel in this build";
+  KernelScope Restore;
+  Rng R(56);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<double> A = randomData(R, S.M * S.K);
+    std::vector<double> B = randomData(R, S.K * S.N);
+    // Pre-filled C checks that both kernels share the accumulate
+    // contract, not just the product.
+    std::vector<double> Cs(S.M * S.N, 0.125), Cv(S.M * S.N, 0.125);
+    setGemmKernel(GemmKernel::Scalar);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Cs.data(), S.N);
+    setGemmKernel(GemmKernel::Simd);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Cv.data(), S.N);
+    EXPECT_EQ(0, std::memcmp(Cs.data(), Cv.data(), Cs.size() * sizeof(double)))
+        << "M=" << S.M << " K=" << S.K << " N=" << S.N;
+  }
+}
+
+TEST(GemmTest, DispatchedNNBitwiseEqualsScalarFloat) {
+  if (!gemmSimdAvailable())
+    GTEST_SKIP() << "no SIMD kernel in this build";
+  KernelScope Restore;
+  Rng R(57);
+  for (const Shape &S : EdgeShapes) {
+    std::vector<float> A = randomDataF(R, S.M * S.K);
+    std::vector<float> B = randomDataF(R, S.K * S.N);
+    std::vector<float> Cs(S.M * S.N, 0.125f), Cv(S.M * S.N, 0.125f);
+    setGemmKernel(GemmKernel::Scalar);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Cs.data(), S.N);
+    setGemmKernel(GemmKernel::Simd);
+    gemmAccNN(S.M, S.N, S.K, A.data(), S.K, B.data(), S.N, Cv.data(), S.N);
+    EXPECT_EQ(0, std::memcmp(Cs.data(), Cv.data(), Cs.size() * sizeof(float)))
+        << "M=" << S.M << " K=" << S.K << " N=" << S.N;
+  }
+}
+
+TEST(GemmTest, SimdLanesReportedForBothDtypes) {
+  if (!gemmSimdAvailable()) {
+    EXPECT_EQ(gemmSimdLanes(sizeof(double)), 1u);
+    EXPECT_EQ(gemmSimdLanes(sizeof(float)), 1u);
+    return;
+  }
+  // 32-byte vectors: 4 doubles / 8 floats per lane group.
+  EXPECT_EQ(gemmSimdLanes(sizeof(double)), 4u);
+  EXPECT_EQ(gemmSimdLanes(sizeof(float)), 8u);
 }

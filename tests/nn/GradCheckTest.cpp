@@ -28,7 +28,7 @@ void checkGradient(const Tensor &Param,
   Tensor Loss = BuildLoss();
   Param.zeroGrad();
   Loss.backward();
-  std::vector<double> Analytic = Param.grad();
+  std::vector<double> Analytic(Param.grad().begin(), Param.grad().end());
 
   for (size_t I = 0; I < Param.size(); ++I) {
     double Saved = Param.node()->Data[I];
