@@ -15,8 +15,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzz.h"
+#include "support/Args.h"
 
 #include <cstdio>
+#include <limits>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -36,11 +38,13 @@ int main(int Argc, char **Argv) {
       return I + 1 < Argc ? Argv[++I] : "";
     };
     if (!std::strcmp(Argv[I], "--inputs"))
-      Opts.ParserInputs = static_cast<unsigned>(std::atoi(Value()));
+      Opts.ParserInputs = static_cast<unsigned>(parseUnsignedArg(
+          "--inputs", Value(), std::numeric_limits<unsigned>::max()));
     else if (!std::strcmp(Argv[I], "--episodes"))
-      Opts.Episodes = static_cast<unsigned>(std::atoi(Value()));
+      Opts.Episodes = static_cast<unsigned>(parseUnsignedArg(
+          "--episodes", Value(), std::numeric_limits<unsigned>::max()));
     else if (!std::strcmp(Argv[I], "--seed"))
-      Opts.Seed = std::strtoull(Value(), nullptr, 10);
+      Opts.Seed = parseUnsignedArg("--seed", Value());
     else if (!std::strcmp(Argv[I], "--corpus"))
       CorpusDir = Value();
     else {

@@ -3,7 +3,7 @@
 # cache counters) from bench_trainstep, as a machine-readable perf
 # trajectory for future PRs to compare against.
 #
-# Usage: scripts/bench_json.sh [--threads|--memo] [build-dir] [output.json]
+# Usage: scripts/bench_json.sh [--threads|--memo|--gemm|--serve] [build-dir] [output.json]
 #
 #   --threads   sweep only the CollectThreads / UpdateThreads matrix
 #               (the multi-core wall-clock numbers PERF.md records;
@@ -20,6 +20,12 @@
 #               records the compiler and -march the kernels were built
 #               with, since the SIMD micro-kernel's throughput is a
 #               property of both.
+#   --serve     schedule-server requests/s and p50/p99 request latency
+#               from bench_serve (default output BENCH_serve.json).
+#               The client-thread sweep is pruned to the host's cores
+#               and the artifact records nproc: on a 1-core box the
+#               sweep measures batching + admission overhead, not
+#               parallel serving.
 #
 # Thread sweeps wider than the host's core count are skipped: a 1-core
 # box "benchmarking" 8 collector threads measures pool overhead and
@@ -64,6 +70,14 @@ case "${1:-}" in
     shift
     BIN_NAME=bench_gemm
     DEFAULT_OUT=BENCH_gemm.json
+    ;;
+  --serve)
+    shift
+    BIN_NAME=bench_serve
+    # Keep the single-client latency benchmark plus the
+    # host-feasible points of the concurrent-client thread sweep.
+    FILTER="--benchmark_filter=(ServeLatency/real_time\$|ServeThroughput.*threads:$(threads_regex)\$)"
+    DEFAULT_OUT=BENCH_serve.json
     ;;
   *)
     # Default perf-trajectory artifact: exclude the thread-sweep cases

@@ -94,6 +94,16 @@ if ! ./build/example_fuzz_smoke --inputs 10000 --episodes 200 \
   exit 1
 fi
 
+# --- Serving smoke --------------------------------------------------------
+# The schedule server end to end: train one tiny iteration, freeze it
+# to a checkpoint, load it into a ScheduleServer, and serve a request
+# mix covering every guarded edge -- well-formed modules, a malformed
+# module (import-gate rejection), concurrent clients (answers must be
+# bitwise-identical to sequential serving), and an over-capacity burst
+# (clean immediate rejection, never a hang). Scratch checkpoint lives
+# under build/ and is removed on exit.
+./build/example_serve_smoke --requests 8 --ckpt build/serve_smoke.ckpt
+
 # --- Sanitizer pass (opt-in) ----------------------------------------------
 # A second tree under ASan+UBSan: the whole test suite plus a reduced
 # fuzz campaign, halt-on-error. Kept out of the default gate because the
@@ -113,4 +123,10 @@ if [[ "$sanitize" == 1 ]]; then
   # would hide).
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./build-san/example_gemm_smoke
+  # The serving path under the sanitizers (reduced request count): the
+  # worker thread, promise/future handoff, and checkpoint reload are
+  # the lifetime-heavy code in this tree.
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/example_serve_smoke --requests 4 \
+    --ckpt build-san/serve_smoke.ckpt
 fi

@@ -2,6 +2,8 @@
 
 #include "baselines/HalideRl.h"
 
+#include "rl/RolloutEngine.h"
+
 using namespace mlirrl;
 
 HalideRlBaseline::HalideRlBaseline(MachineModel Machine)
@@ -9,6 +11,9 @@ HalideRlBaseline::HalideRlBaseline(MachineModel Machine)
       Eval(*OwnedEval) {}
 
 HalideRlBaseline::HalideRlBaseline(Evaluator &Eval) : Eval(Eval) {}
+
+HalideRlBaseline::HalideRlBaseline(const RolloutEngine &Engine)
+    : Eval(Engine.evaluator()) {}
 
 std::vector<HalideDirectives> HalideRlBaseline::directiveCandidates() {
   std::vector<HalideDirectives> Candidates;

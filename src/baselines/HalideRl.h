@@ -23,6 +23,8 @@
 
 namespace mlirrl {
 
+class RolloutEngine;
+
 /// The Halide RL baseline.
 class HalideRlBaseline {
 public:
@@ -33,6 +35,11 @@ public:
   /// shared with the RL system for like-for-like comparisons). \p Eval
   /// must outlive the baseline.
   explicit HalideRlBaseline(Evaluator &Eval);
+
+  /// Binds to \p Engine's evaluator, so the baseline prices through the
+  /// exact memoized seam the RL rollouts use (like-for-like speedups
+  /// and shared memo hits). \p Engine must outlive the baseline.
+  explicit HalideRlBaseline(const RolloutEngine &Engine);
 
   /// Best-of-directive-list time for one module (ops scheduled
   /// independently, like per-stage Halide schedules).

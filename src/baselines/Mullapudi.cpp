@@ -3,6 +3,7 @@
 #include "baselines/Mullapudi.h"
 
 #include "perf/WorkingSet.h"
+#include "rl/RolloutEngine.h"
 
 using namespace mlirrl;
 
@@ -13,6 +14,10 @@ MullapudiAutoscheduler::MullapudiAutoscheduler(MachineModel Machine)
 MullapudiAutoscheduler::MullapudiAutoscheduler(Evaluator &Eval,
                                                MachineModel Machine)
     : Eval(Eval), Machine(Machine) {}
+
+MullapudiAutoscheduler::MullapudiAutoscheduler(const RolloutEngine &Engine,
+                                               MachineModel Machine)
+    : Eval(Engine.evaluator()), Machine(Machine) {}
 
 HalideDirectives
 MullapudiAutoscheduler::scheduleOp(const Module &M, unsigned OpIdx) const {

@@ -20,6 +20,8 @@
 
 namespace mlirrl {
 
+class RolloutEngine;
+
 /// The greedy autoscheduler.
 class MullapudiAutoscheduler {
 public:
@@ -30,6 +32,11 @@ public:
   /// shared with the RL system). \p Eval must outlive the baseline; the
   /// footprint heuristic still needs the machine description.
   MullapudiAutoscheduler(Evaluator &Eval, MachineModel Machine);
+
+  /// Binds to \p Engine's evaluator (the shared memoized seam RL
+  /// rollouts price through); the footprint heuristic still needs the
+  /// machine description. \p Engine must outlive the baseline.
+  MullapudiAutoscheduler(const RolloutEngine &Engine, MachineModel Machine);
 
   /// End-to-end time of the module under the autoscheduled program.
   double timeModule(const Module &M) const;

@@ -4,11 +4,12 @@
 
 #include "support/Rng.h"
 
+#include <algorithm>
+
 using namespace mlirrl;
 
-/// Samples a uniformly random action under the observation's masks.
-static AgentAction randomAction(const Observation &Obs,
-                                const EnvConfig &Config, Rng &Rng) {
+AgentAction mlirrl::randomAction(const Observation &Obs,
+                                 const EnvConfig &Config, Rng &Rng) {
   AgentAction Action;
   if (Config.ActionSpace == ActionSpaceMode::Flat) {
     std::vector<double> Weights = Obs.FlatMask;
@@ -26,11 +27,18 @@ static AgentAction randomAction(const Observation &Obs,
   switch (Action.Kind) {
   case TransformKind::Tiling:
   case TransformKind::TiledParallelization:
-  case TransformKind::TiledFusion:
-    Action.TileSizeIdx.resize(Config.MaxLoops);
-    for (unsigned &Idx : Action.TileSizeIdx)
-      Idx = static_cast<unsigned>(Rng.nextBounded(Config.NumTileSizes));
+  case TransformKind::TiledFusion: {
+    // Draw one index per present loop level only, like the policy's
+    // tile heads; the remaining MaxLoops slots stay zero (levels past
+    // the op's loop count are ignored by the environment, and drawing
+    // for them would burn RNG state on nonexistent loops).
+    Action.TileSizeIdx.assign(Config.MaxLoops, 0);
+    unsigned Levels = std::min(Obs.NumLoops, Config.MaxLoops);
+    for (unsigned L = 0; L < Levels; ++L)
+      Action.TileSizeIdx[L] =
+          static_cast<unsigned>(Rng.nextBounded(Config.NumTileSizes));
     break;
+  }
   case TransformKind::Interchange:
     if (Config.Interchange == InterchangeMode::LevelPointers)
       Action.PointerChoice =
@@ -46,21 +54,41 @@ static AgentAction randomAction(const Observation &Obs,
   return Action;
 }
 
-RandomSearchResult mlirrl::randomSearch(const EnvConfig &Config,
-                                        Evaluator &Eval, const Module &M,
-                                        unsigned Episodes, uint64_t Seed) {
-  Rng Rng(Seed);
+RandomSearchResult mlirrl::randomSearch(const RolloutEngine &Engine,
+                                        const Module &M, unsigned Episodes,
+                                        uint64_t Seed) {
+  Rng Stream(Seed);
+  const EnvConfig &Config = Engine.envConfig();
+  RolloutEngine::ActionSource Source =
+      [&](const std::vector<const Observation *> &Obs,
+          const std::vector<Rng *> &Streams) {
+        std::vector<ActorCritic::Sampled> Out(Obs.size());
+        for (size_t I = 0; I < Obs.size(); ++I)
+          Out[I].Action = randomAction(*Obs[I], Config, *Streams[I]);
+        return Out;
+      };
+
+  RolloutEngine::Options Opts;
+  Opts.RecordSchedule = true;
+
   RandomSearchResult Best;
+  // Episodes run sequentially, width 1, all drawing from the single
+  // stream -- the legacy loop's RNG consumption order.
   for (unsigned E = 0; E < Episodes; ++E) {
-    Environment Env(Config, Eval, M);
-    while (!Env.isDone())
-      Env.step(randomAction(Env.observe(), Config, Rng));
-    double Speedup = Env.currentSpeedup();
+    RolloutEngine::Episode Ep =
+        std::move(Engine.rolloutGroup({&M}, {&Stream}, Source, Opts).front());
     ++Best.EpisodesUsed;
-    if (Speedup > Best.Speedup) {
-      Best.Speedup = Speedup;
-      Best.Schedule = Env.getSchedule();
+    if (Ep.Speedup > Best.Speedup) {
+      Best.Speedup = Ep.Speedup;
+      Best.Schedule = std::move(Ep.Schedule);
     }
   }
   return Best;
+}
+
+RandomSearchResult mlirrl::randomSearch(const EnvConfig &Config,
+                                        Evaluator &Eval, const Module &M,
+                                        unsigned Episodes, uint64_t Seed) {
+  RolloutEngine Engine(Config, Eval);
+  return randomSearch(Engine, M, Episodes, Seed);
 }

@@ -231,15 +231,28 @@ void ActorCritic::setInferenceDtype(InferenceDtype Dtype) {
 }
 
 void ActorCritic::invalidateInferenceCache() {
+  // Bump the version before dropping the snapshot: a packedPolicy()
+  // call that is mid-rebuild under PackLock right now will re-read the
+  // version after it finishes packing, see the bump, and repack --
+  // without the stamp it would publish (and cache) the pack it built
+  // from the pre-mutation parameters.
+  ParamVersion.fetch_add(1, std::memory_order_release);
   std::lock_guard<std::mutex> Lock(PackLock);
   Packed.reset();
+  PackedVersion = 0;
 }
 
 std::shared_ptr<const PolicyNetF32> ActorCritic::packedPolicy() const {
   std::lock_guard<std::mutex> Lock(PackLock);
-  if (!Packed)
+  for (;;) {
+    uint64_t Version = ParamVersion.load(std::memory_order_acquire);
+    if (Packed && PackedVersion == Version)
+      return Packed;
     Packed = std::make_shared<const PolicyNetF32>(Policy);
-  return Packed;
+    PackedVersion = Version;
+    // Loop to recheck: if an invalidation bumped the version while we
+    // packed, the pack may predate the newest parameters -- rebuild.
+  }
 }
 
 std::vector<ActorCritic::Sampled> ActorCritic::actBatchGreedyF32(

@@ -14,6 +14,7 @@
 
 #include "rl/PolicyNetF32.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 
@@ -93,7 +94,21 @@ public:
   /// mutation of the policy parameters (optimizer step, checkpoint
   /// restore); the next greedy f32 query repacks from the fresh
   /// doubles. Cheap no-op when nothing is cached.
+  ///
+  /// Publication-safe against concurrent packedPolicy() rebuilds: the
+  /// parameter version is bumped before the cached snapshot is
+  /// dropped, and packedPolicy() re-reads the version after packing --
+  /// a rebuild that raced this invalidation repacks from the fresh
+  /// parameters instead of publishing the stale pack it just built.
   void invalidateInferenceCache();
+
+  /// Monotone counter bumped by every invalidateInferenceCache() call
+  /// (i.e. every parameter mutation). Exposed so a server can stamp
+  /// responses with the policy version they were computed under and so
+  /// tests can assert reloads were observed.
+  uint64_t parameterVersion() const {
+    return ParamVersion.load(std::memory_order_acquire);
+  }
 
 private:
   /// The greedy branch of actBatch on the packed float policy.
@@ -109,8 +124,16 @@ private:
   PolicyNet Policy;
   ValueNet Value;
   InferenceDtype Inference = InferenceDtype::F64;
+  /// Parameter version: bumped (release) by invalidateInferenceCache
+  /// after the parameters changed, read (acquire) by packedPolicy
+  /// before and after packing. Starts at 1 so a PackedVersion of 0
+  /// always reads as stale.
+  mutable std::atomic<uint64_t> ParamVersion{1};
   mutable std::mutex PackLock;
   mutable std::shared_ptr<const PolicyNetF32> Packed;
+  /// The ParamVersion the cached pack was built from (guarded by
+  /// PackLock).
+  mutable uint64_t PackedVersion = 0;
 };
 
 } // namespace mlirrl

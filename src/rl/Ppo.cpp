@@ -3,7 +3,6 @@
 #include "rl/Ppo.h"
 
 #include "datasets/Dataset.h"
-#include "env/VecEnv.h"
 #include "nn/Gemm.h"
 #include "nn/Ops.h"
 #include "support/Stats.h"
@@ -16,69 +15,28 @@ using namespace mlirrl;
 using namespace mlirrl::nn;
 
 PpoTrainer::PpoTrainer(ActorCritic &Agent, Evaluator &Eval, PpoConfig Config)
-    : Agent(Agent), Eval(Eval), Config(Config),
+    : Agent(Agent), Eval(Eval), Engine(Agent, Eval), Config(Config),
       Optimizer(Agent.parameters(), Config.LearningRate),
       SampleRng(Config.Seed) {}
 
-std::vector<PpoTrainer::EpisodeResult>
+std::vector<RolloutEngine::Episode>
 PpoTrainer::collectGroup(const std::vector<const Module *> &Samples,
                          const std::vector<uint64_t> &StreamKeys) const {
-  unsigned B = static_cast<unsigned>(Samples.size());
-  std::vector<Module> Copies;
-  Copies.reserve(B);
-  for (const Module *M : Samples)
-    Copies.push_back(*M);
-  VecEnv Vec(Agent.getEnvConfig(), Eval, std::move(Copies));
-
+  // Derive each episode's private stream from its global sample index;
+  // the engine's loop guarantees an episode only ever consumes its own
+  // stream, which is what makes the result independent of batch width
+  // and collection thread count.
   std::vector<Rng> Rngs;
-  Rngs.reserve(B);
+  Rngs.reserve(StreamKeys.size());
   for (uint64_t Key : StreamKeys)
     Rngs.emplace_back(Rng::deriveSeed(Config.Seed, Key));
+  std::vector<Rng *> RngPtrs(Rngs.size());
+  for (size_t I = 0; I < Rngs.size(); ++I)
+    RngPtrs[I] = &Rngs[I];
 
-  std::vector<EpisodeResult> Results(B);
-  while (!Vec.allDone()) {
-    // The live set shrinks as episodes finish; keep the pre-step copy
-    // to route outcomes back to their episodes.
-    std::vector<unsigned> Live = Vec.liveIndices();
-    std::vector<const Observation *> ObsPtrs = Vec.observeLive();
-    // Stored observations are snapshotted before step() mutates them.
-    std::vector<Observation> ObsCopies;
-    ObsCopies.reserve(Live.size());
-    for (const Observation *Obs : ObsPtrs)
-      ObsCopies.push_back(*Obs);
-
-    std::vector<Rng *> RngPtrs(Live.size());
-    for (unsigned K = 0; K < Live.size(); ++K)
-      RngPtrs[K] = &Rngs[Live[K]];
-
-    std::vector<ActorCritic::Sampled> Sampled =
-        Agent.actBatch(ObsPtrs, RngPtrs);
-    std::vector<AgentAction> Actions(Live.size());
-    for (unsigned K = 0; K < Live.size(); ++K)
-      Actions[K] = Sampled[K].Action;
-    std::vector<VecEnv::StepOutcome> Outs = Vec.step(Actions);
-
-    for (unsigned K = 0; K < Live.size(); ++K) {
-      EpisodeResult &Episode = Results[Live[K]];
-      RolloutStep Step;
-      Step.Obs = std::move(ObsCopies[K]);
-      Step.Action = std::move(Sampled[K].Action);
-      Step.OldLogProb = Sampled[K].LogProb;
-      Step.Value = Sampled[K].Value;
-      Step.Reward = Outs[K].Reward;
-      Step.EpisodeEnd = Outs[K].Done;
-      Episode.Steps.push_back(std::move(Step));
-      Episode.Reward += Outs[K].Reward;
-    }
-  }
-
-  for (unsigned I = 0; I < B; ++I) {
-    Results[I].Speedup = Vec.env(I).currentSpeedup();
-    Results[I].MeasurementSeconds = Vec.env(I).getMeasurementSeconds();
-    Results[I].NestMaterializations =
-        Vec.env(I).getState().counters().NestMaterializations;
-  }
-  return Results;
+  RolloutEngine::Options Opts;
+  Opts.RecordSteps = true;
+  return Engine.sampleGroup(Samples, RngPtrs, Opts);
 }
 
 ThreadPool *PpoTrainer::collectionPool() {
@@ -138,7 +96,7 @@ PpoTrainer::runIteration(const std::vector<const Module *> &Samples) {
 
   unsigned Width = std::max(1u, Config.BatchWidth);
   unsigned Groups = (N + Width - 1) / Width;
-  std::vector<std::vector<EpisodeResult>> GroupResults(Groups);
+  std::vector<std::vector<RolloutEngine::Episode>> GroupResults(Groups);
   auto RunGroup = [&](size_t G) {
     unsigned Begin = static_cast<unsigned>(G) * Width;
     unsigned End = std::min(N, Begin + Width);
@@ -154,8 +112,8 @@ PpoTrainer::runIteration(const std::vector<const Module *> &Samples) {
 
   std::vector<double> Speedups;
   std::vector<double> Rewards;
-  for (std::vector<EpisodeResult> &Group : GroupResults) {
-    for (EpisodeResult &R : Group) {
+  for (std::vector<RolloutEngine::Episode> &Group : GroupResults) {
+    for (RolloutEngine::Episode &R : Group) {
       Rewards.push_back(R.Reward);
       Speedups.push_back(std::max(R.Speedup, 1e-9));
       Stats.MeasurementSeconds += R.MeasurementSeconds;
@@ -259,13 +217,13 @@ void PpoTrainer::update(PpoIterationStats &Stats) {
 }
 
 double PpoTrainer::evaluate(const Module &Sample, ModuleSchedule *Out) {
-  Environment Env(Agent.getEnvConfig(), Eval, Sample);
-  while (!Env.isDone()) {
-    ActorCritic::Sampled S =
-        Agent.act(Env.observe(), SampleRng, /*Greedy=*/true);
-    Env.step(S.Action);
-  }
+  // Greedy inference draws no RNG and evaluates no critic, so running
+  // it as a width-1 engine group is bitwise-identical to the legacy
+  // single-Environment loop (RolloutEquivalenceTest pins the pair).
+  RolloutEngine::Options Opts;
+  Opts.RecordSchedule = Out != nullptr;
+  RolloutEngine::Episode E = Engine.greedy(Sample, Opts);
   if (Out)
-    *Out = Env.getSchedule();
-  return Env.currentSpeedup();
+    *Out = std::move(E.Schedule);
+  return E.Speedup;
 }

@@ -33,6 +33,7 @@
 #include "perf/Evaluator.h"
 #include "rl/Agent.h"
 #include "rl/RolloutBuffer.h"
+#include "rl/RolloutEngine.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -146,19 +147,11 @@ public:
   Expected<bool> restoreState(const serialize::ArchiveReader &Reader);
 
 private:
-  /// One collected episode: summary plus its steps (merged into the
-  /// shared buffer in sample order after the parallel phase).
-  struct EpisodeResult {
-    double Reward = 0.0;
-    double Speedup = 1.0;
-    double MeasurementSeconds = 0.0;
-    uint64_t NestMaterializations = 0;
-    std::vector<RolloutStep> Steps;
-  };
-  /// Rolls one lockstep group of episodes through a VecEnv, one RNG
-  /// stream per episode (thread-safe: touches no trainer state besides
-  /// the read-only agent and the evaluator).
-  std::vector<EpisodeResult>
+  /// Rolls one lockstep group of episodes through the shared
+  /// RolloutEngine, one RNG stream per episode derived from
+  /// (Config.Seed, StreamKeys[i]) -- thread-safe: touches no trainer
+  /// state besides the read-only agent and the evaluator.
+  std::vector<RolloutEngine::Episode>
   collectGroup(const std::vector<const Module *> &Samples,
                const std::vector<uint64_t> &StreamKeys) const;
 
@@ -177,6 +170,10 @@ private:
 
   ActorCritic &Agent;
   Evaluator &Eval;
+  /// The one rollout implementation (collection samples through it,
+  /// evaluate() runs it greedily; the server and the baselines drive
+  /// the same engine type over the same evaluator seam).
+  RolloutEngine Engine;
   PpoConfig Config;
   nn::Adam Optimizer;
   Rng SampleRng;

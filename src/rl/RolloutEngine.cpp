@@ -1,0 +1,123 @@
+//===- RolloutEngine.cpp --------------------------------------------------===//
+
+#include "rl/RolloutEngine.h"
+
+#include "env/VecEnv.h"
+#include "support/Stats.h"
+
+#include <cassert>
+
+using namespace mlirrl;
+
+std::vector<RolloutEngine::Episode>
+RolloutEngine::rolloutGroup(const std::vector<const Module *> &Samples,
+                            const std::vector<Rng *> &Rngs,
+                            const ActionSource &Actions,
+                            const Options &Opts) const {
+  assert(Samples.size() == Rngs.size() && "one RNG stream per episode");
+  unsigned B = static_cast<unsigned>(Samples.size());
+  std::vector<Module> Copies;
+  Copies.reserve(B);
+  for (const Module *M : Samples)
+    Copies.push_back(*M);
+  VecEnv Vec(Config, Eval, std::move(Copies));
+
+  std::vector<Episode> Results(B);
+  unsigned GroupSteps = 0;
+  while (!Vec.allDone()) {
+    if (Opts.MaxGroupSteps && GroupSteps >= Opts.MaxGroupSteps) {
+      // The environments terminate on their own; this cap is the
+      // server's defense-in-depth bound, and reaching it means either
+      // a hostile module slipped the import gate's caps or a config
+      // with an absurdly small bound -- either way worth counting.
+      recordRobustnessEvent(RobustnessEvent::RolloutStepCapHit);
+      break;
+    }
+    ++GroupSteps;
+
+    // The live set shrinks as episodes finish; keep the pre-step copy
+    // to route outcomes back to their episodes.
+    std::vector<unsigned> Live = Vec.liveIndices();
+    std::vector<const Observation *> ObsPtrs = Vec.observeLive();
+    // Stored observations are snapshotted before step() mutates them.
+    std::vector<Observation> ObsCopies;
+    if (Opts.RecordSteps) {
+      ObsCopies.reserve(Live.size());
+      for (const Observation *Obs : ObsPtrs)
+        ObsCopies.push_back(*Obs);
+    }
+
+    std::vector<Rng *> RngPtrs(Live.size());
+    for (unsigned K = 0; K < Live.size(); ++K)
+      RngPtrs[K] = Rngs[Live[K]];
+
+    std::vector<ActorCritic::Sampled> Sampled = Actions(ObsPtrs, RngPtrs);
+    std::vector<AgentAction> Stepped(Live.size());
+    for (unsigned K = 0; K < Live.size(); ++K)
+      Stepped[K] = Sampled[K].Action;
+    std::vector<VecEnv::StepOutcome> Outs = Vec.step(Stepped);
+
+    for (unsigned K = 0; K < Live.size(); ++K) {
+      Episode &E = Results[Live[K]];
+      if (Opts.RecordSteps) {
+        RolloutStep Step;
+        Step.Obs = std::move(ObsCopies[K]);
+        Step.Action = std::move(Sampled[K].Action);
+        Step.OldLogProb = Sampled[K].LogProb;
+        Step.Value = Sampled[K].Value;
+        Step.Reward = Outs[K].Reward;
+        Step.EpisodeEnd = Outs[K].Done;
+        E.Steps.push_back(std::move(Step));
+      }
+      E.Reward += Outs[K].Reward;
+    }
+  }
+
+  for (unsigned I = 0; I < B; ++I) {
+    Episode &E = Results[I];
+    E.Speedup = Vec.env(I).currentSpeedup();
+    E.MeasurementSeconds = Vec.env(I).getMeasurementSeconds();
+    E.NestMaterializations =
+        Vec.env(I).getState().counters().NestMaterializations;
+    if (Opts.RecordSchedule)
+      E.Schedule = Vec.env(I).getSchedule();
+  }
+  return Results;
+}
+
+std::vector<RolloutEngine::Episode>
+RolloutEngine::sampleGroup(const std::vector<const Module *> &Samples,
+                           const std::vector<Rng *> &Rngs,
+                           const Options &Opts) const {
+  assert(Agent && "sampling rollouts need an agent");
+  return rolloutGroup(
+      Samples, Rngs,
+      [this](const std::vector<const Observation *> &Obs,
+             const std::vector<Rng *> &Streams) {
+        return Agent->actBatch(Obs, Streams);
+      },
+      Opts);
+}
+
+std::vector<RolloutEngine::Episode>
+RolloutEngine::greedyGroup(const std::vector<const Module *> &Samples,
+                           const Options &Opts) const {
+  assert(Agent && "greedy rollouts need an agent");
+  // Greedy inference draws nothing; every episode shares one inert
+  // stream so the loop's alignment invariant holds without allocating
+  // per-episode generators.
+  Rng Unused(0);
+  std::vector<Rng *> Rngs(Samples.size(), &Unused);
+  return rolloutGroup(
+      Samples, Rngs,
+      [this](const std::vector<const Observation *> &Obs,
+             const std::vector<Rng *> &Streams) {
+        return Agent->actBatch(Obs, Streams, /*Greedy=*/true);
+      },
+      Opts);
+}
+
+RolloutEngine::Episode RolloutEngine::greedy(const Module &M,
+                                             const Options &Opts) const {
+  return greedyGroup({&M}, Opts).front();
+}

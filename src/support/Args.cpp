@@ -1,0 +1,42 @@
+//===- Args.cpp -----------------------------------------------------------===//
+
+#include "support/Args.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mlirrl;
+
+Expected<uint64_t> mlirrl::parseUnsignedInteger(const std::string &Text,
+                                                uint64_t Max) {
+  if (Text.empty())
+    return makeError<uint64_t>("expected an unsigned integer, got \"\"");
+  if (Text[0] == '-')
+    return makeError<uint64_t>("expected an unsigned integer, got negative "
+                               "value \"" +
+                               Text + "\"");
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return makeError<uint64_t>("expected an unsigned integer, got \"" +
+                                 Text + "\"");
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (std::numeric_limits<uint64_t>::max() - Digit) / 10)
+      return makeError<uint64_t>("value \"" + Text + "\" overflows");
+    Value = Value * 10 + Digit;
+  }
+  if (Value > Max)
+    return makeError<uint64_t>("value " + Text + " exceeds the maximum " +
+                               std::to_string(Max));
+  return Value;
+}
+
+uint64_t mlirrl::parseUnsignedArg(const char *Flag, const std::string &Text,
+                                  uint64_t Max) {
+  Expected<uint64_t> Parsed = parseUnsignedInteger(Text, Max);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s: %s\n", Flag, Parsed.getError().c_str());
+    std::exit(2);
+  }
+  return *Parsed;
+}

@@ -1,0 +1,45 @@
+//===- Args.h - Checked CLI argument parsing ---------------------*- C++-*-===//
+///
+/// \file
+/// Checked numeric command-line parsing for the example, bench and
+/// server drivers. The raw std::atoi idiom the early drivers used turns
+/// "--inputs -3" or "--inputs 10k" into a silent wrap to a huge
+/// unsigned count; these helpers reject non-numeric text, negative
+/// values and overflow with a clear message instead.
+///
+/// Two layers: parseUnsignedInteger is the pure Expected-based core
+/// (testable, reusable by library code), and parseUnsignedArg is the
+/// CLI convenience that prints the error and exits with status 2 (the
+/// usage-error exit code every driver already uses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_ARGS_H
+#define MLIRRL_SUPPORT_ARGS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mlirrl {
+
+/// Parses \p Text as a base-10 unsigned integer in [0, Max]. Rejects
+/// empty input, leading '-' (including "-0"), trailing garbage, and
+/// values past \p Max. Leading '+' and surrounding whitespace are
+/// rejected too: an argument vector entry is expected to be exactly the
+/// digits.
+Expected<uint64_t>
+parseUnsignedInteger(const std::string &Text,
+                     uint64_t Max = std::numeric_limits<uint64_t>::max());
+
+/// CLI wrapper: parses \p Text (the value of option \p Flag) as an
+/// unsigned integer in [0, Max]; on failure prints
+/// "error: <flag>: <reason>" to stderr and exits with status 2.
+uint64_t parseUnsignedArg(const char *Flag, const std::string &Text,
+                          uint64_t Max = std::numeric_limits<uint64_t>::max());
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_ARGS_H

@@ -118,6 +118,12 @@ const char *mlirrl::getRobustnessEventName(RobustnessEvent Event) {
     return "robustness.vecenv_action_arity_mismatch";
   case RobustnessEvent::ImportRejected:
     return "robustness.import_rejected";
+  case RobustnessEvent::RolloutStepCapHit:
+    return "robustness.rollout_step_cap";
+  case RobustnessEvent::ServerQueueFull:
+    return "robustness.server_queue_full";
+  case RobustnessEvent::ServerShutdown:
+    return "robustness.server_shutdown";
   }
   return "robustness.unknown";
 }

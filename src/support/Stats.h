@@ -222,6 +222,12 @@ enum class RobustnessEvent {
   VecEnvActionArityMismatch,
   /// An imported module was rejected by the sanitization gate.
   ImportRejected,
+  /// A rollout group hit the engine's defensive lockstep-step cap.
+  RolloutStepCapHit,
+  /// A server request was rejected because the admission queue was full.
+  ServerQueueFull,
+  /// A server request was rejected because the server was shutting down.
+  ServerShutdown,
 };
 
 /// Stable category name of \p Event ("robustness.<event>").

@@ -1,0 +1,167 @@
+//===- ServeReloadTest.cpp - Checkpoint reload under serving load -----------===//
+//
+// The stale-policy race the version-stamped inference cache closes: a
+// server thread mid-greedy-rollout while another thread restores a
+// checkpoint must never serve a torn or stale policy. Two frozen
+// checkpoints are prepared up front with their reference answers; then
+// a reloader thread flips the server between them while client threads
+// hammer requests, and every response must be bitwise-identical to one
+// of the two references -- nothing in between, no crash, no hang. Runs
+// under the ci.sh --sanitize pass (TSan config), where a torn
+// publication would be a reported race even if the values happened to
+// coincide.
+//
+// Inference runs in F32 here on purpose: that is the path with the
+// packed-policy snapshot cache (the race's subject); F64 recomputes
+// from the master parameters every call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "datasets/DnnOps.h"
+#include "ir/Printer.h"
+#include "rl/MlirRl.h"
+#include "rl/Checkpoint.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+using namespace mlirrl;
+
+namespace {
+
+MlirRlOptions trainingOptions() {
+  MlirRlOptions O = MlirRlOptions::laptop();
+  O.Net = testutil::tinyNet();
+  O.Ppo.SamplesPerIteration = 4;
+  O.Iterations = 1;
+  O.Seed = 303;
+  return O;
+}
+
+ServeOptions matchingServeOptions() {
+  MlirRlOptions Train = trainingOptions();
+  ServeOptions O;
+  O.Env = Train.Env;
+  O.Net = Train.Net;
+  O.Ppo = Train.Ppo;
+  O.Seed = 9;
+  O.BatchWidth = 2;
+  O.Inference = InferenceDtype::F32;
+  return O;
+}
+
+} // namespace
+
+TEST(ServeReloadTest, ReloadUnderLoadServesOnlyCompletePolicies) {
+  const std::string PathA = "serve_reload_a.ckpt";
+  const std::string PathB = "serve_reload_b.ckpt";
+  const std::string Request = printModule(makeMatmulModule(96, 96, 96));
+
+  // Two frozen policies: after one and after two training iterations.
+  {
+    MlirRl Sys(trainingOptions());
+    std::vector<Module> Data = {makeMatmulModule(96, 96, 96)};
+    Sys.train(Data);
+    ASSERT_TRUE(saveCheckpoint(Sys.trainer(), PathA).hasValue());
+    Sys.train(Data);
+    ASSERT_TRUE(saveCheckpoint(Sys.trainer(), PathB).hasValue());
+  }
+
+  // Reference answers, served quiescently.
+  std::string ScheduleA, ScheduleB;
+  double SpeedupA, SpeedupB;
+  {
+    ScheduleServer Server(matchingServeOptions());
+    Expected<bool> LA = Server.loadPolicy(PathA);
+    ASSERT_TRUE(LA.hasValue()) << LA.getError();
+    Expected<ServeResponse> RA = Server.optimize(Request);
+    ASSERT_TRUE(RA.hasValue()) << RA.getError();
+    ScheduleA = RA->Schedule.toString();
+    SpeedupA = RA->Speedup;
+
+    Expected<bool> LB = Server.loadPolicy(PathB);
+    ASSERT_TRUE(LB.hasValue()) << LB.getError();
+    Expected<ServeResponse> RB = Server.optimize(Request);
+    ASSERT_TRUE(RB.hasValue()) << RB.getError();
+    ScheduleB = RB->Schedule.toString();
+    SpeedupB = RB->Speedup;
+    EXPECT_EQ(Server.stats().PolicyReloads, 2u);
+  }
+
+  // Hammer: clients serve continuously while a reloader flips between
+  // the two checkpoints.
+  ScheduleServer Server(matchingServeOptions());
+  ASSERT_TRUE(Server.loadPolicy(PathA).hasValue());
+
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> BadResponses{0};
+  constexpr unsigned Clients = 4;
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Clients; ++T)
+    Threads.emplace_back([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Expected<ServeResponse> R = Server.optimize(Request);
+        if (!R.hasValue()) {
+          // Only the bounded-admission rejection is acceptable here.
+          if (R.getError().find("queue full") == std::string::npos)
+            BadResponses.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::string Sched = R->Schedule.toString();
+        bool MatchesA = Sched == ScheduleA &&
+                        std::bit_cast<uint64_t>(R->Speedup) ==
+                            std::bit_cast<uint64_t>(SpeedupA);
+        bool MatchesB = Sched == ScheduleB &&
+                        std::bit_cast<uint64_t>(R->Speedup) ==
+                            std::bit_cast<uint64_t>(SpeedupB);
+        if (!MatchesA && !MatchesB)
+          BadResponses.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (unsigned Reload = 0; Reload < 12; ++Reload) {
+    Expected<bool> L =
+        Server.loadPolicy(Reload % 2 == 0 ? PathB : PathA);
+    EXPECT_TRUE(L.hasValue()) << L.getError();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(BadResponses.load(), 0u);
+  EXPECT_GT(Server.stats().Served, 0u);
+  EXPECT_EQ(Server.stats().PolicyReloads, 13u);
+
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+TEST(ServeReloadTest, LoadPolicyRejectsMissingAndMismatchedCheckpoints) {
+  ScheduleServer Server(matchingServeOptions());
+  EXPECT_FALSE(Server.loadPolicy("no_such_checkpoint.ckpt").hasValue());
+
+  // An architecture mismatch must fail cleanly and keep serving on the
+  // previous (fresh-initialized) policy.
+  const std::string Path = "serve_reload_mismatch.ckpt";
+  {
+    MlirRlOptions Wide = trainingOptions();
+    Wide.Net.LstmHidden = 32;
+    Wide.Net.BackboneHidden = 32;
+    MlirRl Sys(Wide);
+    ASSERT_TRUE(saveCheckpoint(Sys.trainer(), Path).hasValue());
+  }
+  EXPECT_FALSE(Server.loadPolicy(Path).hasValue());
+  EXPECT_EQ(Server.stats().PolicyReloads, 0u);
+  Expected<ServeResponse> R =
+      Server.optimize(printModule(makeReluModule({256, 256})));
+  EXPECT_TRUE(R.hasValue());
+  std::remove(Path.c_str());
+}
