@@ -2,14 +2,21 @@
 //
 // GFLOP/s of the raw gemmAcc kernels (no autograd, no tensors) across
 // element type {double, float} x kernel variant {scalar fallback,
-// explicit SIMD} x square sizes 64..1024. This is the dtype speedup
-// ledger behind the f32 inference path: the headline comparison is
-// NN/float/simd at 512 against NN/double/scalar at 512 (the pre-SIMD
-// kernel), committed to PERF.md and tracked across PRs through
-// scripts/bench_json.sh --gemm (BENCH_gemm.json).
+// explicit SIMD} x packing {streaming, packed macro-kernel} x square
+// sizes. This is the dtype speedup ledger behind the f32 inference
+// path: the headline comparisons are NN/float/simd at 512 against
+// NN/double/scalar at 512 (the pre-SIMD kernel), and each packed row
+// against its unpacked twin (same name + _packed), committed to PERF.md
+// and tracked across PRs through scripts/bench_json.sh --gemm
+// (BENCH_gemm.json).
 //
-// The NT/TN backward kernels are benched in their scalar form only
-// (they have no SIMD variant; training runs them on double).
+// The unpacked NT/TN rows force Scalar dispatch and packing Off -- the
+// historical streaming kernels, kept under stable names for trajectory
+// comparison. The packed rows run packing On under Auto dispatch: NT is
+// where packing rewrites the story (the streaming kernel's k-reduction
+// is a latency-bound scalar chain; the transpose-packed SIMD kernel
+// runs independent lane chains), so its packed/unpacked ratio is the
+// tentpole number.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,20 +39,26 @@ template <typename T> std::vector<T> randomSquare(Rng &R, unsigned N) {
   return V;
 }
 
-/// Forces one dispatch mode for the benchmark's scope and restores
-/// Auto on exit (the process-global default).
-struct KernelScope {
-  explicit KernelScope(GemmKernel K) { setGemmKernel(K); }
-  ~KernelScope() { setGemmKernel(GemmKernel::Auto); }
+/// Forces one kernel + packing dispatch pair for the benchmark's scope
+/// and restores Auto on exit (the process-global defaults).
+struct DispatchScope {
+  DispatchScope(GemmKernel K, GemmPacking P) {
+    setGemmKernel(K);
+    setGemmPacking(P);
+  }
+  ~DispatchScope() {
+    setGemmKernel(GemmKernel::Auto);
+    setGemmPacking(GemmPacking::Auto);
+  }
 };
 
 template <typename T>
-void BM_GemmNN(benchmark::State &State, GemmKernel Kind) {
+void BM_GemmNN(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
   if (Kind == GemmKernel::Simd && !gemmSimdAvailable()) {
     State.SkipWithError("no SIMD kernel in this build");
     return;
   }
-  KernelScope Scope(Kind);
+  DispatchScope Scope(Kind, Pack);
   unsigned N = static_cast<unsigned>(State.range(0));
   Rng R(5);
   std::vector<T> A = randomSquare<T>(R, N);
@@ -61,8 +74,9 @@ void BM_GemmNN(benchmark::State &State, GemmKernel Kind) {
       benchmark::Counter::kIsRate);
 }
 
-template <typename T> void BM_GemmNT(benchmark::State &State) {
-  KernelScope Scope(GemmKernel::Scalar);
+template <typename T>
+void BM_GemmNT(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  DispatchScope Scope(Kind, Pack);
   unsigned N = static_cast<unsigned>(State.range(0));
   Rng R(6);
   std::vector<T> A = randomSquare<T>(R, N);
@@ -78,8 +92,9 @@ template <typename T> void BM_GemmNT(benchmark::State &State) {
       benchmark::Counter::kIsRate);
 }
 
-template <typename T> void BM_GemmTN(benchmark::State &State) {
-  KernelScope Scope(GemmKernel::Scalar);
+template <typename T>
+void BM_GemmTN(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  DispatchScope Scope(Kind, Pack);
   unsigned N = static_cast<unsigned>(State.range(0));
   Rng R(7);
   std::vector<T> A = randomSquare<T>(R, N);
@@ -95,33 +110,62 @@ template <typename T> void BM_GemmTN(benchmark::State &State) {
       benchmark::Counter::kIsRate);
 }
 
-void BM_GemmNNF64(benchmark::State &State, GemmKernel Kind) {
-  BM_GemmNN<double>(State, Kind);
+void BM_GemmNNF64(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmNN<double>(State, Kind, Pack);
 }
-void BM_GemmNNF32(benchmark::State &State, GemmKernel Kind) {
-  BM_GemmNN<float>(State, Kind);
+void BM_GemmNNF32(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmNN<float>(State, Kind, Pack);
+}
+void BM_GemmNTF64(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmNT<double>(State, Kind, Pack);
+}
+void BM_GemmNTF32(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmNT<float>(State, Kind, Pack);
+}
+void BM_GemmTNF64(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmTN<double>(State, Kind, Pack);
+}
+void BM_GemmTNF32(benchmark::State &State, GemmKernel Kind, GemmPacking Pack) {
+  BM_GemmTN<float>(State, Kind, Pack);
 }
 
 } // namespace
 
 #define GEMM_SIZES Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+#define GEMM_BWD_SIZES Arg(256)->Arg(512)->Arg(1024)
 
-BENCHMARK_CAPTURE(BM_GemmNNF64, f64_scalar, GemmKernel::Scalar)
+BENCHMARK_CAPTURE(BM_GemmNNF64, f64_scalar, GemmKernel::Scalar,
+                  GemmPacking::Off)
     ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_GemmNNF64, f64_simd, GemmKernel::Simd)
+BENCHMARK_CAPTURE(BM_GemmNNF64, f64_simd, GemmKernel::Simd, GemmPacking::Off)
     ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_GemmNNF32, f32_scalar, GemmKernel::Scalar)
+BENCHMARK_CAPTURE(BM_GemmNNF64, f64_simd_packed, GemmKernel::Simd,
+                  GemmPacking::On)
     ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_GemmNNF32, f32_simd, GemmKernel::Simd)
+BENCHMARK_CAPTURE(BM_GemmNNF32, f32_scalar, GemmKernel::Scalar,
+                  GemmPacking::Off)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNNF32, f32_simd, GemmKernel::Simd, GemmPacking::Off)
+    ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNNF32, f32_simd_packed, GemmKernel::Simd,
+                  GemmPacking::On)
     ->GEMM_SIZES->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_TEMPLATE(BM_GemmNT, double)
-    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
-BENCHMARK_TEMPLATE(BM_GemmNT, float)
-    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
-BENCHMARK_TEMPLATE(BM_GemmTN, double)
-    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
-BENCHMARK_TEMPLATE(BM_GemmTN, float)
-    ->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNTF64, f64, GemmKernel::Scalar, GemmPacking::Off)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNTF64, f64_packed, GemmKernel::Auto, GemmPacking::On)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNTF32, f32, GemmKernel::Scalar, GemmPacking::Off)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmNTF32, f32_packed, GemmKernel::Auto, GemmPacking::On)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmTNF64, f64, GemmKernel::Scalar, GemmPacking::Off)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmTNF64, f64_packed, GemmKernel::Auto, GemmPacking::On)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmTNF32, f32, GemmKernel::Scalar, GemmPacking::Off)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GemmTNF32, f32_packed, GemmKernel::Auto, GemmPacking::On)
+    ->GEMM_BWD_SIZES->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -12,10 +12,13 @@
 // BM_ServeLatency is single-client and records exact p50/p99 over its
 // own request stream. BM_ServeThroughput hammers one shared server from
 // {1, 2, 4, 8} client threads; items_processed counts requests, so the
-// reported rate is requests/s across all clients. On a 1-core box the
-// thread sweep measures batching + admission overhead, not parallel
-// speedup -- scripts/bench_json.sh --serve records nproc alongside for
-// that reason.
+// reported rate is requests/s across all clients. BM_ServeWorkerSweep
+// holds the client load fixed (4 threads) and sweeps the *server's*
+// worker count instead -- the knob ServeOptions::Workers adds; answers
+// are worker-invariant, so the sweep moves only throughput. On a 1-core
+// box both sweeps measure batching + admission overhead, not parallel
+// speedup -- scripts/bench_json.sh --serve records nproc alongside and
+// prunes the worker sweep to the host's cores for that reason.
 //
 //===----------------------------------------------------------------------===//
 
@@ -140,13 +143,61 @@ void BM_ServeThroughput(benchmark::State &State) {
   }
 }
 
+/// Fixed 4-thread client load, server worker count swept via the
+/// benchmark argument (the shared-server pattern from
+/// BM_ServeThroughput, with Workers set at construction).
+void BM_ServeWorkerSweep(benchmark::State &State) {
+  const std::vector<std::string> &Texts = requestTexts();
+  if (State.thread_index() == 0) {
+    ServeOptions O = benchServeOptions();
+    O.Workers = static_cast<unsigned>(State.range(0));
+    SharedServer = new ScheduleServer(O);
+    for (const std::string &T : Texts)
+      if (!SharedServer->optimize(T))
+        State.SkipWithError("warmup request rejected");
+  }
+
+  size_t Next = static_cast<size_t>(State.thread_index());
+  int64_t Served = 0;
+  for (auto _ : State) {
+    Expected<ServeResponse> R =
+        SharedServer->optimize(Texts[Next++ % Texts.size()]);
+    benchmark::DoNotOptimize(R);
+    if (!R) {
+      State.SkipWithError("request rejected");
+      break;
+    }
+    ++Served;
+  }
+  State.SetItemsProcessed(Served);
+
+  if (State.thread_index() == 0) {
+    ServeStats S = SharedServer->stats();
+    State.counters["batches"] = static_cast<double>(S.Batches);
+    State.counters["requests_per_batch"] =
+        S.Batches ? static_cast<double>(S.Served) /
+                        static_cast<double>(S.Batches)
+                  : 0.0;
+    delete SharedServer;
+    SharedServer = nullptr;
+  }
+}
+
 } // namespace
 
-// Real time on both: a request's cost is wall-clock waiting on the
-// worker thread, not caller-side CPU.
+// Real time on all: a request's cost is wall-clock waiting on a server
+// worker, not caller-side CPU.
 BENCHMARK(BM_ServeLatency)->UseRealTime()->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServeThroughput)
     ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeWorkerSweep)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Threads(4)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_MAIN();

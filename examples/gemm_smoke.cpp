@@ -9,6 +9,11 @@
 //     training determinism contract rides on this);
 //   * float NN/NT/TN must match the scalar float kernel bit-for-bit
 //     (the f32 inference path's scalar/SIMD parity);
+//   * the packed macro-kernel path (packing forced On) must match the
+//     streaming kernels bit-for-bit under both dispatch modes --
+//     packing is pure layout, and this runs in the --sanitize CI pass
+//     too, where ASan additionally vets the pack-arena scratch for
+//     leaks and overruns;
 //   * shapes cover the MR/vector-length tails and the blocked panels.
 //
 //===----------------------------------------------------------------------===//
@@ -49,7 +54,8 @@ template <typename T> void fill(Rng &R, std::vector<T> &V) {
 }
 
 /// Runs every kernel flavor for one element type under both dispatch
-/// modes and compares the raw bytes.
+/// modes and both packing modes, and compares the raw bytes against the
+/// scalar streaming reference.
 template <typename T> void crossCheck(const char *Dtype) {
   Rng R(911);
   for (const Shape &S : Shapes) {
@@ -60,8 +66,8 @@ template <typename T> void crossCheck(const char *Dtype) {
     fill(R, Ant), fill(R, Bnt);
     fill(R, Atn), fill(R, Btn);
 
-    // Pre-filled C: both kernels must share the accumulate contract.
-    std::vector<T> Cs(S.M * S.N, T(0.125)), Cv(S.M * S.N, T(0.125));
+    // Pre-filled C: all kernels must share the accumulate contract.
+    std::vector<T> Cs(S.M * S.N, T(0.125));
     auto runAll = [&](std::vector<T> &C) {
       gemmAccNN(S.M, S.N, S.K, Ann.data(), S.K, Bnn.data(), S.N, C.data(),
                 S.N);
@@ -71,11 +77,28 @@ template <typename T> void crossCheck(const char *Dtype) {
                 S.N);
     };
     setGemmKernel(GemmKernel::Scalar);
+    setGemmPacking(GemmPacking::Off);
     runAll(Cs);
-    setGemmKernel(GemmKernel::Auto);
-    runAll(Cv);
-    check(std::memcmp(Cs.data(), Cv.data(), Cs.size() * sizeof(T)) == 0,
-          Dtype, S);
+
+    struct Mode {
+      GemmKernel Kind;
+      GemmPacking Pack;
+      const char *Name;
+    };
+    const Mode Modes[] = {{GemmKernel::Auto, GemmPacking::Off, "auto"},
+                          {GemmKernel::Scalar, GemmPacking::On,
+                           "scalar packed"},
+                          {GemmKernel::Auto, GemmPacking::On, "auto packed"}};
+    for (const Mode &M : Modes) {
+      std::vector<T> Cv(S.M * S.N, T(0.125));
+      setGemmKernel(M.Kind);
+      setGemmPacking(M.Pack);
+      runAll(Cv);
+      char Label[64];
+      std::snprintf(Label, sizeof(Label), "%s %s", Dtype, M.Name);
+      check(std::memcmp(Cs.data(), Cv.data(), Cs.size() * sizeof(T)) == 0,
+            Label, S);
+    }
   }
 }
 
@@ -89,10 +112,12 @@ int main() {
   crossCheck<double>("double");
   crossCheck<float>("float");
   setGemmKernel(GemmKernel::Auto);
+  setGemmPacking(GemmPacking::Auto);
   if (Failed) {
     std::printf("gemm_smoke: FAIL (dispatched kernel diverges from scalar)\n");
     return 1;
   }
-  std::printf("gemm_smoke: OK (all kernels bitwise-equal to scalar)\n");
+  std::printf(
+      "gemm_smoke: OK (all kernel/packing modes bitwise-equal to scalar)\n");
   return 0;
 }

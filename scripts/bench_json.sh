@@ -15,17 +15,19 @@
 #               BENCH_memo.json). The contended_acquisitions counters
 #               are meaningful even on 1 core.
 #   --gemm      the raw GEMM kernel GFLOP/s matrix from bench_gemm
-#               (dtype x kernel variant x size; default output
+#               (dtype x kernel variant x packing x size; default output
 #               BENCH_gemm.json). Single-core numbers; the artifact
 #               records the compiler and -march the kernels were built
 #               with, since the SIMD micro-kernel's throughput is a
-#               property of both.
+#               property of both. Packed rows carry a _packed name
+#               suffix next to their streaming twin.
 #   --serve     schedule-server requests/s and p50/p99 request latency
 #               from bench_serve (default output BENCH_serve.json).
-#               The client-thread sweep is pruned to the host's cores
-#               and the artifact records nproc: on a 1-core box the
-#               sweep measures batching + admission overhead, not
-#               parallel serving.
+#               The client-thread sweep and the server-worker sweep are
+#               pruned to the host's cores and the artifact records
+#               nproc (and, like every artifact, the compiler/march
+#               keys): on a 1-core box the sweeps measure batching +
+#               admission overhead, not parallel serving.
 #
 # Thread sweeps wider than the host's core count are skipped: a 1-core
 # box "benchmarking" 8 collector threads measures pool overhead and
@@ -74,9 +76,13 @@ case "${1:-}" in
   --serve)
     shift
     BIN_NAME=bench_serve
-    # Keep the single-client latency benchmark plus the
-    # host-feasible points of the concurrent-client thread sweep.
-    FILTER="--benchmark_filter=(ServeLatency/real_time\$|ServeThroughput.*threads:$(threads_regex)\$)"
+    # Keep the single-client latency benchmark, the host-feasible
+    # points of the concurrent-client thread sweep, and the
+    # server-worker sweep pruned on *workers* (its 4 client threads are
+    # mostly-blocked load generators; the worker count is what must not
+    # exceed the cores, or the sweep reports scheduler noise as
+    # scaling).
+    FILTER="--benchmark_filter=(ServeLatency/real_time\$|ServeThroughput.*threads:$(threads_regex)\$|ServeWorkerSweep/workers:$(threads_regex)/)"
     DEFAULT_OUT=BENCH_serve.json
     ;;
   *)
@@ -119,10 +125,11 @@ fi
 # Record the host's core count in the artifact: google-benchmark's own
 # context has num_cpus, but the explicit top-level key makes the
 # "which sweeps could this box actually run" question greppable.
-# The GEMM artifact additionally records the compiler and the -march
-# the kernels were built with: SIMD micro-kernel GFLOP/s is a property
-# of (machine, compiler, ISA flags), and comparing artifacts that
-# differ in any of the three is meaningless.
+# Every artifact also records the compiler and the -march the binary
+# was built with -- the GEMM kernels are the obvious dependents, but
+# the serve numbers ride the same packed/SIMD inference kernels, so
+# --serve carries the keys too and comparing artifacts that differ in
+# (machine, compiler, ISA flags) is meaningless either way.
 CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[A-Z]*=//p' "$REPO_ROOT/$BUILD_DIR/CMakeCache.txt" | head -1)
 COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
 MARCH=native

@@ -55,16 +55,20 @@ fi
 # is > 0 and that incremental stepping actually ran (nests materialized
 # << ops x steps), so the ScheduleState path cannot silently regress to
 # the from-scratch fallback. Also cross-checks the incremental price
-# against the from-scratch oracle bitwise.
+# against the from-scratch oracle bitwise, and asserts the packed-GEMM
+# scratch arena reaches steady state (repeated packed calls reuse the
+# "gemm.pack_arena" block -- at most one allocation, then hits only --
+# so the packed path cannot silently regress to per-call malloc).
 ./build/example_perf_smoke
 
 # --- GEMM dispatch smoke check --------------------------------------------
 # Cross-checks the dispatched GEMM micro-kernel (SIMD where the build
 # has one) against the portable scalar fallback at runtime on the CI
-# machine itself: double AND float, NN/NT/TN, tail-heavy shapes,
-# bitwise comparison. Double parity is what the bitwise-deterministic
-# training contract rides on; float parity covers the f32 greedy
-# inference path.
+# machine itself: double AND float, NN/NT/TN, streaming AND packed
+# macro-kernel paths, tail-heavy shapes, bitwise comparison. Double
+# parity is what the bitwise-deterministic training contract rides on;
+# float parity covers the f32 greedy inference path; packed parity is
+# the packing-is-pure-layout contract.
 ./build/example_gemm_smoke
 
 # --- Striped-memo smoke check ---------------------------------------------
@@ -120,9 +124,17 @@ if [[ "$sanitize" == 1 ]]; then
     --corpus "$fuzz_corpus"
   # The SIMD micro-kernels under ASan+UBSan (vector loads/stores and
   # the tail delegation are exactly where an out-of-bounds lane read
-  # would hide).
+  # would hide). The packed cross-check runs here too, which makes ASan
+  # the pack-arena leak gate: LeakSanitizer fails this invocation if a
+  # pack-scratch allocation outlives its thread's arena, and a panel
+  # overrun past the padded row stride is an immediate heap-overflow
+  # report.
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./build-san/example_gemm_smoke
+  # Pack-arena steady state under the sanitized build as well (the
+  # reuse counters are asserted inside).
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/example_perf_smoke
   # The serving path under the sanitizers (reduced request count): the
   # worker thread, promise/future handoff, and checkpoint reload are
   # the lifetime-heavy code in this tree.

@@ -17,6 +17,10 @@
 /// kernels carry the opt-in f32 inference path
 /// (MlirRlOptions::Inference), where the NN product runs an explicitly
 /// SIMD micro-kernel when the platform has one (see setGemmKernel).
+/// Large calls additionally route through the packed macro-kernel
+/// layer (see setGemmPacking): BLIS-style A/B panel packing into
+/// per-thread aligned scratch, bitwise-identical to the streaming
+/// kernels by construction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +61,34 @@ enum class GemmKernel {
 /// kernels running concurrently read it).
 void setGemmKernel(GemmKernel Kind);
 GemmKernel getGemmKernel();
+
+/// Whether the gemmAcc entry points run the packed macro-kernel path:
+/// copy each cache block of A/B into dense 64-byte-aligned scratch
+/// (transposing for NT/TN so the k-reduction is contiguous) and run the
+/// register kernels over the packed panels. Packing is pure layout --
+/// every C element keeps the exact accumulation sequence of the
+/// unpacked kernels, so like the kernel dispatch this never changes
+/// results; it is a speed knob with an Auto heuristic (pack when the
+/// operand footprint is large enough to amortize the copy), and On/Off
+/// overrides for benchmarks and the 0-ULP cross-checks.
+enum class GemmPacking {
+  Auto, ///< Heuristic per call shape (the default).
+  On,   ///< Always pack (any shape; correctness-complete).
+  Off,  ///< Never pack -- the pre-packing streaming kernels.
+};
+
+/// Sets the process-wide packing dispatch (set from one thread only;
+/// kernels running concurrently read it).
+void setGemmPacking(GemmPacking Mode);
+GemmPacking getGemmPacking();
+
+/// Capacity in bytes of the calling thread's pack-scratch arena (0
+/// until this thread runs its first packed GEMM). The arena grows to
+/// the panel footprint once and is reused for every later packed call
+/// on the thread; CacheStatsRegistry category "gemm.pack_arena" counts
+/// reuses as hits and fresh allocations as misses, which is what
+/// perf_smoke and CI assert on. Exposed for tests/benches.
+size_t gemmPackScratchCapacity();
 
 /// Whether the SIMD micro-kernel was compiled in (GNU vector
 /// extensions; false only on compilers without them, where Simd

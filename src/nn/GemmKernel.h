@@ -30,6 +30,20 @@
 /// (they carry the backward pass, which stays f64, and their inner
 /// loops are already unit-stride for the autovectorizer).
 ///
+/// On top of the streaming kernels sits the packed macro-kernel layer
+/// (GotoBLAS/BLIS structure): gemm*PackedSerial copy each KC x NC panel
+/// of B and MC x KC panel of A into dense 64-byte-aligned scratch once
+/// per cache block -- transposing during the copy for NT's B and TN's A
+/// so every k-reduction walks contiguous memory -- and then drive the
+/// register kernels over the packed panels. Packing is a pure layout
+/// transform: every C element still accumulates the exact ascending-k
+/// sequence the unpacked kernel produces (NN reuses microNN* outright;
+/// microNTPacked* keeps the per-KC-block temporary accumulator;
+/// microTNPacked* keeps the MR-grouped sums and the exact zero-skip
+/// tests), so packed and unpacked results are required to be
+/// bitwise-identical -- GemmTest and gemm_smoke memcmp them. Whether
+/// packing runs is a second runtime dispatch (nn::setGemmPacking).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MLIRRL_NN_GEMMKERNEL_H
@@ -264,9 +278,33 @@ void gemmNNSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
   }
 }
 
+/// The NT per-element k-chain: a zero-started, ascending-k multiply-add
+/// chain over N elements, A unit-stride, B at stride BStride (1 for the
+/// streaming kernel's row pairs; the panel width for a transposed-packed
+/// column). noinline + no-tree-vectorize pin ONE scalar emission of the
+/// chain -- a straight (contracted, on FMA targets) multiply-add
+/// sequence -- that every scalar-path NT element shares. Without the
+/// pin, GCC autovectorizes this reduction in-order with a
+/// target-dependent mix of separately-rounded multiplies and fma
+/// remainders, which no lane-parallel kernel can reproduce bitwise;
+/// with it, the SIMD kernel's per-lane chain (one vector fma per k) is
+/// the exact same arithmetic. Same doctrine as microNNSimd's scalar
+/// tail: bitwise parity must be a property of the binary, not of two
+/// loops happening to contract alike.
+template <typename T>
+__attribute__((noinline, optimize("no-tree-vectorize"))) T
+microNTDot(const T *__restrict A, const T *__restrict B, unsigned BStride,
+           unsigned N) {
+  T Acc = T(0);
+  for (unsigned Kx = 0; Kx < N; ++Kx)
+    Acc += A[Kx] * B[static_cast<size_t>(Kx) * BStride];
+  return Acc;
+}
+
 /// C(MxN) += A(MxK) . B^T with B stored NxK: both operands are scanned
-/// along k, so the inner loop is a unit-stride dot product; block j so
-/// the scanned rows of B stay cache-resident across the i loop.
+/// along k, so the inner loop is a unit-stride dot product (the shared
+/// pinned chain above); block j so the scanned rows of B stay
+/// cache-resident across the i loop.
 template <typename T>
 void gemmNTSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
                   const T *B, unsigned LdB, T *C, unsigned LdC) {
@@ -279,10 +317,7 @@ void gemmNTSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
         T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
         for (unsigned J = Jj; J < Jend; ++J) {
           const T *__restrict Bj = B + static_cast<size_t>(J) * LdB;
-          T Acc = T(0);
-          for (unsigned Kx = Kk; Kx < Kend; ++Kx)
-            Acc += Ai[Kx] * Bj[Kx];
-          Ci[J] += Acc;
+          Ci[J] += microNTDot(Ai + Kk, Bj + Kk, 1u, Kend - Kk);
         }
       }
     }
@@ -336,6 +371,387 @@ void gemmTNSerial(unsigned M, unsigned N, unsigned K, const T *A, unsigned LdA,
           for (unsigned J = Jj; J < Jend; ++J)
             Ci[J] += V * Bk[J];
         }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Packed macro-kernel layer
+//===----------------------------------------------------------------------===//
+
+// The TN macro-kernel tiles k by KC while reproducing gemmTNSerial's
+// *absolute* MR-groups over the full K; that only lines up because
+// every KC block boundary is itself a group boundary.
+static_assert(KC % MR == 0, "KC blocks must align with MR k-groups");
+
+/// Packed panels pad their row stride by one cache line. Matrix sizes
+/// tend to be powers of two, which makes the natural panel stride a
+/// multiple of 4 KB right when the panels are widest -- every row (or
+/// every k step of a transposed panel) then maps to the same L1 set and
+/// the k-sweeps thrash. One line of skew spreads consecutive rows
+/// across sets. Padding is invisible to results: the same elements are
+/// read in the same order through the leading-dimension parameter.
+constexpr unsigned packPad(size_t ElemSize) {
+  return static_cast<unsigned>(64 / ElemSize);
+}
+
+/// Elements of pack scratch a packed call needs at most: one padded
+/// KC x NC B panel plus one padded MC x KC A panel, with the pad sized
+/// for the smallest element type (an upper bound for both dtypes).
+constexpr size_t PackScratchElems =
+    static_cast<size_t>(KC) * (NC + packPad(sizeof(float))) +
+    static_cast<size_t>(MC) * (KC + packPad(sizeof(float)));
+
+/// Offset of the A panel inside the scratch block (B panel first).
+constexpr size_t PackScratchAOffset =
+    static_cast<size_t>(KC) * (NC + packPad(sizeof(float)));
+
+/// Straight row-major copy of the [r0,r1) x [c0,c1) block of Src
+/// (leading dimension LdSrc) into the dense panel Dst with leading
+/// dimension LdDst >= c1-c0. Element order is preserved; this is pure
+/// layout.
+template <typename T>
+inline void packBlock(const T *__restrict Src, unsigned LdSrc, unsigned r0,
+                      unsigned r1, unsigned c0, unsigned c1, T *__restrict Dst,
+                      unsigned LdDst) {
+  const unsigned W = c1 - c0;
+  for (unsigned R = r0; R < r1; ++R) {
+    const T *__restrict S = Src + static_cast<size_t>(R) * LdSrc + c0;
+    T *__restrict D = Dst + static_cast<size_t>(R - r0) * LdDst;
+    for (unsigned Col = 0; Col < W; ++Col)
+      D[Col] = S[Col];
+  }
+}
+
+/// Transpose-pack: the [y0,y1) x [x0,x1) block of Src lands in Dst
+/// transposed, Dst[(x-x0)*LdDst + (y-y0)] = Src[y*LdSrc + x]. Reads
+/// stream Src rows contiguously; writes stride, but the panel is small
+/// and written once per cache block.
+template <typename T>
+inline void packTranspose(const T *__restrict Src, unsigned LdSrc, unsigned y0,
+                          unsigned y1, unsigned x0, unsigned x1,
+                          T *__restrict Dst, unsigned LdDst) {
+  for (unsigned Y = y0; Y < y1; ++Y) {
+    const T *__restrict S = Src + static_cast<size_t>(Y) * LdSrc;
+    for (unsigned X = x0; X < x1; ++X)
+      Dst[static_cast<size_t>(X - x0) * LdDst + (Y - y0)] = S[X];
+  }
+}
+
+/// Packed NN driver: identical loop structure to gemmNNSerial, but each
+/// (Jj, Kk) B panel and (Ii, Kk) A panel is copied into dense scratch
+/// first and the *same* micro-kernels run over the packed panels with
+/// block-local coordinates. Same function, same trip counts, same
+/// values -- bitwise-equal to the unpacked driver by construction; what
+/// changes is that every B panel load is now contiguous and the A rows
+/// dense, instead of striding the caller's leading dimensions.
+template <typename T>
+void gemmNNPackedSerial(unsigned M, unsigned N, unsigned K, const T *A,
+                        unsigned LdA, const T *B, unsigned LdB, T *C,
+                        unsigned LdC, bool Simd, T *__restrict Ap,
+                        T *__restrict Bp) {
+  (void)Simd;
+  constexpr unsigned Pad = packPad(sizeof(T));
+  for (unsigned Jj = 0; Jj < N; Jj += NC) {
+    const unsigned Jend = std::min(N, Jj + NC), NB = Jend - Jj;
+    const unsigned LdBp = NB + Pad;
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      const unsigned Kend = std::min(K, Kk + KC), KB = Kend - Kk;
+      const unsigned LdAp = KB + Pad;
+      packBlock(B, LdB, Kk, Kend, Jj, Jend, Bp, LdBp);
+      for (unsigned Ii = 0; Ii < M; Ii += MC) {
+        const unsigned Iend = std::min(M, Ii + MC), MB = Iend - Ii;
+        packBlock(A, LdA, Ii, Iend, Kk, Kend, Ap, LdAp);
+        T *Cb = C + static_cast<size_t>(Ii) * LdC + Jj;
+        unsigned I = 0;
+#if MLIRRL_GEMM_HAVE_SIMD
+        if (Simd) {
+          for (; I + MR <= MB; I += MR)
+            microNNSimd<T>(MR, 0, NB, 0, KB, Ap, LdAp, Bp, LdBp, Cb, LdC, I);
+          if (I < MB)
+            microNNSimd<T>(MB - I, 0, NB, 0, KB, Ap, LdAp, Bp, LdBp, Cb, LdC,
+                           I);
+          continue;
+        }
+#endif
+        for (; I + MR <= MB; I += MR)
+          microNNScalar<T>(MR, 0, NB, 0, KB, Ap, LdAp, Bp, LdBp, Cb, LdC, I);
+        if (I < MB)
+          microNNScalar<T>(MB - I, 0, NB, 0, KB, Ap, LdAp, Bp, LdBp, Cb, LdC,
+                           I);
+      }
+    }
+  }
+}
+
+/// Packed NT micro-kernel, scalar form: C[i][j] += (sum over the packed
+/// k panel of Ap[i][k] * Bp[k][j]), one microNTDot chain per element --
+/// literally the same emitted function gemmNTSerial runs, called with
+/// the transposed panel's column stride, so the packed path is
+/// bitwise-identical by shared machine code. This form exists as the
+/// Scalar-dispatch reference and the sub-vector j tail; the SIMD form
+/// below is the fast path.
+template <typename T>
+inline void microNTPackedScalar(unsigned Rows, unsigned NB, unsigned KB,
+                                const T *__restrict Ap, unsigned LdAp,
+                                const T *__restrict Bp, unsigned LdBp,
+                                T *__restrict C, unsigned LdC) {
+  for (unsigned I = 0; I < Rows; ++I) {
+    const T *__restrict Ai = Ap + static_cast<size_t>(I) * LdAp;
+    T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+    for (unsigned J = 0; J < NB; ++J)
+      Ci[J] += microNTDot(Ai, Bp + J, LdBp, KB);
+  }
+}
+
+#if MLIRRL_GEMM_HAVE_SIMD
+
+/// Packed NT micro-kernel, SIMD form. The unpacked NT kernel is
+/// latency-bound: one scalar Acc chain per (i, j) means every fma waits
+/// on the previous one. Here the j axis is widened into vector lanes
+/// and an MR-row x 2-vector block of partial sums lives in registers,
+/// so 8 independent accumulator chains cover the fma latency -- but
+/// each *lane* still computes the exact chain the scalar kernel does:
+/// zero-started, ascending k over the packed panel, one C += at the
+/// end. The transpose-pack is what makes the per-k B loads contiguous
+/// j-vectors instead of LdB-strided gathers.
+template <typename T>
+inline void microNTPackedSimd(unsigned Rows, unsigned NB, unsigned KB,
+                              const T *__restrict Ap, unsigned LdAp,
+                              const T *__restrict Bp, unsigned LdBp,
+                              T *__restrict C, unsigned LdC) {
+  using Vec = typename SimdTraits<T>::Vec;
+  constexpr unsigned L = SimdTraits<T>::Lanes;
+  if (Rows == MR) {
+    const T *__restrict A0 = Ap;
+    const T *__restrict A1 = Ap + static_cast<size_t>(LdAp);
+    const T *__restrict A2 = Ap + 2 * static_cast<size_t>(LdAp);
+    const T *__restrict A3 = Ap + 3 * static_cast<size_t>(LdAp);
+    T *__restrict C0 = C;
+    T *__restrict C1 = C + static_cast<size_t>(LdC);
+    T *__restrict C2 = C + 2 * static_cast<size_t>(LdC);
+    T *__restrict C3 = C + 3 * static_cast<size_t>(LdC);
+    unsigned J = 0;
+    for (; J + 2 * L <= NB; J += 2 * L) {
+      Vec S00 = Vec{}, S01 = Vec{}, S10 = Vec{}, S11 = Vec{};
+      Vec S20 = Vec{}, S21 = Vec{}, S30 = Vec{}, S31 = Vec{};
+      for (unsigned Kx = 0; Kx < KB; ++Kx) {
+        const T *__restrict Bk = Bp + static_cast<size_t>(Kx) * LdBp;
+        const Vec B0 = *reinterpret_cast<const Vec *>(Bk + J);
+        const Vec B1 = *reinterpret_cast<const Vec *>(Bk + J + L);
+        const Vec VA0 = A0[Kx] - Vec{}; // broadcast
+        const Vec VA1 = A1[Kx] - Vec{};
+        const Vec VA2 = A2[Kx] - Vec{};
+        const Vec VA3 = A3[Kx] - Vec{};
+        S00 += VA0 * B0;
+        S01 += VA0 * B1;
+        S10 += VA1 * B0;
+        S11 += VA1 * B1;
+        S20 += VA2 * B0;
+        S21 += VA2 * B1;
+        S30 += VA3 * B0;
+        S31 += VA3 * B1;
+      }
+      *reinterpret_cast<Vec *>(C0 + J) =
+          *reinterpret_cast<const Vec *>(C0 + J) + S00;
+      *reinterpret_cast<Vec *>(C0 + J + L) =
+          *reinterpret_cast<const Vec *>(C0 + J + L) + S01;
+      *reinterpret_cast<Vec *>(C1 + J) =
+          *reinterpret_cast<const Vec *>(C1 + J) + S10;
+      *reinterpret_cast<Vec *>(C1 + J + L) =
+          *reinterpret_cast<const Vec *>(C1 + J + L) + S11;
+      *reinterpret_cast<Vec *>(C2 + J) =
+          *reinterpret_cast<const Vec *>(C2 + J) + S20;
+      *reinterpret_cast<Vec *>(C2 + J + L) =
+          *reinterpret_cast<const Vec *>(C2 + J + L) + S21;
+      *reinterpret_cast<Vec *>(C3 + J) =
+          *reinterpret_cast<const Vec *>(C3 + J) + S30;
+      *reinterpret_cast<Vec *>(C3 + J + L) =
+          *reinterpret_cast<const Vec *>(C3 + J + L) + S31;
+    }
+    for (; J + L <= NB; J += L) {
+      Vec S0 = Vec{}, S1 = Vec{}, S2 = Vec{}, S3 = Vec{};
+      for (unsigned Kx = 0; Kx < KB; ++Kx) {
+        const Vec Bv =
+            *reinterpret_cast<const Vec *>(Bp + static_cast<size_t>(Kx) * LdBp +
+                                           J);
+        S0 += (A0[Kx] - Vec{}) * Bv;
+        S1 += (A1[Kx] - Vec{}) * Bv;
+        S2 += (A2[Kx] - Vec{}) * Bv;
+        S3 += (A3[Kx] - Vec{}) * Bv;
+      }
+      *reinterpret_cast<Vec *>(C0 + J) =
+          *reinterpret_cast<const Vec *>(C0 + J) + S0;
+      *reinterpret_cast<Vec *>(C1 + J) =
+          *reinterpret_cast<const Vec *>(C1 + J) + S1;
+      *reinterpret_cast<Vec *>(C2 + J) =
+          *reinterpret_cast<const Vec *>(C2 + J) + S2;
+      *reinterpret_cast<Vec *>(C3 + J) =
+          *reinterpret_cast<const Vec *>(C3 + J) + S3;
+    }
+    // Sub-vector j tail: delegate to the scalar packed kernel so tail
+    // elements share its machine code (same no-two-loops-contract-
+    // differently reasoning as microNNSimd's tail).
+    if (J < NB)
+      microNTPackedScalar<T>(MR, NB - J, KB, Ap, LdAp, Bp + J, LdBp, C + J,
+                             LdC);
+    return;
+  }
+  for (unsigned I = 0; I < Rows; ++I) {
+    const T *__restrict Ai = Ap + static_cast<size_t>(I) * LdAp;
+    T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+    unsigned J = 0;
+    for (; J + L <= NB; J += L) {
+      Vec S = Vec{};
+      for (unsigned Kx = 0; Kx < KB; ++Kx)
+        S += (Ai[Kx] - Vec{}) *
+             *reinterpret_cast<const Vec *>(Bp +
+                                            static_cast<size_t>(Kx) * LdBp + J);
+      *reinterpret_cast<Vec *>(Ci + J) =
+          *reinterpret_cast<const Vec *>(Ci + J) + S;
+    }
+    if (J < NB)
+      microNTPackedScalar<T>(1, NB - J, KB, Ai, LdAp, Bp + J, LdBp, Ci + J,
+                             LdC);
+  }
+}
+
+#endif // MLIRRL_GEMM_HAVE_SIMD
+
+/// Packed NT driver: C(MxN) += A(MxK) . B^T with B stored NxK. B is
+/// transpose-packed per (Jj, Kk) block -- Bp[k][j] = B[j][k] -- so the
+/// k-reduction that made the unpacked kernel crawl (LdB-strided loads,
+/// one latency-bound Acc chain) becomes contiguous vector loads; A is
+/// straight-packed dense. Per C element the accumulation is unchanged:
+/// ascending KC blocks, a zero-started partial sum per block, C += per
+/// block.
+template <typename T>
+void gemmNTPackedSerial(unsigned M, unsigned N, unsigned K, const T *A,
+                        unsigned LdA, const T *B, unsigned LdB, T *C,
+                        unsigned LdC, bool Simd, T *__restrict Ap,
+                        T *__restrict Bp) {
+  (void)Simd;
+  constexpr unsigned Pad = packPad(sizeof(T));
+  for (unsigned Jj = 0; Jj < N; Jj += NC) {
+    const unsigned Jend = std::min(N, Jj + NC), NB = Jend - Jj;
+    const unsigned LdBp = NB + Pad;
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      const unsigned Kend = std::min(K, Kk + KC), KB = Kend - Kk;
+      const unsigned LdAp = KB + Pad;
+      packTranspose(B, LdB, Jj, Jend, Kk, Kend, Bp, LdBp);
+      for (unsigned Ii = 0; Ii < M; Ii += MC) {
+        const unsigned Iend = std::min(M, Ii + MC), MB = Iend - Ii;
+        packBlock(A, LdA, Ii, Iend, Kk, Kend, Ap, LdAp);
+        T *Cb = C + static_cast<size_t>(Ii) * LdC + Jj;
+        unsigned I = 0;
+#if MLIRRL_GEMM_HAVE_SIMD
+        if (Simd) {
+          for (; I + MR <= MB; I += MR)
+            microNTPackedSimd<T>(MR, NB, KB, Ap + static_cast<size_t>(I) * LdAp,
+                                 LdAp, Bp, LdBp,
+                                 Cb + static_cast<size_t>(I) * LdC, LdC);
+          if (I < MB)
+            microNTPackedSimd<T>(MB - I, NB, KB,
+                                 Ap + static_cast<size_t>(I) * LdAp, LdAp, Bp,
+                                 LdBp, Cb + static_cast<size_t>(I) * LdC, LdC);
+          continue;
+        }
+#endif
+        for (; I + MR <= MB; I += MR)
+          microNTPackedScalar<T>(MR, NB, KB, Ap + static_cast<size_t>(I) * LdAp,
+                                 LdAp, Bp, LdBp,
+                                 Cb + static_cast<size_t>(I) * LdC, LdC);
+        if (I < MB)
+          microNTPackedScalar<T>(MB - I, NB, KB,
+                                 Ap + static_cast<size_t>(I) * LdAp, LdAp, Bp,
+                                 LdBp, Cb + static_cast<size_t>(I) * LdC, LdC);
+      }
+    }
+  }
+}
+
+/// Packed TN micro-kernel: reproduces gemmTNSerial's accumulation
+/// exactly -- ascending k in groups of MR, each group's four products
+/// summed as ((V0*B0 + V1*B1) + V2*B2) + V3*B3 and added to C once,
+/// all-zero groups skipped (the skip is load-bearing for sparse
+/// dW += X^T . dC batches *and* for bitwise identity: dropping it could
+/// flip a -0.0 in C). Loop order is gemmTNSerial's too -- k-groups
+/// outer, rows inner -- so the group's four B rows stay L1-hot across
+/// the whole row sweep; what packing changes is that each row's four A
+/// values come from one contiguous quad of the transpose-packed panel
+/// instead of four LdA-strided streams. One emission serves both
+/// dispatches: the j loop is an independent-lane elementwise update
+/// (not a reduction), so the compiler's vectorization of it cannot
+/// reorder any element's k chain, and Scalar/Simd dispatch sharing this
+/// function makes their bitwise identity a property of the binary.
+template <typename T>
+inline void microTNPacked(unsigned Rows, unsigned NB, unsigned KB,
+                          const T *__restrict Ap, unsigned LdAp,
+                          const T *__restrict B, unsigned LdB, T *__restrict C,
+                          unsigned LdC) {
+  unsigned Kx = 0;
+  for (; Kx + MR <= KB; Kx += MR) {
+    const T *__restrict B0 = B + static_cast<size_t>(Kx + 0) * LdB;
+    const T *__restrict B1 = B + static_cast<size_t>(Kx + 1) * LdB;
+    const T *__restrict B2 = B + static_cast<size_t>(Kx + 2) * LdB;
+    const T *__restrict B3 = B + static_cast<size_t>(Kx + 3) * LdB;
+    for (unsigned I = 0; I < Rows; ++I) {
+      const T *__restrict Ai = Ap + static_cast<size_t>(I) * LdAp;
+      const T V0 = Ai[Kx + 0], V1 = Ai[Kx + 1], V2 = Ai[Kx + 2],
+              V3 = Ai[Kx + 3];
+      if (V0 == T(0) && V1 == T(0) && V2 == T(0) && V3 == T(0))
+        continue;
+      T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+      for (unsigned J = 0; J < NB; ++J)
+        Ci[J] += V0 * B0[J] + V1 * B1[J] + V2 * B2[J] + V3 * B3[J];
+    }
+  }
+  for (; Kx < KB; ++Kx) {
+    const T *__restrict Bk = B + static_cast<size_t>(Kx) * LdB;
+    for (unsigned I = 0; I < Rows; ++I) {
+      const T V = Ap[static_cast<size_t>(I) * LdAp + Kx];
+      if (V == T(0))
+        continue;
+      T *__restrict Ci = C + static_cast<size_t>(I) * LdC;
+      for (unsigned J = 0; J < NB; ++J)
+        Ci[J] += V * Bk[J];
+    }
+  }
+}
+
+/// Packed TN driver: C(MxN) += A^T . B with A stored KxM. A is
+/// transpose-packed per (Ii, Kk) block -- Ap[i][k] = A[k][i] -- so each
+/// C row's k sweep loads its MR A values from one contiguous run; B is
+/// straight-packed with the padded stride (its rows are already
+/// j-contiguous, but power-of-two leading dimensions alias every k step
+/// of the column sweep into one L1 set without the skew). k is tiled by
+/// KC (KC % MR == 0 keeps block-local groups identical to
+/// gemmTNSerial's absolute groups for any K; only the final block
+/// carries the sub-MR remainder), so per C element the update sequence
+/// -- group sums in ascending k, zero groups skipped -- is unchanged.
+template <typename T>
+void gemmTNPackedSerial(unsigned M, unsigned N, unsigned K, const T *A,
+                        unsigned LdA, const T *B, unsigned LdB, T *C,
+                        unsigned LdC, bool Simd, T *__restrict Ap,
+                        T *__restrict Bp) {
+  (void)Simd;
+  constexpr unsigned Pad = packPad(sizeof(T));
+  for (unsigned Jj = 0; Jj < N; Jj += NC) {
+    const unsigned Jend = std::min(N, Jj + NC), NB = Jend - Jj;
+    const unsigned LdBp = NB + Pad;
+    for (unsigned Kk = 0; Kk < K; Kk += KC) {
+      const unsigned Kend = std::min(K, Kk + KC), KB = Kend - Kk;
+      const unsigned LdAp = KB + Pad;
+      packBlock(B, LdB, Kk, Kend, Jj, Jend, Bp, LdBp);
+      for (unsigned Ii = 0; Ii < M; Ii += MC) {
+        const unsigned Iend = std::min(M, Ii + MC), MB = Iend - Ii;
+        packTranspose(A, LdA, Kk, Kend, Ii, Iend, Ap, LdAp);
+        T *Cb = C + static_cast<size_t>(Ii) * LdC + Jj;
+        // One micro-kernel for both dispatches (see microTNPacked): the
+        // TN inner loop is already the autovectorizer's best case, and
+        // a single emission keeps Scalar/Simd bitwise-equal for free.
+        microTNPacked<T>(MB, NB, KB, Ap, LdAp, Bp, LdBp, Cb, LdC);
       }
     }
   }

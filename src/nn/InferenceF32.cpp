@@ -39,7 +39,11 @@ namespace {
 /// Greedy inference is mostly M == 1 over ReLU activations (half
 /// zeros) and the step-1 LSTM hidden state (all zeros); streaming the
 /// whole dense weight panel through the blocked kernel for those rows
-/// costs more bandwidth than the skipped multiplies save.
+/// costs more bandwidth than the skipped multiplies save. The dense
+/// batched fallback goes through gemmAccNN, where the packing
+/// heuristic (autoPackNN) keeps these skinny-M serving shapes on the
+/// streaming kernel -- packed panels only pay off at the larger
+/// training shapes.
 void forwardProductF32(unsigned M, unsigned N, unsigned K, const float *A,
                        const float *B, float *C) {
   auto SparseRow = [&](unsigned I) {

@@ -6,6 +6,8 @@
 #include "rl/Checkpoint.h"
 #include "support/Stats.h"
 
+#include <algorithm>
+
 using namespace mlirrl;
 
 ScheduleServer::ScheduleServer(ServeOptions Opts)
@@ -15,7 +17,10 @@ ScheduleServer::ScheduleServer(ServeOptions Opts)
             Opts.Seed),
       Trainer(Agent, Memo, Opts.Ppo), Engine(Agent, Memo) {
   Agent.setInferenceDtype(Options.Inference);
-  Worker = std::thread([this] { workerLoop(); });
+  const unsigned Count = std::max(1u, Options.Workers);
+  WorkerThreads.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
 }
 
 ScheduleServer::~ScheduleServer() { shutdown(); }
@@ -133,16 +138,22 @@ void ScheduleServer::workerLoop() {
 
 void ScheduleServer::shutdown() {
   std::deque<Pending> Orphaned;
+  std::vector<std::thread> ToJoin;
   {
     std::unique_lock<std::mutex> Lock(QueueMutex);
-    if (Stopping && !Worker.joinable() && Queue.empty())
+    if (Stopping && WorkerThreads.empty() && Queue.empty())
       return;
     Stopping = true;
     Orphaned.swap(Queue);
+    // Claim the threads under the lock (making repeat shutdowns no-ops)
+    // but join outside it: workers must be able to take QueueMutex to
+    // observe Stopping and exit.
+    ToJoin.swap(WorkerThreads);
   }
   QueueCv.notify_all();
-  if (Worker.joinable())
-    Worker.join();
+  for (std::thread &W : ToJoin)
+    if (W.joinable())
+      W.join();
   for (Pending &P : Orphaned) {
     recordRobustnessEvent(RobustnessEvent::ServerShutdown);
     RejectedShutdown.fetch_add(1, std::memory_order_relaxed);

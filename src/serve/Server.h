@@ -8,15 +8,18 @@
 /// (caps -> parser -> verifier -> sanitizer), so a hostile module is a
 /// clean rejection, never a crash.
 ///
-/// Serving shape (mirrors the training loop's): a single worker thread
-/// drains the admission queue in batches of up to BatchWidth requests
-/// and rolls them as one lockstep greedy episode group through the
-/// shared RolloutEngine -- one policy GEMM per step for the whole
-/// batch. All requests price through one lock-striped CachingEvaluator,
-/// so ops shared across requests (and repeated requests) hit the memo
-/// instead of re-pricing. Greedy rollouts draw no RNG, so a request's
-/// answer is bitwise-identical whether it is served alone, inside a
-/// mixed batch, or under concurrent clients (ServeTest pins this).
+/// Serving shape (mirrors the training loop's): Workers worker threads
+/// (one by default) drain the admission queue in batches of up to
+/// BatchWidth requests each and roll every batch as one lockstep greedy
+/// episode group through the shared RolloutEngine -- one policy GEMM
+/// per step for the whole batch. All requests price through one
+/// lock-striped CachingEvaluator, so ops shared across requests (and
+/// repeated requests) hit the memo instead of re-pricing. Greedy
+/// rollouts draw no RNG and a request's answer never depends on which
+/// worker serves it or who shares its batch, so answers are
+/// bitwise-identical whether a module is served alone, inside a mixed
+/// batch, under concurrent clients, or at any worker count (ServeTest
+/// pins all of these).
 ///
 /// Admission is bounded: when the queue holds QueueCapacity requests,
 /// submit rejects immediately with a reason instead of queueing
@@ -47,6 +50,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace mlirrl {
 
@@ -66,6 +70,12 @@ struct ServeOptions {
   /// Requests rolled together per lockstep batch (the serving-side
   /// analogue of the training batch width).
   unsigned BatchWidth = 8;
+  /// Worker threads draining the queue (0 is treated as 1). Each worker
+  /// serves whole batches independently; the policy lock, the striped
+  /// memo and the engine's const rollout path make that safe, and
+  /// because answers are batch- and worker-invariant, raising this
+  /// changes throughput under concurrent clients, never results.
+  unsigned Workers = 1;
   /// Admission bound: submissions beyond this many queued requests are
   /// rejected immediately with a reason (backpressure, not buffering).
   size_t QueueCapacity = 64;
@@ -103,8 +113,8 @@ struct ServeStats {
   double OpMemoHitRate = 0.0;
 };
 
-/// The server. Construction starts the worker thread; destruction (or
-/// shutdown()) stops it and rejects everything still queued.
+/// The server. Construction starts the worker threads; destruction (or
+/// shutdown()) stops them and rejects everything still queued.
 class ScheduleServer {
 public:
   explicit ScheduleServer(ServeOptions Opts);
@@ -134,13 +144,13 @@ public:
   /// priced like-for-like against served schedules.
   Evaluator &evaluator() { return Memo; }
 
-  /// Stops the worker and rejects all queued requests. Idempotent;
+  /// Stops all workers and rejects all queued requests. Idempotent;
   /// subsequent submissions reject with a shutdown reason.
   void shutdown();
 
-  /// Test hooks: hold the worker between batches so admission behavior
-  /// can be probed deterministically (a paused server still accepts
-  /// and rejects at the gate, it just serves nothing).
+  /// Test hooks: hold every worker between batches so admission
+  /// behavior can be probed deterministically (a paused server still
+  /// accepts and rejects at the gate, it just serves nothing).
   void pauseWorker();
   void resumeWorker();
 
@@ -181,7 +191,7 @@ private:
   std::atomic<uint64_t> RejectedShutdown{0};
   std::atomic<uint64_t> PolicyReloads{0};
 
-  std::thread Worker;
+  std::vector<std::thread> WorkerThreads;
 };
 
 } // namespace mlirrl

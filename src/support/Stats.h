@@ -129,7 +129,10 @@ struct ContentionCounters {
 ///    CachingEvaluator keeps its own counts, as tests rely on), made
 ///    visible for the instance's lifetime via an RAII Enrollment;
 ///  * named counters -- owned by the registry itself, for process-wide
-///    tallies with no natural owner (the schedule-state repricer).
+///    tallies with no natural owner (the schedule-state repricer, and
+///    the packed-GEMM scratch arena under "gemm.pack_arena" -- hits
+///    are per-call arena reuses, misses are allocations, so a healthy
+///    steady state shows misses frozen at thread count).
 ///
 /// snapshot() aggregates both per category. All entry points are
 /// thread-safe; the counters themselves are relaxed atomics.

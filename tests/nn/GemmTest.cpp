@@ -10,6 +10,8 @@
 #include "nn/Ops.h"
 #include "nn/Tensor.h"
 #include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -327,6 +329,176 @@ TEST(GemmTest, DispatchedNNBitwiseEqualsScalarFloat) {
     EXPECT_EQ(0, std::memcmp(Cs.data(), Cv.data(), Cs.size() * sizeof(float)))
         << "M=" << S.M << " K=" << S.K << " N=" << S.N;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Packed macro-kernel path: 0-ULP against the streaming kernels.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Restores the packing mode on scope exit (same rationale as
+/// KernelScope).
+struct PackingScope {
+  GemmPacking Saved = getGemmPacking();
+  ~PackingScope() { setGemmPacking(Saved); }
+};
+
+/// Packing-specific edge shapes on top of EdgeShapes: M=1 skinny calls
+/// with wide/deep panels (the pack arena still has to handle a single
+/// register-tile row), exact block multiples, and one-past-block sizes.
+const Shape PackShapes[] = {{1, 259, 516}, {1, 512, 64},  {4, 256, 512},
+                            {5, 257, 513}, {64, 256, 512}, {12, 1024, 48}};
+
+/// Runs kernel Op (NN/NT/TN dispatcher below) with packing forced Off
+/// then On and memcmps the two C buffers; repeated under Scalar and
+/// (when available) Simd kernel dispatch. 0 ULP is the contract --
+/// packing is pure layout -- and this is the empirical guard that no
+/// packed loop got a different fp-contraction mix than its streaming
+/// twin.
+template <typename T, typename Kernel>
+void expectPackedBitwiseEqual(const char *Name, unsigned Seed, Kernel Op,
+                              bool SwapsAK) {
+  KernelScope RestoreKernel;
+  PackingScope RestorePacking;
+  Rng R(Seed);
+  std::vector<Shape> All(std::begin(EdgeShapes), std::end(EdgeShapes));
+  All.insert(All.end(), std::begin(PackShapes), std::end(PackShapes));
+  for (const Shape &S : All) {
+    const unsigned ARows = SwapsAK ? S.K : S.M, ACols = SwapsAK ? S.M : S.K;
+    std::vector<T> A(ARows * ACols), B(S.K * S.N);
+    for (T &X : A)
+      X = static_cast<T>(R.nextDouble(-1.0, 1.0));
+    for (T &X : B)
+      X = static_cast<T>(R.nextDouble(-1.0, 1.0));
+    for (GemmKernel Kind : {GemmKernel::Scalar, GemmKernel::Simd}) {
+      if (Kind == GemmKernel::Simd && !gemmSimdAvailable())
+        continue;
+      setGemmKernel(Kind);
+      std::vector<T> Cu(S.M * S.N, static_cast<T>(0.125)),
+          Cp(S.M * S.N, static_cast<T>(0.125));
+      setGemmPacking(GemmPacking::Off);
+      Op(S, A.data(), B.data(), Cu.data());
+      setGemmPacking(GemmPacking::On);
+      Op(S, A.data(), B.data(), Cp.data());
+      EXPECT_EQ(0, std::memcmp(Cu.data(), Cp.data(), Cu.size() * sizeof(T)))
+          << Name << " M=" << S.M << " K=" << S.K << " N=" << S.N
+          << " kernel=" << (Kind == GemmKernel::Simd ? "simd" : "scalar");
+    }
+  }
+}
+
+template <typename T> struct GemmOps {
+  static void nn(const Shape &S, const T *A, const T *B, T *C) {
+    gemmAccNN(S.M, S.N, S.K, A, S.K, B, S.N, C, S.N);
+  }
+  // NT stores B as NxK.
+  static void nt(const Shape &S, const T *A, const T *B, T *C) {
+    gemmAccNT(S.M, S.N, S.K, A, S.K, B, S.K, C, S.N);
+  }
+  // TN stores A as KxM.
+  static void tn(const Shape &S, const T *A, const T *B, T *C) {
+    gemmAccTN(S.M, S.N, S.K, A, S.M, B, S.N, C, S.N);
+  }
+};
+
+} // namespace
+
+TEST(GemmTest, PackedNNBitwiseEqualsUnpackedDouble) {
+  expectPackedBitwiseEqual<double>("NN", 60, GemmOps<double>::nn, false);
+}
+
+TEST(GemmTest, PackedNNBitwiseEqualsUnpackedFloat) {
+  expectPackedBitwiseEqual<float>("NN", 61, GemmOps<float>::nn, false);
+}
+
+TEST(GemmTest, PackedNTBitwiseEqualsUnpackedDouble) {
+  expectPackedBitwiseEqual<double>("NT", 62, GemmOps<double>::nt, false);
+}
+
+TEST(GemmTest, PackedNTBitwiseEqualsUnpackedFloat) {
+  expectPackedBitwiseEqual<float>("NT", 63, GemmOps<float>::nt, false);
+}
+
+TEST(GemmTest, PackedTNBitwiseEqualsUnpackedDouble) {
+  expectPackedBitwiseEqual<double>("TN", 64, GemmOps<double>::tn, true);
+}
+
+TEST(GemmTest, PackedTNBitwiseEqualsUnpackedFloat) {
+  expectPackedBitwiseEqual<float>("TN", 65, GemmOps<float>::tn, true);
+}
+
+TEST(GemmTest, PackedTNPreservesZeroSkipSemantics) {
+  // The TN zero-skip must survive packing bitwise, including the case
+  // where skipping keeps a -0.0 in C that an unskipped 0-add would
+  // flip to +0.0.
+  PackingScope Restore;
+  const unsigned M = 6, N = 8, K = 9; // remainder k's after the MR groups
+  std::vector<double> A(K * M, 0.0), B(K * N);
+  A[2 * M + 1] = 0.75; // one nonzero feature in an otherwise zero column
+  Rng R(66);
+  for (double &X : B)
+    X = R.nextDouble(-1.0, 1.0);
+  std::vector<double> Cu(M * N, -0.0), Cp(M * N, -0.0);
+  setGemmPacking(GemmPacking::Off);
+  gemmAccTN(M, N, K, A.data(), M, B.data(), N, Cu.data(), N);
+  setGemmPacking(GemmPacking::On);
+  gemmAccTN(M, N, K, A.data(), M, B.data(), N, Cp.data(), N);
+  EXPECT_EQ(0, std::memcmp(Cu.data(), Cp.data(), Cu.size() * sizeof(double)));
+  // Untouched rows keep their -0.0 bit pattern in both paths.
+  EXPECT_TRUE(std::signbit(Cu[0]));
+  EXPECT_TRUE(std::signbit(Cp[0]));
+}
+
+TEST(GemmTest, PackedParallelBitwiseIdenticalAcrossPoolSizes) {
+  // The packed macro-kernel partitions rows across the installed pool
+  // with a fixed block -> thread assignment; results must be bitwise
+  // identical for every pool size (the determinism contract).
+  PackingScope RestorePacking;
+  setGemmPacking(GemmPacking::On);
+  const unsigned M = 96, N = 160, K = 300; // above MinParallelWork
+  Rng R(67);
+  std::vector<double> Ann(M * K), Bnn(K * N), Ant(M * K), Bnt(N * K),
+      Atn(K * M), Btn(K * N);
+  for (auto *V : {&Ann, &Bnn, &Ant, &Bnt, &Atn, &Btn})
+    for (double &X : *V)
+      X = R.nextDouble(-1.0, 1.0);
+  auto runAll = [&](std::vector<double> &C) {
+    gemmAccNN(M, N, K, Ann.data(), K, Bnn.data(), N, C.data(), N);
+    gemmAccNT(M, N, K, Ant.data(), K, Bnt.data(), K, C.data(), N);
+    gemmAccTN(M, N, K, Atn.data(), M, Btn.data(), N, C.data(), N);
+  };
+  std::vector<double> Serial(M * N, 0.25);
+  runAll(Serial);
+  for (unsigned Threads : {2u, 4u}) {
+    ThreadPool Pool(Threads);
+    setGemmPool(&Pool);
+    std::vector<double> Par(M * N, 0.25);
+    runAll(Par);
+    setGemmPool(nullptr);
+    EXPECT_EQ(0,
+              std::memcmp(Serial.data(), Par.data(), Par.size() * sizeof(double)))
+        << "pool size " << Threads;
+  }
+}
+
+TEST(GemmTest, PackArenaIsReusedAndAccounted) {
+  PackingScope Restore;
+  setGemmPacking(GemmPacking::On);
+  const unsigned M = 64, N = 96, K = 128;
+  std::vector<double> A(M * K, 0.5), B(K * N, 0.25), C(M * N, 0.0);
+  auto Before = CacheStatsRegistry::instance().categoryStats("gemm.pack_arena");
+  gemmAccNN(M, N, K, A.data(), K, B.data(), N, C.data(), N);
+  const size_t Cap = gemmPackScratchCapacity();
+  EXPECT_GT(Cap, 0u);
+  gemmAccNN(M, N, K, A.data(), K, B.data(), N, C.data(), N);
+  gemmAccNT(M, N, K, A.data(), K, B.data(), K, C.data(), N);
+  auto After = CacheStatsRegistry::instance().categoryStats("gemm.pack_arena");
+  // Steady state: later packed calls on this thread reuse the block
+  // (hits), never grow it (no new misses beyond the first call's).
+  EXPECT_GE(After.Hits, Before.Hits + 2);
+  EXPECT_LE(After.Misses, Before.Misses + 1);
+  EXPECT_EQ(gemmPackScratchCapacity(), Cap);
 }
 
 TEST(GemmTest, SimdLanesReportedForBothDtypes) {

@@ -104,6 +104,55 @@ TEST(ServeTest, ConcurrentClientsGetBitwiseIdenticalAnswers) {
   EXPECT_GT(Server.stats().ProgramMemoHitRate, 0.0);
 }
 
+TEST(ServeTest, WorkerCountNeverChangesAnswers) {
+  // Serve the same request mix at Workers = 1 and Workers = 4 under
+  // concurrent clients. Batch composition is racy at 4 workers by
+  // design; the answers must not be -- every response has to match the
+  // single-worker reference bit for bit.
+  std::string RefMatmulSchedule, RefReluSchedule;
+  double RefMatmulSpeedup = 0.0, RefReluSpeedup = 0.0;
+  for (unsigned Workers : {1u, 4u}) {
+    ServeOptions O = tinyServeOptions();
+    O.Workers = Workers;
+    ScheduleServer Server(O);
+
+    constexpr unsigned Threads = 4, PerThread = 3;
+    std::vector<Expected<ServeResponse>> Responses(
+        Threads * PerThread, makeError<ServeResponse>("unset"));
+    std::vector<std::thread> Clients;
+    for (unsigned T = 0; T < Threads; ++T)
+      Clients.emplace_back([&, T] {
+        for (unsigned I = 0; I < PerThread; ++I) {
+          const unsigned Slot = T * PerThread + I;
+          Responses[Slot] =
+              Server.optimize(Slot % 2 ? reluText() : matmulText());
+        }
+      });
+    for (std::thread &C : Clients)
+      C.join();
+
+    for (unsigned I = 0; I < Responses.size(); ++I)
+      ASSERT_TRUE(Responses[I].hasValue())
+          << "workers=" << Workers << " request " << I << ": "
+          << Responses[I].getError();
+    if (Workers == 1) {
+      RefMatmulSchedule = Responses[0]->Schedule.toString();
+      RefMatmulSpeedup = Responses[0]->Speedup;
+      RefReluSchedule = Responses[1]->Schedule.toString();
+      RefReluSpeedup = Responses[1]->Speedup;
+    }
+    for (unsigned I = 0; I < Responses.size(); ++I) {
+      EXPECT_SAME_BITS(I % 2 ? RefReluSpeedup : RefMatmulSpeedup,
+                       Responses[I]->Speedup)
+          << "workers=" << Workers << " request " << I;
+      EXPECT_EQ(I % 2 ? RefReluSchedule : RefMatmulSchedule,
+                Responses[I]->Schedule.toString())
+          << "workers=" << Workers << " request " << I;
+    }
+    EXPECT_EQ(Server.stats().Served, Threads * PerThread);
+  }
+}
+
 TEST(ServeTest, OverCapacitySubmissionRejectsImmediately) {
   ServeOptions O = tinyServeOptions();
   O.QueueCapacity = 2;
