@@ -1,20 +1,44 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the test suite, and guard
-# against build artifacts ever being committed again (PR 1 accidentally
-# committed the CMake cache and object files).
+# Tier-1 verification: lint, configure, build, run the test suite, and
+# guard against build artifacts ever being committed again (PR 1
+# accidentally committed the CMake cache and object files).
 #
-#   scripts/ci.sh             # the regular tier-1 gate
-#   scripts/ci.sh --sanitize  # additionally rebuild under ASan+UBSan in
-#                             # build-san/ and rerun the suite + fuzz there
+#   scripts/ci.sh                    # the regular tier-1 gate
+#   scripts/ci.sh --sanitize=address # + ASan/UBSan tree in build-san/
+#                                    #   (full suite, fuzz, smokes)
+#   scripts/ci.sh --sanitize=thread  # + TSan tree in build-tsan/
+#                                    #   (concurrency-heavy subset + race
+#                                    #   stress, bounded runtime)
+#   scripts/ci.sh --sanitize        # alias for --sanitize=address
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sanitize=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  sanitize=1
-  shift
-fi
+sanitize=""
+case "${1:-}" in
+  --sanitize|--sanitize=address)
+    sanitize=address
+    shift
+    ;;
+  --sanitize=thread)
+    sanitize=thread
+    shift
+    ;;
+  --sanitize=*)
+    echo "error: unknown sanitize mode '${1#--sanitize=}'" \
+         "(address or thread)" >&2
+    exit 2
+    ;;
+esac
+
+# --- Repo-invariant lint (always, before any build) -----------------------
+# Pure-Python source checks (tools/lint/lint.py): raw numeric parses,
+# fatal errors in recoverable paths, unordered containers in
+# determinism-critical dirs, naked mutex locks, raw RNG, duplicate
+# cache-counter categories. Self-test first so a broken linter can
+# never silently pass the tree.
+python3 tools/lint/lint.py --self-test
+python3 tools/lint/lint.py
 
 # --- Guard: no build artifacts in the index -------------------------------
 if git ls-files | grep -E '^build/|\.o$' >/dev/null; then
@@ -28,6 +52,18 @@ fi
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 
+# --- Static analysis (best-effort) ----------------------------------------
+# The curated .clang-tidy check set over the library sources, replaying
+# the exact compile lines from the exported compile_commands.json.
+# Skipped with a notice when clang-tidy is not installed (the container
+# ships only GCC); the repo linter above always runs.
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
+  clang-tidy -p build --quiet "${tidy_sources[@]}"
+else
+  echo "note: clang-tidy not installed; skipping static-analysis pass"
+fi
+
 # --- Test-suite run + temp-dir hygiene guard ------------------------------
 # Checkpoint/serialization tests create scratch files; they must stay
 # under build/ (the ctest working directory). Snapshot the working tree
@@ -38,7 +74,7 @@ cmake --build build -j "$(nproc)"
 # expected OUTSIDE the repo tree; build/ and bench JSON are the only
 # sanctioned ignored outputs).
 snapshot_tree() {
-  git status --porcelain --ignored=matching | grep -vE '^!! (build/|BENCH_)' || true
+  git status --porcelain --ignored=matching | grep -vE '^!! (build|build-san|build-tsan)/|^!! BENCH_' || true
 }
 tree_before=$(snapshot_tree)
 (cd build && ctest --output-on-failure --repeat until-pass:1 -j "$(nproc)")
@@ -108,11 +144,11 @@ fi
 # under build/ and is removed on exit.
 ./build/example_serve_smoke --requests 8 --ckpt build/serve_smoke.ckpt
 
-# --- Sanitizer pass (opt-in) ----------------------------------------------
+# --- ASan/UBSan pass (opt-in: --sanitize[=address]) -----------------------
 # A second tree under ASan+UBSan: the whole test suite plus a reduced
 # fuzz campaign, halt-on-error. Kept out of the default gate because the
 # instrumented build roughly doubles CI time.
-if [[ "$sanitize" == 1 ]]; then
+if [[ "$sanitize" == address ]]; then
   cmake -B build-san -S . -DMLIRRL_SANITIZE="address;undefined" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-san -j "$(nproc)"
@@ -141,4 +177,33 @@ if [[ "$sanitize" == 1 ]]; then
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./build-san/example_serve_smoke --requests 4 \
     --ckpt build-san/serve_smoke.ckpt
+fi
+
+# --- TSan pass (opt-in: --sanitize=thread) --------------------------------
+# A third tree under ThreadSanitizer, restricted to the
+# concurrency-heavy subset: the striped-memo and cost-cache tests, the
+# full serving suite (including the reload and three-way race hammers),
+# the determinism matrix (thread-count sweeps), and the dedicated TSan
+# stress test. halt_on_error=1 turns the first report into a failure;
+# there is no suppression file -- the repo's benign sharing is already
+# expressed as relaxed atomics, so every report is treated as a real
+# bug. TSan costs roughly an order of magnitude at runtime, which is
+# why this is a subset (the tests themselves also shrink iteration
+# counts via support/TsanAnnotations.h) and why the whole pass runs
+# under one ctest timeout per test instead of an open-ended suite.
+if [[ "$sanitize" == thread ]]; then
+  cmake -B build-tsan -S . -DMLIRRL_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc)"
+  tsan_subset='support/TsanStressTest|support/StatsTest|perf/StripedLruTest|perf/CostCacheTest|serve/ServeTest|serve/ServeReloadTest|serve/ServeRaceTest|rl/DeterminismMatrixTest|rl/ParallelDeterminismTest'
+  (cd build-tsan &&
+     TSAN_OPTIONS=halt_on_error=1 \
+     ctest --output-on-failure --timeout 900 -j "$(nproc)" \
+           -R "$tsan_subset")
+  # The two concurrency smokes in reduced form: the striped memo from
+  # many threads and the server worker pool end to end.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/example_memo_smoke
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/example_serve_smoke --requests 4 \
+    --ckpt build-tsan/serve_smoke.ckpt
 fi

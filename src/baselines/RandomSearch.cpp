@@ -5,25 +5,43 @@
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace mlirrl;
 
 AgentAction mlirrl::randomAction(const Observation &Obs,
                                  const EnvConfig &Config, Rng &Rng) {
+  // This runs against observations of arbitrary imported modules
+  // (optimize_ir, the fuzz harness), so every mask draw is checked: an
+  // all-masked head -- impossible for a well-formed environment, but
+  // not locally provable here -- degrades to a wasted step the
+  // environment already knows how to absorb, never an abort
+  // (support/Error.h policy). The checked draws are bitwise-identical
+  // to the fatal ones whenever any weight is set.
   AgentAction Action;
   if (Config.ActionSpace == ActionSpaceMode::Flat) {
-    std::vector<double> Weights = Obs.FlatMask;
-    Action.FlatChoice = static_cast<unsigned>(Rng.sampleWeighted(Weights));
+    std::optional<size_t> Choice = Rng.trySampleWeighted(Obs.FlatMask);
+    // Out-of-range flat choice = the environment's counted wasted-step
+    // path for malformed driver actions.
+    Action.FlatChoice = Choice
+                            ? static_cast<unsigned>(*Choice)
+                            : static_cast<unsigned>(Obs.FlatMask.size());
     return Action;
   }
   if (Obs.InPointerSequence) {
     Action.Kind = TransformKind::Interchange;
-    Action.PointerChoice =
-        static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+    std::optional<size_t> Level = Rng.trySampleWeighted(Obs.InterchangeMask);
+    // An already-placed (masked) level is absorbed as a wasted pointer
+    // step by the sequence logic.
+    Action.PointerChoice = Level ? static_cast<unsigned>(*Level) : 0;
     return Action;
   }
-  Action.Kind = static_cast<TransformKind>(
-      Rng.sampleWeighted(Obs.TransformMask));
+  std::optional<size_t> Kind = Rng.trySampleWeighted(Obs.TransformMask);
+  if (!Kind) {
+    Action.Kind = TransformKind::NoTransformation;
+    return Action;
+  }
+  Action.Kind = static_cast<TransformKind>(*Kind);
   switch (Action.Kind) {
   case TransformKind::Tiling:
   case TransformKind::TiledParallelization:
@@ -39,14 +57,20 @@ AgentAction mlirrl::randomAction(const Observation &Obs,
           static_cast<unsigned>(Rng.nextBounded(Config.NumTileSizes));
     break;
   }
-  case TransformKind::Interchange:
+  case TransformKind::Interchange: {
+    std::optional<size_t> Perm = Rng.trySampleWeighted(Obs.InterchangeMask);
+    if (!Perm) {
+      // Interchange was offered but no permutation is legal: treat the
+      // whole step as a no-op rather than abort.
+      Action.Kind = TransformKind::NoTransformation;
+      break;
+    }
     if (Config.Interchange == InterchangeMode::LevelPointers)
-      Action.PointerChoice =
-          static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+      Action.PointerChoice = static_cast<unsigned>(*Perm);
     else
-      Action.EnumeratedChoice =
-          static_cast<unsigned>(Rng.sampleWeighted(Obs.InterchangeMask));
+      Action.EnumeratedChoice = static_cast<unsigned>(*Perm);
     break;
+  }
   case TransformKind::Vectorization:
   case TransformKind::NoTransformation:
     break;

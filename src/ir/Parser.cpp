@@ -4,11 +4,11 @@
 
 #include "ir/Lexer.h"
 #include "ir/Verifier.h"
+#include "support/Args.h"
 #include "support/Format.h"
 #include "support/Stats.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <limits>
 #include <map>
 
 using namespace mlirrl;
@@ -76,15 +76,20 @@ bool Parser::parseInteger(int64_t &Value) {
   if (!check(TokenKind::Word))
     return error("expected integer");
   const std::string &Text = peek().Text;
-  char *End = nullptr;
-  errno = 0;
-  long long Parsed = std::strtoll(Text.c_str(), &End, 10);
-  if (End != Text.c_str() + Text.size())
+  // The sign arrived as its own Minus token, so the word must be pure
+  // digits with magnitude <= INT64_MAX either way (INT64_MIN itself was
+  // always rejected here, matching the old strtoll ERANGE behavior).
+  Expected<uint64_t> Parsed = parseUnsignedInteger(
+      Text, static_cast<uint64_t>(std::numeric_limits<int64_t>::max()));
+  if (!Parsed) {
+    if (Text.find_first_not_of("0123456789") == std::string::npos)
+      return error("integer '" + Text + "' does not fit in 64 bits");
     return error("expected integer, got '" + Text + "'");
-  if (errno == ERANGE)
-    return error("integer '" + Text + "' does not fit in 64 bits");
+  }
   advance();
-  Value = Negative ? -Parsed : Parsed;
+  Value = static_cast<int64_t>(*Parsed);
+  if (Negative)
+    Value = -Value;
   return true;
 }
 
@@ -126,11 +131,14 @@ bool Parser::parseTensorType(TensorType &Type) {
 
   std::vector<int64_t> Shape;
   for (size_t I = 0; I + 1 < Parts.size(); ++I) {
-    char *End = nullptr;
-    long long Dim = std::strtoll(Parts[I].c_str(), &End, 10);
-    if (Parts[I].empty() || End != Parts[I].c_str() + Parts[I].size() ||
-        Dim <= 0)
+    // Checked parse instead of the old raw strtoll: an oversized literal
+    // is a clean rejection here, not a saturate-to-INT64_MAX that only
+    // the (optional) dimension cap would later catch.
+    Expected<uint64_t> Parsed = parseUnsignedInteger(
+        Parts[I], static_cast<uint64_t>(std::numeric_limits<int64_t>::max()));
+    if (!Parsed || *Parsed == 0)
       return error("bad tensor dimension '" + Parts[I] + "'");
+    int64_t Dim = static_cast<int64_t>(*Parsed);
     if (Limits && Dim > Limits->MaxDimSize)
       return error("tensor dimension " + Parts[I] + " exceeds the cap");
     Shape.push_back(Dim);

@@ -3,6 +3,7 @@
 #include "rl/Checkpoint.h"
 
 #include "datasets/Dataset.h"
+#include "support/Args.h"
 
 #include <algorithm>
 #include <cassert>
@@ -417,11 +418,13 @@ CheckpointManager::listCheckpoints() const {
       continue;
     std::string Digits =
         Name.substr(Head.size(), Name.size() - Head.size() - Tail.size());
-    // 19 digits always fit a uint64; longer runs would throw in stoull.
-    if (Digits.empty() || Digits.size() > 19 ||
-        Digits.find_first_not_of("0123456789") != std::string::npos)
+    // Checked parse (rejects non-digits and uint64 overflow outright,
+    // where the old stoull would have thrown on a 20-digit run): a
+    // foreign file in the checkpoint dir is skipped, never a crash.
+    Expected<uint64_t> Index = parseUnsignedInteger(Digits);
+    if (!Index)
       continue;
-    Found.emplace_back(std::stoull(Digits), Entry.path().string());
+    Found.emplace_back(*Index, Entry.path().string());
   }
   std::sort(Found.begin(), Found.end());
   return Found;

@@ -31,6 +31,30 @@ Expected<uint64_t> mlirrl::parseUnsignedInteger(const std::string &Text,
   return Value;
 }
 
+Expected<int64_t> mlirrl::parseSignedInteger(const std::string &Text,
+                                             int64_t Min, int64_t Max) {
+  bool Negative = !Text.empty() && Text[0] == '-';
+  const std::string Digits = Negative ? Text.substr(1) : Text;
+  if (Digits.empty())
+    return makeError<int64_t>("expected an integer, got \"" + Text + "\"");
+  // Magnitude bound: 2^63 for "-...", 2^63 - 1 otherwise, so INT64_MIN
+  // round-trips and INT64_MIN - 1 is rejected as overflow.
+  const uint64_t Limit =
+      Negative ? (1ull << 63) : static_cast<uint64_t>(
+                                    std::numeric_limits<int64_t>::max());
+  Expected<uint64_t> Magnitude = parseUnsignedInteger(Digits, Limit);
+  if (!Magnitude)
+    return makeError<int64_t>(Magnitude.getError());
+  int64_t Value =
+      Negative ? static_cast<int64_t>(~*Magnitude + 1)
+               : static_cast<int64_t>(*Magnitude);
+  if (Value < Min || Value > Max)
+    return makeError<int64_t>("value " + Text + " is outside [" +
+                              std::to_string(Min) + ", " +
+                              std::to_string(Max) + "]");
+  return Value;
+}
+
 uint64_t mlirrl::parseUnsignedArg(const char *Flag, const std::string &Text,
                                   uint64_t Max) {
   Expected<uint64_t> Parsed = parseUnsignedInteger(Text, Max);

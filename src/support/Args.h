@@ -34,6 +34,17 @@ Expected<uint64_t>
 parseUnsignedInteger(const std::string &Text,
                      uint64_t Max = std::numeric_limits<uint64_t>::max());
 
+/// Parses \p Text as a base-10 signed integer in [Min, Max]. Accepts one
+/// leading '-'; rejects empty input, "-" alone, trailing garbage,
+/// leading '+', surrounding whitespace, and overflow past int64 or the
+/// given bounds. This is the one sanctioned signed-integer parse in the
+/// tree (the repo linter's raw-numeric-parse rule): the IR parser's
+/// integer tokens and any future signed CLI flags route through it.
+Expected<int64_t>
+parseSignedInteger(const std::string &Text,
+                   int64_t Min = std::numeric_limits<int64_t>::min(),
+                   int64_t Max = std::numeric_limits<int64_t>::max());
+
 /// CLI wrapper: parses \p Text (the value of option \p Flag) as an
 /// unsigned integer in [0, Max]; on failure prints
 /// "error: <flag>: <reason>" to stderr and exits with status 2.

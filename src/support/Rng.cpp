@@ -89,13 +89,24 @@ double Rng::nextGaussian() {
 }
 
 size_t Rng::sampleWeighted(const std::vector<double> &Weights) {
+  std::optional<size_t> Drawn = trySampleWeighted(Weights);
+  if (!Drawn)
+    reportFatalError("sampleWeighted: all weights are zero");
+  return *Drawn;
+}
+
+std::optional<size_t>
+Rng::trySampleWeighted(const std::vector<double> &Weights) {
   double Total = 0.0;
   for (double W : Weights) {
     assert(W >= 0.0 && "weights must be non-negative");
     Total += W;
   }
+  // No draw on empty support: the fatal wrapper aborts here, and the
+  // checked path must leave the stream untouched so "no legal action"
+  // handling cannot perturb any later draw.
   if (Total <= 0.0)
-    reportFatalError("sampleWeighted: all weights are zero");
+    return std::nullopt;
   double Target = nextDouble() * Total;
   double Acc = 0.0;
   for (size_t I = 0; I < Weights.size(); ++I) {

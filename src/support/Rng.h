@@ -15,6 +15,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -87,7 +88,20 @@ public:
   }
 
   /// Samples an index from an unnormalized non-negative weight vector.
+  /// All-zero weights are a fatal invariant violation: call this only
+  /// with masks the caller proved non-empty (the environment's
+  /// TransformMask/InterchangeMask construction guarantees at least one
+  /// legal entry). Code handling observations it did not construct
+  /// itself must use trySampleWeighted instead (support/Error.h policy).
   size_t sampleWeighted(const std::vector<double> &Weights);
+
+  /// Checked variant: returns std::nullopt (drawing nothing -- the
+  /// stream is bitwise-unchanged) when every weight is zero, so callers
+  /// downstream of untrusted input can turn "no legal action" into a
+  /// recoverable no-op instead of an abort. When any weight is positive
+  /// the draw is bitwise-identical to sampleWeighted.
+  std::optional<size_t>
+  trySampleWeighted(const std::vector<double> &Weights);
 
   /// Fisher-Yates shuffles \p Values in place.
   template <typename T> void shuffle(std::vector<T> &Values) {

@@ -1,0 +1,54 @@
+//===- TsanAnnotations.h - ThreadSanitizer detection helpers ----*- C++-*-===//
+///
+/// \file
+/// Build-mode detection for ThreadSanitizer (scripts/ci.sh
+/// --sanitize=thread) plus the one knob tests need: a scale factor for
+/// iteration counts. TSan instrumentation costs roughly 5-15x on the
+/// lock-heavy paths this repo stresses, so the concurrency tests keep
+/// their thread counts (interleavings are the point) but shrink the
+/// per-thread operation counts under TSan to bound CI runtime.
+///
+/// Intentionally NOT here: AnnotateBenignRace-style suppressions. The
+/// repo's shared state is either mutex-guarded or already expressed as
+/// std::atomic with explicit ordering (support/Stats.h counters use
+/// relaxed ops by design), so a TSan report is a bug, not noise. If a
+/// genuine benign race ever needs waiving, it goes in the checked-in
+/// suppression file the CI gate points TSAN_OPTIONS at, with a written
+/// justification -- not a code annotation that silently travels to
+/// every future call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MLIRRL_SUPPORT_TSANANNOTATIONS_H
+#define MLIRRL_SUPPORT_TSANANNOTATIONS_H
+
+#include <cstddef>
+
+#if defined(__SANITIZE_THREAD__)
+#define MLIRRL_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLIRRL_TSAN_BUILD 1
+#endif
+#endif
+
+#ifndef MLIRRL_TSAN_BUILD
+#define MLIRRL_TSAN_BUILD 0
+#endif
+
+namespace mlirrl {
+
+/// True when this translation unit was compiled with -fsanitize=thread.
+inline constexpr bool TsanEnabled = MLIRRL_TSAN_BUILD != 0;
+
+/// Scales a stress-test iteration count for the active build mode:
+/// returns \p Full normally and \p Full / \p Divisor (at least 1) under
+/// TSan. Thread counts should stay unscaled -- fewer threads means
+/// fewer interleavings, which defeats the sanitizer run.
+inline constexpr size_t tsanScale(size_t Full, size_t Divisor = 8) {
+  return TsanEnabled ? (Full / Divisor > 0 ? Full / Divisor : 1) : Full;
+}
+
+} // namespace mlirrl
+
+#endif // MLIRRL_SUPPORT_TSANANNOTATIONS_H

@@ -168,9 +168,10 @@ TEST(ImportGateTest, ZeroAndNegativeBoundsRejected) {
 }
 
 TEST(ImportGateTest, OverflowingIntegerLiteralRejected) {
-  // In a tensor type the oversized literal saturates strtoll and dies
-  // on the dimension cap; in a bounds list it goes through parseInteger
-  // and must be diagnosed as not fitting 64 bits.
+  // Both paths route through support/Args checked parsing now: a tensor
+  // dimension past 64 bits is rejected outright (no strtoll
+  // saturation), and a bounds literal is diagnosed as not fitting
+  // 64 bits.
   Expected<Module> Dim = importModule(R"(module {
     %t = tensor<99999999999999999999x4xf32>
     %v = linalg.relu { bounds = [4, 4],
@@ -189,4 +190,36 @@ TEST(ImportGateTest, OverflowingIntegerLiteralRejected) {
   ASSERT_FALSE(static_cast<bool>(Bound));
   EXPECT_NE(Bound.getError().find("64 bits"), std::string::npos)
       << Bound.getError();
+}
+
+TEST(ImportGateTest, RedefinedValueRejectedRecoverably) {
+  // Module::addOp treats a duplicate result name as a fatal internal
+  // bug; hostile text must never reach it. The parser's own symbol
+  // table has to catch the redefinition first and surface it as an
+  // Expected error.
+  Expected<Module> M = importModule(R"(module {
+    %t = tensor<16x16xf32>
+    %t = tensor<16x16xf32>
+    %v = linalg.relu { bounds = [16, 16],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%t) : tensor<16x16xf32> })");
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.getError().find("redefinition"), std::string::npos)
+      << M.getError();
+}
+
+TEST(ImportGateTest, UndeclaredOperandRejectedRecoverably) {
+  // Same policy for the undeclared-value fatal in Module::addOp: the
+  // parser diagnoses the dangling operand recoverably before any op is
+  // materialized.
+  Expected<Module> M = importModule(R"(module {
+    %t = tensor<16x16xf32>
+    %v = linalg.relu { bounds = [16, 16],
+      iterators = [parallel, parallel],
+      maps = [(d0, d1) -> (d0, d1), (d0, d1) -> (d0, d1)],
+      arith = {max: 1} } ins(%ghost) : tensor<16x16xf32> })");
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.getError().find("undeclared"), std::string::npos)
+      << M.getError();
 }

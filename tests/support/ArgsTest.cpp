@@ -1,0 +1,92 @@
+//===- ArgsTest.cpp - Tests for checked numeric argument parsing ----------===//
+
+#include "support/Args.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+using namespace mlirrl;
+
+TEST(ArgsTest, UnsignedParsesPlainDigits) {
+  Expected<uint64_t> V = parseUnsignedInteger("12345");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 12345u);
+}
+
+TEST(ArgsTest, UnsignedParsesZeroAndMax) {
+  Expected<uint64_t> Zero = parseUnsignedInteger("0");
+  ASSERT_TRUE(static_cast<bool>(Zero));
+  EXPECT_EQ(*Zero, 0u);
+
+  Expected<uint64_t> Max = parseUnsignedInteger("18446744073709551615");
+  ASSERT_TRUE(static_cast<bool>(Max));
+  EXPECT_EQ(*Max, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ArgsTest, UnsignedRejectsMalformedText) {
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("-1")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("-0")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("+3")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger(" 3")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("3 ")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("10k")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("0x10")));
+}
+
+TEST(ArgsTest, UnsignedRejectsOverflow) {
+  // One past uint64 max.
+  EXPECT_FALSE(static_cast<bool>(parseUnsignedInteger("18446744073709551616")));
+  // Wildly longer than any 64-bit value.
+  EXPECT_FALSE(
+      static_cast<bool>(parseUnsignedInteger("999999999999999999999999")));
+}
+
+TEST(ArgsTest, UnsignedHonorsCallerMax) {
+  EXPECT_TRUE(static_cast<bool>(parseUnsignedInteger("16", 16)));
+  Expected<uint64_t> TooBig = parseUnsignedInteger("17", 16);
+  EXPECT_FALSE(static_cast<bool>(TooBig));
+}
+
+TEST(ArgsTest, SignedParsesBothSigns) {
+  Expected<int64_t> Pos = parseSignedInteger("42");
+  ASSERT_TRUE(static_cast<bool>(Pos));
+  EXPECT_EQ(*Pos, 42);
+
+  Expected<int64_t> Neg = parseSignedInteger("-42");
+  ASSERT_TRUE(static_cast<bool>(Neg));
+  EXPECT_EQ(*Neg, -42);
+}
+
+TEST(ArgsTest, SignedCoversInt64Extremes) {
+  Expected<int64_t> Max = parseSignedInteger("9223372036854775807");
+  ASSERT_TRUE(static_cast<bool>(Max));
+  EXPECT_EQ(*Max, std::numeric_limits<int64_t>::max());
+
+  // INT64_MIN's magnitude exceeds INT64_MAX, so it exercises the
+  // negative-branch headroom specifically.
+  Expected<int64_t> Min = parseSignedInteger("-9223372036854775808");
+  ASSERT_TRUE(static_cast<bool>(Min));
+  EXPECT_EQ(*Min, std::numeric_limits<int64_t>::min());
+
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("9223372036854775808")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("-9223372036854775809")));
+}
+
+TEST(ArgsTest, SignedRejectsMalformedText) {
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("-")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("--3")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("+3")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("3-")));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("1.5")));
+}
+
+TEST(ArgsTest, SignedHonorsCallerBounds) {
+  EXPECT_TRUE(static_cast<bool>(parseSignedInteger("-8", -8, 8)));
+  EXPECT_TRUE(static_cast<bool>(parseSignedInteger("8", -8, 8)));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("-9", -8, 8)));
+  EXPECT_FALSE(static_cast<bool>(parseSignedInteger("9", -8, 8)));
+}

@@ -1,0 +1,10 @@
+// Seeded violation (1/2): the same counter category registered here...
+namespace mlirrl {
+struct R {
+  static R &instance();
+  int &named(const char *);
+};
+int &seededCounterA() {
+  return R::instance().named("selftest.duplicate_category");
+}
+} // namespace mlirrl

@@ -1,0 +1,7 @@
+// A waiver without a justification is itself a lint error ("waiver").
+#include <cstdlib>
+
+int emptyWaiver(const char *Text) {
+  // mlirrl-lint: allow(raw-numeric-parse)
+  return atoi(Text);
+}

@@ -1,0 +1,14 @@
+// Seeded violation: a naked lock()/unlock() pair instead of RAII.
+#include <mutex>
+
+std::mutex SeedMutex;
+
+void seededNakedLock() {
+  SeedMutex.lock(); // naked-lock
+  SeedMutex.unlock(); // naked-lock
+}
+
+void raiiIsFine() {
+  std::unique_lock<std::mutex> Lock(SeedMutex, std::defer_lock);
+  Lock.lock(); // NOT a violation: unique_lock::lock() is still RAII-owned
+}

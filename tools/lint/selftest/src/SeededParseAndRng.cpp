@@ -1,0 +1,15 @@
+// Seeded violations: raw-numeric-parse and raw-rng must both fire here.
+#include <cstdlib>
+#include <random>
+
+int seededParse(const char *Text) {
+  return atoi(Text); // raw-numeric-parse
+}
+
+unsigned seededRng() {
+  std::mt19937 Gen(std::random_device{}()); // raw-rng (twice)
+  return static_cast<unsigned>(Gen());
+}
+
+// A mention of std::stoi inside this comment must NOT fire (comments are
+// stripped before matching).

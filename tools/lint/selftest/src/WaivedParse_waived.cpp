@@ -1,0 +1,13 @@
+// Waived twin: the same violation under a justified in-file waiver must
+// stay quiet.
+#include <cstdlib>
+
+int waivedParse(const char *Text) {
+  // mlirrl-lint: allow(raw-numeric-parse) -- fixture: exercising the waiver
+  return atoi(Text);
+}
+
+unsigned waivedRng();
+// mlirrl-lint: allow-file(raw-rng) -- fixture: whole-file waiver form
+#include <random>
+unsigned waivedRng() { return std::mt19937(7)(); }

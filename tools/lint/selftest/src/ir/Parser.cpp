@@ -1,0 +1,8 @@
+// Seeded violation: a fatal abort in a path support/Error.h documents as
+// recoverable (the parser handles untrusted input).
+namespace mlirrl {
+void reportFatalError(const char *);
+void seededFatal() {
+  reportFatalError("parser aborting on untrusted input"); // fatal-in-recoverable
+}
+} // namespace mlirrl

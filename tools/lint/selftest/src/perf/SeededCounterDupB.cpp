@@ -1,0 +1,11 @@
+// Seeded violation (2/2): ...and registered again here -- counter-name-once
+// must flag both sites.
+namespace mlirrl {
+struct R {
+  static R &instance();
+  int &named(const char *);
+};
+int &seededCounterB() {
+  return R::instance().named("selftest.duplicate_category");
+}
+} // namespace mlirrl

@@ -1,0 +1,8 @@
+// Seeded violation: an unordered container in a determinism-critical dir.
+#include <string>
+#include <unordered_map>
+
+int seededUnordered() {
+  std::unordered_map<std::string, int> Prices; // unordered-container
+  return static_cast<int>(Prices.size());
+}

@@ -1,0 +1,9 @@
+// Waived twin: never-iterated lookup table with an in-file justification.
+#include <string>
+#include <unordered_map>
+
+int waivedUnordered() {
+  // mlirrl-lint: allow(unordered-container) -- fixture: lookup only, never iterated
+  std::unordered_map<std::string, int> Lookup;
+  return static_cast<int>(Lookup.size());
+}
